@@ -1,0 +1,168 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * RXX's operator-Schmidt rank 2 (the paper's footnote 5) vs a generic
+//!   dense two-qubit unitary (rank 4): bond growth, and hence runtime,
+//!   differs sharply.
+//! * Accelerator launch latency sweep: how the device model moves the
+//!   CPU/GPU crossover.
+//! * Commuting-gate emission order: the `<= 2d`-layer schedule vs a
+//!   scrambled edge order (orthogonality-center movement cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qk_bench::sample_rows;
+use qk_circuit::ansatz::{feature_map_circuit, linear_chain_edges, rxx_angle, AnsatzConfig};
+use qk_circuit::{Circuit, Gate};
+use qk_mps::MpsSimulator;
+use qk_tensor::backend::{AcceleratorBackend, CpuBackend, DeviceModel};
+use qk_tensor::complex::c64;
+use qk_tensor::svd::split_two_qubit_gate;
+use std::time::Duration;
+
+fn bench_rxx_vs_generic_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_schmidt_rank");
+    group.sample_size(10);
+    let cpu = CpuBackend::new();
+    let m = 12;
+
+    // Chain of RXX gates (Schmidt rank 2: half the theta singular values
+    // vanish and are truncated).
+    let mut rxx = Circuit::new(m);
+    for q in 0..m {
+        rxx.push1(Gate::H, q);
+        rxx.push1(Gate::Rz(0.7), q);
+    }
+    for q in 0..m - 1 {
+        rxx.push2(Gate::Rxx(0.9), q, q + 1);
+    }
+
+    // Same layout with a generic (rank-4) two-qubit unitary built from
+    // composed rotations.
+    let generic = {
+        let a = Gate::Rxx(0.9).matrix();
+        let b = Gate::Rzz(1.3).matrix();
+        let ab = qk_tensor::contract(&a, &[1], &b, &[0]);
+        let mut entries = [c64(0.0, 0.0); 16];
+        entries.copy_from_slice(ab.data());
+        Gate::Unitary2(Box::new(entries))
+    };
+    let mut dense = Circuit::new(m);
+    for q in 0..m {
+        dense.push1(Gate::H, q);
+        dense.push1(Gate::Rz(0.7), q);
+    }
+    for q in 0..m - 1 {
+        dense.push2(generic.clone(), q, q + 1);
+    }
+
+    group.bench_function("rxx_rank2_chain", |bch| {
+        let sim = MpsSimulator::new(&cpu);
+        bch.iter(|| sim.simulate(&rxx));
+    });
+    group.bench_function("generic_rank4_chain", |bch| {
+        let sim = MpsSimulator::new(&cpu);
+        bch.iter(|| sim.simulate(&dense));
+    });
+    group.bench_function("gate_split_svd", |bch| {
+        let gate = Gate::Rxx(0.9).matrix();
+        bch.iter(|| split_two_qubit_gate(gate.data(), 1e-12));
+    });
+    group.finish();
+}
+
+fn bench_launch_latency_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_launch_latency");
+    group.sample_size(10);
+    let rows = sample_rows(1, 14, 71);
+    let circuit = feature_map_circuit(&rows[0], &AnsatzConfig::new(2, 2, 1.0));
+    for &micros in &[0u64, 20, 80] {
+        let model = DeviceModel {
+            launch_latency: Duration::from_micros(micros),
+            transfer_bytes_per_sec: f64::INFINITY,
+            compute_speedup: 1.0,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("accel_sim", micros),
+            &micros,
+            |bch, _| {
+                let acc = AcceleratorBackend::new(model);
+                let sim = MpsSimulator::new(&acc);
+                bch.iter(|| sim.simulate(&circuit));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_emission_order(c: &mut Criterion) {
+    // Layered schedule (as emitted by the ansatz builder) vs an edge order
+    // scrambled across distances, which forces extra center movement.
+    let mut group = c.benchmark_group("xx_emission_order");
+    group.sample_size(10);
+    let cpu = CpuBackend::new();
+    let m = 12;
+    let d = 3;
+    let rows = sample_rows(1, m, 72);
+    let x = &rows[0];
+    let gamma = 1.0;
+
+    let layered = feature_map_circuit(x, &AnsatzConfig::new(2, d, gamma));
+
+    let mut scrambled = Circuit::new(m);
+    for q in 0..m {
+        scrambled.push1(Gate::H, q);
+    }
+    let mut edges = linear_chain_edges(m, d);
+    // Deterministic scramble: reverse-interleave.
+    edges.sort_by_key(|&(i, j)| (j * 31 + i * 17) % 23);
+    for _rep in 0..2 {
+        for (q, &xi) in x.iter().enumerate() {
+            scrambled.push1(Gate::Rz(2.0 * gamma * xi), q);
+        }
+        for &(i, j) in &edges {
+            scrambled.push2(Gate::Rxx(rxx_angle(gamma, x[i], x[j])), i, j);
+        }
+    }
+
+    group.bench_function("layered_schedule", |bch| {
+        let sim = MpsSimulator::new(&cpu);
+        bch.iter(|| sim.simulate(&layered));
+    });
+    group.bench_function("scrambled_order", |bch| {
+        let sim = MpsSimulator::new(&cpu);
+        bch.iter(|| sim.simulate(&scrambled));
+    });
+    group.finish();
+}
+
+fn bench_kernel_diagnostics(c: &mut Criterion) {
+    // Spectral diagnostics cost: the Jacobi eigensolver is O(n^3) per
+    // sweep, the geometric difference adds CG solves + power iteration.
+    // Both must stay cheap relative to Gram assembly for the diagnostics
+    // to be usable inline in the table2/table3 harnesses.
+    use qk_svm::{effective_dimension, geometric_difference, KernelMatrix};
+    let mut group = c.benchmark_group("kernel_diagnostics");
+    group.sample_size(10);
+    for &n in &[16usize, 48, 96] {
+        let k1 = KernelMatrix::from_fn(n, |i, j| {
+            let d = i as f64 - j as f64;
+            (-d * d / 16.0).exp()
+        });
+        let k2 = KernelMatrix::from_fn(n, |i, j| if (i / 4) == (j / 4) { 1.0 } else { 0.05 });
+        group.bench_with_input(BenchmarkId::new("effective_dimension", n), &n, |bch, _| {
+            bch.iter(|| effective_dimension(&k1));
+        });
+        group.bench_with_input(BenchmarkId::new("geometric_difference", n), &n, |bch, _| {
+            bch.iter(|| geometric_difference(&k1, &k2, 1e-6));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rxx_vs_generic_gate,
+    bench_launch_latency_sweep,
+    bench_emission_order,
+    bench_kernel_diagnostics
+);
+criterion_main!(benches);

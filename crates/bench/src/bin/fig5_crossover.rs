@@ -1,0 +1,168 @@
+//! Figure 5 + Table I: CPU/GPU runtime crossover as the qubit interaction
+//! distance grows.
+//!
+//! For each `d`, simulates a batch of circuits and computes all pairwise
+//! inner products on both backends, reporting median and quartiles of the
+//! per-circuit / per-inner-product times, plus Table I (average largest
+//! bond dimension per backend and memory per MPS).
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin fig5_crossover -- \
+//!     [--scale ci|default|paper] [--qubits M] [--dmax D] [--samples K]
+
+use qk_bench::{median, quartiles, sample_rows, write_results, Args, Scale};
+use qk_circuit::ansatz::{feature_map_circuit, AnsatzConfig};
+use qk_mps::{Mps, MpsSimulator, TruncationConfig};
+use qk_tensor::backend::{AcceleratorBackend, CpuBackend, ExecutionBackend};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct BackendPoint {
+    backend: &'static str,
+    interaction_distance: usize,
+    sim_median: Duration,
+    sim_q1: Duration,
+    sim_q3: Duration,
+    inner_median: Duration,
+    inner_q1: Duration,
+    inner_q3: Duration,
+    avg_largest_chi: f64,
+    avg_memory_mib: f64,
+}
+
+/// Times one closure on the backend's clock: the virtual device clock if
+/// the backend has one (the accelerator), wall-clock otherwise (the CPU).
+fn timed<T>(backend: &dyn ExecutionBackend, f: impl FnOnce() -> T) -> (T, Duration) {
+    match backend.virtual_clock() {
+        Some(before) => {
+            let out = f();
+            (out, backend.virtual_clock().unwrap() - before)
+        }
+        None => {
+            let t0 = Instant::now();
+            let out = f();
+            (out, t0.elapsed())
+        }
+    }
+}
+
+fn run_backend(
+    backend: &dyn ExecutionBackend,
+    name: &'static str,
+    rows: &[Vec<f64>],
+    d: usize,
+    gamma: f64,
+) -> BackendPoint {
+    let cfg = AnsatzConfig::new(2, d, gamma);
+    let sim = MpsSimulator::new(backend).with_truncation(TruncationConfig::default());
+
+    let mut sim_times = Vec::new();
+    let mut states: Vec<Mps> = Vec::new();
+    for row in rows {
+        let circuit = feature_map_circuit(row, &cfg);
+        let ((mps, _), t) = timed(backend, || sim.simulate(&circuit));
+        sim_times.push(t);
+        states.push(mps);
+    }
+
+    let mut inner_times = Vec::new();
+    for i in 0..states.len() {
+        for j in (i + 1)..states.len() {
+            let (_, t) = timed(backend, || states[i].inner_with(backend, &states[j]));
+            inner_times.push(t);
+        }
+    }
+
+    let avg_chi = states.iter().map(|s| s.max_bond() as f64).sum::<f64>() / states.len() as f64;
+    let avg_mem = states.iter().map(|s| s.memory_bytes() as f64).sum::<f64>()
+        / states.len() as f64
+        / (1024.0 * 1024.0);
+    let (sim_q1, sim_q3) = quartiles(sim_times.clone());
+    let (inner_q1, inner_q3) = quartiles(inner_times.clone());
+    BackendPoint {
+        backend: name,
+        interaction_distance: d,
+        sim_median: median(sim_times),
+        sim_q1,
+        sim_q3,
+        inner_median: median(inner_times),
+        inner_q1,
+        inner_q3,
+        avg_largest_chi: avg_chi,
+        avg_memory_mib: avg_mem,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    // Paper: m = 100, r = 2, gamma = 1.0, d in {2,4,...,12}, 8 circuits.
+    let (qubits, dmax, samples) = match args.scale() {
+        Scale::Ci => (10, 3, 3),
+        Scale::Default => (16, 4, 3),
+        Scale::Paper => (100, 12, 8),
+    };
+    let qubits = args.get_or("qubits", qubits);
+    let dmax = args.get_or("dmax", dmax);
+    let samples = args.get_or("samples", samples);
+    let gamma = args.get_or("gamma", 1.0);
+
+    let rows = sample_rows(samples, qubits, 17);
+    let cpu = CpuBackend::new();
+    let acc = AcceleratorBackend::with_default_model();
+
+    println!("Fig. 5 / Table I: CPU-GPU crossover (m = {qubits}, r = 2, gamma = {gamma})");
+    println!("paper shape: GPU slower at small d (launch overhead), faster beyond the");
+    println!("crossover (paper: d ~ 9, chi ~ 320); the accelerator is timed on its");
+    println!("virtual device clock (see DESIGN.md substitution 1)\n");
+    println!(
+        "{:>3} {:>12} {:>12} {:>14} {:>14} | {:>9} {:>9} {:>10}",
+        "d", "cpu sim", "gpu sim", "cpu inner", "gpu inner", "chi(cpu)", "chi(gpu)", "MiB/MPS"
+    );
+
+    let mut points: Vec<BackendPoint> = Vec::new();
+    let mut sim_crossover: Option<usize> = None;
+    let mut inner_crossover: Option<usize> = None;
+    for d in 1..=dmax {
+        let p_cpu = run_backend(&cpu, "cpu", &rows, d, gamma);
+        let p_acc = run_backend(&acc, "accelerator", &rows, d, gamma);
+        println!(
+            "{:>3} {:>12.3?} {:>12.3?} {:>14.3?} {:>14.3?} | {:>9.1} {:>9.1} {:>10.3}",
+            d,
+            p_cpu.sim_median,
+            p_acc.sim_median,
+            p_cpu.inner_median,
+            p_acc.inner_median,
+            p_cpu.avg_largest_chi,
+            p_acc.avg_largest_chi,
+            p_acc.avg_memory_mib
+        );
+        if sim_crossover.is_none() && p_acc.sim_median < p_cpu.sim_median {
+            sim_crossover = Some(d);
+        }
+        if inner_crossover.is_none() && p_acc.inner_median < p_cpu.inner_median {
+            inner_crossover = Some(d);
+        }
+        points.push(p_cpu);
+        points.push(p_acc);
+    }
+
+    println!("\nTable I (average largest bond dimension and memory per MPS):");
+    println!("{:>12} {:>14} {:>14} {:>16}", "distance", "chi (GPU)", "chi (CPU)", "memory (MiB)");
+    for pair in points.chunks(2) {
+        let (c, a) = (&pair[0], &pair[1]);
+        println!(
+            "{:>12} {:>14.3} {:>14.3} {:>16.4}",
+            c.interaction_distance, a.avg_largest_chi, c.avg_largest_chi, a.avg_memory_mib
+        );
+    }
+    match sim_crossover {
+        Some(d) => println!("\nFig. 5a (simulation) crossover: accelerator faster from d = {d}"),
+        None => println!("\nFig. 5a: no simulation crossover in range (increase --dmax)"),
+    }
+    match inner_crossover {
+        Some(d) => println!("Fig. 5b (inner products) crossover: accelerator faster from d = {d}"),
+        None => println!("Fig. 5b: no inner-product crossover in range (increase --dmax)"),
+    }
+    write_results("fig5_crossover", &points);
+}

@@ -1,0 +1,126 @@
+//! Figure 6: memory required to store the MPS as the simulation advances,
+//! for two interaction-distance families. The sharp drops are SVD
+//! truncations kicking in.
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin fig6_memory_evolution -- \
+//!     [--scale ci|default|paper] [--qubits M] [--dlow D] [--dhigh D]
+
+use qk_bench::{sample_rows, write_results, Args, Scale};
+use qk_circuit::ansatz::{feature_map_circuit, AnsatzConfig};
+use qk_mps::{MpsSimulator, TracePoint, TruncationConfig};
+use qk_tensor::backend::CpuBackend;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Family {
+    interaction_distance: usize,
+    /// Mean/min/max memory (KiB) at each percentile bucket of progress.
+    buckets: Vec<Bucket>,
+}
+
+#[derive(Serialize)]
+struct Bucket {
+    progress_percent: f64,
+    mean_kib: f64,
+    min_kib: f64,
+    max_kib: f64,
+}
+
+/// Aggregates several traces into percentile buckets, mirroring the
+/// paper's mean line with min/max shading.
+fn bucketize(traces: &[Vec<TracePoint>], buckets: usize) -> Vec<Bucket> {
+    (1..=buckets)
+        .map(|b| {
+            let hi = 100.0 * b as f64 / buckets as f64;
+            let lo = 100.0 * (b - 1) as f64 / buckets as f64;
+            let mut values: Vec<f64> = Vec::new();
+            for trace in traces {
+                // Memory at the end of this progress window (last point in
+                // range, or carry the previous value forward).
+                let mut last: Option<f64> = None;
+                for p in trace {
+                    if p.progress_percent <= hi {
+                        last = Some(p.memory_bytes as f64 / 1024.0);
+                    }
+                }
+                let _ = lo;
+                if let Some(v) = last {
+                    values.push(v);
+                }
+            }
+            let mean = if values.is_empty() {
+                0.0
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            };
+            Bucket {
+                progress_percent: hi,
+                mean_kib: mean,
+                min_kib: values.iter().copied().fold(f64::INFINITY, f64::min),
+                max_kib: values.iter().copied().fold(0.0, f64::max),
+            }
+        })
+        .collect()
+}
+
+fn run_family(qubits: usize, d: usize, samples: usize, gamma: f64) -> Family {
+    let backend = CpuBackend::new();
+    let sim = MpsSimulator::new(&backend)
+        .with_truncation(TruncationConfig::default())
+        .with_memory_trace(true);
+    let rows = sample_rows(samples, qubits, 29 + d as u64);
+    let traces: Vec<Vec<TracePoint>> = rows
+        .iter()
+        .map(|row| {
+            let circuit = feature_map_circuit(row, &AnsatzConfig::new(2, d, gamma));
+            sim.simulate(&circuit).1.trace
+        })
+        .collect();
+    Family {
+        interaction_distance: d,
+        buckets: bucketize(&traces, 20),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    // Paper: m = 100, r = 2, gamma = 1.0, families d = 6 and d = 12.
+    let (qubits, dlow, dhigh, samples) = match args.scale() {
+        Scale::Ci => (8, 2, 3, 2),
+        Scale::Default => (16, 2, 4, 3),
+        Scale::Paper => (100, 6, 12, 8),
+    };
+    let qubits = args.get_or("qubits", qubits);
+    let dlow = args.get_or("dlow", dlow);
+    let dhigh = args.get_or("dhigh", dhigh);
+    let samples = args.get_or("samples", samples);
+    let gamma = args.get_or("gamma", 1.0);
+
+    println!("Fig. 6: MPS memory vs simulation progress (m = {qubits}, r = 2, gamma = {gamma})");
+    println!("paper shape: exponential growth in gates applied, sharp drops at SVD");
+    println!("truncations, higher-d family needs orders of magnitude more memory\n");
+
+    let families = vec![
+        run_family(qubits, dlow, samples, gamma),
+        run_family(qubits, dhigh, samples, gamma),
+    ];
+    println!(
+        "{:>10} | {:>24} | {:>24}",
+        "% gates",
+        format!("d = {dlow} mean (min..max) KiB"),
+        format!("d = {dhigh} mean (min..max) KiB")
+    );
+    for (a, b) in families[0].buckets.iter().zip(&families[1].buckets) {
+        println!(
+            "{:>9.0}% | {:>8.1} ({:>6.1}..{:>6.1}) | {:>8.1} ({:>6.1}..{:>6.1})",
+            a.progress_percent, a.mean_kib, a.min_kib, a.max_kib, b.mean_kib, b.min_kib, b.max_kib
+        );
+    }
+
+    let peak_low = families[0].buckets.iter().map(|b| b.max_kib).fold(0.0, f64::max);
+    let peak_high = families[1].buckets.iter().map(|b| b.max_kib).fold(0.0, f64::max);
+    println!("\npeak memory: d = {dlow}: {peak_low:.1} KiB, d = {dhigh}: {peak_high:.1} KiB (x{:.1})",
+        peak_high / peak_low.max(1e-9));
+    write_results("fig6_memory_evolution", &families);
+}

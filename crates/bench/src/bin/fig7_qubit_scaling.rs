@@ -1,0 +1,101 @@
+//! Figure 7: simulation time vs number of qubits (features), for several
+//! values of the kernel bandwidth gamma.
+//!
+//! The asymptotic cost is O(m chi^3), but chi itself depends on m and on
+//! gamma; the paper highlights that gamma = 0.5 is the most expensive of
+//! {0.1, 0.5, 1.0} because its RXX angles generate the strongest
+//! entanglement.
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin fig7_qubit_scaling -- \
+//!     [--scale ci|default|paper] [--distance D] [--samples K]
+
+use qk_bench::{mean, sample_rows, write_results, Args, Scale};
+use qk_circuit::ansatz::{feature_map_circuit, AnsatzConfig};
+use qk_mps::{MpsSimulator, TruncationConfig};
+use qk_tensor::backend::CpuBackend;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Point {
+    qubits: usize,
+    gamma: f64,
+    mean_sim_seconds: f64,
+    mean_inner_seconds: f64,
+    mean_largest_chi: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    // Paper: d = 6, r = 2, m in 25..=165, gammas {0.1, 0.5, 1.0}, 8 samples.
+    let (qubit_grid, distance, samples): (Vec<usize>, usize, usize) = match args.scale() {
+        Scale::Ci => (vec![6, 10, 14], 2, 2),
+        Scale::Default => (vec![10, 20, 30, 40], 3, 2),
+        Scale::Paper => (vec![25, 50, 75, 100, 125, 150, 165], 6, 8),
+    };
+    let distance = args.get_or("distance", distance);
+    let samples = args.get_or("samples", samples);
+    let gammas = [0.1f64, 0.5, 1.0];
+
+    let backend = CpuBackend::new();
+    println!("Fig. 7: simulation time vs qubits (d = {distance}, r = 2)");
+    println!("paper shape: manageable growth with m; gamma = 0.5 is the most");
+    println!("expensive because intermediate angles entangle hardest\n");
+    println!(
+        "{:>7} | {:>22} | {:>22} | {:>22}",
+        "qubits", "gamma=0.1 (s) [chi]", "gamma=0.5 (s) [chi]", "gamma=1.0 (s) [chi]"
+    );
+
+    let mut points = Vec::new();
+    for &m in &qubit_grid {
+        let mut cells = Vec::new();
+        for &gamma in &gammas {
+            let cfg = AnsatzConfig::new(2, distance.min(m - 1), gamma);
+            let sim = MpsSimulator::new(&backend).with_truncation(TruncationConfig::default());
+            let rows = sample_rows(samples + 1, m, 31);
+            let mut sim_secs = Vec::new();
+            let mut chi = Vec::new();
+            let mut states = Vec::new();
+            for row in &rows {
+                let circuit = feature_map_circuit(row, &cfg);
+                let t0 = Instant::now();
+                let (mps, _) = sim.simulate(&circuit);
+                sim_secs.push(t0.elapsed().as_secs_f64());
+                chi.push(mps.max_bond() as f64);
+                states.push(mps);
+            }
+            // Inner-product scaling shares the O(m chi^3) law; time a few.
+            let mut inner_secs = Vec::new();
+            for pair in states.windows(2) {
+                let t0 = Instant::now();
+                let _ = pair[0].inner_with(&backend, &pair[1]);
+                inner_secs.push(t0.elapsed().as_secs_f64());
+            }
+            let p = Point {
+                qubits: m,
+                gamma,
+                mean_sim_seconds: mean(&sim_secs),
+                mean_inner_seconds: mean(&inner_secs),
+                mean_largest_chi: mean(&chi),
+            };
+            cells.push(format!(
+                "{:>12.4} [{:>5.1}]",
+                p.mean_sim_seconds, p.mean_largest_chi
+            ));
+            points.push(p);
+        }
+        println!("{:>7} | {:>22} | {:>22} | {:>22}", m, cells[0], cells[1], cells[2]);
+    }
+
+    // Shape check: gamma = 0.5 at the largest m should be the slowest.
+    let largest = *qubit_grid.last().unwrap();
+    let at_largest: Vec<&Point> = points.iter().filter(|p| p.qubits == largest).collect();
+    if let Some(max_p) = at_largest
+        .iter()
+        .max_by(|a, b| a.mean_sim_seconds.partial_cmp(&b.mean_sim_seconds).unwrap())
+    {
+        println!("\nslowest gamma at m = {largest}: {} (paper: 0.5)", max_p.gamma);
+    }
+    write_results("fig7_qubit_scaling", &points);
+}

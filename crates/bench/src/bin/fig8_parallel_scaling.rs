@@ -1,0 +1,94 @@
+//! Figure 8: wall-clock breakdown of the Gram-matrix computation as the
+//! data set size and the number of (simulated) processes double together.
+//!
+//! Expected shape: simulation time stays flat (linear work / linear
+//! processes), inner-product time doubles per step (quadratic work /
+//! linear processes); communication is small compared to simulation.
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin fig8_parallel_scaling -- \
+//!     [--scale ci|default|paper] [--features M] [--base-n N] [--steps S]
+
+use qk_bench::{sample_rows, write_results, Args, Scale};
+use qk_circuit::AnsatzConfig;
+use qk_core::distributed::{distributed_gram, Strategy};
+use qk_mps::TruncationConfig;
+use qk_tensor::backend::CpuBackend;
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Bar {
+    data_points: usize,
+    processes: usize,
+    simulation: Duration,
+    inner_products: Duration,
+    communication: Duration,
+    wall: Duration,
+    bytes_communicated: usize,
+}
+
+fn main() {
+    let args = Args::from_env();
+    // Paper: m = 165, r = 2, d = 1, gamma = 0.1; N in {400..6400} with
+    // GPUs in {2..32}.
+    let (features, base_n, base_procs, steps) = match args.scale() {
+        Scale::Ci => (12, 16, 2, 2),
+        Scale::Default => (48, 48, 2, 4),
+        Scale::Paper => (165, 400, 2, 5),
+    };
+    let features = args.get_or("features", features);
+    let base_n = args.get_or("base-n", base_n);
+    let base_procs = args.get_or("base-procs", base_procs);
+    let steps = args.get_or("steps", steps);
+
+    let ansatz = AnsatzConfig::qml_default();
+    let trunc = TruncationConfig::default();
+    let backend = CpuBackend::new();
+
+    println!(
+        "Fig. 8: Gram wall-clock breakdown, round-robin strategy (m = {features}, r = 2, d = 1, gamma = 0.1)"
+    );
+    println!("paper shape: simulation flat as N and processes double together;");
+    println!("inner products roughly double per bar\n");
+    println!(
+        "{:>8} {:>7} | {:>12} {:>14} {:>14} {:>12}",
+        "N", "procs", "simulation", "inner prods", "communication", "wall"
+    );
+
+    let mut bars = Vec::new();
+    for step in 0..steps {
+        let n = base_n << step;
+        let procs = base_procs << step;
+        let rows = sample_rows(n, features, 37);
+        let result = distributed_gram(&rows, &ansatz, &backend, &trunc, procs, Strategy::RoundRobin);
+        let max = result.max_phase_times();
+        println!(
+            "{:>8} {:>7} | {:>12.3?} {:>14.3?} {:>14.3?} {:>12.3?}",
+            n, procs, max.simulation, max.inner_products, max.communication, result.wall_time
+        );
+        bars.push(Bar {
+            data_points: n,
+            processes: procs,
+            simulation: max.simulation,
+            inner_products: max.inner_products,
+            communication: max.communication,
+            wall: result.wall_time,
+            bytes_communicated: result.bytes_communicated,
+        });
+    }
+
+    if bars.len() >= 2 {
+        let first = &bars[0];
+        let last = &bars[bars.len() - 1];
+        println!(
+            "\nsimulation ratio last/first: {:.2} (paper: ~1.0, flat)",
+            last.simulation.as_secs_f64() / first.simulation.as_secs_f64().max(1e-9)
+        );
+        let per_step = (last.inner_products.as_secs_f64()
+            / first.inner_products.as_secs_f64().max(1e-9))
+        .powf(1.0 / (bars.len() - 1) as f64);
+        println!("inner-product growth per doubling: x{per_step:.2} (paper: ~x2)");
+    }
+    write_results("fig8_parallel_scaling", &bars);
+}

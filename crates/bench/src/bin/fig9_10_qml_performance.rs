@@ -1,0 +1,118 @@
+//! Figures 9 and 10: train / test AUC as the number of features and the
+//! training-set size grow.
+//!
+//! Expected shape: test AUC improves with features for the largest sample
+//! size; the smallest sample size overfits (high train AUC, flat or noisy
+//! test AUC).
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin fig9_10_qml_performance -- \
+//!     [--scale ci|default|paper] [--gamma G] [--runs R]
+
+use qk_bench::{mean, write_results, Args, Scale};
+use qk_circuit::AnsatzConfig;
+use qk_core::pipeline::{run_quantum_experiment, ExperimentConfig};
+use qk_data::{generate, SyntheticConfig};
+use qk_tensor::backend::CpuBackend;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    samples: usize,
+    features: usize,
+    train_auc: f64,
+    test_auc: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    // Paper: sample sizes {300, 1500, 6400}, features {15, 50, 100, 165},
+    // r = 2, d = 1, gamma = 0.1.
+    let (sample_sizes, feature_grid, dataset, runs): (Vec<usize>, Vec<usize>, SyntheticConfig, usize) =
+        match args.scale() {
+            Scale::Ci => (
+                vec![40, 80],
+                vec![4, 8],
+                SyntheticConfig {
+                    num_features: 8,
+                    num_illicit: 60,
+                    num_licit: 60,
+                    latent_dim: 6,
+                    noise: 1.6,
+                    seed: 0,
+                },
+                1,
+            ),
+            Scale::Default => (
+                vec![80, 240, 480],
+                vec![4, 12, 24, 40],
+                SyntheticConfig {
+                    num_features: 40,
+                    num_illicit: 320,
+                    num_licit: 320,
+                    latent_dim: 6,
+                    noise: 1.6,
+                    seed: 0,
+                },
+                3,
+            ),
+            Scale::Paper => (
+                vec![300, 1500, 6400],
+                vec![15, 50, 100, 165],
+                SyntheticConfig::elliptic_like(0),
+                1,
+            ),
+        };
+    let gamma = args.get_or("gamma", 0.25);
+    let runs = args.get_or("runs", runs);
+
+    let backend = CpuBackend::new();
+    println!("Figs. 9-10: AUC vs features for several sample sizes (r = 2, d = 1, gamma = {gamma})");
+    println!("paper shape: test AUC improves with features at the largest N; the");
+    println!("smallest N overfits (train AUC highest, test AUC unstable)\n");
+
+    let mut points = Vec::new();
+    println!("{:>9} {:>9} | {:>10} {:>10}", "N", "features", "train AUC", "test AUC");
+    for &n in &sample_sizes {
+        for &k in &feature_grid {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for run in 0..runs {
+                let seed = 100 + run as u64;
+                let data = generate(&SyntheticConfig { seed, ..dataset });
+                let config = ExperimentConfig {
+                    ansatz: AnsatzConfig::new(2, 1, gamma),
+                    ..ExperimentConfig::qml(n, k, seed)
+                };
+                let result = run_quantum_experiment(&data, &config, &backend);
+                train.push(result.best_train_auc());
+                test.push(result.best_test_auc());
+            }
+            let p = Point {
+                samples: n,
+                features: k,
+                train_auc: mean(&train),
+                test_auc: mean(&test),
+            };
+            println!("{:>9} {:>9} | {:>10.3} {:>10.3}", n, k, p.train_auc, p.test_auc);
+            points.push(p);
+        }
+        println!();
+    }
+
+    // Shape summary: AUC gain from fewest to most features per sample size.
+    for &n in &sample_sizes {
+        let series: Vec<&Point> = points.iter().filter(|p| p.samples == n).collect();
+        if let (Some(first), Some(last)) = (series.first(), series.last()) {
+            println!(
+                "N = {n}: test AUC {:.3} -> {:.3} ({:+.3}) from {} to {} features",
+                first.test_auc,
+                last.test_auc,
+                last.test_auc - first.test_auc,
+                first.features,
+                last.features
+            );
+        }
+    }
+    write_results("fig9_10_qml_performance", &points);
+}

@@ -1,0 +1,190 @@
+//! Shared harness infrastructure for the per-figure benchmark binaries.
+//!
+//! Every binary accepts `--scale ci|default|paper` plus experiment-specific
+//! overrides, prints the paper's rows/series to stdout, and writes a JSON
+//! record under `results/` so plots can be regenerated offline. "paper"
+//! scale uses the manuscript's exact parameters (slow without cluster
+//! hardware); "default" reproduces each figure's *shape* at laptop scale;
+//! "ci" is a smoke test.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Harness scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-level smoke test.
+    Ci,
+    /// Laptop-scale shape reproduction (the default).
+    Default,
+    /// The manuscript's exact parameters (requires serious hardware).
+    Paper,
+}
+
+impl Scale {
+    /// Parses a `--scale` value.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "ci" => Some(Scale::Ci),
+            "default" => Some(Scale::Default),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal command-line parser: `--key value` pairs only.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, panicking on malformed input.
+    pub fn from_env() -> Args {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut it = raw.into_iter();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --key, found {key}"))
+                .to_string();
+            let value = it.next().unwrap_or_else(|| panic!("missing value for --{key}"));
+            pairs.push((key, value));
+        }
+        Args { pairs }
+    }
+
+    /// Looks up a raw string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The scale preset (default: `Scale::Default`).
+    pub fn scale(&self) -> Scale {
+        self.get("scale")
+            .map(|s| Scale::parse(s).unwrap_or_else(|| panic!("unknown scale {s}")))
+            .unwrap_or(Scale::Default)
+    }
+
+    /// Typed lookup with a fallback.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{key}: {e:?}")))
+            .unwrap_or(default)
+    }
+}
+
+/// Writes a serializable record to `results/<name>.json` (best effort; the
+/// harness still succeeds if the directory is unwritable).
+pub fn write_results<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if std::fs::write(&path, json).is_ok() {
+                eprintln!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("[failed to serialize results: {e}]"),
+    }
+}
+
+/// Deterministic sample rows drawn from the synthetic elliptic-like
+/// distribution, preprocessed into the `(0, 2)` feature-map domain.
+pub fn sample_rows(count: usize, features: usize, seed: u64) -> Vec<Vec<f64>> {
+    use qk_data::{generate, prepare_experiment, SyntheticConfig};
+    let n = (count + 8).next_multiple_of(2).max(10);
+    let data = generate(&SyntheticConfig {
+        num_features: features,
+        num_illicit: n,
+        num_licit: n,
+        latent_dim: 6,
+        noise: 2.0,
+        seed,
+    });
+    let split = prepare_experiment(&data, 2 * n, features, seed);
+    split.train.features.into_iter().take(count).collect()
+}
+
+/// Median of a duration sample (empty-safe).
+pub fn median(mut xs: Vec<Duration>) -> Duration {
+    if xs.is_empty() {
+        return Duration::ZERO;
+    }
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// First and third quartiles of a duration sample.
+pub fn quartiles(mut xs: Vec<Duration>) -> (Duration, Duration) {
+    if xs.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    xs.sort();
+    (xs[xs.len() / 4], xs[(3 * xs.len()) / 4])
+}
+
+/// Mean of an f64 sample (empty-safe).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("ci"), Some(Scale::Ci));
+        assert_eq!(Scale::parse("DEFAULT"), Some(Scale::Default));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn sample_rows_in_domain() {
+        let rows = sample_rows(12, 8, 3);
+        assert_eq!(rows.len(), 12);
+        for row in &rows {
+            assert_eq!(row.len(), 8);
+            assert!(row.iter().all(|&x| (0.0..=2.0).contains(&x)));
+        }
+        // Deterministic.
+        assert_eq!(rows, sample_rows(12, 8, 3));
+    }
+
+    #[test]
+    fn median_and_quartiles() {
+        let xs: Vec<Duration> = [5, 1, 3, 2, 4].iter().map(|&s| Duration::from_secs(s)).collect();
+        assert_eq!(median(xs.clone()), Duration::from_secs(3));
+        let (q1, q3) = quartiles(xs);
+        assert_eq!(q1, Duration::from_secs(2));
+        assert_eq!(q3, Duration::from_secs(4));
+        assert_eq!(median(vec![]), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_empty_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Single-qubit unitary decomposition.
+//!
+//! Any `U in U(2)` factors as `U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta)`
+//! (the ZYZ Euler decomposition). This is how opaque fused gates
+//! ([`crate::Gate::Unitary1`], produced by the optimizer) are lowered back
+//! to the named rotation set — for QASM interchange, for hardware-style
+//! gate counting, and for any backend that only accepts rotations.
+
+use crate::gate::Gate;
+use qk_tensor::complex::Complex64;
+use qk_tensor::tensor::Tensor;
+
+/// ZYZ Euler angles of a single-qubit unitary:
+/// `U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zyz {
+    /// Global phase.
+    pub alpha: f64,
+    /// First (leftmost) Z rotation angle.
+    pub beta: f64,
+    /// Middle Y rotation angle, in `[0, pi]`.
+    pub gamma: f64,
+    /// Last (rightmost) Z rotation angle.
+    pub delta: f64,
+}
+
+impl Zyz {
+    /// Reconstructs the unitary `e^{i alpha} Rz(beta) Ry(gamma) Rz(delta)`
+    /// as a 2x2 tensor.
+    pub fn matrix(&self) -> Tensor {
+        let phase = Complex64::cis(self.alpha);
+        let rz_b = Gate::Rz(self.beta).matrix();
+        let ry_g = Gate::Ry(self.gamma).matrix();
+        let rz_d = Gate::Rz(self.delta).matrix();
+        let mut prod = qk_tensor::contract(&rz_b, &[1], &ry_g, &[0]);
+        prod = qk_tensor::contract(&prod, &[1], &rz_d, &[0]);
+        prod.scale_inplace(phase);
+        prod
+    }
+
+    /// The rotation sequence as gates, omitting rotations with negligible
+    /// angle. Global phase is *not* representable as a gate; callers that
+    /// need it must track `alpha` separately.
+    pub fn to_gates(&self) -> Vec<Gate> {
+        let mut gates = Vec::new();
+        // Emission order is application order: Rz(delta) first.
+        if self.delta.abs() > 1e-15 {
+            gates.push(Gate::Rz(self.delta));
+        }
+        if self.gamma.abs() > 1e-15 {
+            gates.push(Gate::Ry(self.gamma));
+        }
+        if self.beta.abs() > 1e-15 {
+            gates.push(Gate::Rz(self.beta));
+        }
+        gates
+    }
+}
+
+/// Computes the ZYZ decomposition of a 2x2 unitary given as a row-major
+/// 4-entry buffer `[u00, u01, u10, u11]`.
+///
+/// # Panics
+/// Panics if the matrix is not unitary within `1e-9`.
+pub fn zyz_decompose(u: &[Complex64; 4]) -> Zyz {
+    let t = Tensor::from_data(&[2, 2], u.to_vec());
+    assert!(
+        crate::gate::is_unitary(&t, 1e-9),
+        "zyz_decompose requires a unitary matrix"
+    );
+    let [u00, u01, u10, u11] = *u;
+
+    // Writing U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta) entrywise:
+    //   u00 = e^{i(alpha - beta/2 - delta/2)} cos(gamma/2)
+    //   u01 = -e^{i(alpha - beta/2 + delta/2)} sin(gamma/2)
+    //   u10 = e^{i(alpha + beta/2 - delta/2)} sin(gamma/2)
+    //   u11 = e^{i(alpha + beta/2 + delta/2)} cos(gamma/2)
+    let cos_half = u00.norm().min(1.0);
+    let sin_half = u10.norm().min(1.0);
+    // atan2 is robust at both poles (gamma = 0 and gamma = pi).
+    let gamma = 2.0 * sin_half.atan2(cos_half);
+
+    let (alpha, beta, delta);
+    if cos_half >= sin_half {
+        // u00, u11 carry reliable phases.
+        let p00 = u00.arg();
+        let p11 = u11.arg();
+        alpha = 0.5 * (p00 + p11);
+        if sin_half > 1e-12 {
+            let p10 = u10.arg();
+            // (beta - delta)/2 from u10's phase, (beta + delta)/2 from u11's.
+            let beta_minus_delta_half = p10 - alpha;
+            let beta_plus_delta_half = p11 - alpha;
+            let b = beta_minus_delta_half + beta_plus_delta_half;
+            let d = beta_plus_delta_half - beta_minus_delta_half;
+            return canonical(Zyz { alpha, beta: b, gamma, delta: d });
+        }
+        // gamma ~ 0: only beta + delta is determined; put it all in delta.
+        let sum = p11 - p00; // (beta + delta)
+        beta = 0.0;
+        delta = sum;
+    } else {
+        // Near gamma = pi: u01, u10 carry reliable phases.
+        let p10 = u10.arg();
+        // -u01 = e^{i(alpha - beta/2 + delta/2)} sin(gamma/2)
+        let p01 = (-u01).arg();
+        alpha = 0.5 * (p10 + p01);
+        if cos_half > 1e-12 {
+            let p00 = u00.arg();
+            let beta_minus_delta_half = p10 - alpha;
+            let minus_beta_minus_delta_half = p00 - alpha;
+            let b = beta_minus_delta_half - minus_beta_minus_delta_half;
+            let d = -(beta_minus_delta_half + minus_beta_minus_delta_half);
+            return canonical(Zyz { alpha, beta: b, gamma, delta: d });
+        }
+        // gamma ~ pi: only beta - delta is determined; put it in beta.
+        let diff = p10 - p01; // (beta - delta)
+        beta = diff;
+        delta = 0.0;
+    }
+    canonical(Zyz { alpha, beta, gamma, delta })
+}
+
+/// Wraps angles into `(-2pi, 2pi]`-ish canonical ranges for stable
+/// round-trips; the matrix is unchanged.
+fn canonical(z: Zyz) -> Zyz {
+    use std::f64::consts::PI;
+    let wrap = |t: f64| {
+        let mut t = t % (4.0 * PI);
+        if t > 2.0 * PI {
+            t -= 4.0 * PI;
+        } else if t <= -2.0 * PI {
+            t += 4.0 * PI;
+        }
+        t
+    };
+    Zyz {
+        alpha: z.alpha,
+        beta: wrap(z.beta),
+        gamma: z.gamma,
+        delta: wrap(z.delta),
+    }
+}
+
+/// Decomposes a single-qubit [`Gate`] into ZYZ form via its matrix.
+pub fn decompose_gate(gate: &Gate) -> Zyz {
+    assert_eq!(gate.arity(), 1, "ZYZ decomposition is for single-qubit gates");
+    let m = gate.matrix();
+    let mut u = [Complex64::ZERO; 4];
+    u.copy_from_slice(m.data());
+    zyz_decompose(&u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qk_tensor::complex::c64;
+
+    fn assert_reconstructs(u: &[Complex64; 4], tol: f64) {
+        let z = zyz_decompose(u);
+        let back = z.matrix();
+        let orig = Tensor::from_data(&[2, 2], u.to_vec());
+        assert!(
+            back.l1_distance(&orig) < tol,
+            "zyz {z:?} reconstructed {:?} vs {:?}",
+            back.data(),
+            orig.data()
+        );
+    }
+
+    fn gate_entries(g: &Gate) -> [Complex64; 4] {
+        let m = g.matrix();
+        let mut u = [Complex64::ZERO; 4];
+        u.copy_from_slice(m.data());
+        u
+    }
+
+    #[test]
+    fn identity_decomposes_trivially() {
+        let u = [Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
+        let z = zyz_decompose(&u);
+        assert!(z.gamma.abs() < 1e-12);
+        assert_reconstructs(&u, 1e-12);
+        assert!(z.to_gates().is_empty());
+    }
+
+    #[test]
+    fn named_gates_reconstruct() {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.2),
+            Gate::Rz(2.9),
+            Gate::Rx(3.8),
+        ] {
+            let u = gate_entries(&g);
+            assert_reconstructs(&u, 1e-10);
+        }
+    }
+
+    #[test]
+    fn pure_rz_keeps_zero_gamma() {
+        let z = decompose_gate(&Gate::Rz(1.1));
+        assert!(z.gamma.abs() < 1e-12);
+        let back = z.matrix();
+        assert!(back.l1_distance(&Gate::Rz(1.1).matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn x_gate_is_gamma_pi() {
+        let z = decompose_gate(&Gate::X);
+        assert!((z.gamma - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_unitaries_reconstruct() {
+        // Haar-ish random unitaries from random rotation products.
+        let angles = [
+            (0.3, 1.7, -2.1),
+            (2.9, 0.1, 0.4),
+            (-1.3, 2.2, 3.0),
+            (0.01, -0.02, 0.03),
+            (3.1, 3.1, -3.1),
+        ];
+        for (a, b, c) in angles {
+            let m1 = Gate::Rz(a).matrix();
+            let m2 = Gate::Ry(b).matrix();
+            let m3 = Gate::Rz(c).matrix();
+            let mut prod = qk_tensor::contract(&m1, &[1], &m2, &[0]);
+            prod = qk_tensor::contract(&prod, &[1], &m3, &[0]);
+            // Add a global phase to exercise alpha.
+            prod.scale_inplace(Complex64::cis(0.6));
+            let mut u = [Complex64::ZERO; 4];
+            u.copy_from_slice(prod.data());
+            assert_reconstructs(&u, 1e-9);
+        }
+    }
+
+    #[test]
+    fn to_gates_matches_matrix_up_to_phase() {
+        let z = decompose_gate(&Gate::H);
+        let mut acc = Tensor::identity(2);
+        for g in z.to_gates() {
+            acc = qk_tensor::contract(&g.matrix(), &[1], &acc, &[0]);
+        }
+        acc.scale_inplace(Complex64::cis(z.alpha));
+        assert!(acc.l1_distance(&Gate::H.matrix()) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary")]
+    fn rejects_non_unitary() {
+        let u = [c64(2.0, 0.0), Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
+        let _ = zyz_decompose(&u);
+    }
+}

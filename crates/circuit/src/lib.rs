@@ -1,0 +1,49 @@
+//! # qk-circuit
+//!
+//! Quantum circuit intermediate representation and the paper's
+//! data-encoding ansatz:
+//!
+//! * [`gate`] — the gate set with explicit unitary matrices.
+//! * [`circuit`] — ordered gate lists with depth/cost accounting.
+//! * [`ansatz`] — the spin-Hamiltonian feature map of eqs. (3)-(5),
+//!   including the `<= 2d`-layer commuting-RXX schedule.
+//! * [`routing`] — SWAP insertion so every two-qubit gate is
+//!   nearest-neighbour, as required by the MPS simulator.
+//! * [`mod@optimize`] — peephole passes (rotation merging, self-inverse
+//!   cancellation, 1q fusion) that cut MPS simulation cost directly.
+//! * [`decompose`] — ZYZ Euler decomposition of single-qubit unitaries.
+//! * [`qasm`] — OpenQASM 2.0 export/import for toolchain interchange.
+//!
+//! ## Example: build and route the paper's feature map
+//!
+//! ```
+//! use qk_circuit::{feature_map_circuit, route_for_mps, AnsatzConfig};
+//!
+//! // r = 2 layers, interaction distance d = 2, bandwidth gamma = 0.5.
+//! let config = AnsatzConfig::new(2, 2, 0.5);
+//! let circuit = feature_map_circuit(&[0.3, 1.2, 0.7, 1.8], &config);
+//! let routed = route_for_mps(&circuit);
+//! // Routing adds the 2(k-1) SWAPs per long-range RXX the paper counts.
+//! assert!(routed.ops().len() >= circuit.ops().len());
+//! ```
+
+#![warn(missing_docs)]
+
+#[cfg(test)]
+pub(crate) mod test_dense;
+
+pub mod ansatz;
+pub mod circuit;
+pub mod decompose;
+pub mod gate;
+pub mod optimize;
+pub mod qasm;
+pub mod routing;
+
+pub use ansatz::{feature_map_circuit, linear_chain_edges, xx_layers, AnsatzConfig};
+pub use circuit::{Circuit, Operation};
+pub use decompose::{decompose_gate, zyz_decompose, Zyz};
+pub use gate::Gate;
+pub use optimize::{gate_histogram, optimize, OptimizeReport};
+pub use qasm::{from_qasm, to_qasm, QasmError};
+pub use routing::{route_for_mps, route_with_report, RoutingReport};

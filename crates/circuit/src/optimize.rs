@@ -1,0 +1,450 @@
+//! Peephole circuit optimization.
+//!
+//! The MPS cost model makes the motivation concrete: every two-qubit gate
+//! multiplies a virtual bond, so removing a cancelling SWAP pair or
+//! merging consecutive RXX rotations cuts simulation cost directly, and
+//! fusing runs of single-qubit gates reduces constant-factor overhead
+//! (each 1q gate is an `O(chi^2)` pass over a site tensor).
+//!
+//! All rewrites are *exactly* unitary-preserving — including global phase —
+//! so optimized circuits are interchangeable with their originals in
+//! kernel computations, where `|<psi|phi>|^2` would forgive a phase but
+//! the tests do not have to.
+
+use crate::circuit::{Circuit, Operation};
+use crate::gate::Gate;
+use qk_tensor::complex::Complex64;
+use qk_tensor::contract::contract;
+use qk_tensor::tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Angle below which a rotation is treated as the identity.
+const ANGLE_EPS: f64 = 1e-15;
+/// Matrix distance below which a fused 1q product is dropped as identity.
+const IDENTITY_TOL: f64 = 1e-12;
+
+/// What each pass of [`optimize`] removed or rewrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeReport {
+    /// Runs of single-qubit gates fused into one gate.
+    pub fused_1q: usize,
+    /// Pairs of adjacent same-axis rotations merged into one.
+    pub merged_rotations: usize,
+    /// Self-inverse pairs (SWAP/CX/CZ/H/X/Y/Z) cancelled outright.
+    pub cancelled_pairs: usize,
+    /// Identity gates (zero-angle rotations, fused-to-identity products)
+    /// dropped.
+    pub dropped_identities: usize,
+    /// Operation count before optimization.
+    pub ops_before: usize,
+    /// Operation count after optimization.
+    pub ops_after: usize,
+}
+
+impl OptimizeReport {
+    /// Total operations eliminated.
+    pub fn ops_removed(&self) -> usize {
+        self.ops_before - self.ops_after
+    }
+}
+
+/// Histogram of gate mnemonics, for circuit inspection and logging.
+pub fn gate_histogram(circuit: &Circuit) -> BTreeMap<&'static str, usize> {
+    let mut hist = BTreeMap::new();
+    for op in circuit.ops() {
+        *hist.entry(op.gate.name()).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// `true` when the gate is a rotation with angle below [`ANGLE_EPS`].
+fn is_zero_rotation(gate: &Gate) -> bool {
+    match gate {
+        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Rxx(t) | Gate::Ryy(t) | Gate::Rzz(t) => {
+            t.abs() < ANGLE_EPS
+        }
+        _ => false,
+    }
+}
+
+/// `true` for gates that square to the identity (exactly, including
+/// phase).
+fn is_self_inverse(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cx | Gate::Cz | Gate::Swap
+    )
+}
+
+/// Merges two same-axis rotations into one; `None` when the gates are not
+/// a mergeable pair.
+fn merge_rotation(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::Rx(s), Gate::Rx(t)) => Some(Gate::Rx(s + t)),
+        (Gate::Ry(s), Gate::Ry(t)) => Some(Gate::Ry(s + t)),
+        (Gate::Rz(s), Gate::Rz(t)) => Some(Gate::Rz(s + t)),
+        (Gate::Rxx(s), Gate::Rxx(t)) => Some(Gate::Rxx(s + t)),
+        (Gate::Ryy(s), Gate::Ryy(t)) => Some(Gate::Ryy(s + t)),
+        (Gate::Rzz(s), Gate::Rzz(t)) => Some(Gate::Rzz(s + t)),
+        _ => None,
+    }
+}
+
+/// Matrix product `second * first` of two single-qubit gates as a fused
+/// [`Gate::Unitary1`], or `None` if the product is the identity.
+fn fuse_1q(first: &Gate, second: &Gate) -> Option<Gate> {
+    let prod = contract(&second.matrix(), &[1], &first.matrix(), &[0]);
+    if prod.l1_distance(&Tensor::identity(2)) < IDENTITY_TOL {
+        return None;
+    }
+    let mut entries = [Complex64::ZERO; 4];
+    entries.copy_from_slice(prod.data());
+    Some(Gate::Unitary1(entries))
+}
+
+/// `true` when two operations act on the same *unordered* qubit pair and
+/// the gate is symmetric under qubit exchange (so order is irrelevant).
+fn same_symmetric_pair(a: &Operation, b: &Operation) -> bool {
+    let sym = matches!(
+        a.gate,
+        Gate::Rxx(_) | Gate::Ryy(_) | Gate::Rzz(_) | Gate::Swap | Gate::Cz
+    );
+    let mut qa = [a.qubits[0], a.qubits[1]];
+    let mut qb = [b.qubits[0], b.qubits[1]];
+    qa.sort_unstable();
+    qb.sort_unstable();
+    sym && qa == qb
+}
+
+/// One peephole sweep. Returns the rewritten operation list and whether
+/// anything changed.
+fn sweep(num_qubits: usize, ops: &[Operation], report: &mut OptimizeReport) -> (Vec<Operation>, bool) {
+    // out holds accepted operations; tombstones (None) mark removals.
+    let mut out: Vec<Option<Operation>> = Vec::with_capacity(ops.len());
+    // Index in `out` of the latest live op touching each qubit.
+    let mut last: Vec<Option<usize>> = vec![None; num_qubits];
+    let mut changed = false;
+
+    for op in ops {
+        // Zero rotations disappear without disturbing the peephole chain.
+        if is_zero_rotation(&op.gate) {
+            report.dropped_identities += 1;
+            changed = true;
+            continue;
+        }
+
+        match op.qubits.as_slice() {
+            [q] => {
+                let q = *q;
+                if let Some(i) = last[q] {
+                    if let Some(prev) = out[i].clone() {
+                        if prev.qubits.len() == 1 {
+                            // Structured merge first, generic fusion second.
+                            if let Some(merged) = merge_rotation(&prev.gate, &op.gate) {
+                                changed = true;
+                                if is_zero_rotation(&merged) {
+                                    out[i] = None;
+                                    last[q] = None;
+                                    report.dropped_identities += 1;
+                                } else {
+                                    out[i] = Some(Operation::one(merged, q));
+                                    report.merged_rotations += 1;
+                                }
+                                continue;
+                            }
+                            if is_self_inverse(&prev.gate) && prev.gate == op.gate {
+                                out[i] = None;
+                                last[q] = None;
+                                report.cancelled_pairs += 1;
+                                changed = true;
+                                continue;
+                            }
+                            changed = true;
+                            match fuse_1q(&prev.gate, &op.gate) {
+                                Some(fused) => {
+                                    out[i] = Some(Operation::one(fused, q));
+                                    report.fused_1q += 1;
+                                }
+                                None => {
+                                    out[i] = None;
+                                    last[q] = None;
+                                    report.cancelled_pairs += 1;
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                }
+                last[q] = Some(out.len());
+                out.push(Some(op.clone()));
+            }
+            [a, b] => {
+                let (a, b) = (*a, *b);
+                let prev_idx = match (last[a], last[b]) {
+                    (Some(i), Some(j)) if i == j => Some(i),
+                    _ => None,
+                };
+                if let Some(i) = prev_idx {
+                    if let Some(prev) = out[i].clone() {
+                        if prev.qubits.len() == 2 {
+                            let exact_pair = prev.qubits == op.qubits;
+                            // Same-axis rotations merge whenever the
+                            // unordered pair matches (they are exchange
+                            // symmetric).
+                            if same_symmetric_pair(&prev, op) || exact_pair {
+                                if let Some(merged) = merge_rotation(&prev.gate, &op.gate) {
+                                    changed = true;
+                                    if is_zero_rotation(&merged) {
+                                        out[i] = None;
+                                        last[a] = None;
+                                        last[b] = None;
+                                        report.dropped_identities += 1;
+                                    } else {
+                                        out[i] = Some(Operation::two(
+                                            merged,
+                                            prev.qubits[0],
+                                            prev.qubits[1],
+                                        ));
+                                        report.merged_rotations += 1;
+                                    }
+                                    continue;
+                                }
+                                if is_self_inverse(&prev.gate)
+                                    && prev.gate == op.gate
+                                    && (exact_pair || same_symmetric_pair(&prev, op))
+                                {
+                                    out[i] = None;
+                                    last[a] = None;
+                                    last[b] = None;
+                                    report.cancelled_pairs += 1;
+                                    changed = true;
+                                    continue;
+                                }
+                            }
+                            // CX is self-inverse only on the *ordered* pair.
+                            if exact_pair && is_self_inverse(&prev.gate) && prev.gate == op.gate {
+                                out[i] = None;
+                                last[a] = None;
+                                last[b] = None;
+                                report.cancelled_pairs += 1;
+                                changed = true;
+                                continue;
+                            }
+                        }
+                    }
+                }
+                last[a] = Some(out.len());
+                last[b] = Some(out.len());
+                out.push(Some(op.clone()));
+            }
+            _ => unreachable!("operations are 1- or 2-qubit"),
+        }
+    }
+    (out.into_iter().flatten().collect(), changed)
+}
+
+/// Optimizes a circuit to a fixpoint of the peephole rules:
+///
+/// * zero-angle rotations are dropped;
+/// * adjacent same-axis rotations on the same wire(s) merge;
+/// * adjacent self-inverse pairs (H, X, Y, Z, SWAP, CX, CZ) cancel;
+/// * remaining runs of single-qubit gates fuse into one `Unitary1`.
+///
+/// Returns the optimized circuit and a report of what each rule removed.
+pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeReport) {
+    let mut report = OptimizeReport {
+        ops_before: circuit.len(),
+        ..OptimizeReport::default()
+    };
+    let mut ops: Vec<Operation> = circuit.ops().to_vec();
+    loop {
+        let (next, changed) = sweep(circuit.num_qubits(), &ops, &mut report);
+        ops = next;
+        if !changed {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in &ops {
+        match op.qubits.as_slice() {
+            [q] => {
+                out.push1(op.gate.clone(), *q);
+            }
+            [a, b] => {
+                out.push2(op.gate.clone(), *a, *b);
+            }
+            _ => unreachable!(),
+        }
+    }
+    report.ops_after = out.len();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rotations_are_dropped() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::Rz(0.0), 0)
+            .push2(Gate::Rxx(0.0), 0, 1)
+            .push1(Gate::H, 1);
+        let (opt, rep) = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(rep.dropped_identities, 2);
+    }
+
+    #[test]
+    fn adjacent_rz_merge() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::Rz(0.4), 0).push1(Gate::Rz(0.5), 0);
+        let (opt, rep) = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(rep.merged_rotations, 1);
+        assert_eq!(opt.ops()[0].gate, Gate::Rz(0.9));
+    }
+
+    #[test]
+    fn opposite_rotations_cancel() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::Rx(1.3), 0).push1(Gate::Rx(-1.3), 0);
+        let (opt, _) = optimize(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn hh_cancels() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push1(Gate::H, 0).push1(Gate::H, 1);
+        let (opt, rep) = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(rep.cancelled_pairs, 1);
+    }
+
+    #[test]
+    fn swap_pair_cancels_in_either_order() {
+        let mut c = Circuit::new(3);
+        c.push2(Gate::Swap, 0, 1).push2(Gate::Swap, 1, 0);
+        let (opt, rep) = optimize(&c);
+        assert!(opt.is_empty());
+        assert_eq!(rep.cancelled_pairs, 1);
+    }
+
+    #[test]
+    fn cx_cancels_only_on_ordered_pair() {
+        let mut same = Circuit::new(2);
+        same.push2(Gate::Cx, 0, 1).push2(Gate::Cx, 0, 1);
+        assert!(optimize(&same).0.is_empty());
+
+        let mut flipped = Circuit::new(2);
+        flipped.push2(Gate::Cx, 0, 1).push2(Gate::Cx, 1, 0);
+        assert_eq!(optimize(&flipped).0.len(), 2);
+    }
+
+    #[test]
+    fn rxx_merges_across_qubit_order() {
+        let mut c = Circuit::new(2);
+        c.push2(Gate::Rxx(0.3), 0, 1).push2(Gate::Rxx(0.4), 1, 0);
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.ops()[0].gate, Gate::Rxx(0.7));
+    }
+
+    #[test]
+    fn intervening_gate_blocks_merge() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::Rz(0.4), 0)
+            .push2(Gate::Rxx(0.2), 0, 1)
+            .push1(Gate::Rz(0.5), 0);
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn gate_on_other_wire_does_not_block() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::Rz(0.4), 0)
+            .push1(Gate::H, 1)
+            .push1(Gate::Rz(0.5), 0);
+        let (opt, _) = optimize(&c);
+        // Rz's merge; H stays.
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn mixed_run_fuses_to_unitary1() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::H, 0).push1(Gate::Rz(0.7), 0);
+        let (opt, rep) = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(rep.fused_1q, 1);
+        assert!(matches!(opt.ops()[0].gate, Gate::Unitary1(_)));
+        // The fused matrix equals Rz(0.7) * H.
+        let expect = contract(&Gate::Rz(0.7).matrix(), &[1], &Gate::H.matrix(), &[0]);
+        assert!(opt.ops()[0].gate.matrix().l1_distance(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn fixpoint_cascades_cancellations() {
+        // X H H X: inner HH cancels, then outer XX cancels — needs two
+        // sweeps.
+        let mut c = Circuit::new(1);
+        c.push1(Gate::X, 0)
+            .push1(Gate::H, 0)
+            .push1(Gate::H, 0)
+            .push1(Gate::X, 0);
+        let (opt, rep) = optimize(&c);
+        assert!(opt.is_empty(), "left {:?}", opt.ops());
+        assert_eq!(rep.ops_removed(), 4);
+        assert!(rep.cancelled_pairs >= 1);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push1(Gate::H, q);
+        }
+        c.push2(Gate::Rxx(0.5), 0, 1)
+            .push2(Gate::Rxx(-0.5), 0, 1)
+            .push1(Gate::Rz(0.3), 2);
+        let (opt, rep) = optimize(&c);
+        assert_eq!(rep.ops_before, 6);
+        assert_eq!(rep.ops_after, opt.len());
+        assert!(rep.ops_after < rep.ops_before);
+    }
+
+    #[test]
+    fn histogram_counts_names() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push1(Gate::H, 1).push2(Gate::Rxx(0.1), 0, 1);
+        let h = gate_histogram(&c);
+        assert_eq!(h["H"], 2);
+        assert_eq!(h["Rxx"], 1);
+    }
+
+    #[test]
+    fn optimized_circuit_is_statevector_equivalent() {
+        use crate::test_dense::simulate_dense;
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0)
+            .push1(Gate::Rz(0.8), 0)
+            .push1(Gate::Rz(-0.2), 0)
+            .push2(Gate::Rxx(0.6), 0, 1)
+            .push2(Gate::Rxx(0.3), 1, 0)
+            .push1(Gate::H, 2)
+            .push1(Gate::H, 2)
+            .push2(Gate::Swap, 1, 2)
+            .push2(Gate::Swap, 1, 2)
+            .push1(Gate::X, 1)
+            .push1(Gate::Y, 1);
+        let (opt, _) = optimize(&c);
+        assert!(opt.len() < c.len());
+        let a = simulate_dense(&c);
+        let b = simulate_dense(&opt);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).norm() < 1e-12);
+        }
+    }
+}

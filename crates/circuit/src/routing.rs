@@ -1,0 +1,195 @@
+//! SWAP routing for MPS locality (Section II-C).
+//!
+//! The MPS simulator only applies two-qubit gates to adjacent chain
+//! positions. A gate on positions `(p, p+k)` is routed by swapping the
+//! left qubit rightward `k-1` times, applying the gate on `(p+k-1, p+k)`,
+//! and swapping back — `2(k-1)` SWAPs, exactly the paper's accounting.
+//! Because every long-range gate restores positions afterwards, no
+//! permanent qubit permutation needs tracking.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Rewrites a circuit so that every two-qubit gate acts on adjacent
+/// positions, inserting SWAP pairs around long-range gates.
+///
+/// Single-qubit gates and already-local gates pass through unchanged. The
+/// gate's qubit orientation is preserved (relevant for non-symmetric gates
+/// such as CX).
+pub fn route_for_mps(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in circuit.ops() {
+        match op.qubits.as_slice() {
+            [q] => {
+                out.push1(op.gate.clone(), *q);
+            }
+            [a, b] => route_two_qubit(&mut out, op.gate.clone(), *a, *b),
+            _ => unreachable!("operations act on 1 or 2 qubits"),
+        }
+    }
+    out
+}
+
+/// Emits one possibly-long-range two-qubit gate with SWAP conjugation.
+fn route_two_qubit(out: &mut Circuit, gate: Gate, a: usize, b: usize) {
+    let (lo, hi) = (a.min(b), a.max(b));
+    let k = hi - lo;
+    if k == 1 {
+        out.push2(gate, a, b);
+        return;
+    }
+    // Move the qubit at `lo` right until it sits at `hi - 1`.
+    for p in lo..hi - 1 {
+        out.push2(Gate::Swap, p, p + 1);
+    }
+    // The logical qubit originally at `lo` now sits at `hi - 1`; keep the
+    // original orientation.
+    if a < b {
+        out.push2(gate, hi - 1, hi);
+    } else {
+        out.push2(gate, hi, hi - 1);
+    }
+    for p in (lo..hi - 1).rev() {
+        out.push2(Gate::Swap, p, p + 1);
+    }
+}
+
+/// Number of SWAPs [`route_for_mps`] inserts for a single gate spanning
+/// distance `k`.
+pub fn swaps_for_distance(k: usize) -> usize {
+    2 * k.saturating_sub(1)
+}
+
+/// Summary of a routing pass, for resource accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingReport {
+    /// Two-qubit gates in the input circuit.
+    pub input_two_qubit: usize,
+    /// Two-qubit gates after routing (gates + SWAPs).
+    pub output_two_qubit: usize,
+    /// SWAP gates inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Routes and reports the SWAP overhead in one pass.
+pub fn route_with_report(circuit: &Circuit) -> (Circuit, RoutingReport) {
+    let routed = route_for_mps(circuit);
+    let report = RoutingReport {
+        input_two_qubit: circuit.two_qubit_count(),
+        output_two_qubit: routed.two_qubit_count(),
+        swaps_inserted: routed.swap_count() - circuit.swap_count(),
+    };
+    (routed, report)
+}
+
+/// Checks that an operation sequence leaves qubit positions unpermuted,
+/// assuming SWAPs are the only position-changing gates. Used in tests and
+/// debug assertions: the router's SWAP conjugation must be self-inverse.
+pub fn net_permutation(circuit: &Circuit) -> Vec<usize> {
+    let mut pos: Vec<usize> = (0..circuit.num_qubits()).collect();
+    for op in circuit.ops() {
+        if let (Gate::Swap, [a, b]) = (&op.gate, op.qubits.as_slice()) {
+            pos.swap(*a, *b);
+        }
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{feature_map_circuit, swap_overhead, AnsatzConfig};
+    use crate::circuit::Operation as _Op;
+
+    #[test]
+    fn local_circuit_unchanged() {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0).push2(Gate::Rxx(0.5), 0, 1).push2(Gate::Cx, 2, 1);
+        let routed = route_for_mps(&c);
+        assert_eq!(routed, c);
+    }
+
+    #[test]
+    fn distance_two_inserts_two_swaps() {
+        let mut c = Circuit::new(3);
+        c.push2(Gate::Rxx(0.3), 0, 2);
+        let routed = route_for_mps(&c);
+        assert_eq!(routed.swap_count(), 2);
+        assert_eq!(routed.two_qubit_count(), 3);
+        assert!(routed.is_mps_local());
+        // SWAP(0,1) RXX(1,2) SWAP(0,1)
+        assert_eq!(routed.ops()[0], _Op::two(Gate::Swap, 0, 1));
+        assert_eq!(routed.ops()[1], _Op::two(Gate::Rxx(0.3), 1, 2));
+        assert_eq!(routed.ops()[2], _Op::two(Gate::Swap, 0, 1));
+    }
+
+    #[test]
+    fn swap_count_matches_formula() {
+        for k in 1..6 {
+            let mut c = Circuit::new(k + 1);
+            c.push2(Gate::Rxx(0.1), 0, k);
+            let routed = route_for_mps(&c);
+            assert_eq!(routed.swap_count(), swaps_for_distance(k), "k = {k}");
+            assert!(routed.is_mps_local());
+        }
+    }
+
+    #[test]
+    fn orientation_preserved_for_cx() {
+        // CX with control above target and reversed.
+        let mut c = Circuit::new(4);
+        c.push2(Gate::Cx, 0, 3);
+        let routed = route_for_mps(&c);
+        let gate_op = routed
+            .ops()
+            .iter()
+            .find(|op| matches!(op.gate, Gate::Cx))
+            .unwrap();
+        assert_eq!(gate_op.qubits, vec![2, 3], "control moved to position 2");
+
+        let mut c2 = Circuit::new(4);
+        c2.push2(Gate::Cx, 3, 0);
+        let routed2 = route_for_mps(&c2);
+        let gate_op2 = routed2
+            .ops()
+            .iter()
+            .find(|op| matches!(op.gate, Gate::Cx))
+            .unwrap();
+        assert_eq!(gate_op2.qubits, vec![3, 2], "control stays on the right");
+    }
+
+    #[test]
+    fn routing_restores_positions() {
+        let features = [0.1, 0.7, 1.3, 1.9, 0.5];
+        let c = feature_map_circuit(&features, &AnsatzConfig::new(2, 3, 0.8));
+        let routed = route_for_mps(&c);
+        assert!(routed.is_mps_local());
+        assert_eq!(net_permutation(&routed), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ansatz_swap_overhead_matches_closed_form() {
+        let m = 7;
+        for d in 1..5 {
+            let features: Vec<f64> = (0..m).map(|i| 0.1 + 0.2 * i as f64).collect();
+            let cfg = AnsatzConfig::new(1, d, 0.5);
+            let c = feature_map_circuit(&features, &cfg);
+            let (_, report) = route_with_report(&c);
+            assert_eq!(report.swaps_inserted, swap_overhead(m, d), "d = {d}");
+            assert_eq!(
+                report.output_two_qubit,
+                report.input_two_qubit + report.swaps_inserted
+            );
+        }
+    }
+
+    #[test]
+    fn report_counts_consistent() {
+        let mut c = Circuit::new(5);
+        c.push2(Gate::Rxx(0.2), 0, 4).push2(Gate::Rxx(0.2), 1, 2);
+        let (routed, report) = route_with_report(&c);
+        assert_eq!(report.input_two_qubit, 2);
+        assert_eq!(report.swaps_inserted, 6);
+        assert_eq!(routed.two_qubit_count(), 8);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the ansatz builder and SWAP router.
+
+use proptest::prelude::*;
+use qk_circuit::ansatz::{
+    feature_map_circuit, linear_chain_edges, swap_overhead, xx_gate_count, xx_layers, AnsatzConfig,
+};
+use qk_circuit::gate::is_unitary;
+use qk_circuit::routing::{net_permutation, route_with_report};
+use qk_circuit::Gate;
+
+fn features() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..2.0, 2..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ansatz gate counts follow the closed forms for every (m, d, r).
+    #[test]
+    fn gate_counts_match_formulas(
+        features in features(),
+        layers in 1usize..5,
+        d in 1usize..6,
+        gamma in 0.0f64..2.0,
+    ) {
+        let m = features.len();
+        let d = d.min(m - 1).max(1);
+        let cfg = AnsatzConfig::new(layers, d, gamma);
+        let c = feature_map_circuit(&features, &cfg);
+        prop_assert_eq!(c.one_qubit_count(), m + layers * m);
+        prop_assert_eq!(c.two_qubit_count(), layers * xx_gate_count(m, d));
+    }
+
+    /// Routing inserts exactly the paper's 2(k-1)-per-edge SWAP overhead,
+    /// keeps everything nearest-neighbour and restores positions.
+    #[test]
+    fn routing_invariants(
+        features in features(),
+        layers in 1usize..4,
+        d in 1usize..6,
+    ) {
+        let m = features.len();
+        let d = d.min(m - 1).max(1);
+        let cfg = AnsatzConfig::new(layers, d, 0.8);
+        let c = feature_map_circuit(&features, &cfg);
+        let (routed, report) = route_with_report(&c);
+        prop_assert!(routed.is_mps_local());
+        prop_assert_eq!(report.swaps_inserted, layers * swap_overhead(m, d));
+        let identity: Vec<usize> = (0..m).collect();
+        prop_assert_eq!(net_permutation(&routed), identity);
+    }
+
+    /// The commuting-RXX schedule is a partition of the chain edges into
+    /// at most 2d matchings, for every (m, d).
+    #[test]
+    fn xx_layers_partition(m in 2usize..20, d in 1usize..8) {
+        let d = d.min(m - 1);
+        let layers = xx_layers(m, d);
+        prop_assert!(layers.len() <= 2 * d);
+        let mut all: Vec<(usize, usize)> = layers.iter().flatten().copied().collect();
+        for layer in &layers {
+            let mut used = std::collections::HashSet::new();
+            for &(i, j) in layer {
+                prop_assert!(used.insert(i));
+                prop_assert!(used.insert(j));
+            }
+        }
+        all.sort_unstable();
+        let mut expect = linear_chain_edges(m, d);
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Every rotation gate is unitary for any angle.
+    #[test]
+    fn rotations_are_unitary(theta in -10.0f64..10.0) {
+        for g in [Gate::Rx(theta), Gate::Ry(theta), Gate::Rz(theta),
+                  Gate::Rxx(theta), Gate::Ryy(theta), Gate::Rzz(theta)] {
+            prop_assert!(is_unitary(&g.matrix(), 1e-10), "{} not unitary at {theta}", g.name());
+        }
+    }
+
+    /// Circuit depth is bounded by the op count and at least the
+    /// per-qubit op count.
+    #[test]
+    fn depth_bounds(features in features(), layers in 1usize..4) {
+        let m = features.len();
+        let cfg = AnsatzConfig::new(layers, 1.min(m - 1).max(1), 0.5);
+        let c = feature_map_circuit(&features, &cfg);
+        let depth = c.depth();
+        prop_assert!(depth <= c.len());
+        // Every qubit sees at least 1 + layers gates (H + RZ per layer).
+        prop_assert!(depth > layers);
+    }
+}

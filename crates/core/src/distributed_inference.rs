@@ -1,0 +1,404 @@
+//! Distributed computation of the rectangular inference kernel
+//! (Section II-D's closing paragraphs).
+//!
+//! After training, classifying unlabeled data needs the rectangular
+//! block `K[t][s] = |⟨ψ(x_test_t)|ψ(x_train_s)⟩|²`. The paper notes the
+//! kernel matrices for inference are rectangular and that round-robin
+//! then needs extra care: tiles in the same column need the same subset
+//! of states, which the paper resolves with an additional round of
+//! message passing between process groups. This module implements the
+//! same two strategies as the training Gram matrix, adapted to the
+//! rectangular case:
+//!
+//! * **No-messaging**: the rectangle is tiled on a grid; every process
+//!   independently simulates the train and test blocks its tiles touch.
+//! * **Round-robin**: train states are partitioned between processes and
+//!   simulated exactly once; the (smaller) test blocks travel around the
+//!   ring, so after `k` steps every (test block, train block) tile has
+//!   been computed on exactly one process. Circulating the test side
+//!   keeps messages small, which is the paper's motivation for grouping
+//!   processes by the short matrix dimension.
+
+use crate::distributed::{ProcessTimes, Strategy};
+use crate::states::simulate_states_serial;
+use crate::timing::PhaseClock;
+use qk_circuit::AnsatzConfig;
+use qk_mps::{Mps, TruncationConfig};
+use qk_svm::KernelBlock;
+use qk_tensor::backend::ExecutionBackend;
+use std::time::{Duration, Instant};
+
+// Reuse the training-side helpers (crate-private).
+use crate::distributed::{block_ranges, pack_states, tile_grid_order, unpack_states};
+
+/// Result of a distributed inference-block computation.
+#[derive(Debug, Clone)]
+pub struct DistributedBlockResult {
+    /// The assembled rectangular kernel: rows = test, columns = train.
+    pub block: KernelBlock,
+    /// Phase breakdown per process.
+    pub per_process: Vec<ProcessTimes>,
+    /// End-to-end wall time.
+    pub wall_time: Duration,
+    /// Total bytes shipped between processes (0 for no-messaging).
+    pub bytes_communicated: usize,
+    /// Total circuit simulations executed (counts redundant ones).
+    pub simulations_run: usize,
+}
+
+/// Computes the inference kernel block with the chosen strategy and
+/// number of simulated processes.
+///
+/// # Panics
+/// Panics if either row set is empty or `num_processes == 0`.
+pub fn distributed_kernel_block(
+    test_rows: &[Vec<f64>],
+    train_rows: &[Vec<f64>],
+    ansatz: &AnsatzConfig,
+    backend: &dyn ExecutionBackend,
+    truncation: &TruncationConfig,
+    num_processes: usize,
+    strategy: Strategy,
+) -> DistributedBlockResult {
+    assert!(num_processes >= 1, "need at least one process");
+    assert!(!train_rows.is_empty(), "need at least one training point");
+    assert!(!test_rows.is_empty(), "need at least one test point");
+    match strategy {
+        Strategy::NoMessaging => {
+            no_messaging_block(test_rows, train_rows, ansatz, backend, truncation, num_processes)
+        }
+        Strategy::RoundRobin => {
+            round_robin_block(test_rows, train_rows, ansatz, backend, truncation, num_processes)
+        }
+    }
+}
+
+type Entry = (usize, usize, f64);
+
+fn assemble_block(rows: usize, cols: usize, entries: impl Iterator<Item = Entry>) -> KernelBlock {
+    let mut data = vec![0.0f64; rows * cols];
+    let mut seen = vec![false; rows * cols];
+    for (i, j, v) in entries {
+        debug_assert!(!seen[i * cols + j], "entry ({i},{j}) computed twice");
+        data[i * cols + j] = v;
+        seen[i * cols + j] = true;
+    }
+    debug_assert!(seen.iter().all(|&s| s), "block has uncomputed entries");
+    KernelBlock::from_dense(rows, cols, data)
+}
+
+fn no_messaging_block(
+    test_rows: &[Vec<f64>],
+    train_rows: &[Vec<f64>],
+    ansatz: &AnsatzConfig,
+    backend: &dyn ExecutionBackend,
+    truncation: &TruncationConfig,
+    k: usize,
+) -> DistributedBlockResult {
+    let (nt, ns) = (test_rows.len(), train_rows.len());
+    let start = Instant::now();
+    // A g x g tile grid over (test, train) with at least k tiles; dealt
+    // round-robin to the processes, as in the training Gram case.
+    let g = tile_grid_order(k).min(nt.min(ns).max(1));
+    let test_blocks = block_ranges(nt, g);
+    let train_blocks = block_ranges(ns, g);
+    let tiles: Vec<(usize, usize)> =
+        (0..g).flat_map(|a| (0..g).map(move |b| (a, b))).collect();
+    let assignments: Vec<Vec<(usize, usize)>> = (0..k)
+        .map(|p| tiles.iter().copied().skip(p).step_by(k).collect())
+        .collect();
+
+    let (entry_tx, entry_rx) = crossbeam::channel::unbounded::<Vec<Entry>>();
+    let mut per_process = vec![ProcessTimes::default(); k];
+    let mut simulations_run = 0usize;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (p, my_tiles) in assignments.iter().enumerate() {
+            let entry_tx = entry_tx.clone();
+            let test_blocks = &test_blocks;
+            let train_blocks = &train_blocks;
+            handles.push((p, scope.spawn(move || {
+                let clock = PhaseClock::new();
+                let mut times = ProcessTimes::default();
+                let mut sims = 0usize;
+                let mut entries: Vec<Entry> = Vec::new();
+
+                // Simulate every test/train block this process touches.
+                let mut test_states: Vec<Option<Vec<Mps>>> = vec![None; test_blocks.len()];
+                let mut train_states: Vec<Option<Vec<Mps>>> = vec![None; train_blocks.len()];
+                for &(a, b) in my_tiles {
+                    if test_states[a].is_none() {
+                        let slice = &test_rows[test_blocks[a].clone()];
+                        let t0 = clock.now();
+                        let batch = simulate_states_serial(slice, ansatz, backend, truncation);
+                        times.simulation += clock.since(t0);
+                        sims += slice.len();
+                        test_states[a] = Some(batch.states);
+                    }
+                    if train_states[b].is_none() {
+                        let slice = &train_rows[train_blocks[b].clone()];
+                        let t0 = clock.now();
+                        let batch = simulate_states_serial(slice, ansatz, backend, truncation);
+                        times.simulation += clock.since(t0);
+                        sims += slice.len();
+                        train_states[b] = Some(batch.states);
+                    }
+                    let sa = test_states[a].as_ref().unwrap();
+                    let sb = train_states[b].as_ref().unwrap();
+                    let t0 = clock.now();
+                    for (ia, va) in sa.iter().enumerate() {
+                        for (ib, vb) in sb.iter().enumerate() {
+                            let gi = test_blocks[a].start + ia;
+                            let gj = train_blocks[b].start + ib;
+                            let v = va.inner_with(backend, vb).norm_sqr();
+                            entries.push((gi, gj, v));
+                        }
+                    }
+                    times.inner_products += clock.since(t0);
+                }
+                let t0 = Instant::now();
+                entry_tx.send(entries).expect("collector alive");
+                times.communication += t0.elapsed();
+                (times, sims)
+            })));
+        }
+        drop(entry_tx);
+        for (p, h) in handles {
+            let (times, sims) = h.join().expect("worker panicked");
+            per_process[p] = times;
+            simulations_run += sims;
+        }
+    });
+
+    DistributedBlockResult {
+        block: assemble_block(nt, ns, entry_rx.into_iter().flatten()),
+        per_process,
+        wall_time: start.elapsed(),
+        bytes_communicated: 0,
+        simulations_run,
+    }
+}
+
+/// A traveling message: the owner block index plus serialized states.
+struct RingMessage {
+    owner: usize,
+    payload: Vec<u8>,
+}
+
+fn round_robin_block(
+    test_rows: &[Vec<f64>],
+    train_rows: &[Vec<f64>],
+    ansatz: &AnsatzConfig,
+    backend: &dyn ExecutionBackend,
+    truncation: &TruncationConfig,
+    k: usize,
+) -> DistributedBlockResult {
+    let (nt, ns) = (test_rows.len(), train_rows.len());
+    if k == 1 {
+        return no_messaging_block(test_rows, train_rows, ansatz, backend, truncation, 1);
+    }
+    let start = Instant::now();
+    let test_blocks = block_ranges(nt, k);
+    let train_blocks = block_ranges(ns, k);
+
+    let mut txs = Vec::with_capacity(k);
+    let mut rxs = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (tx, rx) = crossbeam::channel::bounded::<RingMessage>(1);
+        txs.push(tx);
+        rxs.push(Some(rx));
+    }
+    let (entry_tx, entry_rx) = crossbeam::channel::unbounded::<Vec<Entry>>();
+
+    let mut per_process = vec![ProcessTimes::default(); k];
+    let mut bytes_communicated = 0usize;
+    let mut simulations_run = 0usize;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for p in 0..k {
+            let entry_tx = entry_tx.clone();
+            let tx_left = txs[(p + k - 1) % k].clone();
+            let rx = rxs[p].take().expect("rx taken once");
+            let test_blocks = &test_blocks;
+            let train_blocks = &train_blocks;
+            handles.push(scope.spawn(move || {
+                let clock = PhaseClock::new();
+                let mut times = ProcessTimes::default();
+                let mut entries: Vec<Entry> = Vec::new();
+                let my_train = train_blocks[p].clone();
+                let my_test = test_blocks[p].clone();
+
+                // Phase 1: simulate the owned train and test partitions,
+                // each exactly once across the whole ring.
+                let t0 = clock.now();
+                let own_train =
+                    simulate_states_serial(&train_rows[my_train.clone()], ansatz, backend, truncation)
+                        .states;
+                let own_test =
+                    simulate_states_serial(&test_rows[my_test.clone()], ansatz, backend, truncation)
+                        .states;
+                times.simulation += clock.since(t0);
+                let sims = my_train.len() + my_test.len();
+
+                // Phase 2: local tile (own test x own train).
+                let t0 = clock.now();
+                for (i, a) in own_test.iter().enumerate() {
+                    for (j, b) in own_train.iter().enumerate() {
+                        let v = a.inner_with(backend, b).norm_sqr();
+                        entries.push((my_test.start + i, my_train.start + j, v));
+                    }
+                }
+                times.inner_products += clock.since(t0);
+
+                // Phase 3: circulate the test block around the full ring.
+                // Rectangular tiles have no symmetry to exploit, so all
+                // k - 1 steps run on every process.
+                let mut traveling_owner = p;
+                let mut traveling = own_test.clone();
+                let mut comm_bytes = 0usize;
+                for step in 1..k {
+                    let t0 = Instant::now();
+                    let payload = pack_states(&traveling);
+                    comm_bytes += payload.len();
+                    tx_left
+                        .send(RingMessage { owner: traveling_owner, payload })
+                        .expect("ring neighbour alive");
+                    let msg = rx.recv().expect("ring neighbour alive");
+                    traveling_owner = msg.owner;
+                    traveling = unpack_states(&msg.payload);
+                    times.communication += t0.elapsed();
+                    debug_assert_eq!(traveling_owner, (p + step) % k);
+
+                    let other_test = test_blocks[traveling_owner].clone();
+                    let t0 = clock.now();
+                    for (i, a) in traveling.iter().enumerate() {
+                        for (j, b) in own_train.iter().enumerate() {
+                            let v = a.inner_with(backend, b).norm_sqr();
+                            entries.push((other_test.start + i, my_train.start + j, v));
+                        }
+                    }
+                    times.inner_products += clock.since(t0);
+                }
+
+                let t0 = Instant::now();
+                entry_tx.send(entries).expect("collector alive");
+                times.communication += t0.elapsed();
+                (times, comm_bytes, sims)
+            }));
+        }
+        drop(entry_tx);
+        drop(txs);
+        for (p, h) in handles.into_iter().enumerate() {
+            let (times, bytes, sims) = h.join().expect("worker panicked");
+            per_process[p] = times;
+            bytes_communicated += bytes;
+            simulations_run += sims;
+        }
+    });
+
+    DistributedBlockResult {
+        block: assemble_block(nt, ns, entry_rx.into_iter().flatten()),
+        per_process,
+        wall_time: start.elapsed(),
+        bytes_communicated,
+        simulations_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gram::kernel_block;
+    use crate::states::simulate_states;
+    use qk_tensor::backend::CpuBackend;
+
+    fn rows(n: usize, m: usize, offset: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..m).map(|j| ((i * m + j) % 7) as f64 * 0.27 + offset).collect())
+            .collect()
+    }
+
+    fn reference(test: &[Vec<f64>], train: &[Vec<f64>]) -> KernelBlock {
+        let be = CpuBackend::new();
+        let ansatz = AnsatzConfig::new(2, 1, 0.6);
+        let trunc = TruncationConfig::default();
+        let t = simulate_states(test, &ansatz, &be, &trunc);
+        let s = simulate_states(train, &ansatz, &be, &trunc);
+        kernel_block(&t.states, &s.states, &be).block
+    }
+
+    fn check_matches(
+        test: &[Vec<f64>],
+        train: &[Vec<f64>],
+        k: usize,
+        strategy: Strategy,
+    ) -> DistributedBlockResult {
+        let be = CpuBackend::new();
+        let out = distributed_kernel_block(
+            test,
+            train,
+            &AnsatzConfig::new(2, 1, 0.6),
+            &be,
+            &TruncationConfig::default(),
+            k,
+            strategy,
+        );
+        let expect = reference(test, train);
+        assert_eq!(out.block.rows(), test.len());
+        assert_eq!(out.block.cols(), train.len());
+        for i in 0..test.len() {
+            for j in 0..train.len() {
+                assert!(
+                    (out.block.row(i)[j] - expect.row(i)[j]).abs() < 1e-12,
+                    "{strategy:?} k={k} [{i}][{j}]"
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn round_robin_matches_reference() {
+        for k in [1, 2, 3, 5] {
+            check_matches(&rows(5, 4, 0.1), &rows(11, 4, 0.4), k, Strategy::RoundRobin);
+        }
+    }
+
+    #[test]
+    fn no_messaging_matches_reference() {
+        for k in [1, 2, 4, 6] {
+            check_matches(&rows(4, 4, 0.2), &rows(9, 4, 0.5), k, Strategy::NoMessaging);
+        }
+    }
+
+    #[test]
+    fn round_robin_simulates_each_circuit_once() {
+        let out = check_matches(&rows(6, 3, 0.1), &rows(10, 3, 0.3), 4, Strategy::RoundRobin);
+        assert_eq!(out.simulations_run, 16);
+        assert!(out.bytes_communicated > 0);
+    }
+
+    #[test]
+    fn no_messaging_never_communicates_but_duplicates_work() {
+        let out = check_matches(&rows(6, 3, 0.1), &rows(10, 3, 0.3), 4, Strategy::NoMessaging);
+        assert_eq!(out.bytes_communicated, 0);
+        // The tile grid makes some block simulated on several processes.
+        assert!(out.simulations_run >= 16, "{}", out.simulations_run);
+    }
+
+    #[test]
+    fn fewer_test_points_than_processes() {
+        // Empty test partitions must be handled (k > n_test).
+        let out = check_matches(&rows(2, 3, 0.2), &rows(9, 3, 0.4), 4, Strategy::RoundRobin);
+        assert_eq!(out.per_process.len(), 4);
+    }
+
+    #[test]
+    fn phase_times_are_populated() {
+        let out = check_matches(&rows(4, 4, 0.1), &rows(8, 4, 0.3), 2, Strategy::RoundRobin);
+        let total: Duration = out.per_process.iter().map(|p| p.simulation).sum();
+        assert!(total > Duration::ZERO);
+    }
+}

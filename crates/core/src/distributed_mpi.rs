@@ -1,0 +1,350 @@
+//! Gram-matrix distribution over the `qk-mpi` message-passing substrate.
+//!
+//! [`crate::distributed`] implements the paper's two strategies directly
+//! on threads and channels. This module implements the *same* strategies
+//! on the MPI-shaped API of [`qk_mpi`] — rank-symmetric SPMD code with
+//! tagged sends, ring `send_recv` rotation and a final `gather` at rank
+//! 0, which is structurally the program the paper runs under `mpi4py`.
+//! Both implementations must produce identical kernels; the integration
+//! tests pin that equivalence.
+//!
+//! Phase accounting matches [`crate::distributed::ProcessTimes`]:
+//! compute phases on the per-thread CPU clock, communication (including
+//! time blocked in receives) on the wall clock.
+
+use crate::distributed::{
+    assemble, block_ranges, pack_states, tile_grid_order, unpack_states, DistributedResult, Entry,
+    ProcessTimes, Strategy,
+};
+use crate::states::simulate_states_serial;
+use crate::timing::PhaseClock;
+use qk_circuit::AnsatzConfig;
+use qk_mpi::{run_world, Process, Source};
+use qk_mps::{Mps, TruncationConfig};
+use qk_tensor::backend::ExecutionBackend;
+use std::time::Instant;
+
+/// Tag for ring rotation messages (one tag per step keeps mismatched
+/// steps from crossing).
+const TAG_RING_BASE: u32 = 100;
+
+/// Computes the training Gram matrix with the chosen strategy over
+/// `num_ranks` simulated MPI ranks.
+///
+/// Produces the same kernel as [`crate::distributed::distributed_gram`];
+/// the difference is the substrate (SPMD ranks exchanging messages
+/// instead of threads sharing a channel topology).
+pub fn mpi_distributed_gram(
+    rows: &[Vec<f64>],
+    ansatz: &AnsatzConfig,
+    backend: &dyn ExecutionBackend,
+    truncation: &TruncationConfig,
+    num_ranks: usize,
+    strategy: Strategy,
+) -> DistributedResult {
+    assert!(num_ranks >= 1, "need at least one rank");
+    assert!(!rows.is_empty(), "need at least one data point");
+    let n = rows.len();
+    let start = Instant::now();
+
+    // Per-rank results come back through run_world's return values — the
+    // "job output" — while kernel entries travel through a gather, as the
+    // paper's implementation does.
+    struct RankOutput {
+        times: ProcessTimes,
+        comm_bytes: usize,
+        simulations: usize,
+        entries: Option<Vec<Entry>>, // Some only at rank 0
+    }
+
+    let outputs: Vec<RankOutput> = run_world(num_ranks, |p| {
+        let (times, comm_bytes, simulations, entries) = match strategy {
+            Strategy::NoMessaging => no_messaging_rank(p, rows, ansatz, backend, truncation),
+            Strategy::RoundRobin => round_robin_rank(p, rows, ansatz, backend, truncation),
+        };
+
+        // Final collection: every rank gathers its entries to rank 0.
+        let t0 = Instant::now();
+        let gathered = p.gather(0, &encode_entries(&entries));
+        let mut times = times;
+        times.communication += t0.elapsed();
+
+        let merged = gathered.map(|parts| {
+            parts
+                .iter()
+                .flat_map(|bytes| decode_entries(bytes))
+                .collect::<Vec<Entry>>()
+        });
+        RankOutput { times, comm_bytes, simulations, entries: merged }
+    });
+
+    let per_process: Vec<ProcessTimes> = outputs.iter().map(|o| o.times).collect();
+    let bytes_communicated: usize = outputs.iter().map(|o| o.comm_bytes).sum();
+    let simulations_run: usize = outputs.iter().map(|o| o.simulations).sum();
+    let entries = outputs
+        .into_iter()
+        .find_map(|o| o.entries)
+        .expect("rank 0 gathered the entries");
+
+    DistributedResult {
+        kernel: assemble(n, entries.into_iter()),
+        per_process,
+        wall_time: start.elapsed(),
+        bytes_communicated,
+        simulations_run,
+    }
+}
+
+/// Serializes kernel entries as `(u64, u64, f64)` little-endian triples.
+fn encode_entries(entries: &[Entry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 24);
+    for &(i, j, v) in entries {
+        out.extend_from_slice(&(i as u64).to_le_bytes());
+        out.extend_from_slice(&(j as u64).to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_entries`].
+fn decode_entries(bytes: &[u8]) -> Vec<Entry> {
+    assert_eq!(bytes.len() % 24, 0, "corrupt entry payload");
+    bytes
+        .chunks_exact(24)
+        .map(|c| {
+            let i = u64::from_le_bytes(c[0..8].try_into().unwrap()) as usize;
+            let j = u64::from_le_bytes(c[8..16].try_into().unwrap()) as usize;
+            let v = f64::from_le_bytes(c[16..24].try_into().unwrap());
+            (i, j, v)
+        })
+        .collect()
+}
+
+/// No-messaging strategy, rank-local part: simulate every block the
+/// rank's tiles touch, compute the tile entries, no peer traffic.
+fn no_messaging_rank(
+    p: &mut Process,
+    rows: &[Vec<f64>],
+    ansatz: &AnsatzConfig,
+    backend: &dyn ExecutionBackend,
+    truncation: &TruncationConfig,
+) -> (ProcessTimes, usize, usize, Vec<Entry>) {
+    let n = rows.len();
+    let k = p.world_size();
+    let g = tile_grid_order(k).min(n.max(1));
+    let blocks = block_ranges(n, g);
+    let tiles: Vec<(usize, usize)> = (0..g).flat_map(|a| (a..g).map(move |b| (a, b))).collect();
+    let my_tiles: Vec<(usize, usize)> =
+        tiles.iter().copied().skip(p.rank()).step_by(k).collect();
+
+    let clock = PhaseClock::new();
+    let mut times = ProcessTimes::default();
+    let mut simulations = 0usize;
+    let mut entries: Vec<Entry> = Vec::new();
+
+    let mut needed: Vec<usize> = my_tiles.iter().flat_map(|&(a, b)| [a, b]).collect();
+    needed.sort_unstable();
+    needed.dedup();
+    let mut states: Vec<Option<Vec<Mps>>> = vec![None; blocks.len()];
+    for &blk in &needed {
+        let slice = &rows[blocks[blk].clone()];
+        let t0 = clock.now();
+        let batch = simulate_states_serial(slice, ansatz, backend, truncation);
+        times.simulation += clock.since(t0);
+        simulations += slice.len();
+        states[blk] = Some(batch.states);
+    }
+    for &(a, b) in &my_tiles {
+        let sa = states[a].as_ref().expect("block simulated");
+        let sb = states[b].as_ref().expect("block simulated");
+        let t0 = clock.now();
+        for (ia, va) in sa.iter().enumerate() {
+            for (ib, vb) in sb.iter().enumerate() {
+                let gi = blocks[a].start + ia;
+                let gj = blocks[b].start + ib;
+                if a == b && gj <= gi {
+                    continue;
+                }
+                entries.push((gi, gj, va.inner_with(backend, vb).norm_sqr()));
+            }
+        }
+        times.inner_products += clock.since(t0);
+    }
+    (times, 0, simulations, entries)
+}
+
+/// Round-robin strategy, rank-local part: simulate the owned block once,
+/// rotate blocks around the ring with `send_recv`.
+fn round_robin_rank(
+    p: &mut Process,
+    rows: &[Vec<f64>],
+    ansatz: &AnsatzConfig,
+    backend: &dyn ExecutionBackend,
+    truncation: &TruncationConfig,
+) -> (ProcessTimes, usize, usize, Vec<Entry>) {
+    let k = p.world_size();
+    if k == 1 {
+        return no_messaging_rank(p, rows, ansatz, backend, truncation);
+    }
+    let n = rows.len();
+    let blocks = block_ranges(n, k);
+    let rank = p.rank();
+    let my_range = blocks[rank].clone();
+    let slice = &rows[my_range.clone()];
+
+    let clock = PhaseClock::new();
+    let mut times = ProcessTimes::default();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut comm_bytes = 0usize;
+
+    // Phase 1: simulate the owned block exactly once.
+    let t0 = clock.now();
+    let own = simulate_states_serial(slice, ansatz, backend, truncation).states;
+    times.simulation += clock.since(t0);
+    let simulations = slice.len();
+
+    // Phase 2: local symmetric tile, upper half.
+    let t0 = clock.now();
+    for i in 0..own.len() {
+        for j in (i + 1)..own.len() {
+            let v = own[i].inner_with(backend, &own[j]).norm_sqr();
+            entries.push((my_range.start + i, my_range.start + j, v));
+        }
+    }
+    times.inner_products += clock.since(t0);
+
+    // Phase 3: rotate blocks leftward around the ring. After `step`
+    // rotations this rank holds the block owned by `rank + step`.
+    let left = (rank + k - 1) % k;
+    let right = (rank + 1) % k;
+    let full_steps = (k - 1) / 2;
+    let half_step = k.is_multiple_of(2);
+    let steps = full_steps + usize::from(half_step);
+    let mut traveling = own.clone();
+    for step in 1..=steps {
+        let t0 = Instant::now();
+        let payload = pack_states(&traveling);
+        comm_bytes += payload.len();
+        let msg = p.send_recv(
+            left,
+            TAG_RING_BASE + step as u32,
+            &payload,
+            Source::Rank(right),
+            TAG_RING_BASE + step as u32,
+        );
+        traveling = unpack_states(&msg.payload);
+        times.communication += t0.elapsed();
+        let traveling_owner = (rank + step) % k;
+
+        // On the final half-step of an even ring only the lower half of
+        // the ranks compute, so each cross tile is produced once.
+        if half_step && step == steps && rank >= k / 2 {
+            continue;
+        }
+        let other_range = blocks[traveling_owner].clone();
+        let t0 = clock.now();
+        for (i, a) in own.iter().enumerate() {
+            for (j, b) in traveling.iter().enumerate() {
+                let v = a.inner_with(backend, b).norm_sqr();
+                entries.push((my_range.start + i, other_range.start + j, v));
+            }
+        }
+        times.inner_products += clock.since(t0);
+    }
+
+    (times, comm_bytes, simulations, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::distributed_gram;
+    use qk_tensor::backend::CpuBackend;
+
+    fn rows(n: usize, m: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..m).map(|j| ((i * m + j) % 13) as f64 * 0.15).collect())
+            .collect()
+    }
+
+    fn check_matches_channel_implementation(n: usize, k: usize, strategy: Strategy) {
+        let data = rows(n, 4);
+        let be = CpuBackend::new();
+        let cfg = AnsatzConfig::new(2, 1, 0.7);
+        let trunc = TruncationConfig::default();
+        let via_mpi = mpi_distributed_gram(&data, &cfg, &be, &trunc, k, strategy);
+        let via_channels = distributed_gram(&data, &cfg, &be, &trunc, k, strategy);
+        assert_eq!(via_mpi.kernel.len(), n);
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (via_mpi.kernel.get(i, j) - via_channels.kernel.get(i, j)).abs() < 1e-12,
+                    "{strategy:?} k={k}: K[{i}][{j}]"
+                );
+            }
+        }
+        assert_eq!(via_mpi.per_process.len(), k);
+    }
+
+    #[test]
+    fn no_messaging_matches_channel_implementation() {
+        for k in [1usize, 2, 4, 5] {
+            check_matches_channel_implementation(9, k, Strategy::NoMessaging);
+        }
+    }
+
+    #[test]
+    fn round_robin_matches_channel_implementation() {
+        for k in [2usize, 3, 4, 5, 6] {
+            check_matches_channel_implementation(12, k, Strategy::RoundRobin);
+        }
+    }
+
+    #[test]
+    fn round_robin_handles_ragged_blocks() {
+        check_matches_channel_implementation(11, 4, Strategy::RoundRobin);
+        check_matches_channel_implementation(7, 3, Strategy::RoundRobin);
+    }
+
+    #[test]
+    fn round_robin_simulates_once_and_communicates() {
+        let data = rows(12, 4);
+        let be = CpuBackend::new();
+        let cfg = AnsatzConfig::new(2, 1, 0.7);
+        let result = mpi_distributed_gram(
+            &data,
+            &cfg,
+            &be,
+            &TruncationConfig::default(),
+            4,
+            Strategy::RoundRobin,
+        );
+        assert_eq!(result.simulations_run, 12);
+        assert!(result.bytes_communicated > 0);
+    }
+
+    #[test]
+    fn no_messaging_has_zero_ring_traffic() {
+        let data = rows(10, 4);
+        let be = CpuBackend::new();
+        let cfg = AnsatzConfig::new(2, 1, 0.7);
+        let result = mpi_distributed_gram(
+            &data,
+            &cfg,
+            &be,
+            &TruncationConfig::default(),
+            4,
+            Strategy::NoMessaging,
+        );
+        // Entry gathering is the only traffic; ring bytes are zero.
+        assert_eq!(result.bytes_communicated, 0);
+        assert!(result.simulations_run > 10, "redundant simulation expected");
+    }
+
+    #[test]
+    fn entry_codec_roundtrip() {
+        let entries = vec![(0usize, 3usize, 0.25), (7, 9, 1.0), (2, 2, 1e-9)];
+        let decoded = decode_entries(&encode_entries(&entries));
+        assert_eq!(decoded, entries);
+    }
+}

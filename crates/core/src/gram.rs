@@ -1,0 +1,210 @@
+//! Gram-matrix assembly from simulated states (eq. 1).
+//!
+//! The symmetric training Gram matrix needs `N(N-1)/2` inner products
+//! (diagonal entries are exactly 1 for normalized states); the inference
+//! block needs `N_test * N_train`. Both fan out over rayon.
+
+use qk_mps::Mps;
+use qk_svm::{KernelBlock, KernelMatrix};
+use qk_tensor::backend::ExecutionBackend;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A Gram matrix plus the wall time spent computing it.
+pub struct TimedKernel {
+    /// The kernel matrix.
+    pub kernel: KernelMatrix,
+    /// Wall-clock time of the inner-product phase.
+    pub wall_time: Duration,
+    /// Number of inner products evaluated.
+    pub inner_products: usize,
+}
+
+/// Computes the symmetric training kernel `K_ij = |<psi_i|psi_j>|^2`.
+///
+/// Exploits symmetry: only the strict upper triangle is contracted.
+pub fn gram_matrix(states: &[Mps], backend: &dyn ExecutionBackend) -> TimedKernel {
+    let n = states.len();
+    let start = Instant::now();
+    // Upper-triangle pair list, processed in parallel.
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let entries: Vec<((usize, usize), f64)> = pairs
+        .par_iter()
+        .map(|&(i, j)| {
+            let v = states[i].inner_with(backend, &states[j]).norm_sqr();
+            ((i, j), v)
+        })
+        .collect();
+    let mut data = vec![0.0f64; n * n];
+    for i in 0..n {
+        data[i * n + i] = 1.0;
+    }
+    for ((i, j), v) in entries {
+        data[i * n + j] = v;
+        data[j * n + i] = v;
+    }
+    TimedKernel {
+        kernel: KernelMatrix::from_dense(n, data),
+        wall_time: start.elapsed(),
+        inner_products: n * (n - 1) / 2,
+    }
+}
+
+/// A rectangular kernel block plus timing.
+pub struct TimedBlock {
+    /// Rows = test states, columns = train states.
+    pub block: KernelBlock,
+    /// Wall-clock time of the inner-product phase.
+    pub wall_time: Duration,
+    /// Number of inner products evaluated.
+    pub inner_products: usize,
+}
+
+/// Computes the inference kernel block `K[t][s] = |<psi_test_t|psi_train_s>|^2`.
+pub fn kernel_block(
+    test_states: &[Mps],
+    train_states: &[Mps],
+    backend: &dyn ExecutionBackend,
+) -> TimedBlock {
+    let start = Instant::now();
+    let cols = train_states.len();
+    let data: Vec<f64> = test_states
+        .par_iter()
+        .flat_map_iter(|t| {
+            train_states
+                .iter()
+                .map(move |s| t.inner_with(backend, s).norm_sqr())
+        })
+        .collect();
+    TimedBlock {
+        block: KernelBlock::from_dense(test_states.len(), cols, data),
+        wall_time: start.elapsed(),
+        inner_products: test_states.len() * cols,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::states::simulate_states;
+    use qk_circuit::AnsatzConfig;
+    use qk_mps::TruncationConfig;
+    use qk_tensor::backend::CpuBackend;
+
+    fn states(n: usize, m: usize) -> Vec<Mps> {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..m).map(|j| ((i * m + j) % 9) as f64 * 0.22).collect())
+            .collect();
+        let be = CpuBackend::new();
+        simulate_states(
+            &rows,
+            &AnsatzConfig::new(2, 1, 0.7),
+            &be,
+            &TruncationConfig::default(),
+        )
+        .states
+    }
+
+    #[test]
+    fn gram_is_symmetric_with_unit_diagonal() {
+        let st = states(5, 4);
+        let be = CpuBackend::new();
+        let timed = gram_matrix(&st, &be);
+        let k = &timed.kernel;
+        assert_eq!(k.len(), 5);
+        assert_eq!(timed.inner_products, 10);
+        for i in 0..5 {
+            assert!((k.get(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..5 {
+                assert!((0.0..=1.0 + 1e-9).contains(&k.get(i, j)));
+                assert_eq!(k.get(i, j), k.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matches_pairwise_inner() {
+        let st = states(4, 3);
+        let be = CpuBackend::new();
+        let k = gram_matrix(&st, &be).kernel;
+        for i in 0..4 {
+            for j in 0..4 {
+                let direct = st[i].overlap_sqr(&st[j]);
+                assert!((k.get(i, j) - direct).abs() < 1e-10, "[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn single_state_gram_is_trivial() {
+        let st = states(1, 4);
+        let be = CpuBackend::new();
+        let timed = gram_matrix(&st, &be);
+        assert_eq!(timed.kernel.len(), 1);
+        assert_eq!(timed.inner_products, 0);
+        assert!((timed.kernel.get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_rows_give_unit_entries() {
+        // Two copies of the same data point must overlap to exactly 1.
+        let row = vec![0.3, 1.1, 0.6, 1.7];
+        let be = CpuBackend::new();
+        let batch = simulate_states(
+            &[row.clone(), row],
+            &AnsatzConfig::new(2, 2, 0.9),
+            &be,
+            &TruncationConfig::default(),
+        );
+        let k = gram_matrix(&batch.states, &be).kernel;
+        assert!((k.get(0, 1) - 1.0).abs() < 1e-9, "K01 = {}", k.get(0, 1));
+    }
+
+    #[test]
+    fn gram_agrees_with_backends() {
+        // The accelerator backend runs the same algorithm; entries must
+        // match the CPU backend to floating-point accuracy.
+        use qk_tensor::backend::{AcceleratorBackend, DeviceModel};
+        let st = states(4, 4);
+        let cpu = CpuBackend::new();
+        let acc = AcceleratorBackend::new(DeviceModel::ideal());
+        let k_cpu = gram_matrix(&st, &cpu).kernel;
+        let k_acc = gram_matrix(&st, &acc).kernel;
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (k_cpu.get(i, j) - k_acc.get(i, j)).abs() < 1e-12,
+                    "[{i}][{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_test_block_is_empty() {
+        let train = states(3, 3);
+        let be = CpuBackend::new();
+        let timed = kernel_block(&[], &train, &be);
+        assert_eq!(timed.block.rows(), 0);
+        assert_eq!(timed.inner_products, 0);
+    }
+
+    #[test]
+    fn block_matches_direct() {
+        let train = states(4, 3);
+        let test = states(2, 3);
+        let be = CpuBackend::new();
+        let timed = kernel_block(&test, &train, &be);
+        assert_eq!(timed.block.rows(), 2);
+        assert_eq!(timed.block.cols(), 4);
+        assert_eq!(timed.inner_products, 8);
+        for (t, test_state) in test.iter().enumerate() {
+            for (s, train_state) in train.iter().enumerate() {
+                let direct = test_state.overlap_sqr(train_state);
+                assert!((timed.block.row(t)[s] - direct).abs() < 1e-10);
+            }
+        }
+    }
+}

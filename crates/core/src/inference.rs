@@ -1,0 +1,405 @@
+//! Deployable quantum-kernel model: train once, classify new points.
+//!
+//! Section III-A of the paper walks through what classifying a single
+//! unlabeled point costs once the Gram matrix is built: simulate the new
+//! circuit (~2 s for the 165-qubit QML ansatz), compute inner products
+//! against every stored training state (parallelizable; ~0.02 s each),
+//! and feed the kernel row to the trained SVM. This module packages that
+//! workflow: the trained model retains the training-set MPS states (the
+//! paper keeps them "in memory across different processors"), exposes
+//! timed single-point and batch prediction, optional Platt-calibrated
+//! probabilities, and byte-level serialization so a trained model can be
+//! shipped like any other artifact.
+
+use crate::gram::gram_matrix;
+use crate::states::simulate_states;
+use qk_circuit::ansatz::feature_map_circuit;
+use qk_circuit::{route_for_mps, AnsatzConfig};
+use qk_mps::{Mps, MpsSimulator, TruncationConfig};
+use qk_svm::{fit_platt, train_svc, PlattCalibration, SmoParams, TrainedSvm};
+use qk_tensor::backend::ExecutionBackend;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Timing breakdown of one prediction (the paper's inference cost
+/// decomposition).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InferenceTiming {
+    /// Simulating the new data point's circuit.
+    pub simulation: Duration,
+    /// Inner products against the stored training states.
+    pub inner_products: Duration,
+}
+
+/// A single prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct Prediction {
+    /// SVM decision value (sign is the class).
+    pub decision_value: f64,
+    /// Predicted label in `{-1.0, +1.0}`.
+    pub label: f64,
+    /// Calibrated probability of the positive class, when the model has
+    /// been calibrated.
+    pub probability: Option<f64>,
+    /// Where the time went.
+    pub timing: InferenceTiming,
+}
+
+/// A trained quantum-kernel SVM with its retained training states.
+pub struct QuantumKernelModel {
+    ansatz: AnsatzConfig,
+    truncation: TruncationConfig,
+    train_states: Vec<Mps>,
+    svm: TrainedSvm,
+    calibration: Option<PlattCalibration>,
+}
+
+impl QuantumKernelModel {
+    /// Trains a model: simulates all training states, builds the Gram
+    /// matrix, and solves the SVM dual at the given parameters.
+    pub fn fit(
+        rows: &[Vec<f64>],
+        labels: &[f64],
+        ansatz: &AnsatzConfig,
+        truncation: &TruncationConfig,
+        params: &SmoParams,
+        backend: &dyn ExecutionBackend,
+    ) -> Self {
+        assert_eq!(rows.len(), labels.len(), "row/label count mismatch");
+        assert!(!rows.is_empty(), "cannot fit on an empty training set");
+        let batch = simulate_states(rows, ansatz, backend, truncation);
+        let gram = gram_matrix(&batch.states, backend);
+        let svm = train_svc(&gram.kernel, labels, params);
+        QuantumKernelModel {
+            ansatz: *ansatz,
+            truncation: *truncation,
+            train_states: batch.states,
+            svm,
+            calibration: None,
+        }
+    }
+
+    /// Fits Platt calibration on held-out rows so predictions carry
+    /// probabilities. Calibration data should be disjoint from the
+    /// training set to avoid optimistic probabilities.
+    pub fn calibrate(
+        &mut self,
+        rows: &[Vec<f64>],
+        labels: &[f64],
+        backend: &dyn ExecutionBackend,
+    ) {
+        let decisions: Vec<f64> = self
+            .predict_batch(rows, backend)
+            .into_iter()
+            .map(|p| p.decision_value)
+            .collect();
+        self.calibration = Some(fit_platt(&decisions, labels));
+    }
+
+    /// Number of retained training states.
+    pub fn num_train_states(&self) -> usize {
+        self.train_states.len()
+    }
+
+    /// Number of features (= qubits) the model expects.
+    pub fn num_features(&self) -> usize {
+        self.train_states[0].num_qubits()
+    }
+
+    /// The underlying SVM (dual coefficients, bias, support vectors).
+    pub fn svm(&self) -> &TrainedSvm {
+        &self.svm
+    }
+
+    /// The fitted calibration, if [`QuantumKernelModel::calibrate`] ran.
+    pub fn calibration(&self) -> Option<&PlattCalibration> {
+        self.calibration.as_ref()
+    }
+
+    /// Total bytes of retained MPS states — the paper's point that a
+    /// d = 1 model on 165 qubits stores 64,000 states in under 1 GiB.
+    pub fn retained_state_bytes(&self) -> usize {
+        self.train_states.iter().map(Mps::memory_bytes).sum()
+    }
+
+    /// Classifies one data point, reporting the paper's inference timing
+    /// split. The kernel row is computed in parallel across training
+    /// states (the paper distributes exactly this loop over its ranks).
+    pub fn predict_one(&self, x: &[f64], backend: &dyn ExecutionBackend) -> Prediction {
+        assert_eq!(x.len(), self.num_features(), "feature count mismatch");
+        let t0 = Instant::now();
+        let circuit = route_for_mps(&feature_map_circuit(x, &self.ansatz));
+        let sim = MpsSimulator::new(backend).with_truncation(self.truncation);
+        let (state, _) = sim.simulate(&circuit);
+        let simulation = t0.elapsed();
+
+        let t0 = Instant::now();
+        let row: Vec<f64> = self
+            .train_states
+            .par_iter()
+            .map(|s| state.inner_with(backend, s).norm_sqr())
+            .collect();
+        let inner_products = t0.elapsed();
+
+        let decision_value = self.svm.decision_value(&row);
+        Prediction {
+            decision_value,
+            label: if decision_value >= 0.0 { 1.0 } else { -1.0 },
+            probability: self.calibration.map(|c| c.probability(decision_value)),
+            timing: InferenceTiming { simulation, inner_products },
+        }
+    }
+
+    /// Classifies a batch of points.
+    pub fn predict_batch(
+        &self,
+        rows: &[Vec<f64>],
+        backend: &dyn ExecutionBackend,
+    ) -> Vec<Prediction> {
+        rows.iter().map(|x| self.predict_one(x, backend)).collect()
+    }
+
+    /// Serializes the model (ansatz, truncation policy, SVM and all
+    /// retained states) to a flat byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let push_f64 =
+            |out: &mut Vec<u8>, v: f64| out.extend_from_slice(&v.to_le_bytes());
+        let push_u64 =
+            |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+
+        push_u64(&mut out, self.ansatz.layers as u64);
+        push_u64(&mut out, self.ansatz.interaction_distance as u64);
+        push_f64(&mut out, self.ansatz.gamma);
+        push_f64(&mut out, self.truncation.cutoff);
+        push_u64(&mut out, self.truncation.max_bond.map_or(0, |b| b as u64));
+
+        push_f64(&mut out, self.svm.bias);
+        push_u64(&mut out, self.svm.alphas.len() as u64);
+        for (&a, &y) in self.svm.alphas.iter().zip(&self.svm.labels) {
+            push_f64(&mut out, a);
+            push_f64(&mut out, y);
+        }
+
+        match &self.calibration {
+            Some(c) => {
+                out.push(1);
+                push_f64(&mut out, c.a);
+                push_f64(&mut out, c.b);
+            }
+            None => out.push(0),
+        }
+
+        push_u64(&mut out, self.train_states.len() as u64);
+        for s in &self.train_states {
+            let bytes = s.to_bytes();
+            push_u64(&mut out, bytes.len() as u64);
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Deserializes a model produced by [`QuantumKernelModel::to_bytes`].
+    ///
+    /// # Panics
+    /// Panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut pos = 0usize;
+        let read_f64 = |pos: &mut usize| {
+            let v = f64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+            *pos += 8;
+            v
+        };
+        let read_u64 = |pos: &mut usize| {
+            let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+            *pos += 8;
+            v
+        };
+
+        let layers = read_u64(&mut pos) as usize;
+        let interaction_distance = read_u64(&mut pos) as usize;
+        let gamma = read_f64(&mut pos);
+        let cutoff = read_f64(&mut pos);
+        let max_bond = match read_u64(&mut pos) {
+            0 => None,
+            b => Some(b as usize),
+        };
+
+        let bias = read_f64(&mut pos);
+        let n = read_u64(&mut pos) as usize;
+        let mut alphas = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            alphas.push(read_f64(&mut pos));
+            labels.push(read_f64(&mut pos));
+        }
+
+        let calibration = match bytes[pos] {
+            0 => {
+                pos += 1;
+                None
+            }
+            1 => {
+                pos += 1;
+                let a = read_f64(&mut pos);
+                let b = read_f64(&mut pos);
+                Some(PlattCalibration { a, b, nll: f64::NAN, iterations: 0 })
+            }
+            tag => panic!("corrupt model bytes: bad calibration tag {tag}"),
+        };
+
+        let n_states = read_u64(&mut pos) as usize;
+        assert_eq!(n_states, n, "state count must match dual coefficient count");
+        let mut train_states = Vec::with_capacity(n_states);
+        for _ in 0..n_states {
+            let len = read_u64(&mut pos) as usize;
+            train_states.push(Mps::from_bytes(&bytes[pos..pos + len]));
+            pos += len;
+        }
+
+        QuantumKernelModel {
+            ansatz: AnsatzConfig::new(layers, interaction_distance, gamma),
+            truncation: TruncationConfig { cutoff, max_bond },
+            train_states,
+            svm: TrainedSvm { alphas, bias, labels, passes: 0 },
+            calibration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qk_data::{generate, prepare_experiment, SyntheticConfig};
+    use qk_tensor::backend::CpuBackend;
+
+    fn trained_model() -> (QuantumKernelModel, qk_data::Split, CpuBackend) {
+        // Low-noise data and a moderate training set so the fitted model
+        // is comfortably above chance (same regime as the pipeline tests).
+        let data = generate(&SyntheticConfig {
+            noise: 1.0,
+            num_features: 12,
+            num_illicit: 150,
+            num_licit: 350,
+            ..SyntheticConfig::small(17)
+        });
+        let split = prepare_experiment(&data, 160, 8, 17);
+        let be = CpuBackend::new();
+        let model = QuantumKernelModel::fit(
+            &split.train.features,
+            &split.train.label_signs(),
+            &AnsatzConfig::new(2, 1, 0.3),
+            &TruncationConfig::default(),
+            &SmoParams::with_c(1.0),
+            &be,
+        );
+        (model, split, be)
+    }
+
+    #[test]
+    fn fit_and_predict_beats_chance() {
+        let (model, split, be) = trained_model();
+        assert_eq!(model.num_train_states(), split.train.features.len());
+        assert_eq!(model.num_features(), 8);
+        let predictions = model.predict_batch(&split.test.features, &be);
+        let labels = split.test.label_signs();
+        let correct = predictions
+            .iter()
+            .zip(&labels)
+            .filter(|(p, &y)| p.label == y)
+            .count();
+        assert!(
+            correct * 2 > labels.len(),
+            "accuracy {}/{} not above chance",
+            correct,
+            labels.len()
+        );
+    }
+
+    #[test]
+    fn predictions_match_pipeline_decision_values() {
+        // predict_one's kernel row must equal the batch pipeline's test
+        // block row: same decision values either way.
+        let (model, split, be) = trained_model();
+        let cfg = AnsatzConfig::new(2, 1, 0.3);
+        let trunc = TruncationConfig::default();
+        let test_batch = simulate_states(&split.test.features, &cfg, &be, &trunc);
+        // Rebuild the training states the model retains.
+        let train_batch = simulate_states(&split.train.features, &cfg, &be, &trunc);
+        let block = crate::gram::kernel_block(&test_batch.states, &train_batch.states, &be);
+        for (i, x) in split.test.features.iter().enumerate().take(5) {
+            let p = model.predict_one(x, &be);
+            let via_block = model.svm().decision_value(block.block.row(i));
+            assert!(
+                (p.decision_value - via_block).abs() < 1e-9,
+                "row {i}: {} vs {via_block}",
+                p.decision_value
+            );
+        }
+    }
+
+    #[test]
+    fn timing_fields_are_populated() {
+        let (model, split, be) = trained_model();
+        let p = model.predict_one(&split.test.features[0], &be);
+        assert!(p.timing.simulation > Duration::ZERO);
+        // Inner products may be fast but must be measured.
+        assert!(p.timing.inner_products >= Duration::ZERO);
+        assert!(p.label == 1.0 || p.label == -1.0);
+        assert!(p.probability.is_none());
+    }
+
+    #[test]
+    fn calibration_adds_probabilities() {
+        let (mut model, split, be) = trained_model();
+        model.calibrate(&split.test.features, &split.test.label_signs(), &be);
+        assert!(model.calibration().is_some());
+        let p = model.predict_one(&split.test.features[0], &be);
+        let prob = p.probability.expect("calibrated model yields probabilities");
+        assert!((0.0..=1.0).contains(&prob));
+        // Probability must be consistent with the decision side for a
+        // sane calibration: strongly positive decision -> p > 0.5.
+        let strong = model
+            .predict_batch(&split.test.features, &be)
+            .into_iter()
+            .max_by(|a, b| a.decision_value.partial_cmp(&b.decision_value).unwrap())
+            .unwrap();
+        if strong.decision_value > 0.5 {
+            assert!(strong.probability.unwrap() > 0.5);
+        }
+    }
+
+    #[test]
+    fn model_roundtrips_through_bytes() {
+        let (mut model, split, be) = trained_model();
+        model.calibrate(&split.test.features, &split.test.label_signs(), &be);
+        let bytes = model.to_bytes();
+        let back = QuantumKernelModel::from_bytes(&bytes);
+        assert_eq!(back.num_train_states(), model.num_train_states());
+        assert_eq!(back.num_features(), model.num_features());
+        for x in split.test.features.iter().take(5) {
+            let a = model.predict_one(x, &be);
+            let b = back.predict_one(x, &be);
+            assert!((a.decision_value - b.decision_value).abs() < 1e-9);
+            assert_eq!(a.label, b.label);
+            let (pa, pb) = (a.probability.unwrap(), b.probability.unwrap());
+            assert!((pa - pb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn retained_bytes_reflect_states() {
+        let (model, _, _) = trained_model();
+        let per_state = model.retained_state_bytes() / model.num_train_states();
+        // d = 1 ansatz states are tiny (the paper: < 15 KiB at 165
+        // qubits; far less at 6 qubits).
+        assert!(per_state > 0 && per_state < 16 * 1024, "{per_state} bytes/state");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn wrong_feature_count_panics() {
+        let (model, _, be) = trained_model();
+        model.predict_one(&[0.1, 0.2], &be);
+    }
+}

@@ -1,0 +1,314 @@
+//! End-to-end experiment pipeline: data -> states -> kernels -> SVM ->
+//! metrics. This is what every QML harness (Figs. 9-10, Tables II-III)
+//! drives.
+
+use crate::gram::{gram_matrix, kernel_block};
+use crate::states::simulate_states;
+use qk_circuit::AnsatzConfig;
+use qk_data::{prepare_experiment, Dataset, Split};
+use qk_mps::TruncationConfig;
+use qk_svm::{
+    gaussian_block, gaussian_gram, scale_bandwidth, sweep_c, SweepResult,
+};
+use qk_tensor::backend::ExecutionBackend;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration of one classification experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Feature-map hyperparameters (`r`, `d`, `gamma`).
+    pub ansatz: AnsatzConfig,
+    /// Total balanced sample count (train + test).
+    pub samples: usize,
+    /// Number of features (= qubits).
+    pub features: usize,
+    /// Seed controlling subsampling and splitting.
+    pub seed: u64,
+    /// Regularization grid.
+    pub c_grid: Vec<f64>,
+    /// SVM tolerance (the paper uses 1e-3).
+    pub tol: f64,
+    /// MPS truncation policy.
+    pub truncation: TruncationConfig,
+}
+
+impl ExperimentConfig {
+    /// The paper's QML configuration (`r = 2`, `d = 1`, `gamma = 0.1`)
+    /// at the given scale.
+    pub fn qml(samples: usize, features: usize, seed: u64) -> Self {
+        ExperimentConfig {
+            ansatz: AnsatzConfig::qml_default(),
+            samples,
+            features,
+            seed,
+            c_grid: qk_svm::default_c_grid(),
+            tol: 1e-3,
+            truncation: TruncationConfig::default(),
+        }
+    }
+}
+
+/// Timing breakdown of a quantum-kernel experiment.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PipelineTimings {
+    /// Wall time simulating all train+test states.
+    pub simulation: Duration,
+    /// Wall time for the training Gram matrix.
+    pub train_kernel: Duration,
+    /// Wall time for the test kernel block.
+    pub test_kernel: Duration,
+}
+
+/// Output of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Metrics for every `C` on the grid.
+    pub sweep: SweepResult,
+    /// Timing breakdown (zero for the classical baseline's simulation).
+    pub timings: PipelineTimings,
+    /// Mean largest bond dimension over all simulated states.
+    pub mean_max_bond: f64,
+    /// Mean per-MPS memory in bytes.
+    pub mean_memory_bytes: f64,
+}
+
+impl ExperimentResult {
+    /// Best test AUC over the sweep.
+    pub fn best_test_auc(&self) -> f64 {
+        self.sweep.best_by_test_auc().test.auc
+    }
+
+    /// Best train AUC over the sweep (Fig. 9's quantity).
+    pub fn best_train_auc(&self) -> f64 {
+        self.sweep
+            .points
+            .iter()
+            .map(|p| p.train.auc)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Runs the full quantum-kernel experiment on a prepared split.
+pub fn run_quantum_on_split(
+    split: &Split,
+    config: &ExperimentConfig,
+    backend: &dyn ExecutionBackend,
+) -> ExperimentResult {
+    let train_batch = simulate_states(&split.train.features, &config.ansatz, backend, &config.truncation);
+    let test_batch = simulate_states(&split.test.features, &config.ansatz, backend, &config.truncation);
+
+    let train_timed = gram_matrix(&train_batch.states, backend);
+    let test_timed = kernel_block(&test_batch.states, &train_batch.states, backend);
+
+    let sweep = sweep_c(
+        &train_timed.kernel,
+        &split.train.label_signs(),
+        &test_timed.block,
+        &split.test.label_signs(),
+        &config.c_grid,
+        config.tol,
+    );
+
+    let all_states = train_batch.states.len() + test_batch.states.len();
+    let mean_max_bond = (train_batch.states.iter().chain(&test_batch.states))
+        .map(|s| s.max_bond() as f64)
+        .sum::<f64>()
+        / all_states as f64;
+    let mean_memory_bytes = (train_batch.states.iter().chain(&test_batch.states))
+        .map(|s| s.memory_bytes() as f64)
+        .sum::<f64>()
+        / all_states as f64;
+
+    ExperimentResult {
+        sweep,
+        timings: PipelineTimings {
+            simulation: train_batch.wall_time + test_batch.wall_time,
+            train_kernel: train_timed.wall_time,
+            test_kernel: test_timed.wall_time,
+        },
+        mean_max_bond,
+        mean_memory_bytes,
+    }
+}
+
+/// Prepares the split from a raw dataset and runs the quantum experiment.
+pub fn run_quantum_experiment(
+    data: &Dataset,
+    config: &ExperimentConfig,
+    backend: &dyn ExecutionBackend,
+) -> ExperimentResult {
+    let split = prepare_experiment(data, config.samples, config.features, config.seed);
+    run_quantum_on_split(&split, config, backend)
+}
+
+/// Runs the classical Gaussian-kernel baseline (eq. 9) on a prepared
+/// split, with the same sweep protocol.
+pub fn run_gaussian_on_split(split: &Split, c_grid: &[f64], tol: f64) -> ExperimentResult {
+    let alpha = scale_bandwidth(&split.train.features);
+    let t0 = std::time::Instant::now();
+    let train_kernel = gaussian_gram(&split.train.features, alpha);
+    let train_time = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let test_kernel = gaussian_block(&split.test.features, &split.train.features, alpha);
+    let test_time = t0.elapsed();
+
+    let sweep = sweep_c(
+        &train_kernel,
+        &split.train.label_signs(),
+        &test_kernel,
+        &split.test.label_signs(),
+        c_grid,
+        tol,
+    );
+    ExperimentResult {
+        sweep,
+        timings: PipelineTimings {
+            simulation: Duration::ZERO,
+            train_kernel: train_time,
+            test_kernel: test_time,
+        },
+        mean_max_bond: 0.0,
+        mean_memory_bytes: 0.0,
+    }
+}
+
+/// Prepares a split and runs the Gaussian baseline.
+pub fn run_gaussian_experiment(
+    data: &Dataset,
+    samples: usize,
+    features: usize,
+    seed: u64,
+    c_grid: &[f64],
+    tol: f64,
+) -> ExperimentResult {
+    let split = prepare_experiment(data, samples, features, seed);
+    run_gaussian_on_split(&split, c_grid, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qk_data::{generate, SyntheticConfig};
+    use qk_tensor::backend::CpuBackend;
+
+    #[test]
+    fn quantum_experiment_runs_end_to_end() {
+        let data = generate(&SyntheticConfig::small(5));
+        let config = ExperimentConfig {
+            c_grid: vec![0.5, 2.0],
+            ..ExperimentConfig::qml(60, 6, 5)
+        };
+        let be = CpuBackend::new();
+        let result = run_quantum_experiment(&data, &config, &be);
+        assert_eq!(result.sweep.points.len(), 2);
+        let auc = result.best_test_auc();
+        assert!((0.0..=1.0).contains(&auc));
+        assert!(result.mean_max_bond >= 1.0);
+        assert!(result.timings.simulation > Duration::ZERO);
+    }
+
+    #[test]
+    fn gaussian_baseline_runs() {
+        let data = generate(&SyntheticConfig::small(6));
+        let result = run_gaussian_experiment(&data, 80, 8, 6, &[0.5, 2.0], 1e-3);
+        assert_eq!(result.sweep.points.len(), 2);
+        // The synthetic task is learnable: better than chance.
+        assert!(result.best_test_auc() > 0.5, "auc {}", result.best_test_auc());
+    }
+
+    #[test]
+    fn quantum_beats_chance_on_easy_task() {
+        // A large enough test split to make AUC stable, moderate noise.
+        let data = generate(&SyntheticConfig {
+            noise: 1.0,
+            num_features: 12,
+            num_illicit: 150,
+            num_licit: 350,
+            ..SyntheticConfig::small(7)
+        });
+        let config = ExperimentConfig {
+            ansatz: AnsatzConfig::new(2, 1, 0.3),
+            c_grid: vec![1.0, 4.0],
+            ..ExperimentConfig::qml(240, 10, 7)
+        };
+        let be = CpuBackend::new();
+        let result = run_quantum_experiment(&data, &config, &be);
+        assert!(
+            result.best_test_auc() > 0.65,
+            "quantum AUC {} not above chance",
+            result.best_test_auc()
+        );
+    }
+
+    #[test]
+    fn seed_reproducibility() {
+        let data = generate(&SyntheticConfig::small(8));
+        let config = ExperimentConfig {
+            c_grid: vec![1.0],
+            ..ExperimentConfig::qml(40, 5, 8)
+        };
+        let be = CpuBackend::new();
+        let a = run_quantum_experiment(&data, &config, &be);
+        let b = run_quantum_experiment(&data, &config, &be);
+        assert_eq!(a.best_test_auc(), b.best_test_auc());
+    }
+
+    #[test]
+    fn different_seeds_draw_different_subsamples() {
+        let data = generate(&SyntheticConfig::small(9));
+        let be = CpuBackend::new();
+        let run = |seed: u64| {
+            let config = ExperimentConfig {
+                c_grid: vec![1.0],
+                ..ExperimentConfig::qml(40, 5, seed)
+            };
+            run_quantum_experiment(&data, &config, &be).best_test_auc()
+        };
+        // Not a strict requirement of the API, but with 40-row draws from
+        // a 200-row pool two seeds virtually never tie exactly; a tie
+        // would indicate the seed is being ignored.
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn gaussian_timings_skip_simulation_phase() {
+        let data = generate(&SyntheticConfig::small(12));
+        let result = run_gaussian_experiment(&data, 40, 6, 12, &[1.0], 1e-3);
+        assert_eq!(result.timings.simulation, Duration::ZERO);
+        assert_eq!(result.mean_max_bond, 0.0);
+    }
+
+    #[test]
+    fn c_grid_order_is_preserved_in_sweep() {
+        let data = generate(&SyntheticConfig::small(13));
+        let config = ExperimentConfig {
+            c_grid: vec![4.0, 0.01, 1.0],
+            ..ExperimentConfig::qml(40, 5, 13)
+        };
+        let be = CpuBackend::new();
+        let result = run_quantum_experiment(&data, &config, &be);
+        let cs: Vec<f64> = result.sweep.points.iter().map(|p| p.c).collect();
+        assert_eq!(cs, vec![4.0, 0.01, 1.0]);
+    }
+
+    #[test]
+    fn backends_produce_identical_sweeps() {
+        use qk_tensor::backend::{AcceleratorBackend, DeviceModel};
+        let data = generate(&SyntheticConfig::small(14));
+        let config = ExperimentConfig {
+            c_grid: vec![1.0],
+            ..ExperimentConfig::qml(30, 5, 14)
+        };
+        let cpu = run_quantum_experiment(&data, &config, &CpuBackend::new());
+        let acc = run_quantum_experiment(
+            &data,
+            &config,
+            &AcceleratorBackend::new(DeviceModel::ideal()),
+        );
+        assert!((cpu.best_test_auc() - acc.best_test_auc()).abs() < 1e-12);
+        // Table I's consistency check at pipeline level: same algorithm,
+        // same bond dimensions.
+        assert_eq!(cpu.mean_max_bond, acc.mean_max_bond);
+    }
+}

@@ -1,0 +1,319 @@
+//! Truncation-noise analysis (the paper's stated future work).
+//!
+//! The paper runs everything at a cutoff of 1e-16 — machine precision —
+//! so its results are "(virtually) noiseless", and its conclusion notes:
+//! "if future work shows that using more complex circuit ansatze is
+//! beneficial, more aggressive truncation may be deemed necessary for
+//! scalability purposes. In such a situation, analysis of the noise
+//! induced by truncation would be necessary." This module is that
+//! analysis: sweep the SVD cutoff from machine precision to aggressively
+//! lossy, and for each setting measure (a) the element-wise error the
+//! truncation injects into the Gram matrix, (b) the resource savings
+//! (bond dimension, memory, simulation time), and (c) what the noise
+//! does to downstream classification quality.
+//!
+//! The interesting regime is `d > 1`, where bond dimensions actually
+//! grow; at `d = 1` the χ ≈ 2 states have nothing to truncate and every
+//! cutoff degenerates to the exact simulation.
+
+use crate::gram::{gram_matrix, kernel_block};
+use crate::states::simulate_states;
+use qk_circuit::AnsatzConfig;
+use qk_mps::TruncationConfig;
+use qk_svm::{sweep_c, KernelBlock, KernelMatrix};
+use qk_data::Split;
+use qk_tensor::backend::ExecutionBackend;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Parameters of a truncation sweep.
+#[derive(Debug, Clone)]
+pub struct TruncationStudyConfig {
+    /// Circuit ansatz; use `d > 1` so truncation has bite.
+    pub ansatz: AnsatzConfig,
+    /// Cutoffs to sweep, loosest last. The reference (noiseless) run
+    /// always uses the paper's 1e-16 regardless of this list.
+    pub cutoffs: Vec<f64>,
+    /// SVM regularization grid for the AUC-under-noise assessment.
+    pub c_grid: Vec<f64>,
+    /// SVM convergence tolerance.
+    pub tol: f64,
+}
+
+impl Default for TruncationStudyConfig {
+    fn default() -> Self {
+        TruncationStudyConfig {
+            ansatz: AnsatzConfig::new(2, 4, 0.5),
+            cutoffs: vec![1e-12, 1e-8, 1e-6, 1e-4, 1e-2],
+            c_grid: qk_svm::default_c_grid(),
+            tol: 1e-3,
+        }
+    }
+}
+
+/// Measurements at one cutoff.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TruncationPoint {
+    /// The SVD cutoff swept (discard singular values while Σs² ≤ cutoff).
+    pub cutoff: f64,
+    /// Mean |K_ij − K_ij^ref| over the training Gram matrix.
+    pub mean_kernel_error: f64,
+    /// Worst-case |K_ij − K_ij^ref| over the training Gram matrix.
+    pub max_kernel_error: f64,
+    /// Mean over states of the accumulated discarded weight Σs² — the
+    /// paper's equation (8) error accounting.
+    pub mean_discarded_weight: f64,
+    /// Worst per-state fidelity lower bound `1 − Σs²`.
+    pub min_fidelity_bound: f64,
+    /// Mean largest bond dimension (Table I's χ column at this cutoff).
+    pub mean_max_bond: f64,
+    /// Mean per-MPS memory footprint in bytes.
+    pub mean_memory_bytes: f64,
+    /// Wall time to simulate all train+test states.
+    pub simulation_time: Duration,
+    /// Best test AUC over the C grid with the noisy kernel.
+    pub test_auc: f64,
+}
+
+/// Full study output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TruncationStudy {
+    /// The noiseless (1e-16) baseline the sweep is measured against.
+    pub reference: TruncationPoint,
+    /// One point per requested cutoff, in input order.
+    pub points: Vec<TruncationPoint>,
+}
+
+impl TruncationStudy {
+    /// Largest cutoff whose AUC stays within `auc_budget` of the
+    /// reference — the operating point a practitioner would pick.
+    pub fn loosest_safe_cutoff(&self, auc_budget: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| (self.reference.test_auc - p.test_auc) <= auc_budget)
+            .map(|p| p.cutoff)
+            .fold(None, |acc, c| Some(acc.map_or(c, |a: f64| a.max(c))))
+    }
+}
+
+fn study_point(
+    split: &Split,
+    config: &TruncationStudyConfig,
+    truncation: &TruncationConfig,
+    backend: &dyn ExecutionBackend,
+    reference: Option<(&KernelMatrix, &KernelBlock)>,
+) -> (TruncationPoint, KernelMatrix, KernelBlock) {
+    let train = simulate_states(&split.train.features, &config.ansatz, backend, truncation);
+    let test = simulate_states(&split.test.features, &config.ansatz, backend, truncation);
+    let simulation_time = train.wall_time + test.wall_time;
+
+    let gram = gram_matrix(&train.states, backend);
+    let block = kernel_block(&test.states, &train.states, backend);
+
+    let (mean_err, max_err) = match reference {
+        Some((ref_kernel, _)) => {
+            let (mut sum, mut max, mut count) = (0.0f64, 0.0f64, 0usize);
+            let n = train.states.len();
+            for i in 0..n {
+                for j in 0..n {
+                    let e = (gram.kernel.get(i, j) - ref_kernel.get(i, j)).abs();
+                    sum += e;
+                    max = max.max(e);
+                    count += 1;
+                }
+            }
+            (sum / count as f64, max)
+        }
+        None => (0.0, 0.0),
+    };
+
+    let all_states = train.states.iter().chain(&test.states);
+    let (mut weight_sum, mut min_fid, mut count) = (0.0f64, 1.0f64, 0usize);
+    for s in all_states {
+        weight_sum += s.stats().total_discarded_weight;
+        min_fid = min_fid.min(s.stats().fidelity_lower_bound());
+        count += 1;
+    }
+
+    let sweep = sweep_c(
+        &gram.kernel,
+        &split.train.label_signs(),
+        &block.block,
+        &split.test.label_signs(),
+        &config.c_grid,
+        config.tol,
+    );
+
+    let point = TruncationPoint {
+        cutoff: truncation.cutoff,
+        mean_kernel_error: mean_err,
+        max_kernel_error: max_err,
+        mean_discarded_weight: weight_sum / count as f64,
+        min_fidelity_bound: min_fid,
+        mean_max_bond: train.mean_max_bond(),
+        mean_memory_bytes: train.mean_memory_bytes(),
+        simulation_time,
+        test_auc: sweep.best_by_test_auc().test.auc,
+    };
+    (point, gram.kernel, block.block)
+}
+
+/// Runs the sweep: one noiseless reference at the paper's 1e-16 cutoff,
+/// then one run per requested cutoff, each compared element-wise against
+/// the reference kernel.
+pub fn run_truncation_study(
+    split: &Split,
+    config: &TruncationStudyConfig,
+    backend: &dyn ExecutionBackend,
+) -> TruncationStudy {
+    assert!(!config.cutoffs.is_empty(), "sweep needs at least one cutoff");
+    assert!(
+        config.cutoffs.iter().all(|&c| c > 0.0 && c < 1.0),
+        "cutoffs must lie in (0, 1)"
+    );
+    let (reference, ref_kernel, ref_block) =
+        study_point(split, config, &TruncationConfig::paper_default(), backend, None);
+
+    let points = config
+        .cutoffs
+        .iter()
+        .map(|&cutoff| {
+            let trunc = TruncationConfig::with_cutoff(cutoff);
+            study_point(split, config, &trunc, backend, Some((&ref_kernel, &ref_block))).0
+        })
+        .collect();
+
+    TruncationStudy { reference, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qk_data::{generate, prepare_experiment, SyntheticConfig};
+    use qk_tensor::backend::CpuBackend;
+
+    fn small_split() -> Split {
+        let data = generate(&SyntheticConfig::small(23));
+        prepare_experiment(&data, 40, 8, 23)
+    }
+
+    fn run_small(cutoffs: Vec<f64>, d: usize) -> TruncationStudy {
+        let config = TruncationStudyConfig {
+            ansatz: AnsatzConfig::new(2, d, 0.5),
+            cutoffs,
+            c_grid: vec![1.0],
+            tol: 1e-3,
+            };
+        run_truncation_study(&small_split(), &config, &CpuBackend::new())
+    }
+
+    #[test]
+    fn reference_run_is_noiseless() {
+        let study = run_small(vec![1e-12], 3);
+        assert_eq!(study.reference.mean_kernel_error, 0.0);
+        assert_eq!(study.reference.max_kernel_error, 0.0);
+        // The paper's bound: accumulated error at machine precision.
+        assert!(study.reference.min_fidelity_bound > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn kernel_error_grows_as_cutoff_loosens() {
+        let study = run_small(vec![1e-10, 1e-4, 5e-2], 3);
+        let errs: Vec<f64> = study.points.iter().map(|p| p.max_kernel_error).collect();
+        // Monotone within measurement jitter: the loosest cutoff must be
+        // at least as bad as the tightest, and strictly noisy.
+        assert!(errs[2] >= errs[0], "{errs:?}");
+        assert!(errs[2] > 1e-4, "aggressive truncation should inject visible noise: {errs:?}");
+        // Tight cutoff stays small. Note the amplitude-level error scales
+        // like sqrt(cutoff) per truncation, accumulated over every
+        // two-qubit gate, so 1e-10 discarded weight shows up as ~1e-6
+        // kernel error — not machine precision.
+        assert!(errs[0] < 1e-4, "{errs:?}");
+    }
+
+    #[test]
+    fn bond_dimension_shrinks_as_cutoff_loosens() {
+        let study = run_small(vec![1e-10, 5e-2], 3);
+        let tight = &study.points[0];
+        let loose = &study.points[1];
+        assert!(
+            loose.mean_max_bond <= tight.mean_max_bond,
+            "loose {} vs tight {}",
+            loose.mean_max_bond,
+            tight.mean_max_bond
+        );
+        assert!(loose.mean_memory_bytes <= tight.mean_memory_bytes);
+        // Loosening can only reduce resources relative to the reference:
+        // singular values between 1e-16 and 1e-10 get discarded too.
+        assert!(tight.mean_max_bond <= study.reference.mean_max_bond);
+    }
+
+    #[test]
+    fn discarded_weight_accounting_matches_direction() {
+        let study = run_small(vec![1e-10, 5e-2], 3);
+        assert!(
+            study.points[1].mean_discarded_weight >= study.points[0].mean_discarded_weight
+        );
+        assert!(study.points[1].min_fidelity_bound <= study.points[0].min_fidelity_bound);
+        // Fidelity bounds stay valid probabilities.
+        for p in study.points.iter().chain([&study.reference]) {
+            assert!((0.0..=1.0).contains(&p.min_fidelity_bound), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn auc_stays_sane_under_noise() {
+        let study = run_small(vec![1e-8, 5e-2], 3);
+        for p in &study.points {
+            assert!((0.0..=1.0).contains(&p.test_auc), "{p:?}");
+        }
+        // Mild truncation must not move AUC: kernel errors ~1e-8 are far
+        // below the SVM's decision margins.
+        assert!(
+            (study.points[0].test_auc - study.reference.test_auc).abs() < 1e-6,
+            "mild truncation changed AUC: {} vs {}",
+            study.points[0].test_auc,
+            study.reference.test_auc
+        );
+    }
+
+    #[test]
+    fn loosest_safe_cutoff_picks_operating_point() {
+        let study = run_small(vec![1e-10, 1e-6, 5e-2], 3);
+        // With an infinite budget, the loosest cutoff always qualifies.
+        let c = study.loosest_safe_cutoff(1.0).unwrap();
+        assert_eq!(c, 5e-2);
+        // With a negative budget nothing qualifies unless noise helps.
+        let none_or_better = study.loosest_safe_cutoff(-1.0);
+        if let Some(c) = none_or_better {
+            let p = study.points.iter().find(|p| p.cutoff == c).unwrap();
+            assert!(p.test_auc >= study.reference.test_auc);
+        }
+    }
+
+    #[test]
+    fn d1_states_tolerate_mild_truncation() {
+        // At d = 1 the ansatz's bond dimension is tiny; a *mild* cutoff
+        // discards essentially nothing and kernel errors stay near
+        // numerical noise. (A genuinely loose cutoff like 1e-3 does bite
+        // even at d = 1 — it kills the small Schmidt coefficient of each
+        // RXX — which is exactly why this study exists.)
+        let study = run_small(vec![1e-10], 1);
+        assert!(
+            study.points[0].max_kernel_error < 1e-4,
+            "d=1 kernel should be robust at mild cutoffs: {:?}",
+            study.points[0]
+        );
+        assert!(study.points[0].min_fidelity_bound > 1.0 - 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoffs must lie in (0, 1)")]
+    fn rejects_nonsense_cutoffs() {
+        let config = TruncationStudyConfig {
+            cutoffs: vec![2.0],
+            ..TruncationStudyConfig::default()
+        };
+        run_truncation_study(&small_split(), &config, &CpuBackend::new());
+    }
+}

@@ -1,0 +1,163 @@
+//! Minimal CSV loader so a real dataset (e.g. the preprocessed Elliptic
+//! Bitcoin CSV) can be dropped in place of the synthetic generator.
+//!
+//! Expected format: one sample per line, `label,f1,f2,...,fm`, where the
+//! label field is `1`/`illicit` for the positive class and anything else
+//! for the negative class. Lines starting with `#` and a single optional
+//! header line are skipped.
+
+use crate::dataset::{Dataset, Label};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors produced by the CSV loader.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "csv parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses a label field.
+fn parse_label(field: &str) -> Label {
+    match field.trim().to_ascii_lowercase().as_str() {
+        "1" | "illicit" | "+1" => Label::Illicit,
+        _ => Label::Licit,
+    }
+}
+
+/// Loads a dataset from CSV text.
+pub fn parse_csv(reader: impl BufRead) -> Result<Dataset, CsvError> {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    let mut width: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let label_field = fields.next().unwrap_or_default();
+        let row: Result<Vec<f64>, _> = fields.map(|f| f.trim().parse::<f64>()).collect();
+        let row = match row {
+            Ok(r) => r,
+            Err(e) => {
+                // Allow exactly one non-numeric line as a header.
+                if features.is_empty() && width.is_none() {
+                    continue;
+                }
+                return Err(CsvError::Parse {
+                    line: idx + 1,
+                    message: format!("bad feature value: {e}"),
+                });
+            }
+        };
+        if row.is_empty() {
+            return Err(CsvError::Parse {
+                line: idx + 1,
+                message: "no feature columns".into(),
+            });
+        }
+        match width {
+            None => width = Some(row.len()),
+            Some(w) if w != row.len() => {
+                return Err(CsvError::Parse {
+                    line: idx + 1,
+                    message: format!("expected {w} features, found {}", row.len()),
+                });
+            }
+            _ => {}
+        }
+        labels.push(parse_label(label_field));
+        features.push(row);
+    }
+    Ok(Dataset::new(features, labels))
+}
+
+/// Loads a dataset from a CSV file on disk.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
+    let file = std::fs::File::open(path)?;
+    parse_csv(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_csv() {
+        let text = "1,0.5,1.5\n0,0.1,0.2\nillicit,1.0,1.0\n";
+        let d = parse_csv(Cursor::new(text)).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_illicit(), 2);
+        assert_eq!(d.features[0], vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn skips_comments_blank_lines_and_header() {
+        let text = "# comment\nlabel,f1,f2\n\n1,0.5,1.5\n0,0.1,0.2\n";
+        let d = parse_csv(Cursor::new(text)).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let text = "1,0.5,1.5\n0,0.1\n";
+        let err = parse_csv(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_numbers_after_data() {
+        let text = "1,0.5\n0,abc\n";
+        let err = parse_csv(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { .. }));
+    }
+
+    #[test]
+    fn label_aliases() {
+        assert_eq!(parse_label("1"), Label::Illicit);
+        assert_eq!(parse_label("Illicit"), Label::Illicit);
+        assert_eq!(parse_label("+1"), Label::Illicit);
+        assert_eq!(parse_label("0"), Label::Licit);
+        assert_eq!(parse_label("licit"), Label::Licit);
+        assert_eq!(parse_label("2"), Label::Licit);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("qk_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.csv");
+        std::fs::write(&path, "1,0.3,0.7\n0,1.9,0.1\n").unwrap();
+        let d = load_csv(&path).unwrap();
+        assert_eq!(d.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,168 @@
+//! Labeled dataset container.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary class labels. The paper's task is illicit-vs-licit transaction
+/// classification; we keep those names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Label {
+    /// Positive class (4,545 of 46,564 samples in the Elliptic dataset).
+    Illicit,
+    /// Negative class.
+    Licit,
+}
+
+impl Label {
+    /// `+1` for illicit, `-1` for licit — the SVM convention.
+    pub fn sign(self) -> f64 {
+        match self {
+            Label::Illicit => 1.0,
+            Label::Licit => -1.0,
+        }
+    }
+
+    /// From an SVM-side sign.
+    pub fn from_sign(v: f64) -> Self {
+        if v > 0.0 {
+            Label::Illicit
+        } else {
+            Label::Licit
+        }
+    }
+}
+
+/// A dense labeled dataset: `n` rows of `m` features.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Row-major feature matrix: `features[i]` is sample `i`.
+    pub features: Vec<Vec<f64>>,
+    /// One label per row.
+    pub labels: Vec<Label>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking row consistency.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent widths or counts mismatch.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<Label>) -> Self {
+        assert_eq!(features.len(), labels.len(), "row/label count mismatch");
+        if let Some(first) = features.first() {
+            let m = first.len();
+            assert!(
+                features.iter().all(|row| row.len() == m),
+                "inconsistent feature widths"
+            );
+        }
+        Dataset { features, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per sample (0 if empty).
+    pub fn num_features(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Count of illicit (positive) samples.
+    pub fn num_illicit(&self) -> usize {
+        self.labels.iter().filter(|l| **l == Label::Illicit).count()
+    }
+
+    /// Count of licit (negative) samples.
+    pub fn num_licit(&self) -> usize {
+        self.len() - self.num_illicit()
+    }
+
+    /// Labels as `+1 / -1` signs.
+    pub fn label_signs(&self) -> Vec<f64> {
+        self.labels.iter().map(|l| l.sign()).collect()
+    }
+
+    /// Keeps only the first `k` features of every row (the paper
+    /// "down-selects and seeds to a specified dimension").
+    pub fn truncate_features(&self, k: usize) -> Dataset {
+        assert!(k <= self.num_features(), "cannot keep {k} of {} features", self.num_features());
+        Dataset {
+            features: self.features.iter().map(|row| row[..k].to_vec()).collect(),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Selects rows by index.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![Label::Illicit, Label::Licit, Label::Illicit],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_illicit(), 2);
+        assert_eq!(d.num_licit(), 1);
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(Label::Illicit.sign(), 1.0);
+        assert_eq!(Label::Licit.sign(), -1.0);
+        assert_eq!(Label::from_sign(0.7), Label::Illicit);
+        assert_eq!(Label::from_sign(-0.2), Label::Licit);
+        assert_eq!(toy().label_signs(), vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn truncate_features_keeps_prefix() {
+        let d = toy().truncate_features(1);
+        assert_eq!(d.num_features(), 1);
+        assert_eq!(d.features[1], vec![3.0]);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn select_rows() {
+        let d = toy().select(&[2, 0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.features[0], vec![5.0, 6.0]);
+        assert_eq!(d.labels[1], Label::Illicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_lengths_panic() {
+        Dataset::new(vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn ragged_rows_panic() {
+        Dataset::new(
+            vec![vec![1.0], vec![1.0, 2.0]],
+            vec![Label::Licit, Label::Licit],
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # qk-data
+//!
+//! Dataset substrate for the quantum-kernel experiments:
+//!
+//! * [`dataset`] — labeled dense datasets with the illicit/licit labels of
+//!   the paper's fraud-detection task.
+//! * [`synthetic`] — the elliptic-like generator standing in for the
+//!   Kaggle Elliptic Bitcoin download (see DESIGN.md, substitution 3).
+//! * [`pipeline`] — standardize, rescale to `(0, 2)`, balanced seeded
+//!   subsampling, stratified 80/20 splits.
+//! * [`csv`] — loader for dropping in a real CSV dataset.
+//!
+//! ## Example: generate data and prepare an experiment split
+//!
+//! ```
+//! use qk_data::{generate, prepare_experiment, SyntheticConfig};
+//!
+//! let data = generate(&SyntheticConfig::small(7));
+//! // 40 balanced samples, first 6 features, seeded: train is 32 rows,
+//! // test 8, features rescaled into the ansatz's (0, 2) domain.
+//! let split = prepare_experiment(&data, 40, 6, 7);
+//! assert_eq!(split.train.features.len(), 32);
+//! assert_eq!(split.test.features.len(), 8);
+//! assert!(split.train.features.iter().flatten().all(|&x| (0.0..=2.0).contains(&x)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod pipeline;
+pub mod synthetic;
+
+pub use dataset::{Dataset, Label};
+pub use pipeline::{balanced_subsample, prepare_experiment, stratified_split, Scaler, Split};
+pub use synthetic::{generate, SyntheticConfig};

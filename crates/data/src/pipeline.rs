@@ -1,0 +1,276 @@
+//! The paper's "standard data engineering pipeline": standardize, rescale
+//! to the `(0, 2)` interval required by the feature map, balanced seeded
+//! down-selection, and a stratified 80/20 train-test split.
+//!
+//! All statistics (means, mins, maxes) are fitted on the training portion
+//! and applied to the test portion — never the other way around.
+
+use crate::dataset::{Dataset, Label};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-feature affine statistics fitted on training data.
+#[derive(Debug, Clone)]
+pub struct Scaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    mins: Vec<f64>,
+    maxes: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits standardization and min-max statistics on a dataset.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit a scaler on an empty dataset");
+        let n = data.len() as f64;
+        let m = data.num_features();
+        let mut means = vec![0.0; m];
+        for row in &data.features {
+            for (acc, x) in means.iter_mut().zip(row) {
+                *acc += x;
+            }
+        }
+        for v in &mut means {
+            *v /= n;
+        }
+        let mut stds = vec![0.0; m];
+        for row in &data.features {
+            for ((acc, x), mu) in stds.iter_mut().zip(row).zip(&means) {
+                *acc += (x - mu) * (x - mu);
+            }
+        }
+        for v in &mut stds {
+            *v = (*v / n).sqrt();
+            if *v < 1e-12 {
+                *v = 1.0; // constant feature: leave centered at zero
+            }
+        }
+        // Min/max of the *standardized* values.
+        let mut mins = vec![f64::INFINITY; m];
+        let mut maxes = vec![f64::NEG_INFINITY; m];
+        for row in &data.features {
+            for j in 0..m {
+                let z = (row[j] - means[j]) / stds[j];
+                mins[j] = mins[j].min(z);
+                maxes[j] = maxes[j].max(z);
+            }
+        }
+        for j in 0..m {
+            if maxes[j] - mins[j] < 1e-12 {
+                mins[j] = -1.0;
+                maxes[j] = 1.0;
+            }
+        }
+        Scaler { means, stds, mins, maxes }
+    }
+
+    /// Standardizes then min-max rescales one row into `(0, 2)`; values
+    /// outside the fitted range (possible on test data) are clamped.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "feature width mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(j, &x)| {
+                let z = (x - self.means[j]) / self.stds[j];
+                let scaled = 2.0 * (z - self.mins[j]) / (self.maxes[j] - self.mins[j]);
+                scaled.clamp(0.0, 2.0)
+            })
+            .collect()
+    }
+
+    /// Transforms a whole dataset.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        Dataset::new(
+            data.features.iter().map(|r| self.transform_row(r)).collect(),
+            data.labels.clone(),
+        )
+    }
+}
+
+/// A train/test split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+/// Draws a balanced subsample of `n` rows (`n/2` per class), seeded.
+///
+/// # Panics
+/// Panics if either class has fewer than `n / 2` samples.
+pub fn balanced_subsample(data: &Dataset, n: usize, seed: u64) -> Dataset {
+    let per_class = n / 2;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut illicit: Vec<usize> = (0..data.len())
+        .filter(|&i| data.labels[i] == Label::Illicit)
+        .collect();
+    let mut licit: Vec<usize> = (0..data.len())
+        .filter(|&i| data.labels[i] == Label::Licit)
+        .collect();
+    assert!(
+        illicit.len() >= per_class && licit.len() >= per_class,
+        "not enough samples per class for a balanced subsample of {n}"
+    );
+    illicit.shuffle(&mut rng);
+    licit.shuffle(&mut rng);
+    let mut chosen: Vec<usize> = illicit[..per_class]
+        .iter()
+        .chain(&licit[..per_class])
+        .copied()
+        .collect();
+    chosen.shuffle(&mut rng);
+    data.select(&chosen)
+}
+
+/// Stratified train/test split with the given train fraction (the paper
+/// uses 0.8), seeded.
+pub fn stratified_split(data: &Dataset, train_fraction: f64, seed: u64) -> Split {
+    assert!((0.0..1.0).contains(&train_fraction), "fraction must be in (0, 1)");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for class in [Label::Illicit, Label::Licit] {
+        let mut idx: Vec<usize> = (0..data.len()).filter(|&i| data.labels[i] == class).collect();
+        idx.shuffle(&mut rng);
+        let cut = ((idx.len() as f64) * train_fraction).round() as usize;
+        train_idx.extend_from_slice(&idx[..cut]);
+        test_idx.extend_from_slice(&idx[cut..]);
+    }
+    train_idx.shuffle(&mut rng);
+    test_idx.shuffle(&mut rng);
+    Split {
+        train: data.select(&train_idx),
+        test: data.select(&test_idx),
+    }
+}
+
+/// End-to-end preparation used by every experiment: balanced subsample of
+/// `n` rows with `k` features, stratified 80/20 split, scaler fitted on
+/// train and applied to both.
+pub fn prepare_experiment(data: &Dataset, n: usize, k: usize, seed: u64) -> Split {
+    let sub = balanced_subsample(data, n, seed).truncate_features(k);
+    let split = stratified_split(&sub, 0.8, seed);
+    let scaler = Scaler::fit(&split.train);
+    Split {
+        train: scaler.transform(&split.train),
+        test: scaler.transform(&split.test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticConfig};
+
+    fn toy() -> Dataset {
+        generate(&SyntheticConfig::small(11))
+    }
+
+    #[test]
+    fn scaler_maps_train_into_unit_interval() {
+        let d = toy();
+        let scaler = Scaler::fit(&d);
+        let t = scaler.transform(&d);
+        for row in &t.features {
+            for &x in row {
+                assert!((0.0..=2.0).contains(&x), "value {x} outside (0,2)");
+            }
+        }
+        // Extremes are attained (min-max scaling is tight on train data).
+        let any_zero = t.features.iter().flatten().any(|&x| x < 1e-9);
+        let any_two = t.features.iter().flatten().any(|&x| x > 2.0 - 1e-9);
+        assert!(any_zero && any_two);
+    }
+
+    #[test]
+    fn scaler_clamps_test_outliers() {
+        let d = toy();
+        let scaler = Scaler::fit(&d);
+        let wild = vec![1e6; d.num_features()];
+        let t = scaler.transform_row(&wild);
+        assert!(t.iter().all(|&x| x <= 2.0));
+        let wild_neg = vec![-1e6; d.num_features()];
+        let t2 = scaler.transform_row(&wild_neg);
+        assert!(t2.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn scaler_handles_constant_feature() {
+        let d = Dataset::new(
+            vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]],
+            vec![Label::Illicit, Label::Licit, Label::Licit],
+        );
+        let scaler = Scaler::fit(&d);
+        let t = scaler.transform(&d);
+        assert!(t.features.iter().all(|r| r.iter().all(|x| x.is_finite())));
+    }
+
+    #[test]
+    fn balanced_subsample_is_balanced() {
+        let d = toy();
+        let sub = balanced_subsample(&d, 80, 5);
+        assert_eq!(sub.len(), 80);
+        assert_eq!(sub.num_illicit(), 40);
+        assert_eq!(sub.num_licit(), 40);
+    }
+
+    #[test]
+    fn balanced_subsample_seeded() {
+        let d = toy();
+        let a = balanced_subsample(&d, 40, 5);
+        let b = balanced_subsample(&d, 40, 5);
+        assert_eq!(a.features, b.features);
+        let c = balanced_subsample(&d, 40, 6);
+        assert_ne!(a.features, c.features);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough samples")]
+    fn oversized_subsample_panics() {
+        let d = toy();
+        balanced_subsample(&d, 10_000, 1);
+    }
+
+    #[test]
+    fn stratified_split_fractions() {
+        let d = toy();
+        let split = stratified_split(&d, 0.8, 3);
+        assert_eq!(split.train.len() + split.test.len(), d.len());
+        // Both classes present in both portions, roughly 80/20.
+        let frac = split.train.len() as f64 / d.len() as f64;
+        assert!((0.75..0.85).contains(&frac));
+        assert!(split.train.num_illicit() > 0 && split.test.num_illicit() > 0);
+        assert!(split.train.num_licit() > 0 && split.test.num_licit() > 0);
+    }
+
+    #[test]
+    fn split_is_disjoint() {
+        // No row may appear in both portions (rows are unique with high
+        // probability in the synthetic data).
+        let d = toy();
+        let split = stratified_split(&d, 0.8, 3);
+        for tr in &split.train.features {
+            assert!(!split.test.features.contains(tr), "row leaked across split");
+        }
+    }
+
+    #[test]
+    fn prepare_experiment_end_to_end() {
+        let d = toy();
+        let split = prepare_experiment(&d, 100, 10, 2);
+        assert_eq!(split.train.len(), 80);
+        assert_eq!(split.test.len(), 20);
+        assert_eq!(split.train.num_features(), 10);
+        assert_eq!(split.test.num_features(), 10);
+        assert_eq!(split.train.num_illicit(), 40);
+        for row in split.train.features.iter().chain(&split.test.features) {
+            assert!(row.iter().all(|&x| (0.0..=2.0).contains(&x)));
+        }
+    }
+}

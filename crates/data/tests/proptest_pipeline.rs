@@ -1,0 +1,98 @@
+//! Property-based tests of the data pipeline: scaling bounds, split
+//! arithmetic, subsample balance, generator determinism.
+
+use proptest::prelude::*;
+use qk_data::{
+    balanced_subsample, generate, prepare_experiment, stratified_split, Scaler, SyntheticConfig,
+};
+
+fn small_config() -> impl Strategy<Value = SyntheticConfig> {
+    (2usize..20, 20usize..60, 20usize..60, 0.2f64..3.0, 0u64..500).prop_map(
+        |(features, illicit, licit, noise, seed)| SyntheticConfig {
+            num_features: features,
+            num_illicit: illicit,
+            num_licit: licit,
+            latent_dim: 6,
+            noise,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generator produces exactly the requested shape, with finite
+    /// features, deterministically.
+    #[test]
+    fn generator_shape_and_determinism(cfg in small_config()) {
+        let a = generate(&cfg);
+        prop_assert_eq!(a.len(), cfg.num_illicit + cfg.num_licit);
+        prop_assert_eq!(a.num_features(), cfg.num_features);
+        prop_assert_eq!(a.num_illicit(), cfg.num_illicit);
+        prop_assert!(a.features.iter().flatten().all(|x| x.is_finite()));
+        let b = generate(&cfg);
+        prop_assert_eq!(a.features, b.features);
+    }
+
+    /// Scaler output is always inside the feature-map domain (0, 2), on
+    /// train data and on arbitrary unseen rows.
+    #[test]
+    fn scaler_bounds(cfg in small_config(), probe in prop::collection::vec(-1e3f64..1e3, 2..20)) {
+        let data = generate(&cfg);
+        let scaler = Scaler::fit(&data);
+        let t = scaler.transform(&data);
+        prop_assert!(t.features.iter().flatten().all(|&x| (0.0..=2.0).contains(&x)));
+        let mut row = probe;
+        row.resize(cfg.num_features, 0.5);
+        let out = scaler.transform_row(&row);
+        prop_assert!(out.iter().all(|&x| (0.0..=2.0).contains(&x)));
+    }
+
+    /// Stratified splits partition the data and roughly respect the
+    /// requested fraction per class.
+    #[test]
+    fn split_partition(cfg in small_config(), frac in 0.5f64..0.9, seed in 0u64..100) {
+        let data = generate(&cfg);
+        let split = stratified_split(&data, frac, seed);
+        prop_assert_eq!(split.train.len() + split.test.len(), data.len());
+        // Per-class counts deviate by at most 1 from the rounded target.
+        let target_illicit = (cfg.num_illicit as f64 * frac).round() as isize;
+        prop_assert!((split.train.num_illicit() as isize - target_illicit).abs() <= 1);
+        let target_licit = (cfg.num_licit as f64 * frac).round() as isize;
+        prop_assert!((split.train.num_licit() as isize - target_licit).abs() <= 1);
+    }
+
+    /// Balanced subsamples are exactly balanced and drawn without
+    /// replacement.
+    #[test]
+    fn subsample_balance(cfg in small_config(), seed in 0u64..100) {
+        let data = generate(&cfg);
+        let n = 2 * cfg.num_illicit.min(cfg.num_licit).min(20);
+        let sub = balanced_subsample(&data, n, seed);
+        prop_assert_eq!(sub.len(), n);
+        prop_assert_eq!(sub.num_illicit(), n / 2);
+        // Without replacement: all rows distinct (generator rows are
+        // continuous-valued, collisions have probability zero).
+        for i in 0..sub.len() {
+            for j in (i + 1)..sub.len() {
+                prop_assert_ne!(&sub.features[i], &sub.features[j]);
+            }
+        }
+    }
+
+    /// The end-to-end preparation yields balanced train data in-domain
+    /// with the requested feature count.
+    #[test]
+    fn prepare_invariants(cfg in small_config(), seed in 0u64..100) {
+        let data = generate(&cfg);
+        let n = 2 * cfg.num_illicit.min(cfg.num_licit).min(16);
+        let k = 1 + cfg.num_features / 2;
+        let split = prepare_experiment(&data, n, k, seed);
+        prop_assert_eq!(split.train.num_features(), k);
+        prop_assert_eq!(split.test.num_features(), k);
+        prop_assert_eq!(split.train.len() + split.test.len(), n);
+        prop_assert!(split.train.features.iter().flatten().all(|&x| (0.0..=2.0).contains(&x)));
+        prop_assert!(split.test.features.iter().flatten().all(|&x| (0.0..=2.0).contains(&x)));
+    }
+}

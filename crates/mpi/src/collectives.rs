@@ -1,0 +1,381 @@
+//! Collective operations over the point-to-point layer.
+//!
+//! Implemented with the textbook algorithms real MPI libraries use at
+//! small scale, so communication volume and round structure are faithful:
+//!
+//! * barrier — dissemination algorithm, `ceil(log2 k)` rounds;
+//! * broadcast — binomial tree rooted at `root`;
+//! * gather / scatter — linear at the root;
+//! * allgather — ring algorithm, `k - 1` steps (the same pattern the
+//!   paper's round-robin strategy uses for state blocks);
+//! * reduce / allreduce — linear reduce at the root (+ tree broadcast).
+//!
+//! Every collective call consumes one sequence number on each rank; the
+//! MPI contract that all ranks invoke collectives in the same order is
+//! what keeps sequence numbers aligned. Payload isolation from user
+//! traffic is structural (a separate message class), so a collective can
+//! never steal a user message.
+
+use crate::p2p::Class;
+use crate::world::Process;
+
+/// Element-wise reduction operator for [`Process::reduce_f64`] /
+/// [`Process::allreduce_f64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    fn apply(&self, acc: &mut [f64], rhs: &[f64]) {
+        debug_assert_eq!(acc.len(), rhs.len());
+        for (a, &b) in acc.iter_mut().zip(rhs) {
+            *a = match self {
+                ReduceOp::Sum => *a + b,
+                ReduceOp::Max => a.max(b),
+                ReduceOp::Min => a.min(b),
+            };
+        }
+    }
+}
+
+fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "payload is not a f64 array");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+impl Process {
+    /// Blocks until every rank has entered the barrier (dissemination
+    /// algorithm: round `r` sends to `rank + 2^r`, receives from
+    /// `rank - 2^r`, both modulo the world size).
+    pub fn barrier(&mut self) {
+        let k = self.world_size();
+        if k == 1 {
+            return;
+        }
+        let seq = self.next_collective_seq();
+        let mut round = 0u32;
+        let mut hop = 1usize;
+        while hop < k {
+            let dest = (self.rank() + hop) % k;
+            let src = (self.rank() + k - hop) % k;
+            let class = Class::Collective { seq, round };
+            self.send_internal(dest, class, Vec::new());
+            let _ = self.recv_internal(src, class);
+            hop *= 2;
+            round += 1;
+        }
+    }
+
+    /// Broadcasts `data` from `root` to every rank; each rank returns the
+    /// broadcast payload. Only the root's `data` is read (pass anything,
+    /// e.g. an empty slice, elsewhere). Binomial tree: `ceil(log2 k)`
+    /// rounds, each round doubling the set of ranks holding the data.
+    pub fn broadcast(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
+        let k = self.world_size();
+        assert!(root < k, "broadcast root {root} out of range");
+        let seq = self.next_collective_seq();
+        // Work in root-relative rank space so the tree is rooted at 0.
+        let vrank = (self.rank() + k - root) % k;
+        let mut payload = if vrank == 0 { data.to_vec() } else { Vec::new() };
+
+        // Receive round: the highest power of two below or at vrank tells
+        // which round this rank is reached in.
+        if vrank != 0 {
+            let bit = usize::BITS - 1 - vrank.leading_zeros(); // floor(log2 vrank)
+            let src_v = vrank - (1 << bit);
+            let src = (src_v + root) % k;
+            payload = self.recv_internal(src, Class::Collective { seq, round: bit });
+        }
+
+        // Send rounds: after holding the data, fan out to vrank + 2^r for
+        // increasing r.
+        let first_round = if vrank == 0 {
+            0
+        } else {
+            (usize::BITS - vrank.leading_zeros()) as usize // floor(log2) + 1
+        };
+        let mut r = first_round;
+        while (1usize << r) < k {
+            let dest_v = vrank + (1 << r);
+            if dest_v < k {
+                let dest = (dest_v + root) % k;
+                self.send_internal(
+                    dest,
+                    Class::Collective { seq, round: r as u32 },
+                    payload.clone(),
+                );
+            }
+            r += 1;
+        }
+        payload
+    }
+
+    /// Gathers one payload per rank at `root`; the root returns
+    /// `Some(payloads)` in rank order, other ranks return `None`.
+    pub fn gather(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let k = self.world_size();
+        assert!(root < k, "gather root {root} out of range");
+        let seq = self.next_collective_seq();
+        let class = Class::Collective { seq, round: 0 };
+        if self.rank() == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); k];
+            out[root] = data.to_vec();
+            for src in (0..k).filter(|&r| r != root) {
+                out[src] = self.recv_internal(src, class);
+            }
+            Some(out)
+        } else {
+            self.send_internal(root, class, data.to_vec());
+            None
+        }
+    }
+
+    /// Scatters one payload per rank from `root`; every rank returns its
+    /// part. Only the root's `parts` is read and it must have exactly
+    /// one entry per rank.
+    pub fn scatter(&mut self, root: usize, parts: Option<&[Vec<u8>]>) -> Vec<u8> {
+        let k = self.world_size();
+        assert!(root < k, "scatter root {root} out of range");
+        let seq = self.next_collective_seq();
+        let class = Class::Collective { seq, round: 0 };
+        if self.rank() == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), k, "scatter needs one part per rank");
+            for dest in (0..k).filter(|&r| r != root) {
+                self.send_internal(dest, class, parts[dest].clone());
+            }
+            parts[root].clone()
+        } else {
+            self.recv_internal(root, class)
+        }
+    }
+
+    /// All ranks contribute one payload and receive all payloads in rank
+    /// order. Ring algorithm: `k - 1` steps, each step forwarding the
+    /// newest block to the right neighbour — total traffic `(k-1) * sum of
+    /// payload sizes`, the same pattern as the paper's round-robin state
+    /// rotation.
+    pub fn allgather(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        let k = self.world_size();
+        let seq = self.next_collective_seq();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); k];
+        out[self.rank()] = data.to_vec();
+        let right = (self.rank() + 1) % k;
+        let left = (self.rank() + k - 1) % k;
+        // At step s, forward the block that originated at rank - s.
+        for step in 0..k.saturating_sub(1) {
+            let class = Class::Collective { seq, round: step as u32 };
+            let outgoing_owner = (self.rank() + k - step) % k;
+            self.send_internal(right, class, out[outgoing_owner].clone());
+            let incoming_owner = (self.rank() + k - step - 1) % k;
+            out[incoming_owner] = self.recv_internal(left, class);
+        }
+        out
+    }
+
+    /// Element-wise reduction of equal-length `f64` slices at `root`
+    /// (linear algorithm). The root returns `Some(reduced)`.
+    pub fn reduce_f64(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        let gathered = self.gather(root, &f64s_to_bytes(data))?;
+        let mut acc = bytes_to_f64s(&gathered[0]);
+        for part in &gathered[1..] {
+            let values = bytes_to_f64s(part);
+            assert_eq!(values.len(), acc.len(), "reduce requires equal lengths");
+            op.apply(&mut acc, &values);
+        }
+        Some(acc)
+    }
+
+    /// Reduction delivered to every rank (reduce at rank 0 + broadcast).
+    pub fn allreduce_f64(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        let reduced = self.reduce_f64(0, data, op);
+        let payload = match &reduced {
+            Some(values) => f64s_to_bytes(values),
+            None => Vec::new(),
+        };
+        bytes_to_f64s(&self.broadcast(0, &payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_world;
+
+    #[test]
+    fn barrier_synchronizes_all_world_sizes() {
+        for k in 1..=9usize {
+            // Completion without deadlock is the property under test.
+            let out = run_world(k, |p| {
+                p.barrier();
+                p.barrier();
+                p.rank()
+            });
+            assert_eq!(out.len(), k);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_before_and_after() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        run_world(6, |p| {
+            before.fetch_add(1, Ordering::SeqCst);
+            p.barrier();
+            // After the barrier, every rank's increment must be visible.
+            if before.load(Ordering::SeqCst) != 6 {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for k in 1..=6usize {
+            for root in 0..k {
+                let out = run_world(k, |p| {
+                    let data = if p.rank() == root { vec![7u8, 8, 9] } else { Vec::new() };
+                    p.broadcast(root, &data)
+                });
+                for (rank, payload) in out.iter().enumerate() {
+                    assert_eq!(payload, &vec![7u8, 8, 9], "k={k} root={root} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_world(5, |p| p.gather(2, &[p.rank() as u8 * 10]));
+        for (rank, result) in out.iter().enumerate() {
+            if rank == 2 {
+                let parts = result.as_ref().unwrap();
+                assert_eq!(parts.len(), 5);
+                for (src, part) in parts.iter().enumerate() {
+                    assert_eq!(part, &vec![src as u8 * 10]);
+                }
+            } else {
+                assert!(result.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_parts() {
+        let out = run_world(4, |p| {
+            let parts: Option<Vec<Vec<u8>>> = if p.rank() == 1 {
+                Some((0..4).map(|r| vec![r as u8; r + 1]).collect())
+            } else {
+                None
+            };
+            p.scatter(1, parts.as_deref())
+        });
+        for (rank, part) in out.iter().enumerate() {
+            assert_eq!(part, &vec![rank as u8; rank + 1]);
+        }
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        for k in 1..=6usize {
+            let out = run_world(k, |p| p.allgather(&[p.rank() as u8, 0xAB]));
+            for collected in &out {
+                assert_eq!(collected.len(), k);
+                for (src, part) in collected.iter().enumerate() {
+                    assert_eq!(part, &vec![src as u8, 0xAB]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_handles_unequal_sizes() {
+        let out = run_world(4, |p| p.allgather(&vec![p.rank() as u8; p.rank() + 1]));
+        for collected in &out {
+            for (src, part) in collected.iter().enumerate() {
+                assert_eq!(part.len(), src + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_max_min() {
+        let out = run_world(4, |p| {
+            let data = [p.rank() as f64, -(p.rank() as f64), 1.0];
+            (
+                p.reduce_f64(0, &data, ReduceOp::Sum),
+                p.reduce_f64(0, &data, ReduceOp::Max),
+                p.reduce_f64(0, &data, ReduceOp::Min),
+            )
+        });
+        let (sum, max, min) = &out[0];
+        assert_eq!(sum.as_ref().unwrap(), &vec![6.0, -6.0, 4.0]);
+        assert_eq!(max.as_ref().unwrap(), &vec![3.0, 0.0, 1.0]);
+        assert_eq!(min.as_ref().unwrap(), &vec![0.0, -3.0, 1.0]);
+        for (s, _, _) in &out[1..] {
+            assert!(s.is_none());
+        }
+    }
+
+    #[test]
+    fn allreduce_reaches_every_rank() {
+        let out = run_world(5, |p| p.allreduce_f64(&[p.rank() as f64], ReduceOp::Sum));
+        for got in &out {
+            assert_eq!(got, &vec![10.0]);
+        }
+    }
+
+    #[test]
+    fn collectives_interleave_with_user_traffic() {
+        let out = run_world(3, |p| {
+            // User message in flight across a barrier + broadcast.
+            if p.rank() == 0 {
+                p.send(2, 77, b"late");
+            }
+            p.barrier();
+            let b = p.broadcast(1, if p.rank() == 1 { b"bc" } else { b"" });
+            assert_eq!(b, b"bc");
+            if p.rank() == 2 {
+                let m = p.recv(crate::Source::Rank(0), 77);
+                assert_eq!(m.payload, b"late");
+            }
+            p.allgather(&[p.rank() as u8]).len()
+        });
+        assert_eq!(out, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn repeated_collectives_stay_aligned() {
+        let out = run_world(4, |p| {
+            let mut acc = 0.0;
+            for i in 0..10 {
+                let r = p.allreduce_f64(&[i as f64 + p.rank() as f64], ReduceOp::Sum);
+                acc += r[0];
+            }
+            acc
+        });
+        // sum over i of (4i + 0+1+2+3) = 4*45 + 10*6.
+        for v in out {
+            assert_eq!(v, 240.0);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-rank communication accounting.
+
+use std::time::Duration;
+
+/// Traffic and blocking record for one rank.
+///
+/// Payload bytes are counted once on each side (sent at the sender,
+/// received at the receiver); envelope overhead is not modelled. Blocked
+/// time is the wall-clock time spent waiting inside `recv`-like calls —
+/// the quantity a communication-bound rank observes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Total payload bytes passed to `send`.
+    pub bytes_sent: usize,
+    /// Total payload bytes returned from `recv`.
+    pub bytes_received: usize,
+    /// Number of messages sent.
+    pub messages_sent: usize,
+    /// Number of messages received.
+    pub messages_received: usize,
+    /// Wall-clock time blocked waiting for messages.
+    pub blocked: Duration,
+}
+
+impl CommStats {
+    /// Merges another record into this one (e.g. summing across ranks).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+        self.blocked += other.blocked;
+    }
+
+    /// Total bytes moved through this rank in either direction.
+    pub fn bytes_total(&self) -> usize {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CommStats {
+            bytes_sent: 10,
+            bytes_received: 20,
+            messages_sent: 1,
+            messages_received: 2,
+            blocked: Duration::from_millis(5),
+        };
+        let b = CommStats {
+            bytes_sent: 3,
+            bytes_received: 4,
+            messages_sent: 5,
+            messages_received: 6,
+            blocked: Duration::from_millis(7),
+        };
+        a.merge(&b);
+        assert_eq!(a.bytes_sent, 13);
+        assert_eq!(a.bytes_received, 24);
+        assert_eq!(a.messages_sent, 6);
+        assert_eq!(a.messages_received, 8);
+        assert_eq!(a.blocked, Duration::from_millis(12));
+        assert_eq!(a.bytes_total(), 37);
+    }
+}

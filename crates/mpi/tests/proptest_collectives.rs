@@ -1,0 +1,102 @@
+//! Property-based checks of the collective algorithms under random
+//! world sizes, roots and payloads.
+
+use proptest::prelude::*;
+use qk_mpi::{run_world, ReduceOp, Source, ANY_TAG};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Broadcast delivers the root's payload bit-exactly to all ranks,
+    /// for any root and world size.
+    #[test]
+    fn broadcast_is_exact(
+        k in 1usize..8,
+        root_seed in 0usize..64,
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let root = root_seed % k;
+        let out = run_world(k, |p| {
+            let data = if p.rank() == root { payload.clone() } else { Vec::new() };
+            p.broadcast(root, &data)
+        });
+        for got in out {
+            prop_assert_eq!(&got, &payload);
+        }
+    }
+
+    /// gather(root) then scatter(root) returns each rank its own payload.
+    #[test]
+    fn gather_scatter_roundtrip(
+        k in 1usize..8,
+        root_seed in 0usize..64,
+        seed in any::<u8>(),
+    ) {
+        let root = root_seed % k;
+        let out = run_world(k, |p| {
+            let mine = vec![seed ^ p.rank() as u8; p.rank() % 5 + 1];
+            let gathered = p.gather(root, &mine);
+            let parts: Option<Vec<Vec<u8>>> = gathered;
+            let back = p.scatter(root, parts.as_deref());
+            (mine, back)
+        });
+        for (mine, back) in out {
+            prop_assert_eq!(mine, back);
+        }
+    }
+
+    /// Allgather equals what gather-at-every-root would produce.
+    #[test]
+    fn allgather_is_consistent(
+        k in 1usize..7,
+        seed in any::<u8>(),
+    ) {
+        let out = run_world(k, |p| p.allgather(&[seed, p.rank() as u8]));
+        for collected in &out {
+            prop_assert_eq!(collected.len(), k);
+            for (src, part) in collected.iter().enumerate() {
+                prop_assert_eq!(part.as_slice(), &[seed, src as u8]);
+            }
+        }
+    }
+
+    /// Allreduce(sum) is the arithmetic sum regardless of world size.
+    #[test]
+    fn allreduce_sum_is_exact_on_integers(
+        k in 1usize..8,
+        values in prop::collection::vec(-100i32..100, 1..6),
+    ) {
+        let out = run_world(k, |p| {
+            let data: Vec<f64> = values.iter().map(|&v| (v + p.rank() as i32) as f64).collect();
+            p.allreduce_f64(&data, ReduceOp::Sum)
+        });
+        let rank_sum: i32 = (0..k as i32).sum();
+        for got in out {
+            for (i, &v) in got.iter().enumerate() {
+                prop_assert_eq!(v, (values[i] * k as i32 + rank_sum) as f64);
+            }
+        }
+    }
+
+    /// Random point-to-point exchanges all arrive: every rank sends one
+    /// message to a random peer; total received equals total sent.
+    #[test]
+    fn random_exchanges_conserve_messages(
+        k in 2usize..8,
+        targets in prop::collection::vec(0usize..64, 8),
+    ) {
+        let out = run_world(k, |p| {
+            let dest = targets[p.rank() % targets.len()] % p.world_size();
+            // Self-sends are legal (MPI allows them); deliver to own queue.
+            p.send(dest, 5, &[p.rank() as u8]);
+            p.barrier();
+            let mut got = 0usize;
+            while p.try_recv(Source::Any, ANY_TAG).is_some() {
+                got += 1;
+            }
+            got
+        });
+        let total: usize = out.iter().sum();
+        prop_assert_eq!(total, k);
+    }
+}

@@ -1,0 +1,295 @@
+//! Amplitude queries and perfect sampling from an MPS.
+//!
+//! Tensor-network states admit *perfect sampling* (Ferris & Vidal, 2012):
+//! bitstrings are drawn from the exact Born distribution by sweeping the
+//! chain once per shot and sampling each qubit conditioned on the prefix,
+//! at cost `O(m chi^2)` per shot and with no autocorrelation between
+//! shots. This is how a simulator stands in for the measurement phase of
+//! a real device run, and it is the primitive a shot-based estimate of
+//! the kernel entry `|<psi(x_i)|psi(x_j)>|^2` would be built on.
+
+use crate::mps::Mps;
+use qk_tensor::complex::Complex64;
+use rand::Rng;
+use std::collections::HashMap;
+
+impl Mps {
+    /// Amplitude `<b_0 b_1 ... b_{m-1}|psi>` of a computational basis
+    /// state, via a single `O(m chi^2)` sweep selecting the physical index
+    /// at every site.
+    pub fn amplitude(&self, bits: &[u8]) -> Complex64 {
+        assert_eq!(
+            bits.len(),
+            self.num_qubits(),
+            "bitstring length must match qubit count"
+        );
+        // Row vector over the running bond, starting at the trivial
+        // boundary.
+        let mut env = vec![Complex64::ONE];
+        for (site, &b) in self.sites().iter().zip(bits) {
+            assert!(b <= 1, "bits must be 0 or 1");
+            let (chi_l, chi_r) = (site.shape()[0], site.shape()[2]);
+            debug_assert_eq!(chi_l, env.len(), "environment width must match left bond");
+            let data = site.data();
+            let mut next = vec![Complex64::ZERO; chi_r];
+            for (l, &e) in env.iter().enumerate() {
+                let row = &data[(l * 2 + b as usize) * chi_r..(l * 2 + b as usize + 1) * chi_r];
+                for (n, &a) in next.iter_mut().zip(row) {
+                    *n += e * a;
+                }
+            }
+            env = next;
+        }
+        env[0]
+    }
+
+    /// Born probability `|<b|psi>|^2` of a basis state.
+    pub fn probability(&self, bits: &[u8]) -> f64 {
+        self.amplitude(bits).norm_sqr()
+    }
+
+    /// Draws one bitstring from the Born distribution.
+    ///
+    /// Requires the orthogonality center at site 0 (the canonical form
+    /// makes every site to the right right-orthogonal, so the right
+    /// environment is the identity and the conditional distribution of
+    /// each qubit is available from the prefix environment alone). The
+    /// method canonicalizes if needed, which is why it takes `&mut self`;
+    /// repeated calls after the first are pure sweeps.
+    pub fn sample_one<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<u8> {
+        self.canonicalize_to(0);
+        let m = self.num_qubits();
+        let mut bits = Vec::with_capacity(m);
+        // Conditional prefix environment, renormalized after every site so
+        // that p0 + p1 = 1 exactly (up to float error).
+        let mut env = vec![Complex64::ONE];
+        for site in self.sites() {
+            let (chi_l, chi_r) = (site.shape()[0], site.shape()[2]);
+            debug_assert_eq!(chi_l, env.len());
+            let data = site.data();
+            let mut w0 = vec![Complex64::ZERO; chi_r];
+            let mut w1 = vec![Complex64::ZERO; chi_r];
+            for (l, &e) in env.iter().enumerate() {
+                let row0 = &data[(l * 2) * chi_r..(l * 2 + 1) * chi_r];
+                let row1 = &data[(l * 2 + 1) * chi_r..(l * 2 + 2) * chi_r];
+                for r in 0..chi_r {
+                    w0[r] += e * row0[r];
+                    w1[r] += e * row1[r];
+                }
+            }
+            let p0: f64 = w0.iter().map(|z| z.norm_sqr()).sum();
+            let p1: f64 = w1.iter().map(|z| z.norm_sqr()).sum();
+            let total = p0 + p1;
+            // total can drift from 1 through accumulated float error; the
+            // draw is normalized so the sweep never panics on drift.
+            // Zero total (fully truncated branch) defaults to bit 0.
+            let bit = usize::from(total > 0.0 && rng.gen::<f64>() * total >= p0);
+            bits.push(bit as u8);
+            let (mut w, p) = if bit == 0 { (w0, p0) } else { (w1, p1) };
+            if p > 0.0 {
+                let inv = 1.0 / p.sqrt();
+                for z in &mut w {
+                    *z = z.scale(inv);
+                }
+            }
+            env = w;
+        }
+        bits
+    }
+
+    /// Draws `shots` independent bitstrings from the Born distribution.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, shots: usize) -> Vec<Vec<u8>> {
+        self.canonicalize_to(0);
+        (0..shots).map(|_| self.sample_one(rng)).collect()
+    }
+
+    /// Draws `shots` bitstrings and tallies them into a histogram.
+    pub fn sample_counts<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        shots: usize,
+    ) -> HashMap<Vec<u8>, usize> {
+        let mut counts = HashMap::new();
+        for bits in self.sample(rng, shots) {
+            *counts.entry(bits).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Shot-based estimate of the kernel entry `|<a|b>|^2` via the standard
+/// compute-uncompute trick a hardware run would use: the probability of
+/// the all-zeros outcome after preparing `U(x_j)` and un-preparing
+/// `U(x_i)` equals the squared overlap. With MPS states available, the
+/// estimator draws from the exact overlap `p = |<a|b>|^2` and returns the
+/// binomial sample mean — this models *shot noise only*, which is exactly
+/// the error source hardware adds on top of the exact kernel the paper's
+/// simulator computes.
+pub fn shot_estimate_overlap<R: Rng + ?Sized>(
+    a: &Mps,
+    b: &Mps,
+    shots: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(shots > 0, "need at least one shot");
+    let p = a.overlap_sqr(b).clamp(0.0, 1.0);
+    let hits = (0..shots).filter(|_| rng.gen::<f64>() < p).count();
+    hits as f64 / shots as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mps::TruncationConfig;
+    use qk_circuit::Gate;
+    use qk_tensor::backend::CpuBackend;
+    use qk_tensor::complex::{approx_eq, c64};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn amplitude_of_basis_state() {
+        let mps = Mps::basis_state(&[1, 0, 1]);
+        assert!(approx_eq(mps.amplitude(&[1, 0, 1]), Complex64::ONE, 1e-12));
+        assert!(approx_eq(mps.amplitude(&[0, 0, 1]), Complex64::ZERO, 1e-12));
+        assert!(approx_eq(mps.amplitude(&[1, 0, 0]), Complex64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn amplitude_of_plus_state() {
+        let mps = Mps::plus_state(4);
+        let expect = c64(0.25, 0.0);
+        for idx in 0..16u32 {
+            let bits: Vec<u8> = (0..4).map(|q| ((idx >> (3 - q)) & 1) as u8).collect();
+            assert!(approx_eq(mps.amplitude(&bits), expect, 1e-12));
+        }
+    }
+
+    #[test]
+    fn amplitudes_match_statevector_after_circuit() {
+        use qk_circuit::ansatz::{feature_map_circuit, AnsatzConfig};
+        let features = [0.3, 1.7, 0.8, 1.1];
+        let circuit = feature_map_circuit(&features, &AnsatzConfig::new(2, 2, 0.7));
+        let be = CpuBackend::new();
+        let (mps, _) = crate::sim::MpsSimulator::new(&be).simulate(&circuit);
+        let sv = mps.to_statevector();
+        for (idx, &amp) in sv.iter().enumerate() {
+            let bits: Vec<u8> = (0..4).map(|q| ((idx >> (3 - q)) & 1) as u8).collect();
+            assert!(
+                approx_eq(mps.amplitude(&bits), amp, 1e-10),
+                "index {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let be = CpuBackend::new();
+        let cfg = TruncationConfig::default();
+        let mut mps = Mps::plus_state(5);
+        for q in 0..4 {
+            mps.apply_gate2(&be, &Gate::Rxx(0.9).matrix(), q, &cfg);
+        }
+        let total: f64 = (0..32usize)
+            .map(|idx| {
+                let bits: Vec<u8> = (0..5).map(|q| ((idx >> (4 - q)) & 1) as u8).collect();
+                mps.probability(&bits)
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sampling_basis_state_is_deterministic() {
+        let mut mps = Mps::basis_state(&[1, 0, 1, 1]);
+        let mut r = rng(1);
+        for _ in 0..20 {
+            assert_eq!(mps.sample_one(&mut r), vec![1, 0, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn sampling_ghz_state_yields_only_extremes() {
+        // H on qubit 0, then a CX chain: (|000...> + |111...>)/sqrt(2).
+        let be = CpuBackend::new();
+        let cfg = TruncationConfig::default();
+        let m = 6;
+        let mut mps = Mps::basis_state(&vec![0; m]);
+        mps.apply_gate1(&Gate::H.matrix(), 0);
+        for q in 0..m - 1 {
+            mps.apply_gate2(&be, &Gate::Cx.matrix(), q, &cfg);
+        }
+        let mut r = rng(7);
+        let counts = mps.sample_counts(&mut r, 400);
+        assert_eq!(counts.len(), 2, "GHZ sampling must produce two outcomes");
+        let zeros = counts.get(&vec![0u8; m]).copied().unwrap_or(0);
+        let ones = counts.get(&vec![1u8; m]).copied().unwrap_or(0);
+        assert_eq!(zeros + ones, 400);
+        // Both outcomes appear with probability 1/2; 400 shots put each
+        // count within ~5 sigma of 200.
+        assert!(zeros > 120 && zeros < 280, "zeros = {zeros}");
+    }
+
+    #[test]
+    fn sample_frequencies_match_born_probabilities() {
+        let be = CpuBackend::new();
+        let cfg = TruncationConfig::default();
+        let mut mps = Mps::plus_state(3);
+        mps.apply_gate2(&be, &Gate::Rxx(1.1).matrix(), 0, &cfg);
+        mps.apply_gate1(&Gate::Rz(0.6).matrix(), 1);
+        mps.apply_gate2(&be, &Gate::Rxx(0.4).matrix(), 1, &cfg);
+        let shots = 20_000;
+        let mut r = rng(42);
+        let counts = mps.sample_counts(&mut r, shots);
+        for idx in 0..8usize {
+            let bits: Vec<u8> = (0..3).map(|q| ((idx >> (2 - q)) & 1) as u8).collect();
+            let p = mps.probability(&bits);
+            let freq = counts.get(&bits).copied().unwrap_or(0) as f64 / shots as f64;
+            // Binomial std dev ~ sqrt(p/shots) <= 0.0036; allow 5 sigma.
+            assert!(
+                (freq - p).abs() < 0.02,
+                "bits {bits:?}: freq {freq} vs p {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_preserves_the_state() {
+        let be = CpuBackend::new();
+        let cfg = TruncationConfig::default();
+        let mut mps = Mps::plus_state(4);
+        mps.apply_gate2(&be, &Gate::Rxx(0.8).matrix(), 1, &cfg);
+        let before = mps.to_statevector();
+        let mut r = rng(3);
+        let _ = mps.sample(&mut r, 50);
+        let after = mps.to_statevector();
+        for (x, y) in before.iter().zip(&after) {
+            assert!(approx_eq(*x, *y, 1e-10));
+        }
+    }
+
+    #[test]
+    fn shot_estimator_converges_to_overlap() {
+        let be = CpuBackend::new();
+        let cfg = TruncationConfig::default();
+        let a = Mps::plus_state(4);
+        let mut b = Mps::plus_state(4);
+        b.apply_gate2(&be, &Gate::Rxx(0.9).matrix(), 0, &cfg);
+        b.apply_gate1(&Gate::Rz(0.4).matrix(), 2);
+        let exact = a.overlap_sqr(&b);
+        let mut r = rng(11);
+        let est = shot_estimate_overlap(&a, &b, 40_000, &mut r);
+        assert!((est - exact).abs() < 0.015, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bitstring length")]
+    fn amplitude_rejects_wrong_length() {
+        let mps = Mps::plus_state(3);
+        let _ = mps.amplitude(&[0, 1]);
+    }
+}

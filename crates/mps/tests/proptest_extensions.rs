@@ -1,0 +1,212 @@
+//! Property-based invariants of the MPS extension modules: arithmetic and
+//! compression, amplitude/sampling, and MPO Hamiltonians — all validated
+//! against the exact statevector in the regime where both representations
+//! run.
+
+use proptest::prelude::*;
+use qk_circuit::ansatz::{feature_map_circuit, AnsatzConfig};
+use qk_mps::mpo::{Mpo, Pauli, PauliString};
+use qk_mps::{encoding_hamiltonian, Mps, MpsSimulator, TruncationConfig};
+use qk_tensor::backend::CpuBackend;
+use qk_tensor::complex::Complex64;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn feature_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..2.0, len)
+}
+
+fn ansatz_state(features: &[f64], gamma: f64) -> Mps {
+    let d = (features.len() - 1).clamp(1, 2);
+    let cfg = AnsatzConfig::new(2, d, gamma);
+    let be = CpuBackend::new();
+    MpsSimulator::new(&be)
+        .simulate(&feature_map_circuit(features, &cfg))
+        .0
+}
+
+/// Random weighted Pauli string on `m` qubits.
+fn pauli_string(m: usize) -> impl Strategy<Value = PauliString> {
+    let op = prop_oneof![Just(Pauli::X), Just(Pauli::Y), Just(Pauli::Z)];
+    (
+        -2.0f64..2.0,
+        prop::collection::btree_map(0..m, op, 1..=m.min(3)),
+    )
+        .prop_map(|(coeff, ops)| PauliString::new(coeff, ops.into_iter().collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every amplitude read off the MPS matches the densified vector.
+    #[test]
+    fn amplitudes_match_densified_state(
+        features in feature_vec(2..6),
+        gamma in 0.1f64..1.3,
+    ) {
+        let mps = ansatz_state(&features, gamma);
+        let sv = mps.to_statevector();
+        let m = features.len();
+        for (idx, &amp) in sv.iter().enumerate() {
+            let bits: Vec<u8> = (0..m).map(|q| ((idx >> (m - 1 - q)) & 1) as u8).collect();
+            prop_assert!((mps.amplitude(&bits) - amp).norm() < 1e-9);
+        }
+    }
+
+    /// Born probabilities form a distribution.
+    #[test]
+    fn probabilities_form_distribution(
+        features in feature_vec(2..6),
+        gamma in 0.1f64..1.3,
+    ) {
+        let mps = ansatz_state(&features, gamma);
+        let m = features.len();
+        let total: f64 = (0..(1usize << m))
+            .map(|idx| {
+                let bits: Vec<u8> =
+                    (0..m).map(|q| ((idx >> (m - 1 - q)) & 1) as u8).collect();
+                mps.probability(&bits)
+            })
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Sampling only ever produces bitstrings with nonzero probability,
+    /// and does not disturb the state.
+    #[test]
+    fn sampling_is_supported_and_nondestructive(
+        features in feature_vec(2..5),
+        seed in 0u64..1000,
+    ) {
+        let mut mps = ansatz_state(&features, 0.9);
+        let before = mps.to_statevector();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for bits in mps.sample(&mut rng, 16) {
+            prop_assert!(mps.probability(&bits) > 0.0);
+        }
+        let after = mps.to_statevector();
+        for (x, y) in before.iter().zip(&after) {
+            prop_assert!((*x - *y).norm() < 1e-9);
+        }
+    }
+
+    /// MPS addition is statevector addition.
+    #[test]
+    fn addition_is_linear(
+        xa in feature_vec(3..5),
+        gamma in 0.2f64..1.2,
+    ) {
+        let mut xb = xa.clone();
+        xb.reverse();
+        let a = ansatz_state(&xa, gamma);
+        let b = ansatz_state(&xb, gamma);
+        let sum = a.add(&b);
+        let (sva, svb, svs) = (a.to_statevector(), b.to_statevector(), sum.to_statevector());
+        for i in 0..sva.len() {
+            prop_assert!((svs[i] - (sva[i] + svb[i])).norm() < 1e-9);
+        }
+    }
+
+    /// Lossless compression preserves the state and never grows bonds.
+    #[test]
+    fn compression_is_lossless_at_machine_cutoff(
+        features in feature_vec(3..6),
+        gamma in 0.2f64..1.3,
+    ) {
+        let be = CpuBackend::new();
+        let psi = ansatz_state(&features, gamma);
+        let mut padded = psi.add(&psi); // doubles every interior bond
+        let before = padded.to_statevector();
+        padded.compress(&be, &TruncationConfig::default());
+        prop_assert!(padded.max_bond() <= psi.max_bond());
+        let after = padded.to_statevector();
+        for (x, y) in before.iter().zip(&after) {
+            prop_assert!((*x - *y).norm() < 1e-8);
+        }
+    }
+
+    /// Capped compression respects the cap and the eq.-(8) fidelity bound.
+    #[test]
+    fn capped_compression_respects_error_budget(
+        features in feature_vec(4..7),
+        cap in 1usize..4,
+    ) {
+        let be = CpuBackend::new();
+        let psi = ansatz_state(&features, 1.2);
+        let mut lossy = psi.clone();
+        let sweep = lossy.compress(&be, &TruncationConfig::capped(1e-16, cap));
+        prop_assert!(lossy.max_bond() <= cap);
+        let f = lossy.fidelity(&psi);
+        prop_assert!(f >= 1.0 - sweep.total_discarded_weight - 1e-9);
+    }
+
+    /// A random Pauli sum's MPO expectation equals the dense quadratic
+    /// form <psi|H|psi>.
+    #[test]
+    fn mpo_expectation_matches_dense(
+        features in feature_vec(2..5),
+        terms_seed in prop::collection::vec(pauli_string(4), 1..4),
+    ) {
+        let m = features.len();
+        // Restrict term qubits to the actual register.
+        let terms: Vec<PauliString> = terms_seed
+            .into_iter()
+            .map(|t| {
+                let ops: Vec<(usize, Pauli)> = t
+                    .ops
+                    .into_iter()
+                    .map(|(q, p)| (q % m, p))
+                    .collect::<std::collections::BTreeMap<_, _>>()
+                    .into_iter()
+                    .collect();
+                PauliString::new(t.coeff, ops)
+            })
+            .collect();
+        let h = Mpo::from_pauli_sum(m, &terms);
+        let psi = ansatz_state(&features, 0.8);
+        let sv = psi.to_statevector();
+        let dense = h.to_dense();
+        let dim = 1usize << m;
+        let mut hv = vec![Complex64::ZERO; dim];
+        qk_tensor::matrix::matvec(dim, dim, dense.data(), &sv, &mut hv);
+        let expect: Complex64 = sv
+            .iter()
+            .zip(&hv)
+            .map(|(a, b)| a.conj() * *b)
+            .fold(Complex64::ZERO, |acc, z| acc + z);
+        prop_assert!((h.expectation(&psi) - expect).norm() < 1e-8);
+    }
+
+    /// Hermitian MPOs have real expectation values on any state.
+    #[test]
+    fn encoding_hamiltonian_expectation_is_real(
+        features in feature_vec(3..6),
+        gamma in 0.1f64..1.2,
+    ) {
+        let d = (features.len() - 1).clamp(1, 3);
+        let h = encoding_hamiltonian(&features, gamma, d);
+        let psi = ansatz_state(&features, gamma);
+        let e = h.expectation(&psi);
+        prop_assert!(e.im.abs() < 1e-9, "imaginary part {}", e.im);
+    }
+
+    /// MPO application agrees with the dense matrix-vector product.
+    #[test]
+    fn mpo_apply_matches_dense_matvec(
+        features in feature_vec(2..4),
+        gamma in 0.2f64..1.0,
+    ) {
+        let be = CpuBackend::new();
+        let m = features.len();
+        let h = encoding_hamiltonian(&features, gamma, 1);
+        let psi = ansatz_state(&features, gamma);
+        let (hpsi, _) = h.apply(&be, &psi, &TruncationConfig::default());
+        let dim = 1usize << m;
+        let mut expect = vec![Complex64::ZERO; dim];
+        qk_tensor::matrix::matvec(dim, dim, h.to_dense().data(), &psi.to_statevector(), &mut expect);
+        let got = hpsi.to_statevector();
+        for i in 0..dim {
+            prop_assert!((got[i] - expect[i]).norm() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! # qk-statevector
+//!
+//! Exact dense statevector simulation. Memory is `16 * 2^m` bytes, so this
+//! caps out around 20 qubits — which is precisely its job here: the paper's
+//! point is that MPS goes far beyond statevector scale, and this crate is
+//! the ground truth that the MPS engine is validated against in the regime
+//! where both run.
+//!
+//! Convention: qubit 0 is the *most significant* bit of the basis index,
+//! i.e. `|q0 q1 ... q_{m-1}>` maps to index `q0 * 2^{m-1} + ... + q_{m-1}`.
+//! This matches the left-to-right site order of the MPS.
+
+#![warn(missing_docs)]
+
+use qk_circuit::Circuit;
+use qk_tensor::complex::Complex64;
+use qk_tensor::tensor::Tensor;
+
+/// A pure state of `m` qubits as a dense vector of `2^m` amplitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0...0>`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits >= 1, "need at least one qubit");
+        assert!(
+            num_qubits <= 26,
+            "statevector simulation beyond 26 qubits is not supported (16 * 2^m bytes)"
+        );
+        let mut amplitudes = vec![Complex64::ZERO; 1 << num_qubits];
+        amplitudes[0] = Complex64::ONE;
+        StateVector { num_qubits, amplitudes }
+    }
+
+    /// The uniform superposition `|+>^m` (the ansatz input state).
+    pub fn plus_state(num_qubits: usize) -> Self {
+        let mut sv = StateVector::zero_state(num_qubits);
+        let amp = Complex64::from_real(1.0 / ((1u64 << num_qubits) as f64).sqrt());
+        sv.amplitudes.fill(amp);
+        sv
+    }
+
+    /// Builds a state from raw amplitudes (must have power-of-two length).
+    pub fn from_amplitudes(amplitudes: Vec<Complex64>) -> Self {
+        let len = amplitudes.len();
+        assert!(len.is_power_of_two() && len >= 2, "length must be 2^m");
+        StateVector {
+            num_qubits: len.trailing_zeros() as usize,
+            amplitudes,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude vector, basis-ordered.
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amplitudes
+    }
+
+    /// Squared norm; 1 for a normalized state.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Inner product `<self|other>` (antilinear in `self`).
+    pub fn inner(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        qk_tensor::matrix::dot_conj(&self.amplitudes, &other.amplitudes)
+    }
+
+    /// Fidelity-style kernel entry `|<self|other>|^2` (eq. 1).
+    pub fn overlap_sqr(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Applies a single-qubit gate to qubit `q`.
+    pub fn apply_gate1(&mut self, gate: &Tensor, q: usize) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        assert_eq!(gate.shape(), &[2, 2], "single-qubit gate must be 2x2");
+        let g = gate.data();
+        let stride = 1usize << (self.num_qubits - 1 - q);
+        let n = self.amplitudes.len();
+        let mut base = 0;
+        while base < n {
+            for off in base..base + stride {
+                let a0 = self.amplitudes[off];
+                let a1 = self.amplitudes[off + stride];
+                self.amplitudes[off] = g[0] * a0 + g[1] * a1;
+                self.amplitudes[off + stride] = g[2] * a0 + g[3] * a1;
+            }
+            base += 2 * stride;
+        }
+    }
+
+    /// Applies a two-qubit gate to qubits `(qa, qb)`; `qa` is the gate's
+    /// first qubit. Works for arbitrary (non-adjacent) pairs.
+    pub fn apply_gate2(&mut self, gate: &Tensor, qa: usize, qb: usize) {
+        assert!(qa < self.num_qubits && qb < self.num_qubits, "qubit out of range");
+        assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
+        assert_eq!(gate.shape(), &[4, 4], "two-qubit gate must be 4x4");
+        let g = gate.data();
+        let sa = 1usize << (self.num_qubits - 1 - qa);
+        let sb = 1usize << (self.num_qubits - 1 - qb);
+        let n = self.amplitudes.len();
+        for idx in 0..n {
+            // Visit each 4-tuple once: only from its (qa=0, qb=0) member.
+            if idx & sa != 0 || idx & sb != 0 {
+                continue;
+            }
+            let i00 = idx;
+            let i01 = idx | sb;
+            let i10 = idx | sa;
+            let i11 = idx | sa | sb;
+            let a = [
+                self.amplitudes[i00],
+                self.amplitudes[i01],
+                self.amplitudes[i10],
+                self.amplitudes[i11],
+            ];
+            for (row, &target) in [i00, i01, i10, i11].iter().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (col, &amp) in a.iter().enumerate() {
+                    acc = acc.mul_add(g[row * 4 + col], amp);
+                }
+                self.amplitudes[target] = acc;
+            }
+        }
+    }
+
+    /// Runs a circuit starting from this state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.num_qubits, "register size mismatch");
+        for op in circuit.ops() {
+            let matrix = op.gate.matrix();
+            match op.qubits.as_slice() {
+                [q] => self.apply_gate1(&matrix, *q),
+                [a, b] => self.apply_gate2(&matrix, *a, *b),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Convenience: simulate a circuit from `|0...0>`.
+    pub fn simulate(circuit: &Circuit) -> Self {
+        let mut sv = StateVector::zero_state(circuit.num_qubits());
+        sv.apply_circuit(circuit);
+        sv
+    }
+
+    /// Probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitudes[index].norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qk_circuit::ansatz::{feature_map_circuit, AnsatzConfig};
+    use qk_circuit::Gate;
+    use qk_tensor::complex::{approx_eq, c64};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let sv = StateVector::zero_state(3);
+        assert_eq!(sv.amplitudes().len(), 8);
+        assert_eq!(sv.probability(0), 1.0);
+        assert!((sv.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn plus_state_uniform() {
+        let sv = StateVector::plus_state(4);
+        for k in 0..16 {
+            assert!((sv.probability(k) - 1.0 / 16.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn hadamards_build_plus_state() {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push1(Gate::H, q);
+        }
+        let sv = StateVector::simulate(&c);
+        let plus = StateVector::plus_state(3);
+        assert!((sv.overlap_sqr(&plus) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_flips_most_significant_qubit() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate1(&Gate::X.matrix(), 0);
+        // Qubit 0 is the most significant bit: |10> = index 2.
+        assert!((sv.probability(2) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_flips_least_significant_qubit() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate1(&Gate::X.matrix(), 1);
+        assert!((sv.probability(1) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cx_entangles_bell_state() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push2(Gate::Cx, 0, 1);
+        let sv = StateVector::simulate(&c);
+        assert!((sv.probability(0) - 0.5).abs() < TOL);
+        assert!((sv.probability(3) - 0.5).abs() < TOL);
+        assert!(sv.probability(1) < TOL);
+        assert!(sv.probability(2) < TOL);
+    }
+
+    #[test]
+    fn cx_orientation_matters() {
+        // Control on qubit 1, target qubit 0, input |01>.
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate1(&Gate::X.matrix(), 1); // |01>
+        sv.apply_gate2(&Gate::Cx.matrix(), 1, 0); // control = qubit 1 (set)
+        assert!((sv.probability(3) - 1.0).abs() < TOL); // |11>
+    }
+
+    #[test]
+    fn swap_gate_swaps() {
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_gate1(&Gate::X.matrix(), 0); // |100>
+        sv.apply_gate2(&Gate::Swap.matrix(), 0, 2);
+        assert!((sv.probability(1) - 1.0).abs() < TOL); // |001>
+    }
+
+    #[test]
+    fn two_qubit_gate_nonadjacent() {
+        // RXX on qubits (0, 2) of 3: compare against routed/adjacent path.
+        let theta = 0.9;
+        let mut direct = StateVector::plus_state(3);
+        direct.apply_gate2(&Gate::Rxx(theta).matrix(), 0, 2);
+
+        let mut routed = StateVector::plus_state(3);
+        routed.apply_gate2(&Gate::Swap.matrix(), 0, 1);
+        routed.apply_gate2(&Gate::Rxx(theta).matrix(), 1, 2);
+        routed.apply_gate2(&Gate::Swap.matrix(), 0, 1);
+
+        assert!((direct.overlap_sqr(&routed) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn circuits_preserve_norm() {
+        let features = [0.3, 1.7, 0.9, 1.1];
+        let cfg = AnsatzConfig::new(2, 2, 0.8);
+        let c = feature_map_circuit(&features, &cfg);
+        let sv = StateVector::simulate(&c);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn kernel_diagonal_is_one() {
+        let features = [0.5, 1.5, 1.0];
+        let c = feature_map_circuit(&features, &AnsatzConfig::new(2, 1, 1.0));
+        let sv = StateVector::simulate(&c);
+        assert!((sv.overlap_sqr(&sv) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn kernel_entry_symmetric() {
+        let cfg = AnsatzConfig::new(2, 2, 0.7);
+        let xa = [0.2, 1.1, 0.8];
+        let xb = [1.9, 0.4, 1.3];
+        let sa = StateVector::simulate(&feature_map_circuit(&xa, &cfg));
+        let sb = StateVector::simulate(&feature_map_circuit(&xb, &cfg));
+        assert!((sa.overlap_sqr(&sb) - sb.overlap_sqr(&sa)).abs() < TOL);
+    }
+
+    #[test]
+    fn inner_product_phase() {
+        // <0|X|0> = 0; <0|H|0> = 1/sqrt(2).
+        let zero = StateVector::zero_state(1);
+        let mut x = StateVector::zero_state(1);
+        x.apply_gate1(&Gate::X.matrix(), 0);
+        assert!(approx_eq(zero.inner(&x), Complex64::ZERO, TOL));
+        let mut h = StateVector::zero_state(1);
+        h.apply_gate1(&Gate::H.matrix(), 0);
+        assert!(approx_eq(zero.inner(&h), c64(1.0 / 2f64.sqrt(), 0.0), TOL));
+    }
+
+    #[test]
+    fn routing_invariance_on_statevector() {
+        // The routed circuit must produce the same state as the raw one.
+        let features = [0.3, 1.2, 0.6, 1.8];
+        let cfg = AnsatzConfig::new(1, 3, 0.9);
+        let raw = feature_map_circuit(&features, &cfg);
+        let routed = qk_circuit::route_for_mps(&raw);
+        let sv_raw = StateVector::simulate(&raw);
+        let sv_routed = StateVector::simulate(&routed);
+        assert!((sv_raw.overlap_sqr(&sv_routed) - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,282 @@
+//! Stratified k-fold cross-validation on precomputed kernels.
+//!
+//! The paper selects the SVM regularization constant by sweeping
+//! `C ∈ [0.01, 4]` against a held-out split. Cross-validation is the
+//! standard refinement: the Gram matrix is computed *once* (the expensive
+//! quantum part) and each fold trains on a principal submatrix — no
+//! re-simulation is ever needed, which is exactly the economy the
+//! precomputed-kernel workflow buys.
+
+use crate::kernel::{KernelBlock, KernelMatrix};
+use crate::metrics::Metrics;
+use crate::smo::{train_svc, SmoParams};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+impl KernelMatrix {
+    /// Principal submatrix on the given indices (training kernel of a
+    /// fold).
+    pub fn submatrix(&self, indices: &[usize]) -> KernelMatrix {
+        let k = indices.len();
+        let mut data = Vec::with_capacity(k * k);
+        for &i in indices {
+            for &j in indices {
+                data.push(self.get(i, j));
+            }
+        }
+        KernelMatrix::from_dense(k, data)
+    }
+
+    /// Rectangular cross block `rows x cols` (evaluation kernel of a
+    /// fold: validation rows against training columns).
+    pub fn cross_block(&self, rows: &[usize], cols: &[usize]) -> KernelBlock {
+        let mut data = Vec::with_capacity(rows.len() * cols.len());
+        for &i in rows {
+            for &j in cols {
+                data.push(self.get(i, j));
+            }
+        }
+        KernelBlock::from_dense(rows.len(), cols.len(), data)
+    }
+}
+
+/// Index sets of one cross-validation fold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training indices into the original kernel/labels.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub validation: Vec<usize>,
+}
+
+/// Builds `k` stratified folds: each class is shuffled (seeded) and dealt
+/// round-robin, so every fold has the same class ratio up to rounding.
+///
+/// # Panics
+/// Panics if `k < 2` or `k` exceeds the size of either class.
+pub fn stratified_folds(labels: &[f64], k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "need at least two folds");
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] > 0.0).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] <= 0.0).collect();
+    assert!(
+        pos.len() >= k && neg.len() >= k,
+        "each class needs at least k = {k} members (have {} / {})",
+        pos.len(),
+        neg.len()
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+
+    let mut validation: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (slot, &idx) in pos.iter().enumerate() {
+        validation[slot % k].push(idx);
+    }
+    for (slot, &idx) in neg.iter().enumerate() {
+        validation[slot % k].push(idx);
+    }
+
+    (0..k)
+        .map(|f| {
+            let mut val = validation[f].clone();
+            val.sort_unstable();
+            let in_val: std::collections::HashSet<usize> = val.iter().copied().collect();
+            let train: Vec<usize> = (0..labels.len()).filter(|i| !in_val.contains(i)).collect();
+            Fold { train, validation: val }
+        })
+        .collect()
+}
+
+/// Per-fold and aggregate results of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Validation metrics per fold.
+    pub fold_metrics: Vec<Metrics>,
+    /// Mean of the fold metrics.
+    pub mean: Metrics,
+    /// Standard deviation of the per-fold AUC (spread indicator).
+    pub auc_std: f64,
+}
+
+/// Runs stratified k-fold cross-validation of a C-SVC on a precomputed
+/// kernel.
+pub fn cross_validate(
+    kernel: &KernelMatrix,
+    labels: &[f64],
+    params: &SmoParams,
+    k: usize,
+    seed: u64,
+) -> CvResult {
+    assert_eq!(kernel.len(), labels.len(), "kernel/label size mismatch");
+    let folds = stratified_folds(labels, k, seed);
+    let fold_metrics: Vec<Metrics> = folds
+        .iter()
+        .map(|fold| {
+            let train_kernel = kernel.submatrix(&fold.train);
+            let train_labels: Vec<f64> = fold.train.iter().map(|&i| labels[i]).collect();
+            let model = train_svc(&train_kernel, &train_labels, params);
+
+            let eval = kernel.cross_block(&fold.validation, &fold.train);
+            let scores: Vec<f64> = (0..eval.rows())
+                .map(|r| model.decision_value(eval.row(r)))
+                .collect();
+            let val_labels: Vec<f64> = fold.validation.iter().map(|&i| labels[i]).collect();
+            Metrics::compute(&scores, &val_labels)
+        })
+        .collect();
+
+    let mean = Metrics::mean(&fold_metrics);
+    let auc_var = fold_metrics
+        .iter()
+        .map(|m| (m.auc - mean.auc).powi(2))
+        .sum::<f64>()
+        / fold_metrics.len() as f64;
+    CvResult { fold_metrics, mean, auc_std: auc_var.sqrt() }
+}
+
+/// Cross-validated C selection: runs [`cross_validate`] for every C in
+/// the grid and returns `(best_c, results)` where best maximizes mean
+/// validation AUC.
+pub fn select_c_by_cv(
+    kernel: &KernelMatrix,
+    labels: &[f64],
+    c_grid: &[f64],
+    base: &SmoParams,
+    k: usize,
+    seed: u64,
+) -> (f64, Vec<(f64, CvResult)>) {
+    assert!(!c_grid.is_empty(), "empty C grid");
+    let results: Vec<(f64, CvResult)> = c_grid
+        .iter()
+        .map(|&c| {
+            let params = SmoParams { c, ..*base };
+            (c, cross_validate(kernel, labels, &params, k, seed))
+        })
+        .collect();
+    let best_c = results
+        .iter()
+        .max_by(|a, b| a.1.mean.auc.partial_cmp(&b.1.mean.auc).unwrap())
+        .map(|(c, _)| *c)
+        .expect("non-empty grid");
+    (best_c, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Block kernel with strong within-class similarity: class of index i
+    /// is +1 for even i. Cross-class similarity is low.
+    fn separable_problem(n: usize) -> (KernelMatrix, Vec<f64>) {
+        let labels: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let kernel = KernelMatrix::from_fn(n, |i, j| {
+            if i == j {
+                1.0
+            } else if labels[i] == labels[j] {
+                0.8 + 0.01 * ((i * j) % 7) as f64
+            } else {
+                0.1 + 0.01 * ((i + j) % 5) as f64
+            }
+        });
+        (kernel, labels)
+    }
+
+    #[test]
+    fn submatrix_and_cross_block_extract_entries() {
+        // from_fn mirrors the upper triangle, so K[i][j] = min*10 + max.
+        let kernel = KernelMatrix::from_fn(5, |i, j| (i * 10 + j) as f64);
+        let sub = kernel.submatrix(&[1, 3]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.get(0, 0), 11.0);
+        assert_eq!(sub.get(0, 1), 13.0);
+        assert_eq!(sub.get(1, 0), 13.0);
+        assert_eq!(sub.get(1, 1), 33.0);
+        let block = kernel.cross_block(&[0, 4], &[2]);
+        assert_eq!(block.rows(), 2);
+        assert_eq!(block.cols(), 1);
+        assert_eq!(block.row(0)[0], 2.0);
+        assert_eq!(block.row(1)[0], 24.0);
+    }
+
+    #[test]
+    fn folds_partition_and_stratify() {
+        let labels: Vec<f64> = (0..30).map(|i| if i < 12 { 1.0 } else { -1.0 }).collect();
+        let folds = stratified_folds(&labels, 3, 7);
+        assert_eq!(folds.len(), 3);
+        let mut all_val: Vec<usize> = Vec::new();
+        for fold in &folds {
+            // Disjoint and complementary.
+            assert_eq!(fold.train.len() + fold.validation.len(), 30);
+            for &v in &fold.validation {
+                assert!(!fold.train.contains(&v));
+            }
+            all_val.extend(&fold.validation);
+            // Stratification: 12 positives over 3 folds -> 4 each;
+            // 18 negatives -> 6 each.
+            let pos = fold.validation.iter().filter(|&&i| labels[i] > 0.0).count();
+            assert_eq!(pos, 4);
+            assert_eq!(fold.validation.len(), 10);
+        }
+        all_val.sort_unstable();
+        assert_eq!(all_val, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_are_seed_deterministic() {
+        let labels: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let a = stratified_folds(&labels, 4, 11);
+        let b = stratified_folds(&labels, 4, 11);
+        let c = stratified_folds(&labels, 4, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cv_on_separable_kernel_scores_high() {
+        let (kernel, labels) = separable_problem(24);
+        let result = cross_validate(&kernel, &labels, &SmoParams::with_c(1.0), 4, 3);
+        assert_eq!(result.fold_metrics.len(), 4);
+        assert!(result.mean.auc > 0.95, "mean AUC {}", result.mean.auc);
+        assert!(result.auc_std < 0.2);
+    }
+
+    #[test]
+    fn cv_on_uninformative_kernel_is_chance_level() {
+        let n = 24;
+        let labels: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        // Constant kernel carries no information.
+        let kernel = KernelMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { 0.5 });
+        let result = cross_validate(&kernel, &labels, &SmoParams::with_c(1.0), 4, 3);
+        assert!(
+            (result.mean.auc - 0.5).abs() < 0.25,
+            "uninformative kernel gave AUC {}",
+            result.mean.auc
+        );
+    }
+
+    #[test]
+    fn select_c_prefers_better_c() {
+        let (kernel, labels) = separable_problem(24);
+        let (best_c, results) = select_c_by_cv(
+            &kernel,
+            &labels,
+            &[0.01, 1.0],
+            &SmoParams::default(),
+            3,
+            5,
+        );
+        assert_eq!(results.len(), 2);
+        let best = results.iter().find(|(c, _)| *c == best_c).unwrap();
+        for (_, r) in &results {
+            assert!(best.1.mean.auc >= r.mean.auc - 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k")]
+    fn too_few_class_members_panics() {
+        let labels = [1.0, -1.0, -1.0, -1.0];
+        stratified_folds(&labels, 2, 0);
+    }
+}

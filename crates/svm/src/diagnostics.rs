@@ -1,0 +1,423 @@
+//! Spectral kernel diagnostics: the quantities the concentration
+//! literature uses to explain Table III's failure mode.
+//!
+//! The paper observes that deep ansatze collapse the off-diagonal kernel
+//! entries ("kernel concentration, which is known to cause model
+//! untrainability", citing Thanasilp et al.) and that expressivity must
+//! be balanced against generalization (citing Huang et al., "Power of
+//! data in quantum machine learning"). This module implements the
+//! standard diagnostics behind those citations so a practitioner can
+//! quantify *why* a given ansatz configuration trains or does not:
+//!
+//! * spectrum of the Gram matrix (cyclic Jacobi eigensolver — no
+//!   external linear-algebra dependency, consistent with the rest of the
+//!   workspace),
+//! * effective dimension (participation ratio of the spectrum),
+//! * spectral entropy,
+//! * kernel–target alignment,
+//! * the geometric difference `g(K1 ‖ K2)` of Huang et al., which upper
+//!   bounds how much better a model on `K2` can be than one on `K1`.
+
+use crate::kernel::KernelMatrix;
+
+/// Eigenvalues of a symmetric matrix via the cyclic Jacobi method,
+/// returned in descending order.
+///
+/// The input is read as symmetric: entries `(i, j)` and `(j, i)` are
+/// averaged. Gram matrices are symmetric by construction (up to tile
+/// assembly jitter), so the averaging is a no-op in practice.
+///
+/// # Panics
+/// Panics if the matrix is empty.
+pub fn symmetric_eigenvalues(k: &KernelMatrix) -> Vec<f64> {
+    let n = k.len();
+    assert!(n > 0, "cannot eigendecompose an empty matrix");
+    // Work on a dense symmetric copy.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = 0.5 * (k.get(i, j) + k.get(j, i));
+        }
+    }
+
+    // Cyclic Jacobi: sweep all upper-triangle pivots, rotating each to
+    // zero, until the off-diagonal mass is negligible.
+    let off_norm = |a: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += a[i * n + j] * a[i * n + j];
+            }
+        }
+        s.sqrt()
+    };
+    let scale: f64 = (0..n).map(|i| a[i * n + i].abs()).fold(1.0, f64::max);
+    let tol = 1e-14 * scale * n as f64;
+    for _sweep in 0..60 {
+        if off_norm(&a) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() <= tol / (n * n) as f64 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Classic Jacobi rotation angle.
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply G^T A G in place on rows/columns p and q.
+                for i in 0..n {
+                    let aip = a[i * n + p];
+                    let aiq = a[i * n + q];
+                    a[i * n + p] = c * aip - s * aiq;
+                    a[i * n + q] = s * aip + c * aiq;
+                }
+                for j in 0..n {
+                    let apj = a[p * n + j];
+                    let aqj = a[q * n + j];
+                    a[p * n + j] = c * apj - s * aqj;
+                    a[q * n + j] = s * apj + c * aqj;
+                }
+            }
+        }
+    }
+
+    let mut eigs: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    eigs.sort_by(|x, y| y.partial_cmp(x).unwrap());
+    eigs
+}
+
+/// Effective dimension of the kernel: the participation ratio
+/// `(Σλ)² / Σλ²` of its spectrum. A concentrated kernel (K ≈ I) has
+/// effective dimension ≈ n; a rank-1 kernel (all points identical) has
+/// effective dimension ≈ 1. Eigenvalues below numerical noise are
+/// clamped to zero.
+pub fn effective_dimension(k: &KernelMatrix) -> f64 {
+    let eigs = symmetric_eigenvalues(k);
+    let floor = eigs[0].max(0.0) * 1e-14;
+    let (mut sum, mut sq) = (0.0, 0.0);
+    for &l in &eigs {
+        let l = if l > floor { l } else { 0.0 };
+        sum += l;
+        sq += l * l;
+    }
+    if sq == 0.0 {
+        0.0
+    } else {
+        sum * sum / sq
+    }
+}
+
+/// Shannon entropy of the normalized spectrum, in nats. Zero for a
+/// rank-1 kernel, `ln n` for the identity.
+pub fn spectral_entropy(k: &KernelMatrix) -> f64 {
+    let eigs = symmetric_eigenvalues(k);
+    let total: f64 = eigs.iter().map(|&l| l.max(0.0)).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    -eigs
+        .iter()
+        .filter_map(|&l| {
+            let p = l.max(0.0) / total;
+            (p > 0.0).then(|| p * p.ln())
+        })
+        .sum::<f64>()
+}
+
+/// Kernel–target alignment `⟨K, yyᵀ⟩_F / (‖K‖_F · ‖yyᵀ‖_F)` — how well
+/// the kernel's geometry matches the labels. In `[-1, 1]`; higher means
+/// the labels are easier to separate with this kernel.
+///
+/// # Panics
+/// Panics if `labels.len()` does not match the kernel size.
+pub fn kernel_target_alignment(k: &KernelMatrix, labels: &[f64]) -> f64 {
+    let n = k.len();
+    assert_eq!(labels.len(), n, "label count must match kernel size");
+    let mut k_dot_y = 0.0;
+    let mut k_norm_sq = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let kij = k.get(i, j);
+            k_dot_y += kij * labels[i] * labels[j];
+            k_norm_sq += kij * kij;
+        }
+    }
+    // ‖yyᵀ‖_F = Σ y_i² for ±1 labels = n.
+    let y_norm: f64 = labels.iter().map(|y| y * y).sum();
+    if k_norm_sq == 0.0 || y_norm == 0.0 {
+        return 0.0;
+    }
+    k_dot_y / (k_norm_sq.sqrt() * y_norm)
+}
+
+/// Geometric difference `g(K1 ‖ K2) = sqrt(‖ √K2 · K1⁻¹ · √K2 ‖_∞)` of
+/// Huang et al. (Nat. Commun. 12, 2631), with `K1` regularized by
+/// `lambda` before inversion. Both kernels must be the same size and are
+/// trace-normalized to `n` first, as in the reference. `g ≈ 1` means the
+/// kernels are geometrically equivalent; a large `g` means a model built
+/// on `K2` can make predictions a model on `K1` cannot.
+///
+/// # Panics
+/// Panics if the kernels differ in size or `lambda <= 0`.
+pub fn geometric_difference(k1: &KernelMatrix, k2: &KernelMatrix, lambda: f64) -> f64 {
+    let n = k1.len();
+    assert_eq!(k2.len(), n, "kernel sizes must match");
+    assert!(lambda > 0.0, "regularization must be positive");
+
+    // Trace-normalize copies to trace n.
+    let normalize = |k: &KernelMatrix| -> Vec<f64> {
+        let trace: f64 = (0..n).map(|i| k.get(i, i)).sum();
+        let scale = if trace > 0.0 { n as f64 / trace } else { 1.0 };
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                out[i * n + j] = 0.5 * (k.get(i, j) + k.get(j, i)) * scale;
+            }
+        }
+        out
+    };
+    let a1 = normalize(k1);
+    let a2 = normalize(k2);
+
+    // Power iteration for the largest eigenvalue of the symmetric PSD
+    // operator M = √K2 (K1 + λI)⁻¹ √K2. We avoid forming √K2 and the
+    // inverse explicitly: for the spectral norm it suffices to iterate
+    // v ← K2 · solve(K1 + λI, v) — similar matrices share eigenvalues
+    // (M is √K2 (K1+λ)⁻¹ √K2 ~ K2 (K1+λ)⁻¹), and the similar product has
+    // the same spectrum with real non-negative eigenvalues.
+    let solve_reg = |rhs: &[f64]| -> Vec<f64> {
+        // Dense Cholesky-free solve: conjugate gradients on the SPD
+        // matrix K1 + λI. Gram matrices are small (n ≤ few thousand).
+        let matvec = |v: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0; n];
+            for i in 0..n {
+                let mut acc = lambda * v[i];
+                let row = &a1[i * n..(i + 1) * n];
+                for (j, &m) in row.iter().enumerate() {
+                    acc += m * v[j];
+                }
+                out[i] = acc;
+            }
+            out
+        };
+        let mut x = vec![0.0; n];
+        let mut r = rhs.to_vec();
+        let mut p = r.clone();
+        let mut rs: f64 = r.iter().map(|v| v * v).sum();
+        for _ in 0..4 * n {
+            if rs.sqrt() < 1e-12 {
+                break;
+            }
+            let ap = matvec(&p);
+            let denom: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if denom.abs() < 1e-300 {
+                break;
+            }
+            let alpha = rs / denom;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rs_new: f64 = r.iter().map(|v| v * v).sum();
+            let beta = rs_new / rs;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+            rs = rs_new;
+        }
+        x
+    };
+
+    let mut v = vec![1.0 / (n as f64).sqrt(); n];
+    let mut eig = 0.0;
+    for _ in 0..200 {
+        let solved = solve_reg(&v);
+        let mut w = vec![0.0; n];
+        for i in 0..n {
+            let row = &a2[i * n..(i + 1) * n];
+            w[i] = row.iter().zip(&solved).map(|(m, s)| m * s).sum();
+        }
+        let norm: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return 0.0;
+        }
+        let new_eig = norm;
+        for x in &mut w {
+            *x /= norm;
+        }
+        let delta = (new_eig - eig).abs();
+        v = w;
+        eig = new_eig;
+        if delta < 1e-12 * eig.max(1.0) {
+            break;
+        }
+    }
+    eig.max(0.0).sqrt()
+}
+
+/// One-stop concentration report for a training kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcentrationReport {
+    /// Mean off-diagonal entry (collapses toward 0 under concentration).
+    pub off_diagonal_mean: f64,
+    /// Variance of off-diagonal entries (collapses even faster).
+    pub off_diagonal_variance: f64,
+    /// Participation ratio of the spectrum (→ n under concentration).
+    pub effective_dimension: f64,
+    /// Spectral entropy in nats (→ ln n under concentration).
+    pub spectral_entropy: f64,
+    /// Kernel–target alignment (→ 1/√n under concentration).
+    pub alignment: f64,
+}
+
+/// Computes all concentration diagnostics in one pass.
+pub fn concentration_report(k: &KernelMatrix, labels: &[f64]) -> ConcentrationReport {
+    ConcentrationReport {
+        off_diagonal_mean: k.off_diagonal_mean(),
+        off_diagonal_variance: k.off_diagonal_variance(),
+        effective_dimension: effective_dimension(k),
+        spectral_entropy: spectral_entropy(k),
+        alignment: kernel_target_alignment(k, labels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity(n: usize) -> KernelMatrix {
+        KernelMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    fn all_ones(n: usize) -> KernelMatrix {
+        KernelMatrix::from_fn(n, |_, _| 1.0)
+    }
+
+    #[test]
+    fn eigenvalues_of_identity_are_ones() {
+        let eigs = symmetric_eigenvalues(&identity(6));
+        for &l in &eigs {
+            assert!((l - 1.0).abs() < 1e-12, "{eigs:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_rank_one_kernel() {
+        // All-ones n x n has spectrum {n, 0, ..., 0}.
+        let eigs = symmetric_eigenvalues(&all_ones(5));
+        assert!((eigs[0] - 5.0).abs() < 1e-10, "{eigs:?}");
+        for &l in &eigs[1..] {
+            assert!(l.abs() < 1e-10, "{eigs:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_match_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let k = KernelMatrix::from_fn(2, |i, j| if i == j { 2.0 } else { 1.0 });
+        let eigs = symmetric_eigenvalues(&k);
+        assert!((eigs[0] - 3.0).abs() < 1e-12);
+        assert!((eigs[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace() {
+        let k = KernelMatrix::from_fn(7, |i, j| {
+            let (fi, fj) = (i as f64 + 1.0, j as f64 + 1.0);
+            (-((fi - fj) * (fi - fj)) / 8.0).exp()
+        });
+        let eigs = symmetric_eigenvalues(&k);
+        let trace = 7.0; // unit diagonal
+        assert!((eigs.iter().sum::<f64>() - trace).abs() < 1e-10);
+        // Gaussian kernels are PSD.
+        assert!(eigs.iter().all(|&l| l > -1e-10), "{eigs:?}");
+    }
+
+    #[test]
+    fn effective_dimension_extremes() {
+        assert!((effective_dimension(&identity(8)) - 8.0).abs() < 1e-9);
+        assert!((effective_dimension(&all_ones(8)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_entropy_extremes() {
+        assert!((spectral_entropy(&identity(8)) - (8.0f64).ln()).abs() < 1e-9);
+        assert!(spectral_entropy(&all_ones(8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alignment_is_perfect_for_label_kernel() {
+        // K = yy^T aligns exactly with y.
+        let labels = [1.0, -1.0, 1.0, 1.0, -1.0];
+        let k = KernelMatrix::from_fn(5, |i, j| labels[i] * labels[j]);
+        let a = kernel_target_alignment(&k, &labels);
+        assert!((a - 1.0).abs() < 1e-12, "alignment {a}");
+    }
+
+    #[test]
+    fn alignment_of_identity_is_inverse_sqrt_n() {
+        // <I, yy^T> = n, |I|_F = sqrt(n), |yy^T|_F = n -> 1/sqrt(n).
+        let n = 9;
+        let labels: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let a = kernel_target_alignment(&identity(n), &labels);
+        assert!((a - 1.0 / (n as f64).sqrt()).abs() < 1e-12, "alignment {a}");
+    }
+
+    #[test]
+    fn geometric_difference_of_kernel_with_itself_is_about_one() {
+        let k = KernelMatrix::from_fn(6, |i, j| {
+            let (fi, fj) = (i as f64, j as f64);
+            (-((fi - fj) * (fi - fj)) / 4.0).exp()
+        });
+        let g = geometric_difference(&k, &k, 1e-6);
+        // K (K + lambda)^-1 has top eigenvalue slightly below 1.
+        assert!((0.9..=1.01).contains(&g), "g = {g}");
+    }
+
+    #[test]
+    fn geometric_difference_detects_richer_kernel() {
+        // K1 concentrated (near identity), K2 structured: a model on the
+        // structured kernel can express functions the concentrated one
+        // cannot, so g should be noticeably above 1.
+        let k1 = identity(8);
+        let k2 = KernelMatrix::from_fn(8, |i, j| if (i < 4) == (j < 4) { 1.0 } else { 0.0 });
+        let g12 = geometric_difference(&k1, &k2, 1e-3);
+        assert!(g12 > 1.2, "expected separation, g = {g12}");
+    }
+
+    #[test]
+    fn concentration_report_tracks_collapse() {
+        // A structured kernel vs a concentrated one: every diagnostic
+        // must move in the documented direction.
+        let structured = KernelMatrix::from_fn(8, |i, j| {
+            if i == j {
+                1.0
+            } else if (i < 4) == (j < 4) {
+                0.8
+            } else {
+                0.1
+            }
+        });
+        let concentrated = KernelMatrix::from_fn(8, |i, j| if i == j { 1.0 } else { 0.001 });
+        let labels: Vec<f64> = (0..8).map(|i| if i < 4 { 1.0 } else { -1.0 }).collect();
+        let rs = concentration_report(&structured, &labels);
+        let rc = concentration_report(&concentrated, &labels);
+        assert!(rc.off_diagonal_mean < rs.off_diagonal_mean);
+        assert!(rc.off_diagonal_variance < rs.off_diagonal_variance);
+        assert!(rc.effective_dimension > rs.effective_dimension);
+        assert!(rc.spectral_entropy > rs.spectral_entropy);
+        assert!(rc.alignment < rs.alignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count must match")]
+    fn alignment_rejects_wrong_label_count() {
+        kernel_target_alignment(&identity(4), &[1.0, -1.0]);
+    }
+}

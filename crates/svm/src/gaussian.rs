@@ -1,0 +1,105 @@
+//! The classical baseline: Gaussian (RBF) kernel `e^{-alpha |x - x'|^2}`
+//! with the paper's bandwidth choice `alpha = 1 / (m * var(X))` (eq. 9) —
+//! the same convention as scikit-learn's `gamma='scale'`.
+
+use crate::kernel::{KernelBlock, KernelMatrix};
+
+/// The paper's bandwidth: `alpha = 1 / (m * var(X))`, where `var(X)` is
+/// the variance over all entries of the feature matrix.
+pub fn scale_bandwidth(features: &[Vec<f64>]) -> f64 {
+    assert!(!features.is_empty(), "empty feature matrix");
+    let m = features[0].len();
+    let total = (features.len() * m) as f64;
+    let mean: f64 = features.iter().flatten().sum::<f64>() / total;
+    let var: f64 = features
+        .iter()
+        .flatten()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / total;
+    if var < 1e-12 {
+        1.0
+    } else {
+        1.0 / (m as f64 * var)
+    }
+}
+
+/// Squared Euclidean distance.
+fn dist_sqr(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Symmetric Gaussian kernel matrix over a training set.
+pub fn gaussian_gram(features: &[Vec<f64>], alpha: f64) -> KernelMatrix {
+    KernelMatrix::from_fn(features.len(), |i, j| {
+        (-alpha * dist_sqr(&features[i], &features[j])).exp()
+    })
+}
+
+/// Rectangular Gaussian kernel block: rows = test points, cols = train.
+pub fn gaussian_block(test: &[Vec<f64>], train: &[Vec<f64>], alpha: f64) -> KernelBlock {
+    KernelBlock::from_fn(test.len(), train.len(), |i, j| {
+        (-alpha * dist_sqr(&test[i], &train[j])).exp()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_is_one() {
+        let pts = vec![vec![0.1, 0.9], vec![1.5, 0.3], vec![0.7, 0.7]];
+        let k = gaussian_gram(&pts, 0.5);
+        for i in 0..3 {
+            assert!((k.get(i, i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn entries_decay_with_distance() {
+        let pts = vec![vec![0.0], vec![1.0], vec![3.0]];
+        let k = gaussian_gram(&pts, 1.0);
+        assert!(k.get(0, 1) > k.get(0, 2));
+        assert!((k.get(0, 1) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((k.get(0, 2) - (-9.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_and_bounded() {
+        let pts: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 * 0.3, (i * i) as f64 * 0.1]).collect();
+        let k = gaussian_gram(&pts, 0.7);
+        assert_eq!(k.max_asymmetry(), 0.0);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((0.0..=1.0).contains(&k.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_bandwidth_formula() {
+        // Two features, entries {0, 2}: mean 1, var 1, m = 2 -> alpha = 0.5.
+        let pts = vec![vec![0.0, 2.0], vec![2.0, 0.0]];
+        assert!((scale_bandwidth(&pts) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_bandwidth_constant_features() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(scale_bandwidth(&pts), 1.0);
+    }
+
+    #[test]
+    fn block_matches_gram_on_same_points() {
+        let pts = vec![vec![0.2, 1.8], vec![1.0, 0.5], vec![0.6, 0.6]];
+        let alpha = 0.9;
+        let k = gaussian_gram(&pts, alpha);
+        let b = gaussian_block(&pts, &pts, alpha);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((k.get(i, j) - b.row(i)[j]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Kernel matrix containers.
+//!
+//! The quantum-kernel pipeline produces a symmetric Gram matrix on the
+//! training set (eq. 1) and a rectangular matrix of test-against-train
+//! entries for inference; both are stored dense and row-major.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric positive semi-definite kernel (Gram) matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl KernelMatrix {
+    /// Builds from a dense row-major `n x n` buffer.
+    ///
+    /// # Panics
+    /// Panics if the length is not `n * n`.
+    pub fn from_dense(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "kernel matrix must be n x n");
+        KernelMatrix { n, data }
+    }
+
+    /// Builds by evaluating `f(i, j)` on the upper triangle and mirroring.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = f(i, j);
+                data[i * n + j] = v;
+                data[j * n + i] = v;
+            }
+        }
+        KernelMatrix { n, data }
+    }
+
+    /// Matrix order.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the 0x0 matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Entry `K[i][j]`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The raw row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Maximum asymmetry `|K[i][j] - K[j][i]|`; a health check for kernels
+    /// assembled from independently computed tiles.
+    pub fn max_asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                worst = worst.max((self.get(i, j) - self.get(j, i)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Mean of the off-diagonal entries — the quantity that collapses
+    /// under kernel concentration (Table III's failure mode).
+    pub fn off_diagonal_mean(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    acc += self.get(i, j);
+                }
+            }
+        }
+        acc / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Variance of the off-diagonal entries.
+    pub fn off_diagonal_variance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mean = self.off_diagonal_mean();
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    let d = self.get(i, j) - mean;
+                    acc += d * d;
+                }
+            }
+        }
+        acc / (self.n * (self.n - 1)) as f64
+    }
+}
+
+/// A rectangular kernel block: rows are test points, columns train points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelBlock {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl KernelBlock {
+    /// Builds from a dense row-major buffer.
+    pub fn from_dense(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "kernel block size mismatch");
+        KernelBlock { rows, cols, data }
+    }
+
+    /// Builds by evaluating `f(row, col)` everywhere.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = vec![0.0; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                data[i * cols + j] = f(i, j);
+            }
+        }
+        KernelBlock { rows, cols, data }
+    }
+
+    /// Number of rows (test points).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (train points).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice of train-kernel values.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_is_symmetric() {
+        let k = KernelMatrix::from_fn(4, |i, j| (i * 10 + j) as f64);
+        // Only the upper triangle is evaluated; the result must be
+        // symmetric regardless of f's asymmetry.
+        assert_eq!(k.get(2, 1), k.get(1, 2));
+        assert_eq!(k.max_asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn rows_and_entries() {
+        let k = KernelMatrix::from_dense(2, vec![1.0, 0.5, 0.5, 1.0]);
+        assert_eq!(k.len(), 2);
+        assert_eq!(k.get(0, 1), 0.5);
+        assert_eq!(k.row(1), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn off_diagonal_stats() {
+        let k = KernelMatrix::from_dense(2, vec![1.0, 0.3, 0.3, 1.0]);
+        assert!((k.off_diagonal_mean() - 0.3).abs() < 1e-12);
+        assert!(k.off_diagonal_variance() < 1e-12);
+        // Off-diagonal entries {0, 1, 0, 0, 1, 0}: mean 1/3, var 2/9.
+        let k2 = KernelMatrix::from_dense(3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert!((k2.off_diagonal_mean() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((k2.off_diagonal_variance() - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetry_detected() {
+        let k = KernelMatrix::from_dense(2, vec![1.0, 0.4, 0.6, 1.0]);
+        assert!((k.max_asymmetry() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_shape_and_rows() {
+        let b = KernelBlock::from_fn(2, 3, |i, j| (i + j) as f64);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.cols(), 3);
+        assert_eq!(b.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn bad_block_panics() {
+        KernelBlock::from_dense(2, 2, vec![0.0; 3]);
+    }
+}

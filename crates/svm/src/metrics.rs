@@ -1,0 +1,439 @@
+//! Classification metrics: accuracy, precision, recall, ROC and AUC.
+//!
+//! AUC is computed as the Mann-Whitney U statistic with average ranks for
+//! ties — numerically identical to the trapezoidal area under the ROC
+//! curve and robust to tied decision values.
+
+use serde::{Deserialize, Serialize};
+
+/// The standard metric bundle reported in the paper's Tables II/III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// Recall (true positive rate) of the positive class.
+    pub recall: f64,
+    /// Precision of the positive class.
+    pub precision: f64,
+    /// Overall accuracy.
+    pub accuracy: f64,
+}
+
+impl Metrics {
+    /// Computes all metrics from decision values and `+1`/`-1` labels.
+    /// Thresholded metrics use a zero threshold on the decision values.
+    pub fn compute(scores: &[f64], labels: &[f64]) -> Metrics {
+        Metrics {
+            auc: roc_auc(scores, labels),
+            recall: recall(scores, labels, 0.0),
+            precision: precision(scores, labels, 0.0),
+            accuracy: accuracy(scores, labels, 0.0),
+        }
+    }
+
+    /// Averages a set of metric bundles (the paper averages 6 runs).
+    pub fn mean(runs: &[Metrics]) -> Metrics {
+        assert!(!runs.is_empty(), "cannot average zero runs");
+        let n = runs.len() as f64;
+        Metrics {
+            auc: runs.iter().map(|m| m.auc).sum::<f64>() / n,
+            recall: runs.iter().map(|m| m.recall).sum::<f64>() / n,
+            precision: runs.iter().map(|m| m.precision).sum::<f64>() / n,
+            accuracy: runs.iter().map(|m| m.accuracy).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Counts of the confusion matrix at a threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+/// Builds the confusion matrix predicting positive when `score > threshold`.
+pub fn confusion(scores: &[f64], labels: &[f64], threshold: f64) -> Confusion {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let mut c = Confusion::default();
+    for (s, y) in scores.iter().zip(labels) {
+        let predicted_positive = *s > threshold;
+        let actually_positive = *y > 0.0;
+        match (predicted_positive, actually_positive) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, false) => c.tn += 1,
+            (false, true) => c.fn_ += 1,
+        }
+    }
+    c
+}
+
+/// Accuracy at a threshold.
+pub fn accuracy(scores: &[f64], labels: &[f64], threshold: f64) -> f64 {
+    let c = confusion(scores, labels, threshold);
+    let total = c.tp + c.fp + c.tn + c.fn_;
+    if total == 0 {
+        return 0.0;
+    }
+    (c.tp + c.tn) as f64 / total as f64
+}
+
+/// Precision of the positive class at a threshold (1.0 when nothing is
+/// predicted positive, matching scikit-learn's zero-division carve-out
+/// being avoided: we return 0.0 in that degenerate case).
+pub fn precision(scores: &[f64], labels: &[f64], threshold: f64) -> f64 {
+    let c = confusion(scores, labels, threshold);
+    if c.tp + c.fp == 0 {
+        return 0.0;
+    }
+    c.tp as f64 / (c.tp + c.fp) as f64
+}
+
+/// Recall (TPR) of the positive class at a threshold.
+pub fn recall(scores: &[f64], labels: &[f64], threshold: f64) -> f64 {
+    let c = confusion(scores, labels, threshold);
+    if c.tp + c.fn_ == 0 {
+        return 0.0;
+    }
+    c.tp as f64 / (c.tp + c.fn_) as f64
+}
+
+/// Area under the ROC curve via the rank statistic.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+pub fn roc_auc(scores: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let n = scores.len();
+    let n_pos = labels.iter().filter(|y| **y > 0.0).count();
+    let n_neg = n - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Average ranks with tie handling.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; tied block [i, j] gets the average rank.
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] > 0.0 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// A point on the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False positive rate.
+    pub fpr: f64,
+    /// True positive rate.
+    pub tpr: f64,
+    /// The threshold producing this point.
+    pub threshold: f64,
+}
+
+/// Full ROC curve, sorted by increasing FPR (thresholds descending).
+pub fn roc_curve(scores: &[f64], labels: &[f64]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|y| **y > 0.0).count();
+    let n_neg = labels.len() - n_pos;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+    let mut curve = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let t = scores[order[i]];
+        while i < order.len() && scores[order[i]] == t {
+            if labels[order[i]] > 0.0 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push(RocPoint {
+            fpr: if n_neg == 0 { 0.0 } else { fp as f64 / n_neg as f64 },
+            tpr: if n_pos == 0 { 0.0 } else { tp as f64 / n_pos as f64 },
+            threshold: t,
+        });
+    }
+    curve
+}
+
+/// F1 score (harmonic mean of precision and recall) at a threshold.
+pub fn f1_score(scores: &[f64], labels: &[f64], threshold: f64) -> f64 {
+    let p = precision(scores, labels, threshold);
+    let r = recall(scores, labels, threshold);
+    if p + r == 0.0 {
+        return 0.0;
+    }
+    2.0 * p * r / (p + r)
+}
+
+/// Balanced accuracy: mean of TPR and TNR, insensitive to class skew —
+/// relevant for the Elliptic data's ~1:9 illicit/licit imbalance before
+/// the paper's balanced down-selection.
+pub fn balanced_accuracy(scores: &[f64], labels: &[f64], threshold: f64) -> f64 {
+    let c = confusion(scores, labels, threshold);
+    let tpr = if c.tp + c.fn_ == 0 {
+        0.0
+    } else {
+        c.tp as f64 / (c.tp + c.fn_) as f64
+    };
+    let tnr = if c.tn + c.fp == 0 {
+        0.0
+    } else {
+        c.tn as f64 / (c.tn + c.fp) as f64
+    };
+    (tpr + tnr) / 2.0
+}
+
+/// Matthews correlation coefficient at a threshold; in `[-1, 1]`, 0 for
+/// uninformative predictions. Returns 0 when any marginal is empty.
+pub fn matthews_corrcoef(scores: &[f64], labels: &[f64], threshold: f64) -> f64 {
+    let c = confusion(scores, labels, threshold);
+    let (tp, fp, tn, fn_) = (c.tp as f64, c.fp as f64, c.tn as f64, c.fn_ as f64);
+    let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (tp * tn - fp * fn_) / denom
+}
+
+/// A point on the precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall at this threshold.
+    pub recall: f64,
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// The threshold producing this point.
+    pub threshold: f64,
+}
+
+/// Precision-recall curve, thresholds descending (recall increasing).
+pub fn pr_curve(scores: &[f64], labels: &[f64]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let n_pos = labels.iter().filter(|y| **y > 0.0).count();
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+    let mut curve = Vec::new();
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let t = scores[order[i]];
+        while i < order.len() && scores[order[i]] == t {
+            if labels[order[i]] > 0.0 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push(PrPoint {
+            recall: if n_pos == 0 { 0.0 } else { tp as f64 / n_pos as f64 },
+            precision: if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 },
+            threshold: t,
+        });
+    }
+    curve
+}
+
+/// Average precision: the step-function integral of the PR curve
+/// (`sum (R_k - R_{k-1}) P_k`, scikit-learn's definition). Returns 0 when
+/// the positive class is absent.
+pub fn average_precision(scores: &[f64], labels: &[f64]) -> f64 {
+    let n_pos = labels.iter().filter(|y| **y > 0.0).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let curve = pr_curve(scores, labels);
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &curve {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let scores = [2.0, 1.0, -1.0, -2.0];
+        let labels = [1.0, 1.0, -1.0, -1.0];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        assert_eq!(accuracy(&scores, &labels, 0.0), 1.0);
+        assert_eq!(precision(&scores, &labels, 0.0), 1.0);
+        assert_eq!(recall(&scores, &labels, 0.0), 1.0);
+    }
+
+    #[test]
+    fn inverted_classifier() {
+        let scores = [-2.0, -1.0, 1.0, 2.0];
+        let labels = [1.0, 1.0, -1.0, -1.0];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+        assert_eq!(accuracy(&scores, &labels, 0.0), 0.0);
+    }
+
+    #[test]
+    fn random_ties_give_half() {
+        let scores = [0.5; 6];
+        let labels = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_ranking() {
+        // One inversion among 2x2: AUC = 3/4.
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let labels = [1.0, 1.0, -1.0, -1.0];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [1.0, 1.0, -1.0, -1.0, 1.0];
+        let labels = [1.0, -1.0, -1.0, 1.0, 1.0];
+        let c = confusion(&scores, &labels, 0.0);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((precision(&scores, &labels, 0.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall(&scores, &labels, 0.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((accuracy(&scores, &labels, 0.0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_precision_is_zero() {
+        let scores = [-1.0, -2.0];
+        let labels = [1.0, -1.0];
+        assert_eq!(precision(&scores, &labels, 0.0), 0.0);
+    }
+
+    #[test]
+    fn roc_curve_monotone_and_endpoints() {
+        let scores = [0.9, 0.7, 0.7, 0.3, 0.1];
+        let labels = [1.0, 1.0, -1.0, -1.0, 1.0];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first().unwrap().fpr, 0.0);
+        assert_eq!(curve.first().unwrap().tpr, 0.0);
+        assert_eq!(curve.last().unwrap().fpr, 1.0);
+        assert_eq!(curve.last().unwrap().tpr, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn auc_matches_trapezoid_of_curve() {
+        let scores = [0.9, 0.8, 0.7, 0.6, 0.55, 0.54, 0.53, 0.52, 0.51, 0.505];
+        let labels = [1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0];
+        let curve = roc_curve(&scores, &labels);
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        assert!((roc_auc(&scores, &labels) - area).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_harmonic_mean() {
+        let scores = [1.0, 1.0, -1.0, -1.0, 1.0];
+        let labels = [1.0, -1.0, -1.0, 1.0, 1.0];
+        // precision = recall = 2/3 -> F1 = 2/3.
+        assert!((f1_score(&scores, &labels, 0.0) - 2.0 / 3.0).abs() < 1e-12);
+        // Degenerate: nothing predicted positive.
+        assert_eq!(f1_score(&[-1.0, -1.0], &[1.0, -1.0], 0.0), 0.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_ignores_skew() {
+        // 1 positive (correct), 9 negatives (all correct): balanced = 1.
+        let mut scores = vec![1.0];
+        let mut labels = vec![1.0];
+        scores.extend(vec![-1.0; 9]);
+        labels.extend(vec![-1.0; 9]);
+        assert_eq!(balanced_accuracy(&scores, &labels, 0.0), 1.0);
+        // Classifier that always says negative: TPR 0, TNR 1 -> 0.5,
+        // while plain accuracy is a misleading 0.9.
+        let all_neg = vec![-1.0; 10];
+        assert_eq!(balanced_accuracy(&all_neg, &labels, 0.0), 0.5);
+        assert!((accuracy(&all_neg, &labels, 0.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcc_extremes() {
+        let labels = [1.0, 1.0, -1.0, -1.0];
+        assert!((matthews_corrcoef(&[1.0, 1.0, -1.0, -1.0], &labels, 0.0) - 1.0).abs() < 1e-12);
+        assert!((matthews_corrcoef(&[-1.0, -1.0, 1.0, 1.0], &labels, 0.0) + 1.0).abs() < 1e-12);
+        // All predicted positive: a marginal is empty -> 0.
+        assert_eq!(matthews_corrcoef(&[1.0; 4], &labels, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pr_curve_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, -1.0, -1.0];
+        let curve = pr_curve(&scores, &labels);
+        // Every prefix of positives has precision 1 until negatives start.
+        assert!((curve[0].precision - 1.0).abs() < 1e-12);
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_of_random_scores_near_prevalence() {
+        // With all scores tied, AP equals the positive prevalence.
+        let scores = [0.5; 8];
+        let labels = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        assert!((average_precision(&scores, &labels) - 0.5).abs() < 1e-12);
+        assert_eq!(average_precision(&scores, &[-1.0; 8]), 0.0);
+    }
+
+    #[test]
+    fn pr_curve_recall_monotone() {
+        let scores = [0.9, 0.7, 0.7, 0.3, 0.1, 0.05];
+        let labels = [1.0, -1.0, 1.0, 1.0, -1.0, 1.0];
+        let curve = pr_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+        }
+        assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_mean() {
+        let a = Metrics { auc: 0.8, recall: 0.6, precision: 0.7, accuracy: 0.75 };
+        let b = Metrics { auc: 1.0, recall: 1.0, precision: 0.9, accuracy: 0.85 };
+        let m = Metrics::mean(&[a, b]);
+        assert!((m.auc - 0.9).abs() < 1e-12);
+        assert!((m.recall - 0.8).abs() < 1e-12);
+        assert!((m.precision - 0.8).abs() < 1e-12);
+        assert!((m.accuracy - 0.8).abs() < 1e-12);
+    }
+}

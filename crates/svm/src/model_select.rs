@@ -1,0 +1,129 @@
+//! Regularization sweep: the paper trains one SVM per value of `C` in
+//! `[0.01, 4]` and reports the best-AUC configuration per experiment.
+
+use crate::kernel::{KernelBlock, KernelMatrix};
+use crate::metrics::Metrics;
+use crate::smo::{train_svc, SmoParams, TrainedSvm};
+use serde::{Deserialize, Serialize};
+
+/// The paper's regularization grid over `[0.01, 4]`.
+pub fn default_c_grid() -> Vec<f64> {
+    vec![0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0]
+}
+
+/// Result of training and evaluating at one `C`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Regularization coefficient.
+    pub c: f64,
+    /// Metrics on the test set.
+    pub test: Metrics,
+    /// Metrics on the training set (overfitting diagnostics, Fig. 9).
+    pub train: Metrics,
+}
+
+/// Full sweep output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// One entry per grid value, in grid order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// The grid point with the highest test AUC.
+    pub fn best_by_test_auc(&self) -> &SweepPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| a.test.auc.partial_cmp(&b.test.auc).unwrap())
+            .expect("sweep produced no points")
+    }
+}
+
+/// Trains on `train_kernel` and evaluates train/test metrics for every `C`
+/// in the grid.
+///
+/// `test_kernel` rows are test points against all training points.
+pub fn sweep_c(
+    train_kernel: &KernelMatrix,
+    train_labels: &[f64],
+    test_kernel: &KernelBlock,
+    test_labels: &[f64],
+    grid: &[f64],
+    tol: f64,
+) -> SweepResult {
+    assert_eq!(test_kernel.cols(), train_kernel.len(), "kernel shape mismatch");
+    assert_eq!(test_kernel.rows(), test_labels.len(), "test label count mismatch");
+    let points = grid
+        .iter()
+        .map(|&c| {
+            let params = SmoParams { c, tol, ..SmoParams::default() };
+            let model = train_svc(train_kernel, train_labels, &params);
+            SweepPoint {
+                c,
+                test: evaluate_block(&model, test_kernel, test_labels),
+                train: evaluate_gram(&model, train_kernel, train_labels),
+            }
+        })
+        .collect();
+    SweepResult { points }
+}
+
+/// Metrics of a trained model on the training Gram matrix itself.
+pub fn evaluate_gram(model: &TrainedSvm, kernel: &KernelMatrix, labels: &[f64]) -> Metrics {
+    let scores: Vec<f64> = (0..kernel.len())
+        .map(|i| model.decision_value(kernel.row(i)))
+        .collect();
+    Metrics::compute(&scores, labels)
+}
+
+/// Metrics of a trained model on a rectangular test kernel block.
+pub fn evaluate_block(model: &TrainedSvm, block: &KernelBlock, labels: &[f64]) -> Metrics {
+    let scores: Vec<f64> = (0..block.rows())
+        .map(|i| model.decision_value(block.row(i)))
+        .collect();
+    Metrics::compute(&scores, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_problem() -> (KernelMatrix, Vec<f64>, KernelBlock, Vec<f64>) {
+        // 1-D separable: train at +-{1, 2}, test at +-1.5.
+        let train_pts = [-2.0, -1.0, 1.0, 2.0];
+        let train_y = vec![-1.0, -1.0, 1.0, 1.0];
+        let test_pts = [-1.5, 1.5];
+        let test_y = vec![-1.0, 1.0];
+        let k = KernelMatrix::from_fn(4, |i, j| train_pts[i] * train_pts[j]);
+        let b = KernelBlock::from_fn(2, 4, |i, j| test_pts[i] * train_pts[j]);
+        (k, train_y, b, test_y)
+    }
+
+    #[test]
+    fn sweep_produces_grid_order() {
+        let (k, y, b, ty) = linear_problem();
+        let grid = [0.1, 1.0];
+        let res = sweep_c(&k, &y, &b, &ty, &grid, 1e-3);
+        assert_eq!(res.points.len(), 2);
+        assert_eq!(res.points[0].c, 0.1);
+        assert_eq!(res.points[1].c, 1.0);
+    }
+
+    #[test]
+    fn separable_problem_reaches_perfect_auc() {
+        let (k, y, b, ty) = linear_problem();
+        let res = sweep_c(&k, &y, &b, &ty, &default_c_grid(), 1e-3);
+        let best = res.best_by_test_auc();
+        assert_eq!(best.test.auc, 1.0);
+        assert_eq!(best.train.auc, 1.0);
+        assert_eq!(best.test.accuracy, 1.0);
+    }
+
+    #[test]
+    fn default_grid_spans_paper_range() {
+        let grid = default_c_grid();
+        assert_eq!(*grid.first().unwrap(), 0.01);
+        assert_eq!(*grid.last().unwrap(), 4.0);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+    }
+}

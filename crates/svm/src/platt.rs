@@ -1,0 +1,240 @@
+//! Platt scaling: calibrated probabilities from SVM decision values.
+//!
+//! Fits `P(y = +1 | f) = 1 / (1 + exp(A f + B))` to decision values by
+//! regularized maximum likelihood, using the Newton method with backtracking
+//! from Lin, Weng & Keerthi, "A note on Platt's probabilistic outputs for
+//! support vector machines" (2007) — the algorithm LIBSVM ships. The
+//! regularization replaces hard 0/1 targets with smoothed frequencies
+//! `t+ = (N+ + 1)/(N+ + 2)`, `t- = 1/(N- + 2)`, which keeps the MLE finite
+//! on separable data.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted probability calibration `P(y=+1|f) = sigmoid(-(A f + B))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlattCalibration {
+    /// Slope parameter; negative for a classifier where larger decision
+    /// values mean "more positive".
+    pub a: f64,
+    /// Offset parameter.
+    pub b: f64,
+    /// Final negative log-likelihood of the fit.
+    pub nll: f64,
+    /// Newton iterations used.
+    pub iterations: usize,
+}
+
+impl PlattCalibration {
+    /// Calibrated probability of the positive class for a decision value.
+    pub fn probability(&self, decision_value: f64) -> f64 {
+        let fapb = self.a * decision_value + self.b;
+        // Numerically stable sigmoid of -fapb.
+        if fapb >= 0.0 {
+            (-fapb).exp() / (1.0 + (-fapb).exp())
+        } else {
+            1.0 / (1.0 + fapb.exp())
+        }
+    }
+
+    /// Calibrated probabilities for a batch of decision values.
+    pub fn probabilities(&self, decision_values: &[f64]) -> Vec<f64> {
+        decision_values.iter().map(|&f| self.probability(f)).collect()
+    }
+}
+
+/// Fits Platt calibration to decision values and `+1`/`-1` labels.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn fit_platt(decision_values: &[f64], labels: &[f64]) -> PlattCalibration {
+    assert_eq!(
+        decision_values.len(),
+        labels.len(),
+        "decision/label length mismatch"
+    );
+    assert!(!decision_values.is_empty(), "cannot calibrate on no data");
+
+    let n_pos = labels.iter().filter(|y| **y > 0.0).count();
+    let n_neg = labels.len() - n_pos;
+    let t_pos = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
+    let t_neg = 1.0 / (n_neg as f64 + 2.0);
+    let targets: Vec<f64> = labels
+        .iter()
+        .map(|&y| if y > 0.0 { t_pos } else { t_neg })
+        .collect();
+
+    // Parameters (A, B); LIBSVM's initial guess.
+    let mut a = 0.0f64;
+    let mut b = ((n_neg as f64 + 1.0) / (n_pos as f64 + 1.0)).ln();
+
+    let nll = |a: f64, b: f64| -> f64 {
+        let mut sum = 0.0;
+        for (&f, &t) in decision_values.iter().zip(&targets) {
+            let fapb = a * f + b;
+            // -[t log p + (1-t) log (1-p)] in a catastrophic-cancellation
+            // free form.
+            sum += if fapb >= 0.0 {
+                t * fapb + (1.0 + (-fapb).exp()).ln()
+            } else {
+                (t - 1.0) * fapb + (1.0 + fapb.exp()).ln()
+            };
+        }
+        sum
+    };
+
+    let mut fval = nll(a, b);
+    let max_iter = 100;
+    let min_step = 1e-10;
+    let sigma = 1e-12; // Hessian ridge
+    let mut iterations = 0;
+
+    for it in 0..max_iter {
+        iterations = it;
+        // Gradient and Hessian of the NLL in (A, B).
+        let (mut h11, mut h22, mut h21) = (sigma, sigma, 0.0);
+        let (mut g1, mut g2) = (0.0f64, 0.0f64);
+        for (&f, &t) in decision_values.iter().zip(&targets) {
+            let fapb = a * f + b;
+            let (p, q) = if fapb >= 0.0 {
+                let e = (-fapb).exp();
+                (e / (1.0 + e), 1.0 / (1.0 + e))
+            } else {
+                let e = fapb.exp();
+                (1.0 / (1.0 + e), e / (1.0 + e))
+            };
+            let d2 = p * q;
+            h11 += f * f * d2;
+            h22 += d2;
+            h21 += f * d2;
+            let d1 = t - p;
+            g1 += f * d1;
+            g2 += d1;
+        }
+        if g1.abs() < 1e-5 && g2.abs() < 1e-5 {
+            break;
+        }
+        // Newton direction by solving the 2x2 system.
+        let det = h11 * h22 - h21 * h21;
+        let da = -(h22 * g1 - h21 * g2) / det;
+        let db = -(-h21 * g1 + h11 * g2) / det;
+        let gd = g1 * da + g2 * db;
+
+        // Backtracking line search.
+        let mut step = 1.0f64;
+        let mut improved = false;
+        while step >= min_step {
+            let (na, nb) = (a + step * da, b + step * db);
+            let nval = nll(na, nb);
+            if nval < fval + 1e-4 * step * gd {
+                a = na;
+                b = nb;
+                fval = nval;
+                improved = true;
+                break;
+            }
+            step /= 2.0;
+        }
+        if !improved {
+            break; // Line search failed: at numerical optimum.
+        }
+    }
+
+    PlattCalibration { a, b, nll: fval, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic decision values: positives centered at +1, negatives at
+    /// -1, with deterministic jitter.
+    fn synthetic(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let jitter = ((i * 37 % 100) as f64 / 100.0 - 0.5) * 1.6;
+            scores.push(y + jitter);
+            labels.push(y);
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let (scores, labels) = synthetic(60);
+        let cal = fit_platt(&scores, &labels);
+        for &f in &scores {
+            let p = cal.probability(f);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn monotone_increasing_in_decision_value() {
+        let (scores, labels) = synthetic(60);
+        let cal = fit_platt(&scores, &labels);
+        assert!(cal.a < 0.0, "slope should be negative, got {}", cal.a);
+        let ps: Vec<f64> = (-20..=20).map(|i| cal.probability(i as f64 / 5.0)).collect();
+        for w in ps.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn separable_data_stays_finite() {
+        let scores = [3.0, 2.5, 2.0, -2.0, -2.5, -3.0];
+        let labels = [1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
+        let cal = fit_platt(&scores, &labels);
+        assert!(cal.a.is_finite() && cal.b.is_finite());
+        assert!(cal.probability(3.0) > 0.7);
+        assert!(cal.probability(-3.0) < 0.3);
+    }
+
+    #[test]
+    fn calibration_tracks_empirical_frequency() {
+        // Scores in two bands with known positive rates: near +1 mostly
+        // positive (80%), near -1 mostly negative (20% positive).
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            scores.push(1.0 + (i % 7) as f64 * 0.01);
+            labels.push(if i % 5 == 0 { -1.0 } else { 1.0 });
+            scores.push(-1.0 - (i % 7) as f64 * 0.01);
+            labels.push(if i % 5 == 0 { 1.0 } else { -1.0 });
+        }
+        let cal = fit_platt(&scores, &labels);
+        assert!((cal.probability(1.0) - 0.8).abs() < 0.08, "{}", cal.probability(1.0));
+        assert!((cal.probability(-1.0) - 0.2).abs() < 0.08, "{}", cal.probability(-1.0));
+    }
+
+    #[test]
+    fn skewed_prior_shifts_intercept() {
+        // 90% negative data with uninformative scores: P(+) ~ 0.1
+        // everywhere.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            scores.push(0.0);
+            labels.push(if i < 10 { 1.0 } else { -1.0 });
+        }
+        let cal = fit_platt(&scores, &labels);
+        assert!((cal.probability(0.0) - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let (scores, labels) = synthetic(30);
+        let cal = fit_platt(&scores, &labels);
+        let batch = cal.probabilities(&scores);
+        for (i, &f) in scores.iter().enumerate() {
+            assert_eq!(batch[i], cal.probability(f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        fit_platt(&[1.0], &[1.0, -1.0]);
+    }
+}

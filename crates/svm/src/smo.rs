@@ -1,0 +1,396 @@
+//! Sequential Minimal Optimization for C-SVC on precomputed kernels.
+//!
+//! Solves the SVM dual
+//!
+//! ```text
+//! max_alpha  sum_i alpha_i - 1/2 sum_ij alpha_i alpha_j y_i y_j K_ij
+//! s.t.       0 <= alpha_i <= C,   sum_i alpha_i y_i = 0
+//! ```
+//!
+//! with Platt's SMO: pick a KKT-violating pair, solve the 2-variable
+//! subproblem analytically, clip to the box, repeat. The second index is
+//! chosen by the max-|E_i - E_j| heuristic with a seeded random fallback,
+//! and an error cache keeps each update O(n).
+
+use crate::kernel::KernelMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SmoParams {
+    /// Box constraint (regularization). The paper sweeps `C in [0.01, 4]`.
+    pub c: f64,
+    /// KKT violation tolerance; the paper uses `1e-3`.
+    pub tol: f64,
+    /// Maximum full passes over the data without progress before stopping.
+    pub max_passes: usize,
+    /// Hard cap on total passes (safety valve for degenerate kernels).
+    pub max_total_passes: usize,
+    /// Seed for the random second-choice heuristic.
+    pub seed: u64,
+}
+
+impl Default for SmoParams {
+    fn default() -> Self {
+        SmoParams {
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            max_total_passes: 2_000,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+impl SmoParams {
+    /// Default parameters at a given `C`.
+    pub fn with_c(c: f64) -> Self {
+        SmoParams { c, ..Self::default() }
+    }
+}
+
+/// A trained support-vector classifier over a precomputed kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedSvm {
+    /// Dual coefficients, one per training point.
+    pub alphas: Vec<f64>,
+    /// Bias term `b` in `f(x) = sum_i alpha_i y_i k(x_i, x) + b`.
+    pub bias: f64,
+    /// Training labels (`+1`/`-1`), retained for the decision function.
+    pub labels: Vec<f64>,
+    /// Number of optimization passes performed.
+    pub passes: usize,
+}
+
+impl TrainedSvm {
+    /// Indices with non-zero dual coefficient.
+    pub fn support_indices(&self) -> Vec<usize> {
+        self.alphas
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a > 1e-12)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Decision value for a point given its kernel row against the full
+    /// training set (`row[j] = k(x, x_j)`).
+    pub fn decision_value(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.alphas.len());
+        let mut acc = self.bias;
+        for ((a, y), k) in self.alphas.iter().zip(&self.labels).zip(row) {
+            if *a > 1e-12 {
+                acc += a * y * k;
+            }
+        }
+        acc
+    }
+
+    /// Decision values for many kernel rows.
+    pub fn decision_values<'a>(&self, rows: impl Iterator<Item = &'a [f64]>) -> Vec<f64> {
+        rows.map(|r| self.decision_value(r)).collect()
+    }
+
+    /// Class prediction (`+1` / `-1`).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        if self.decision_value(row) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// Trains a C-SVC on a precomputed kernel matrix.
+///
+/// # Panics
+/// Panics if labels are not `+1`/`-1`, sizes mismatch, or both classes are
+/// not present.
+pub fn train_svc(kernel: &KernelMatrix, labels: &[f64], params: &SmoParams) -> TrainedSvm {
+    let n = kernel.len();
+    assert_eq!(labels.len(), n, "label count must match kernel order");
+    assert!(n >= 2, "need at least two training points");
+    assert!(
+        labels.iter().all(|y| *y == 1.0 || *y == -1.0),
+        "labels must be +1 or -1"
+    );
+    assert!(
+        labels.iter().any(|y| *y > 0.0) && labels.iter().any(|y| *y < 0.0),
+        "both classes must be present"
+    );
+    assert!(params.c > 0.0, "C must be positive");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut alphas = vec![0.0f64; n];
+    let mut bias = 0.0f64;
+    // Error cache: E_i = f(x_i) - y_i. With all alphas zero, f = 0.
+    let mut errors: Vec<f64> = labels.iter().map(|y| -y).collect();
+
+    let c = params.c;
+    let tol = params.tol;
+    let mut passes_without_progress = 0usize;
+    let mut total_passes = 0usize;
+
+    while passes_without_progress < params.max_passes && total_passes < params.max_total_passes {
+        let mut changed = 0usize;
+        for i in 0..n {
+            let ei = errors[i];
+            let yi = labels[i];
+            let r = ei * yi;
+            // KKT check: violated if (r < -tol and alpha < C) or
+            // (r > tol and alpha > 0).
+            if !((r < -tol && alphas[i] < c) || (r > tol && alphas[i] > 0.0)) {
+                continue;
+            }
+            // Second-choice heuristic: maximize |E_i - E_j| over non-bound
+            // points; fall back to a random other index.
+            let j = select_second(i, &errors, &alphas, c, &mut rng);
+            if take_step(kernel, labels, &mut alphas, &mut bias, &mut errors, i, j, c) {
+                changed += 1;
+            }
+        }
+        total_passes += 1;
+        if changed == 0 {
+            passes_without_progress += 1;
+        } else {
+            passes_without_progress = 0;
+        }
+    }
+
+    TrainedSvm { alphas, bias, labels: labels.to_vec(), passes: total_passes }
+}
+
+/// Chooses the second working-set index.
+fn select_second(i: usize, errors: &[f64], alphas: &[f64], c: f64, rng: &mut ChaCha8Rng) -> usize {
+    let n = errors.len();
+    let ei = errors[i];
+    let mut best = None;
+    let mut best_gap = 0.0f64;
+    for j in 0..n {
+        if j == i {
+            continue;
+        }
+        // Prefer non-bound points: their errors are kept exact.
+        if alphas[j] <= 1e-12 || alphas[j] >= c - 1e-12 {
+            continue;
+        }
+        let gap = (ei - errors[j]).abs();
+        if gap > best_gap {
+            best_gap = gap;
+            best = Some(j);
+        }
+    }
+    best.unwrap_or_else(|| {
+        // Random fallback over all other indices.
+        let mut j = rng.gen_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        j
+    })
+}
+
+/// Attempts the analytic two-variable update; returns `true` on progress.
+#[allow(clippy::too_many_arguments)]
+fn take_step(
+    kernel: &KernelMatrix,
+    labels: &[f64],
+    alphas: &mut [f64],
+    bias: &mut f64,
+    errors: &mut [f64],
+    i: usize,
+    j: usize,
+    c: f64,
+) -> bool {
+    if i == j {
+        return false;
+    }
+    let (yi, yj) = (labels[i], labels[j]);
+    let (ai_old, aj_old) = (alphas[i], alphas[j]);
+    let (ei, ej) = (errors[i], errors[j]);
+
+    // Feasible segment for alpha_j.
+    let (lo, hi) = if yi != yj {
+        ((aj_old - ai_old).max(0.0), (c + aj_old - ai_old).min(c))
+    } else {
+        ((ai_old + aj_old - c).max(0.0), (ai_old + aj_old).min(c))
+    };
+    if hi - lo < 1e-12 {
+        return false;
+    }
+
+    let kii = kernel.get(i, i);
+    let kjj = kernel.get(j, j);
+    let kij = kernel.get(i, j);
+    let eta = kii + kjj - 2.0 * kij;
+    if eta <= 1e-12 {
+        // Non-positive curvature (can happen with degenerate kernels):
+        // skip rather than evaluating the objective at the segment ends.
+        return false;
+    }
+
+    let mut aj_new = aj_old + yj * (ei - ej) / eta;
+    aj_new = aj_new.clamp(lo, hi);
+    if (aj_new - aj_old).abs() < 1e-7 * (aj_new + aj_old + 1e-7) {
+        return false;
+    }
+    // Clamp to the box; exact in real arithmetic, guards float drift.
+    let ai_new = (ai_old + yi * yj * (aj_old - aj_new)).clamp(0.0, c);
+
+    // Bias update (Platt's rules).
+    let b1 = *bias - ei - yi * (ai_new - ai_old) * kii - yj * (aj_new - aj_old) * kij;
+    let b2 = *bias - ej - yi * (ai_new - ai_old) * kij - yj * (aj_new - aj_old) * kjj;
+    let new_bias = if ai_new > 1e-12 && ai_new < c - 1e-12 {
+        b1
+    } else if aj_new > 1e-12 && aj_new < c - 1e-12 {
+        b2
+    } else {
+        (b1 + b2) / 2.0
+    };
+
+    // Error cache refresh: O(n) incremental update.
+    let di = yi * (ai_new - ai_old);
+    let dj = yj * (aj_new - aj_old);
+    let db = new_bias - *bias;
+    let ki = kernel.row(i);
+    let kj = kernel.row(j);
+    for ((e, kik), kjk) in errors.iter_mut().zip(ki).zip(kj) {
+        *e += di * kik + dj * kjk + db;
+    }
+
+    alphas[i] = ai_new;
+    alphas[j] = aj_new;
+    *bias = new_bias;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linear kernel on explicit points: k(x, y) = <x, y>.
+    fn linear_kernel(points: &[Vec<f64>]) -> KernelMatrix {
+        KernelMatrix::from_fn(points.len(), |i, j| {
+            points[i].iter().zip(&points[j]).map(|(a, b)| a * b).sum()
+        })
+    }
+
+    #[test]
+    fn separates_trivial_1d() {
+        let pts: Vec<Vec<f64>> = vec![vec![-2.0], vec![-1.5], vec![1.5], vec![2.0]];
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        let k = linear_kernel(&pts);
+        let model = train_svc(&k, &y, &SmoParams::with_c(1.0));
+        for (i, &yi) in y.iter().enumerate() {
+            assert_eq!(model.predict(k.row(i)), yi, "point {i}");
+        }
+    }
+
+    #[test]
+    fn separates_2d_margin() {
+        let pts: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.0],
+            vec![2.0, 1.5],
+            vec![1.5, 2.0],
+            vec![-1.0, -1.0],
+            vec![-2.0, -1.5],
+            vec![-1.5, -0.5],
+        ];
+        let y = vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
+        let k = linear_kernel(&pts);
+        let model = train_svc(&k, &y, &SmoParams::with_c(10.0));
+        for (i, &yi) in y.iter().enumerate() {
+            assert_eq!(model.predict(k.row(i)), yi, "point {i}");
+        }
+        // Support vectors exist and duals respect the box.
+        assert!(!model.support_indices().is_empty());
+        assert!(model.alphas.iter().all(|&a| (0.0..=10.0 + 1e-9).contains(&a)));
+    }
+
+    #[test]
+    fn dual_constraint_holds() {
+        let pts: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![(i as f64) - 4.5, ((i * 7) % 10) as f64 / 3.0])
+            .collect();
+        let y: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let k = linear_kernel(&pts);
+        let model = train_svc(&k, &y, &SmoParams::with_c(2.0));
+        let balance: f64 = model.alphas.iter().zip(&y).map(|(a, yi)| a * yi).sum();
+        assert!(balance.abs() < 1e-8, "sum alpha_i y_i = {balance}");
+    }
+
+    #[test]
+    fn xor_needs_nonlinear_kernel() {
+        // XOR points: linear kernel fails, RBF-style kernel succeeds.
+        let pts: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.0],
+            vec![-1.0, -1.0],
+            vec![1.0, -1.0],
+            vec![-1.0, 1.0],
+        ];
+        let y = vec![1.0, 1.0, -1.0, -1.0];
+        let rbf = KernelMatrix::from_fn(4, |i, j| {
+            let d2: f64 = pts[i]
+                .iter()
+                .zip(&pts[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            (-0.5 * d2).exp()
+        });
+        let model = train_svc(&rbf, &y, &SmoParams::with_c(10.0));
+        for (i, &yi) in y.iter().enumerate() {
+            assert_eq!(model.predict(rbf.row(i)), yi, "xor point {i}");
+        }
+    }
+
+    #[test]
+    fn small_c_bounds_alphas() {
+        let pts: Vec<Vec<f64>> = vec![vec![-1.0], vec![-0.5], vec![0.5], vec![1.0]];
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        let k = linear_kernel(&pts);
+        let c = 0.01;
+        let model = train_svc(&k, &y, &SmoParams::with_c(c));
+        assert!(model.alphas.iter().all(|&a| a <= c + 1e-12));
+    }
+
+    #[test]
+    fn noisy_data_terminates() {
+        // Overlapping classes: SMO must terminate via the pass caps.
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![((i * 37) % 13) as f64 / 6.0 - 1.0])
+            .collect();
+        let y: Vec<f64> = (0..30).map(|i| if (i * 17) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let k = linear_kernel(&pts);
+        let model = train_svc(&k, &y, &SmoParams::with_c(1.0));
+        assert!(model.passes <= SmoParams::default().max_total_passes);
+        assert!(model.alphas.iter().all(|a| a.is_finite()));
+        assert!(model.bias.is_finite());
+    }
+
+    #[test]
+    fn decision_values_batch() {
+        let pts: Vec<Vec<f64>> = vec![vec![-1.0], vec![1.0]];
+        let y = vec![-1.0, 1.0];
+        let k = linear_kernel(&pts);
+        let model = train_svc(&k, &y, &SmoParams::with_c(5.0));
+        let rows: Vec<&[f64]> = (0..2).map(|i| k.row(i)).collect();
+        let dv = model.decision_values(rows.into_iter());
+        assert!(dv[0] < 0.0 && dv[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        let k = KernelMatrix::from_fn(2, |i, j| if i == j { 1.0 } else { 0.0 });
+        train_svc(&k, &[1.0, 1.0], &SmoParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn bad_labels_panic() {
+        let k = KernelMatrix::from_fn(2, |i, j| if i == j { 1.0 } else { 0.0 });
+        train_svc(&k, &[1.0, 0.0], &SmoParams::default());
+    }
+}

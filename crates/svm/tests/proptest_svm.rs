@@ -1,0 +1,171 @@
+//! Property-based tests of the SVM substrate: metric identities, SMO dual
+//! feasibility, and kernel-matrix invariants.
+
+use proptest::prelude::*;
+use qk_svm::kernel::KernelMatrix;
+use qk_svm::metrics::{accuracy, precision, recall, roc_auc, roc_curve};
+use qk_svm::smo::{train_svc, SmoParams};
+
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    prop::collection::vec((-5.0f64..5.0, prop::bool::ANY), 4..40).prop_map(|v| {
+        let scores: Vec<f64> = v.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<f64> = v.iter().map(|(_, p)| if *p { 1.0 } else { -1.0 }).collect();
+        (scores, labels)
+    })
+}
+
+/// Random points in the plane with labels; the linear kernel over them is
+/// PSD by construction.
+fn planar_problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    prop::collection::vec(((-2.0f64..2.0), (-2.0f64..2.0), prop::bool::ANY), 6..24).prop_map(|v| {
+        let pts: Vec<Vec<f64>> = v.iter().map(|(x, y, _)| vec![*x, *y]).collect();
+        let mut labels: Vec<f64> = v.iter().map(|(_, _, p)| if *p { 1.0 } else { -1.0 }).collect();
+        // Guarantee both classes.
+        labels[0] = 1.0;
+        let last = labels.len() - 1;
+        labels[last] = -1.0;
+        (pts, labels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AUC is within [0, 1] and is invariant under any strictly monotone
+    /// transformation of the scores.
+    #[test]
+    fn auc_monotone_invariance((scores, labels) in scores_and_labels()) {
+        let base = roc_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&base));
+        let squashed: Vec<f64> = scores.iter().map(|s| s.tanh() * 3.0 + 10.0).collect();
+        let transformed = roc_auc(&squashed, &labels);
+        prop_assert!((base - transformed).abs() < 1e-12);
+    }
+
+    /// Negating all scores maps AUC to 1 - AUC.
+    #[test]
+    fn auc_negation_symmetry((scores, labels) in scores_and_labels()) {
+        let n_pos = labels.iter().filter(|y| **y > 0.0).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        // Ensure no exact ties after negation flip issues: AUC handles
+        // ties by averaging, and negation preserves tie groups, so the
+        // identity holds exactly.
+        let base = roc_auc(&scores, &labels);
+        let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
+        prop_assert!((base + roc_auc(&negated, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    /// AUC equals the trapezoidal area under the ROC curve.
+    #[test]
+    fn auc_equals_curve_area((scores, labels) in scores_and_labels()) {
+        let n_pos = labels.iter().filter(|y| **y > 0.0).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let curve = roc_curve(&scores, &labels);
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        prop_assert!((roc_auc(&scores, &labels) - area).abs() < 1e-10);
+    }
+
+    /// Threshold metrics are all within [0, 1].
+    #[test]
+    fn threshold_metrics_bounded((scores, labels) in scores_and_labels(), thr in -5.0f64..5.0) {
+        for v in [accuracy(&scores, &labels, thr), precision(&scores, &labels, thr), recall(&scores, &labels, thr)] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// SMO produces a feasible dual: box constraints and the equality
+    /// constraint hold for arbitrary (PSD) linear-kernel problems.
+    #[test]
+    fn smo_dual_feasibility((pts, labels) in planar_problem(), c in 0.05f64..4.0) {
+        let kernel = KernelMatrix::from_fn(pts.len(), |i, j| {
+            pts[i].iter().zip(&pts[j]).map(|(a, b)| a * b).sum::<f64>()
+        });
+        let model = train_svc(&kernel, &labels, &SmoParams::with_c(c));
+        prop_assert!(model.alphas.iter().all(|&a| (-1e-9..=c + 1e-9).contains(&a)));
+        let balance: f64 = model.alphas.iter().zip(&labels).map(|(a, y)| a * y).sum();
+        prop_assert!(balance.abs() < 1e-6, "sum alpha y = {balance}");
+        prop_assert!(model.bias.is_finite());
+    }
+
+    /// Kernel matrices built from `from_fn` are exactly symmetric and the
+    /// off-diagonal statistics are consistent.
+    #[test]
+    fn kernel_stats_consistent(seed in 0u64..1000, n in 2usize..12) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let vals: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let k = KernelMatrix::from_fn(n, |i, j| vals[i * n + j]);
+        prop_assert_eq!(k.max_asymmetry(), 0.0);
+        let mean = k.off_diagonal_mean();
+        let var = k.off_diagonal_variance();
+        prop_assert!(var >= -1e-12);
+        // Every off-diagonal entry deviates from the mean by at most the
+        // range allowed by the variance times (count - 1) (Samuelson).
+        if n >= 2 {
+            let count = (n * (n - 1)) as f64;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        let dev = (k.get(i, j) - mean).abs();
+                        prop_assert!(dev * dev <= var * count + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The Jacobi eigensolver satisfies the two spectral identities of a
+    /// symmetric matrix: eigenvalue sum = trace, eigenvalue square sum =
+    /// squared Frobenius norm.
+    #[test]
+    fn eigenvalues_satisfy_trace_identities(n in 2usize..10, seed in 0u64..400) {
+        use qk_svm::diagnostics::symmetric_eigenvalues;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let vals: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        // Symmetrize so the matrix genuinely is symmetric.
+        let k = KernelMatrix::from_fn(n, |i, j| 0.5 * (vals[i * n + j] + vals[j * n + i]));
+        let eigs = symmetric_eigenvalues(&k);
+        prop_assert_eq!(eigs.len(), n);
+        let trace: f64 = (0..n).map(|i| k.get(i, i)).sum();
+        prop_assert!((eigs.iter().sum::<f64>() - trace).abs() < 1e-9, "trace identity");
+        let frob_sq: f64 = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| k.get(i, j) * k.get(i, j))
+            .sum();
+        let eig_sq: f64 = eigs.iter().map(|l| l * l).sum();
+        prop_assert!((eig_sq - frob_sq).abs() < 1e-8, "Frobenius identity");
+        // Sorted descending.
+        prop_assert!(eigs.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    /// Kernel–target alignment is invariant under flipping all labels and
+    /// bounded in [-1, 1].
+    #[test]
+    fn alignment_is_sign_symmetric_and_bounded((scores, labels) in scores_and_labels()) {
+        use qk_svm::diagnostics::kernel_target_alignment;
+        let n = labels.len();
+        // Build a PSD kernel from the score vector: K = ss^T + I.
+        let k = KernelMatrix::from_fn(n, |i, j| {
+            scores[i] * scores[j] + if i == j { 1.0 } else { 0.0 }
+        });
+        let a = kernel_target_alignment(&k, &labels);
+        let flipped: Vec<f64> = labels.iter().map(|y| -y).collect();
+        let b = kernel_target_alignment(&k, &flipped);
+        prop_assert!((a - b).abs() < 1e-12, "flip invariance: {a} vs {b}");
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a), "bounded: {a}");
+    }
+}

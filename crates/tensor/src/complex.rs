@@ -1,0 +1,378 @@
+//! Double-precision complex arithmetic.
+//!
+//! The whole stack stores quantum amplitudes as [`Complex64`]. The type is a
+//! plain `Copy` struct of two `f64`s (16 bytes, no padding) so vectors of
+//! amplitudes are contiguous and `memcpy`-friendly, matching what ITensors
+//! and cuTensorNet operate on.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor, mirroring `num_complex::Complex64::new`.
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// Additive identity.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// Multiplicative identity.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Creates a new complex number.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2 = re^2 + im^2`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`. Uses `hypot` for robustness against overflow.
+    #[inline(always)]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// `e^{i theta}` on the unit circle.
+    #[inline(always)]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        c64(c, s)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        let (s, c) = self.im.sin_cos();
+        c64(r * c, r * s)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let m = self.norm();
+        let re = ((m + self.re) * 0.5).max(0.0).sqrt();
+        let im_mag = ((m - self.re) * 0.5).max(0.0).sqrt();
+        c64(re, if self.im >= 0.0 { im_mag } else { -im_mag })
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, k: f64) -> Self {
+        c64(self.re * k, self.im * k)
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-accumulate: `self + a * b`.
+    ///
+    /// This is the inner-loop primitive of GEMM; writing it once keeps the
+    /// hot loops branch-free and lets LLVM vectorise.
+    #[inline(always)]
+    pub fn mul_add(self, a: Complex64, b: Complex64) -> Self {
+        c64(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// `self + conj(a) * b`, the primitive of conjugated (dagger) GEMM.
+    #[inline(always)]
+    pub fn conj_mul_add(self, a: Complex64, b: Complex64) -> Self {
+        c64(
+            self.re + a.re * b.re + a.im * b.im,
+            self.im + a.re * b.im - a.im * b.re,
+        )
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    // Division by multiplication with the precomputed reciprocal is the
+    // standard complex-division formulation, not a typo'd operator.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Self {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}{:+.6}i", self.re, self.im)
+    }
+}
+
+/// Approximate equality for floating-point comparisons in tests.
+pub fn approx_eq(a: Complex64, b: Complex64, tol: f64) -> bool {
+    (a - b).norm() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64(3.0, -4.0);
+        assert_eq!(z + Complex64::ZERO, z);
+        assert_eq!(z * Complex64::ONE, z);
+        assert!(approx_eq(z * z.inv(), Complex64::ONE, TOL));
+        assert_eq!(-(-z), z);
+        assert_eq!(z - z, Complex64::ZERO);
+    }
+
+    #[test]
+    fn norm_and_conj() {
+        let z = c64(3.0, -4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), c64(3.0, 4.0));
+        assert!(approx_eq(z * z.conj(), c64(25.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(approx_eq(
+            Complex64::I * Complex64::I,
+            c64(-1.0, 0.0),
+            TOL
+        ));
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..32 {
+            let theta = k as f64 * std::f64::consts::PI / 7.5;
+            let z = Complex64::cis(theta);
+            assert!((z.norm() - 1.0).abs() < TOL);
+            assert!((z.arg() - theta.sin().atan2(theta.cos())).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn exp_euler_identity() {
+        let z = Complex64::exp(c64(0.0, std::f64::consts::PI));
+        assert!(approx_eq(z, c64(-1.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        for &(re, im) in &[(2.0, 3.0), (-1.0, 0.5), (0.0, -2.0), (4.0, 0.0), (-4.0, 0.0)] {
+            let z = c64(re, im);
+            let s = z.sqrt();
+            assert!(approx_eq(s * s, z, 1e-10), "sqrt({z:?})^2 = {:?}", s * s);
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let acc = c64(1.0, 2.0);
+        let a = c64(-0.5, 0.25);
+        let b = c64(2.0, -3.0);
+        assert!(approx_eq(acc.mul_add(a, b), acc + a * b, TOL));
+        assert!(approx_eq(acc.conj_mul_add(a, b), acc + a.conj() * b, TOL));
+    }
+
+    #[test]
+    fn division() {
+        let a = c64(1.0, 1.0);
+        let b = c64(0.0, 1.0);
+        assert!(approx_eq(a / b, c64(1.0, -1.0), TOL));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Complex64 = (0..10).map(|k| c64(k as f64, -(k as f64))).sum();
+        assert_eq!(total, c64(45.0, -45.0));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = c64(1.0, -2.0);
+        assert_eq!(z * 2.0, c64(2.0, -4.0));
+        assert_eq!(2.0 * z, c64(2.0, -4.0));
+        assert_eq!(z / 2.0, c64(0.5, -1.0));
+        let mut w = z;
+        w *= 3.0;
+        assert_eq!(w, c64(3.0, -6.0));
+    }
+
+    #[test]
+    fn layout_is_two_f64() {
+        assert_eq!(std::mem::size_of::<Complex64>(), 16);
+        assert_eq!(std::mem::align_of::<Complex64>(), 8);
+    }
+}

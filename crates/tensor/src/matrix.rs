@@ -1,0 +1,286 @@
+//! Dense complex matrix kernels: GEMM and friends.
+//!
+//! All kernels operate on row-major slices (`a` is `m x k`, `b` is `k x n`,
+//! `c` is `m x n`). Two implementations are provided:
+//!
+//! * [`gemm_serial`] — a cache-friendly i-k-j loop used by the CPU backend.
+//! * [`gemm_parallel`] — the same kernel with rows fanned out over rayon,
+//!   used by the accelerator backend on large tensors.
+//!
+//! The i-k-j ordering streams through `b` and `c` rows contiguously, which
+//! is the standard trick for row-major GEMM without explicit blocking; for
+//! the bond dimensions seen in MPS simulation (up to a few hundred) it stays
+//! within L2 and performs close to a blocked kernel.
+
+use crate::complex::Complex64;
+use rayon::prelude::*;
+
+/// Minimum `m * k * n` below which [`gemm_auto`] stays serial: rayon's
+/// fork-join overhead dominates under roughly a microsecond of work.
+pub const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `c = a * b` with `a: m x k`, `b: k x n`, serial kernel.
+///
+/// # Panics
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_serial(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+    check_dims(m, k, n, a.len(), b.len(), c.len());
+    c.fill(Complex64::ZERO);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        gemm_row(a_row, b, n, c_row);
+    }
+}
+
+/// `c = a * b`, rows of `c` computed in parallel with rayon.
+pub fn gemm_parallel(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+    check_dims(m, k, n, a.len(), b.len(), c.len());
+    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        c_row.fill(Complex64::ZERO);
+        let a_row = &a[i * k..(i + 1) * k];
+        gemm_row(a_row, b, n, c_row);
+    });
+}
+
+/// `c = a * b`, choosing serial or parallel by problem size.
+pub fn gemm_auto(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+    if m * k * n >= PARALLEL_FLOP_THRESHOLD {
+        gemm_parallel(m, k, n, a, b, c);
+    } else {
+        gemm_serial(m, k, n, a, b, c);
+    }
+}
+
+/// Inner kernel: `c_row += a_row * b` for one output row.
+#[inline]
+fn gemm_row(a_row: &[Complex64], b: &[Complex64], n: usize, c_row: &mut [Complex64]) {
+    for (p, &apk) in a_row.iter().enumerate() {
+        if apk == Complex64::ZERO {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+            *cj = cj.mul_add(apk, bj);
+        }
+    }
+}
+
+/// `c = a^H * b` with `a: k x m` (so `a^H: m x k`), `b: k x n`.
+///
+/// Used by inner products and canonicalization; conjugation is fused into
+/// the kernel to avoid materializing `a^H`.
+pub fn gemm_conj_a(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+    assert_eq!(a.len(), k * m, "a must be k x m for gemm_conj_a");
+    assert_eq!(b.len(), k * n, "b must be k x n");
+    assert_eq!(c.len(), m * n, "c must be m x n");
+    c.fill(Complex64::ZERO);
+    // Accumulate over p: c[i][j] += conj(a[p][i]) * b[p][j].
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let api = a_row[i];
+            if api == Complex64::ZERO {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj = cj.conj_mul_add(api, bj);
+            }
+        }
+    }
+}
+
+/// Matrix-vector product `y = a * x` with `a: m x n`.
+pub fn matvec(m: usize, n: usize, a: &[Complex64], x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(a.len(), m * n);
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), m);
+    for i in 0..m {
+        let row = &a[i * n..(i + 1) * n];
+        let mut acc = Complex64::ZERO;
+        for (aij, xj) in row.iter().zip(x) {
+            acc = acc.mul_add(*aij, *xj);
+        }
+        y[i] = acc;
+    }
+}
+
+/// Conjugated dot product `sum_i conj(a_i) * b_i` (the Hilbert-space inner
+/// product convention: antilinear in the first argument).
+pub fn dot_conj(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = Complex64::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc = acc.conj_mul_add(*x, *y);
+    }
+    acc
+}
+
+/// In-place conjugate transpose of a row-major `m x n` matrix, returning the
+/// `n x m` result as a new vector.
+pub fn conj_transpose(m: usize, n: usize, a: &[Complex64]) -> Vec<Complex64> {
+    assert_eq!(a.len(), m * n);
+    let mut out = vec![Complex64::ZERO; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j].conj();
+        }
+    }
+    out
+}
+
+#[inline]
+fn check_dims(m: usize, k: usize, n: usize, la: usize, lb: usize, lc: usize) {
+    assert_eq!(la, m * k, "a must be m x k");
+    assert_eq!(lb, k * n, "b must be k x n");
+    assert_eq!(lc, m * n, "c must be m x n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{approx_eq, c64};
+
+    fn naive_gemm(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64]) -> Vec<Complex64> {
+        let mut c = vec![Complex64::ZERO; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = Complex64::ZERO;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Complex64> {
+        // Simple deterministic pseudo-random fill; avoids a rand dependency
+        // in unit tests while exercising non-trivial values.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let re = ((state >> 33) as f64) / (u32::MAX as f64) - 0.5;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let im = ((state >> 33) as f64) / (u32::MAX as f64) - 0.5;
+                c64(re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 2, 9), (16, 16, 16)] {
+            let a = test_matrix(m, k, 1);
+            let b = test_matrix(k, n, 2);
+            let mut c = vec![Complex64::ZERO; m * n];
+            gemm_serial(m, k, n, &a, &b, &mut c);
+            let expect = naive_gemm(m, k, n, &a, &b);
+            for (x, y) in c.iter().zip(&expect) {
+                assert!(approx_eq(*x, *y, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (m, k, n) = (33, 47, 29);
+        let a = test_matrix(m, k, 3);
+        let b = test_matrix(k, n, 4);
+        let mut c1 = vec![Complex64::ZERO; m * n];
+        let mut c2 = vec![Complex64::ZERO; m * n];
+        gemm_serial(m, k, n, &a, &b, &mut c1);
+        gemm_parallel(m, k, n, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!(approx_eq(*x, *y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = test_matrix(4, 4, 5);
+        let id: Vec<Complex64> = Tensor4Identity::build();
+        let mut c = vec![Complex64::ZERO; 16];
+        gemm_serial(4, 4, 4, &a, &id, &mut c);
+        for (x, y) in c.iter().zip(&a) {
+            assert!(approx_eq(*x, *y, 1e-12));
+        }
+    }
+
+    struct Tensor4Identity;
+    impl Tensor4Identity {
+        fn build() -> Vec<Complex64> {
+            let mut id = vec![Complex64::ZERO; 16];
+            for i in 0..4 {
+                id[i * 4 + i] = Complex64::ONE;
+            }
+            id
+        }
+    }
+
+    #[test]
+    fn conj_a_matches_materialized() {
+        let (m, k, n) = (3, 5, 4);
+        // a is stored k x m.
+        let a = test_matrix(k, m, 6);
+        let b = test_matrix(k, n, 7);
+        let mut c = vec![Complex64::ZERO; m * n];
+        gemm_conj_a(m, k, n, &a, &b, &mut c);
+        let ah = conj_transpose(k, m, &a); // m x k
+        let expect = naive_gemm(m, k, n, &ah, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!(approx_eq(*x, *y, 1e-10));
+        }
+    }
+
+    #[test]
+    fn matvec_matches_gemm() {
+        let (m, n) = (6, 4);
+        let a = test_matrix(m, n, 8);
+        let x = test_matrix(n, 1, 9);
+        let mut y = vec![Complex64::ZERO; m];
+        matvec(m, n, &a, &x, &mut y);
+        let expect = naive_gemm(m, n, 1, &a, &x);
+        for (u, v) in y.iter().zip(&expect) {
+            assert!(approx_eq(*u, *v, 1e-10));
+        }
+    }
+
+    #[test]
+    fn dot_conj_is_antilinear_first() {
+        let a = vec![c64(0.0, 1.0)];
+        let b = vec![c64(0.0, 1.0)];
+        // <i, i> = conj(i) * i = 1.
+        assert!(approx_eq(dot_conj(&a, &b), c64(1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn conj_transpose_roundtrip() {
+        let a = test_matrix(3, 5, 10);
+        let at = conj_transpose(3, 5, &a);
+        let back = conj_transpose(5, 3, &at);
+        for (x, y) in a.iter().zip(&back) {
+            assert!(approx_eq(*x, *y, 1e-15));
+        }
+    }
+
+    #[test]
+    fn gemm_auto_dispatches_correctly() {
+        // Just validates both paths produce the same result around the
+        // threshold; dispatch itself is a size check.
+        let (m, k, n) = (64, 64, 64);
+        let a = test_matrix(m, k, 11);
+        let b = test_matrix(k, n, 12);
+        let mut c1 = vec![Complex64::ZERO; m * n];
+        let mut c2 = vec![Complex64::ZERO; m * n];
+        gemm_auto(m, k, n, &a, &b, &mut c1);
+        gemm_serial(m, k, n, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!(approx_eq(*x, *y, 1e-12));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Householder QR and LQ factorizations for complex matrices.
+//!
+//! These are the workhorses of MPS canonicalization: moving the
+//! orthogonality center left-to-right uses thin QR, right-to-left uses thin
+//! LQ. Both return the "thin" factors with inner dimension `k = min(m, n)`,
+//! which is all an MPS sweep ever needs.
+
+use crate::complex::Complex64;
+use crate::matrix::conj_transpose;
+
+/// Result of a thin QR factorization `a = q * r`.
+///
+/// `q` is `m x k` with orthonormal columns, `r` is `k x n` upper triangular,
+/// `k = min(m, n)`.
+pub struct Qr {
+    /// Orthonormal factor, row-major `m x k`.
+    pub q: Vec<Complex64>,
+    /// Upper-triangular factor, row-major `k x n`.
+    pub r: Vec<Complex64>,
+    /// Rows of `a`.
+    pub m: usize,
+    /// Columns of `a`.
+    pub n: usize,
+    /// Inner dimension `min(m, n)`.
+    pub k: usize,
+}
+
+/// Result of a thin LQ factorization `a = l * q`.
+///
+/// `l` is `m x k` lower triangular, `q` is `k x n` with orthonormal rows.
+pub struct Lq {
+    /// Lower-triangular factor, row-major `m x k`.
+    pub l: Vec<Complex64>,
+    /// Row-orthonormal factor, row-major `k x n`.
+    pub q: Vec<Complex64>,
+    /// Rows of `a`.
+    pub m: usize,
+    /// Columns of `a`.
+    pub n: usize,
+    /// Inner dimension `min(m, n)`.
+    pub k: usize,
+}
+
+/// Thin QR of a row-major `m x n` matrix via Householder reflections.
+pub fn qr(m: usize, n: usize, a: &[Complex64]) -> Qr {
+    assert_eq!(a.len(), m * n, "qr: matrix size mismatch");
+    let k = m.min(n);
+    let mut r = a.to_vec(); // working copy, becomes R in its top k rows
+    // Householder vectors, one per reflection, stored packed. v_j has
+    // length m - j; tau is the real scale 2 / ||v||^2.
+    let mut vs: Vec<(Vec<Complex64>, f64)> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Column j below the diagonal.
+        let mut v: Vec<Complex64> = (j..m).map(|i| r[i * n + j]).collect();
+        let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            vs.push((Vec::new(), 0.0));
+            continue;
+        }
+        let alpha = v[0];
+        let phase = if alpha.norm() > 0.0 {
+            alpha / alpha.norm()
+        } else {
+            Complex64::ONE
+        };
+        let beta = -phase * norm;
+        v[0] -= beta;
+        let vnorm_sqr = v.iter().map(|z| z.norm_sqr()).sum::<f64>();
+        if vnorm_sqr < f64::MIN_POSITIVE {
+            vs.push((Vec::new(), 0.0));
+            continue;
+        }
+        let tau = 2.0 / vnorm_sqr;
+        // Apply H = I - tau v v^H to the trailing submatrix r[j.., j..].
+        for col in j..n {
+            let mut w = Complex64::ZERO;
+            for (off, vi) in v.iter().enumerate() {
+                w = w.conj_mul_add(*vi, r[(j + off) * n + col]);
+            }
+            w *= tau;
+            for (off, vi) in v.iter().enumerate() {
+                let e = &mut r[(j + off) * n + col];
+                *e -= w * *vi;
+            }
+        }
+        vs.push((v, tau));
+    }
+
+    // Extract the upper-triangular k x n block.
+    let mut r_out = vec![Complex64::ZERO; k * n];
+    for i in 0..k {
+        for jcol in i..n {
+            r_out[i * n + jcol] = r[i * n + jcol];
+        }
+    }
+
+    // Accumulate thin Q: apply reflections in reverse to the first k columns
+    // of the identity.
+    let mut q = vec![Complex64::ZERO; m * k];
+    for i in 0..k {
+        q[i * k + i] = Complex64::ONE;
+    }
+    for j in (0..k).rev() {
+        let (v, tau) = &vs[j];
+        if v.is_empty() {
+            continue;
+        }
+        for col in 0..k {
+            let mut w = Complex64::ZERO;
+            for (off, vi) in v.iter().enumerate() {
+                w = w.conj_mul_add(*vi, q[(j + off) * k + col]);
+            }
+            w *= *tau;
+            for (off, vi) in v.iter().enumerate() {
+                let e = &mut q[(j + off) * k + col];
+                *e -= w * *vi;
+            }
+        }
+    }
+
+    Qr { q, r: r_out, m, n, k }
+}
+
+/// Thin LQ of a row-major `m x n` matrix, computed as the conjugate
+/// transpose of the QR of `a^H`.
+pub fn lq(m: usize, n: usize, a: &[Complex64]) -> Lq {
+    assert_eq!(a.len(), m * n, "lq: matrix size mismatch");
+    let ah = conj_transpose(m, n, a); // n x m
+    let f = qr(n, m, &ah);
+    // a^H = Q1 R1  =>  a = R1^H Q1^H, so L = R1^H (m x k), Q = Q1^H (k x n).
+    let l = conj_transpose(f.k, f.n, &f.r); // r was k x m -> m x k
+    let q = conj_transpose(f.m, f.k, &f.q); // q was n x k -> k x n
+    Lq { l, q, m, n, k: f.k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{approx_eq, c64};
+    use crate::matrix::gemm_serial;
+
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Complex64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..rows * cols)
+            .map(|_| {
+                let mut next = || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+                };
+                c64(next(), next())
+            })
+            .collect()
+    }
+
+    fn assert_orthonormal_cols(m: usize, k: usize, q: &[Complex64], tol: f64) {
+        for c1 in 0..k {
+            for c2 in 0..k {
+                let mut dot = Complex64::ZERO;
+                for i in 0..m {
+                    dot = dot.conj_mul_add(q[i * k + c1], q[i * k + c2]);
+                }
+                let expect = if c1 == c2 { Complex64::ONE } else { Complex64::ZERO };
+                assert!(
+                    approx_eq(dot, expect, tol),
+                    "q^H q [{c1}][{c2}] = {dot:?}"
+                );
+            }
+        }
+    }
+
+    fn assert_reconstructs(m: usize, n: usize, a: &[Complex64], f: &Qr, tol: f64) {
+        let mut recon = vec![Complex64::ZERO; m * n];
+        gemm_serial(m, f.k, n, &f.q, &f.r, &mut recon);
+        for (x, y) in recon.iter().zip(a) {
+            assert!(approx_eq(*x, *y, tol), "reconstruction mismatch");
+        }
+    }
+
+    #[test]
+    fn qr_square() {
+        let (m, n) = (6, 6);
+        let a = test_matrix(m, n, 1);
+        let f = qr(m, n, &a);
+        assert_eq!(f.k, 6);
+        assert_orthonormal_cols(m, f.k, &f.q, 1e-10);
+        assert_reconstructs(m, n, &a, &f, 1e-10);
+    }
+
+    #[test]
+    fn qr_tall() {
+        let (m, n) = (9, 4);
+        let a = test_matrix(m, n, 2);
+        let f = qr(m, n, &a);
+        assert_eq!(f.k, 4);
+        assert_orthonormal_cols(m, f.k, &f.q, 1e-10);
+        assert_reconstructs(m, n, &a, &f, 1e-10);
+    }
+
+    #[test]
+    fn qr_wide() {
+        let (m, n) = (3, 8);
+        let a = test_matrix(m, n, 3);
+        let f = qr(m, n, &a);
+        assert_eq!(f.k, 3);
+        assert_orthonormal_cols(m, f.k, &f.q, 1e-10);
+        assert_reconstructs(m, n, &a, &f, 1e-10);
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let (m, n) = (5, 5);
+        let a = test_matrix(m, n, 4);
+        let f = qr(m, n, &a);
+        for i in 0..f.k {
+            for j in 0..i.min(n) {
+                assert!(
+                    f.r[i * n + j].norm() < 1e-12,
+                    "r[{i}][{j}] = {:?} not zero",
+                    f.r[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rank_deficient() {
+        // Two identical columns: QR must still reconstruct.
+        let m = 4;
+        let col = test_matrix(m, 1, 5);
+        let mut a = vec![Complex64::ZERO; m * 2];
+        for i in 0..m {
+            a[i * 2] = col[i];
+            a[i * 2 + 1] = col[i];
+        }
+        let f = qr(m, 2, &a);
+        assert_reconstructs(m, 2, &a, &f, 1e-10);
+    }
+
+    #[test]
+    fn qr_zero_matrix() {
+        let f = qr(3, 3, &[Complex64::ZERO; 9]);
+        let mut recon = vec![Complex64::ZERO; 9];
+        gemm_serial(3, 3, 3, &f.q, &f.r, &mut recon);
+        assert!(recon.iter().all(|z| z.norm() < 1e-14));
+    }
+
+    #[test]
+    fn lq_reconstructs_and_rows_orthonormal() {
+        let (m, n) = (3, 7);
+        let a = test_matrix(m, n, 6);
+        let f = lq(m, n, &a);
+        assert_eq!(f.k, 3);
+        // Rows of q orthonormal: q q^H = I.
+        for r1 in 0..f.k {
+            for r2 in 0..f.k {
+                let mut dot = Complex64::ZERO;
+                for j in 0..n {
+                    dot = dot.conj_mul_add(f.q[r2 * n + j], f.q[r1 * n + j]);
+                }
+                let expect = if r1 == r2 { Complex64::ONE } else { Complex64::ZERO };
+                assert!(approx_eq(dot, expect, 1e-10));
+            }
+        }
+        let mut recon = vec![Complex64::ZERO; m * n];
+        gemm_serial(m, f.k, n, &f.l, &f.q, &mut recon);
+        for (x, y) in recon.iter().zip(&a) {
+            assert!(approx_eq(*x, *y, 1e-10));
+        }
+    }
+
+    #[test]
+    fn lq_l_is_lower_triangular() {
+        let (m, n) = (5, 5);
+        let a = test_matrix(m, n, 7);
+        let f = lq(m, n, &a);
+        for i in 0..m {
+            for j in (i + 1)..f.k {
+                assert!(f.l[i * f.k + j].norm() < 1e-12);
+            }
+        }
+    }
+}

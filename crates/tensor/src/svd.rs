@@ -1,0 +1,664 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! One-sided Jacobi is chosen over bidiagonal QR because it is simple,
+//! numerically robust (singular values accurate to machine precision, which
+//! the paper's 1e-16 truncation criterion relies on), and its rotation
+//! rounds parallelize cleanly. For the bond dimensions an MPS simulator
+//! produces (tens to a few hundred), its O(n^3)-per-sweep cost is a good
+//! trade against implementation risk.
+//!
+//! The matrix is stored column-major internally so that a Jacobi rotation
+//! touches two contiguous columns.
+
+use crate::complex::Complex64;
+
+/// Result of a thin SVD `a = u * diag(s) * vh` with `a: m x n`.
+///
+/// `u` is row-major `m x k`, `s` holds `k = min(m, n)` non-negative singular
+/// values sorted in descending order, and `vh` is row-major `k x n`.
+/// Columns of `u` whose singular value is exactly zero are zero vectors
+/// (they carry no weight in the reconstruction).
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, row-major `m x k`.
+    pub u: Vec<Complex64>,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors (conjugate-transposed), row-major `k x n`.
+    pub vh: Vec<Complex64>,
+    /// Rows of the input.
+    pub m: usize,
+    /// Columns of the input.
+    pub n: usize,
+    /// `min(m, n)`.
+    pub k: usize,
+}
+
+impl Svd {
+    /// Reconstructs the original matrix (row-major `m x n`); test helper and
+    /// the basis of the truncation-error accounting.
+    pub fn reconstruct(&self) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.m * self.n];
+        for (r, sr) in self.s.iter().enumerate() {
+            if *sr == 0.0 {
+                continue;
+            }
+            for i in 0..self.m {
+                let uir = self.u[i * self.k + r] * *sr;
+                if uir == Complex64::ZERO {
+                    continue;
+                }
+                let row = &mut out[i * self.n..(i + 1) * self.n];
+                let vrow = &self.vh[r * self.n..(r + 1) * self.n];
+                for (o, v) in row.iter_mut().zip(vrow) {
+                    *o = o.mul_add(uir, *v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of squared singular values (equals the squared Frobenius norm of
+    /// the input).
+    pub fn weight(&self) -> f64 {
+        self.s.iter().map(|s| s * s).sum()
+    }
+}
+
+/// Relative off-diagonal threshold at which a column pair counts as
+/// orthogonal and the rotation is skipped.
+const JACOBI_TOL: f64 = 1e-14;
+/// Hard cap on Jacobi sweeps; convergence is typically < 10 sweeps.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the thin SVD of a row-major `m x n` complex matrix.
+///
+/// # Panics
+/// Panics if `a.len() != m * n`.
+pub fn svd(m: usize, n: usize, a: &[Complex64]) -> Svd {
+    assert_eq!(a.len(), m * n, "svd: matrix size mismatch");
+    debug_assert!(a.iter().all(|z| z.is_finite()), "svd input contains non-finite entries");
+    if m >= n {
+        svd_tall(m, n, a)
+    } else {
+        // a = u s vh  <=>  a^H = v s u^H; factor the tall conjugate
+        // transpose and swap the roles of u and v.
+        let mut ah = vec![Complex64::ZERO; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                ah[j * m + i] = a[i * n + j].conj();
+            }
+        }
+        let f = svd_tall(n, m, &ah);
+        // a^H = U1 S V1h with U1: n x m, V1h: m x m.
+        // a = V1 S U1h, so u = V1 (m x m), vh = U1h (m x n).
+        let k = f.k; // = m
+        let mut u = vec![Complex64::ZERO; m * k];
+        for i in 0..k {
+            for j in 0..m {
+                // V1 = (V1h)^H: V1[j][i] = conj(V1h[i][j]).
+                u[j * k + i] = f.vh[i * m + j].conj();
+            }
+        }
+        let mut vh = vec![Complex64::ZERO; k * n];
+        for i in 0..k {
+            for j in 0..n {
+                // U1h[i][j] = conj(U1[j][i]).
+                vh[i * n + j] = f.u[j * k + i].conj();
+            }
+        }
+        Svd { u, s: f.s, vh, m, n, k }
+    }
+}
+
+/// One-sided Jacobi on a tall (or square) matrix, `m >= n`.
+fn svd_tall(m: usize, n: usize, a: &[Complex64]) -> Svd {
+    let k = n;
+    // Column-major working copy: cols[j][i] = a[i][j].
+    let mut cols: Vec<Vec<Complex64>> = (0..n)
+        .map(|j| (0..m).map(|i| a[i * n + j]).collect())
+        .collect();
+    // V accumulated column-major as well.
+    let mut vcols: Vec<Vec<Complex64>> = (0..n)
+        .map(|j| {
+            let mut col = vec![Complex64::ZERO; n];
+            col[j] = Complex64::ONE;
+            col
+        })
+        .collect();
+
+    // Squared column norms, maintained incrementally per rotation.
+    let mut norms_sqr: Vec<f64> = cols
+        .iter()
+        .map(|c| c.iter().map(|z| z.norm_sqr()).sum())
+        .collect();
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let alpha = norms_sqr[i];
+                let beta = norms_sqr[j];
+                if alpha == 0.0 && beta == 0.0 {
+                    continue;
+                }
+                // gamma_c = cols[i]^H cols[j]
+                let mut gamma_c = Complex64::ZERO;
+                for (x, y) in cols[i].iter().zip(&cols[j]) {
+                    gamma_c = gamma_c.conj_mul_add(*x, *y);
+                }
+                let gamma = gamma_c.norm();
+                // NaN-safe guard: incremental norm updates can drift a hair
+                // negative for near-zero columns (clamp before sqrt), and a
+                // subnormal gamma would overflow 1/gamma to infinity when
+                // normalizing the phase, so demand a normal-range gamma.
+                // The negated `>` is deliberate: it also trips when gamma
+                // is NaN, which `<=` would silently let through.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(gamma > JACOBI_TOL * (alpha * beta).max(0.0).sqrt()) || gamma < f64::MIN_POSITIVE {
+                    continue;
+                }
+                rotated = true;
+                // Phase so the effective off-diagonal is real: gamma_c =
+                // gamma * e^{i phi}.
+                let phase = gamma_c / gamma;
+                // Classic Jacobi angles for the 2x2 Hermitian Gram block.
+                let tau = (beta - alpha) / (2.0 * gamma);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                let s_pos = phase * s; // applied to column j update
+                let s_neg = phase.conj() * s; // applied to column i update
+
+                // [a_i', a_j'] = [a_i, a_j] * [[c, s e^{i phi}],
+                //                              [-s e^{-i phi}, c]]
+                rotate_pair(&mut cols, i, j, c, s_neg, s_pos);
+                rotate_pair(&mut vcols, i, j, c, s_neg, s_pos);
+
+                // Update norms exactly: new Gram diagonal after rotation.
+                let re_part = 2.0 * s * c * gamma;
+                norms_sqr[i] = (c * c * alpha + s * s * beta - re_part).max(0.0);
+                norms_sqr[j] = (s * s * alpha + c * c * beta + re_part).max(0.0);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    finalize_svd(m, n, k, cols, vcols)
+}
+
+/// Computes the thin SVD with Jacobi rotation rounds executed in parallel.
+///
+/// Uses a round-robin tournament schedule: each round pairs every column
+/// with exactly one partner, so the `n/2` rotations of a round touch
+/// disjoint column pairs and can run concurrently. Columns are guarded by
+/// per-column mutexes; pairs are disjoint within a round, so locks are
+/// uncontended and exist only to satisfy the borrow checker cheaply.
+pub fn svd_parallel(m: usize, n: usize, a: &[Complex64]) -> Svd {
+    assert_eq!(a.len(), m * n, "svd_parallel: matrix size mismatch");
+    if m < n {
+        // Mirror the transpose trick of `svd`.
+        let mut ah = vec![Complex64::ZERO; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                ah[j * m + i] = a[i * n + j].conj();
+            }
+        }
+        let f = svd_parallel(n, m, &ah);
+        let k = f.k;
+        let mut u = vec![Complex64::ZERO; m * k];
+        for i in 0..k {
+            for j in 0..m {
+                u[j * k + i] = f.vh[i * m + j].conj();
+            }
+        }
+        let mut vh = vec![Complex64::ZERO; k * n];
+        for i in 0..k {
+            for j in 0..n {
+                vh[i * n + j] = f.u[j * k + i].conj();
+            }
+        }
+        return Svd { u, s: f.s, vh, m, n, k };
+    }
+
+    use parking_lot::Mutex;
+    use rayon::prelude::*;
+
+    let k = n;
+    let cols: Vec<Mutex<Vec<Complex64>>> = (0..n)
+        .map(|j| Mutex::new((0..m).map(|i| a[i * n + j]).collect()))
+        .collect();
+    let vcols: Vec<Mutex<Vec<Complex64>>> = (0..n)
+        .map(|j| {
+            let mut col = vec![Complex64::ZERO; n];
+            col[j] = Complex64::ONE;
+            Mutex::new(col)
+        })
+        .collect();
+
+    // Round-robin (circle method) schedule over n slots (pad odd n).
+    let slots = if n.is_multiple_of(2) { n } else { n + 1 };
+    let rounds = slots - 1;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for round in 0..rounds {
+            let pairs: Vec<(usize, usize)> = (0..slots / 2)
+                .filter_map(|p| {
+                    let (x, y) = circle_pair(slots, round, p);
+                    let (lo, hi) = (x.min(y), x.max(y));
+                    (hi < n).then_some((lo, hi))
+                })
+                .collect();
+            let any: Vec<bool> = pairs
+                .par_iter()
+                .map(|&(i, j)| {
+                    let mut ci = cols[i].lock();
+                    let mut cj = cols[j].lock();
+                    let alpha: f64 = ci.iter().map(|z| z.norm_sqr()).sum();
+                    let beta: f64 = cj.iter().map(|z| z.norm_sqr()).sum();
+                    if alpha == 0.0 && beta == 0.0 {
+                        return false;
+                    }
+                    let mut gamma_c = Complex64::ZERO;
+                    for (x, y) in ci.iter().zip(cj.iter()) {
+                        gamma_c = gamma_c.conj_mul_add(*x, *y);
+                    }
+                    let gamma = gamma_c.norm();
+                    if gamma <= JACOBI_TOL * (alpha * beta).sqrt() || gamma < f64::MIN_POSITIVE {
+                        return false;
+                    }
+                    let phase = gamma_c / gamma;
+                    let tau = (beta - alpha) / (2.0 * gamma);
+                    let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    let s_pos = phase * s;
+                    let s_neg = phase.conj() * s;
+                    rotate_slices(&mut ci, &mut cj, c, s_neg, s_pos);
+                    let mut vi = vcols[i].lock();
+                    let mut vj = vcols[j].lock();
+                    rotate_slices(&mut vi, &mut vj, c, s_neg, s_pos);
+                    true
+                })
+                .collect();
+            rotated |= any.iter().any(|&b| b);
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    let cols: Vec<Vec<Complex64>> = cols.into_iter().map(|m| m.into_inner()).collect();
+    let vcols: Vec<Vec<Complex64>> = vcols.into_iter().map(|m| m.into_inner()).collect();
+    finalize_svd(m, n, k, cols, vcols)
+}
+
+/// Pairing for round `r`, pair slot `p`, of the circle-method tournament on
+/// `slots` participants (`slots` even). Participant `slots-1` stays fixed.
+fn circle_pair(slots: usize, round: usize, p: usize) -> (usize, usize) {
+    let n1 = slots - 1;
+    if p == 0 {
+        (n1, round % n1)
+    } else {
+        let a = (round + p) % n1;
+        let b = (round + n1 - p) % n1;
+        (a, b)
+    }
+}
+
+/// Shared tail of both Jacobi drivers: sort columns by norm and emit
+/// `u`, `s`, `vh`.
+fn finalize_svd(m: usize, n: usize, k: usize, cols: Vec<Vec<Complex64>>, vcols: Vec<Vec<Complex64>>) -> Svd {
+    let mut order: Vec<usize> = (0..n).collect();
+    let sigmas: Vec<f64> = cols
+        .iter()
+        .map(|col| col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&x, &y| sigmas[y].partial_cmp(&sigmas[x]).unwrap());
+
+    let mut u = vec![Complex64::ZERO; m * k];
+    let mut s = vec![0.0f64; k];
+    let mut vh = vec![Complex64::ZERO; k * n];
+    for (rank, &src) in order.iter().enumerate() {
+        let sigma = sigmas[src];
+        s[rank] = sigma;
+        if sigma > 0.0 {
+            let inv = 1.0 / sigma;
+            for i in 0..m {
+                u[i * k + rank] = cols[src][i] * inv;
+            }
+        }
+        for j in 0..n {
+            vh[rank * n + j] = vcols[src][j].conj();
+        }
+    }
+    Svd { u, s, vh, m, n, k }
+}
+
+/// Applies the 2x2 column rotation to two column slices.
+#[inline]
+fn rotate_slices(ci: &mut [Complex64], cj: &mut [Complex64], c: f64, s_neg: Complex64, s_pos: Complex64) {
+    for (x, y) in ci.iter_mut().zip(cj.iter_mut()) {
+        let xi = *x;
+        let yj = *y;
+        *x = xi * c - s_neg * yj;
+        *y = s_pos * xi + yj * c;
+    }
+}
+
+/// Applies the 2x2 column rotation to columns `i` and `j` of `cols`:
+/// `col_i' = c col_i - s_neg col_j`, `col_j' = s_pos col_i + c col_j`.
+#[inline]
+fn rotate_pair(cols: &mut [Vec<Complex64>], i: usize, j: usize, c: f64, s_neg: Complex64, s_pos: Complex64) {
+    debug_assert!(i < j);
+    let (lo, hi) = cols.split_at_mut(j);
+    let ci = &mut lo[i];
+    let cj = &mut hi[0];
+    for (x, y) in ci.iter_mut().zip(cj.iter_mut()) {
+        let xi = *x;
+        let yj = *y;
+        *x = xi * c - s_neg * yj;
+        *y = s_pos * xi + yj * c;
+    }
+}
+
+/// Splits a two-qubit gate (4x4 unitary reshaped to act on two physical
+/// legs) into left and right factors via SVD, dropping zero singular values.
+///
+/// Returns `(left, right, rank)` where `left` is `(2*2) x rank` interpreted
+/// as `[p_out_1][p_in_1][r]` and `right` is `rank x (2*2)` as
+/// `[r][p_out_2][p_in_2]`. This implements the paper's footnote-5
+/// optimisation: an RXX gate has two exactly-zero singular values in this
+/// bipartition, so its bond contribution is 2, not 4.
+pub fn split_two_qubit_gate(gate: &[Complex64], cutoff: f64) -> (Vec<Complex64>, Vec<Complex64>, usize) {
+    assert_eq!(gate.len(), 16, "two-qubit gate must be 4x4");
+    // gate[(p1_out*2 + p2_out) * 4 + (p1_in*2 + p2_in)]
+    // Rearrange into M[(p1_out, p1_in)][(p2_out, p2_in)].
+    let mut m = vec![Complex64::ZERO; 16];
+    for p1o in 0..2 {
+        for p2o in 0..2 {
+            for p1i in 0..2 {
+                for p2i in 0..2 {
+                    let src = (p1o * 2 + p2o) * 4 + (p1i * 2 + p2i);
+                    let dst = (p1o * 2 + p1i) * 4 + (p2o * 2 + p2i);
+                    m[dst] = gate[src];
+                }
+            }
+        }
+    }
+    let f = svd(4, 4, &m);
+    let mut rank = 0;
+    for &sv in &f.s {
+        if sv > cutoff {
+            rank += 1;
+        }
+    }
+    let rank = rank.max(1);
+    // left[(p1_out, p1_in)][r] = u[.][r] * sqrt(s_r); right[r][(p2_out,
+    // p2_in)] = sqrt(s_r) * vh[r][.]. Splitting sqrt(s) symmetrically keeps
+    // both factors well-conditioned.
+    let mut left = vec![Complex64::ZERO; 4 * rank];
+    let mut right = vec![Complex64::ZERO; rank * 4];
+    for r in 0..rank {
+        let w = f.s[r].sqrt();
+        for row in 0..4 {
+            left[row * rank + r] = f.u[row * 4 + r] * w;
+        }
+        for col in 0..4 {
+            right[r * 4 + col] = f.vh[r * 4 + col] * w;
+        }
+    }
+    (left, right, rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{approx_eq, c64};
+
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Complex64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..rows * cols)
+            .map(|_| {
+                let mut next = || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+                };
+                c64(next(), next())
+            })
+            .collect()
+    }
+
+    fn frob(a: &[Complex64]) -> f64 {
+        a.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    fn assert_svd_valid(m: usize, n: usize, a: &[Complex64], tol: f64) {
+        let f = svd(m, n, a);
+        assert_eq!(f.k, m.min(n));
+        // Reconstruction.
+        let recon = f.reconstruct();
+        let mut err = 0.0f64;
+        for (x, y) in recon.iter().zip(a) {
+            err += (*x - *y).norm_sqr();
+        }
+        let scale = frob(a).max(1.0);
+        assert!(
+            err.sqrt() <= tol * scale,
+            "reconstruction error {} for {m}x{n}",
+            err.sqrt()
+        );
+        // Descending non-negative singular values.
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "singular values not sorted: {:?}", f.s);
+        }
+        assert!(f.s.iter().all(|&s| s >= 0.0));
+        // Orthonormality of u columns with non-negligible sigma. Columns
+        // whose singular value is at noise level carry junk directions by
+        // construction (they are removed by truncation downstream).
+        let floor = f.s.first().copied().unwrap_or(0.0) * 1e-12;
+        for c1 in 0..f.k {
+            if f.s[c1] <= floor {
+                continue;
+            }
+            for c2 in 0..f.k {
+                if f.s[c2] <= floor {
+                    continue;
+                }
+                let mut dot = Complex64::ZERO;
+                for i in 0..m {
+                    dot = dot.conj_mul_add(f.u[i * f.k + c1], f.u[i * f.k + c2]);
+                }
+                let expect = if c1 == c2 { Complex64::ONE } else { Complex64::ZERO };
+                assert!(approx_eq(dot, expect, 1e-9), "u not orthonormal");
+            }
+        }
+        // Orthonormality of vh rows.
+        for r1 in 0..f.k {
+            for r2 in 0..f.k {
+                let mut dot = Complex64::ZERO;
+                for j in 0..n {
+                    dot = dot.conj_mul_add(f.vh[r2 * n + j], f.vh[r1 * n + j]);
+                }
+                let expect = if r1 == r2 { Complex64::ONE } else { Complex64::ZERO };
+                assert!(approx_eq(dot, expect, 1e-9), "vh not row-orthonormal");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_square() {
+        let a = test_matrix(6, 6, 1);
+        assert_svd_valid(6, 6, &a, 1e-10);
+    }
+
+    #[test]
+    fn svd_tall_matrix() {
+        let a = test_matrix(10, 4, 2);
+        assert_svd_valid(10, 4, &a, 1e-10);
+    }
+
+    #[test]
+    fn svd_wide_matrix() {
+        let a = test_matrix(3, 9, 3);
+        assert_svd_valid(3, 9, &a, 1e-10);
+    }
+
+    #[test]
+    fn svd_vector_shapes() {
+        let a = test_matrix(7, 1, 4);
+        assert_svd_valid(7, 1, &a, 1e-12);
+        let b = test_matrix(1, 7, 5);
+        assert_svd_valid(1, 7, &b, 1e-12);
+    }
+
+    #[test]
+    fn svd_identity_has_unit_singular_values() {
+        let n = 5;
+        let mut a = vec![Complex64::ZERO; n * n];
+        for i in 0..n {
+            a[i * n + i] = Complex64::ONE;
+        }
+        let f = svd(n, n, &a);
+        for &s in &f.s {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_diagonal_recovers_entries() {
+        let n = 4;
+        let diag = [3.0, 1.0, 4.0, 1.5];
+        let mut a = vec![Complex64::ZERO; n * n];
+        for i in 0..n {
+            a[i * n + i] = c64(diag[i], 0.0);
+        }
+        let f = svd(n, n, &a);
+        let mut expect = diag.to_vec();
+        expect.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        for (s, e) in f.s.iter().zip(&expect) {
+            assert!((s - e).abs() < 1e-12, "{:?} vs {expect:?}", f.s);
+        }
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Outer product => rank 1.
+        let m = 6;
+        let n = 5;
+        let u = test_matrix(m, 1, 7);
+        let v = test_matrix(1, n, 8);
+        let mut a = vec![Complex64::ZERO; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                a[i * n + j] = u[i] * v[j];
+            }
+        }
+        let f = svd(m, n, &a);
+        assert!(f.s[0] > 1e-6);
+        for &s in &f.s[1..] {
+            assert!(s < 1e-10, "rank-1 matrix has extra singular values {:?}", f.s);
+        }
+        assert_svd_valid(m, n, &a, 1e-10);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let f = svd(4, 3, &[Complex64::ZERO; 12]);
+        assert!(f.s.iter().all(|&s| s == 0.0));
+        assert!(f.reconstruct().iter().all(|z| z.norm() == 0.0));
+    }
+
+    #[test]
+    fn svd_weight_matches_frobenius() {
+        let a = test_matrix(8, 5, 9);
+        let f = svd(8, 5, &a);
+        let fr = frob(&a);
+        assert!((f.weight().sqrt() - fr).abs() < 1e-10 * fr.max(1.0));
+    }
+
+    #[test]
+    fn parallel_matches_serial_singular_values() {
+        for &(m, n, seed) in &[(12usize, 12usize, 21u64), (20, 7, 22), (5, 16, 23)] {
+            let a = test_matrix(m, n, seed);
+            let fs = svd(m, n, &a);
+            let fp = svd_parallel(m, n, &a);
+            for (x, y) in fs.s.iter().zip(&fp.s) {
+                assert!((x - y).abs() < 1e-9, "sv mismatch {x} vs {y}");
+            }
+            // Reconstruction from the parallel factorization.
+            let recon = fp.reconstruct();
+            for (x, y) in recon.iter().zip(&a) {
+                assert!(approx_eq(*x, *y, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn circle_schedule_covers_all_pairs_disjointly() {
+        let slots = 8;
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..slots - 1 {
+            let mut used = std::collections::HashSet::new();
+            for p in 0..slots / 2 {
+                let (a, b) = circle_pair(slots, round, p);
+                assert_ne!(a, b);
+                assert!(used.insert(a), "slot reused within round");
+                assert!(used.insert(b), "slot reused within round");
+                seen.insert((a.min(b), a.max(b)));
+            }
+        }
+        assert_eq!(seen.len(), slots * (slots - 1) / 2, "not all pairs covered");
+    }
+
+    #[test]
+    fn split_rxx_gate_has_rank_two() {
+        // RXX(theta) = cos(t/2) I - i sin(t/2) XX; its operator-Schmidt rank
+        // across the qubit bipartition is 2 (the paper's footnote 5).
+        let theta: f64 = 0.7;
+        let ct = c64((theta / 2.0).cos(), 0.0);
+        let st = c64(0.0, -(theta / 2.0).sin());
+        // Basis order |00>,|01>,|10>,|11>.
+        let mut gate = vec![Complex64::ZERO; 16];
+        gate[0] = ct;
+        gate[5] = ct;
+        gate[10] = ct;
+        gate[15] = ct;
+        gate[3] = st;
+        gate[6] = st;
+        gate[9] = st;
+        gate[12] = st;
+        let (_, _, rank) = split_two_qubit_gate(&gate, 1e-12);
+        assert_eq!(rank, 2);
+    }
+
+    #[test]
+    fn split_gate_reconstructs() {
+        let gate = test_matrix(4, 4, 10);
+        let (left, right, rank) = split_two_qubit_gate(&gate, 0.0);
+        // Recombine: gate'[(p1o p2o)][(p1i p2i)] =
+        //   sum_r left[(p1o p1i)][r] right[r][(p2o p2i)].
+        let mut recon = vec![Complex64::ZERO; 16];
+        for p1o in 0..2 {
+            for p2o in 0..2 {
+                for p1i in 0..2 {
+                    for p2i in 0..2 {
+                        let mut acc = Complex64::ZERO;
+                        for r in 0..rank {
+                            acc += left[(p1o * 2 + p1i) * rank + r] * right[r * 4 + p2o * 2 + p2i];
+                        }
+                        recon[(p1o * 2 + p2o) * 4 + (p1i * 2 + p2i)] = acc;
+                    }
+                }
+            }
+        }
+        for (x, y) in recon.iter().zip(&gate) {
+            assert!(approx_eq(*x, *y, 1e-9), "gate split reconstruction failed");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests of the linear-algebra core on random complex
+//! matrices: factorization residuals, orthogonality, contraction algebra.
+
+use proptest::prelude::*;
+use qk_tensor::complex::{c64, Complex64};
+use qk_tensor::contract::contract;
+use qk_tensor::matrix::{conj_transpose, gemm_serial};
+use qk_tensor::qr::{lq, qr};
+use qk_tensor::svd::{svd, svd_parallel};
+use qk_tensor::tensor::Tensor;
+
+fn complex_entry() -> impl Strategy<Value = Complex64> {
+    (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| c64(re, im))
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec(complex_entry(), rows * cols)
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..9, 1usize..9)
+}
+
+fn frob(a: &[Complex64]) -> f64 {
+    a.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SVD reconstructs the input to numerical accuracy on any shape.
+    #[test]
+    fn svd_reconstructs((m, n) in dims(), seed in 0u64..1000) {
+        let a = deterministic_matrix(m, n, seed);
+        let f = svd(m, n, &a);
+        let recon = f.reconstruct();
+        let scale = frob(&a).max(1.0);
+        let err: f64 = recon.iter().zip(&a).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>().sqrt();
+        prop_assert!(err < 1e-9 * scale, "residual {err}");
+        // Singular values are sorted and non-negative.
+        prop_assert!(f.s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        prop_assert!(f.s.iter().all(|&s| s >= 0.0));
+        // Frobenius norm is preserved by the spectrum.
+        prop_assert!((f.weight().sqrt() - frob(&a)).abs() < 1e-9 * scale);
+    }
+
+    /// Serial and parallel Jacobi agree on the spectrum.
+    #[test]
+    fn svd_parallel_agrees((m, n) in dims(), seed in 0u64..1000) {
+        let a = deterministic_matrix(m, n, seed);
+        let fs = svd(m, n, &a);
+        let fp = svd_parallel(m, n, &a);
+        for (x, y) in fs.s.iter().zip(&fp.s) {
+            prop_assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    /// QR reconstructs with orthonormal Q on any shape.
+    #[test]
+    fn qr_reconstructs((m, n) in dims(), seed in 0u64..1000) {
+        let a = deterministic_matrix(m, n, seed);
+        let f = qr(m, n, &a);
+        let mut recon = vec![Complex64::ZERO; m * n];
+        gemm_serial(m, f.k, n, &f.q, &f.r, &mut recon);
+        let scale = frob(&a).max(1.0);
+        let err: f64 = recon.iter().zip(&a).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>().sqrt();
+        prop_assert!(err < 1e-9 * scale);
+        // Q^H Q = I.
+        for c1 in 0..f.k {
+            for c2 in 0..f.k {
+                let mut dot = Complex64::ZERO;
+                for i in 0..m {
+                    dot = dot.conj_mul_add(f.q[i * f.k + c1], f.q[i * f.k + c2]);
+                }
+                let expect = if c1 == c2 { Complex64::ONE } else { Complex64::ZERO };
+                prop_assert!((dot - expect).norm() < 1e-9);
+            }
+        }
+    }
+
+    /// LQ reconstructs on any shape.
+    #[test]
+    fn lq_reconstructs((m, n) in dims(), seed in 0u64..1000) {
+        let a = deterministic_matrix(m, n, seed);
+        let f = lq(m, n, &a);
+        let mut recon = vec![Complex64::ZERO; m * n];
+        gemm_serial(m, f.k, n, &f.l, &f.q, &mut recon);
+        let scale = frob(&a).max(1.0);
+        let err: f64 = recon.iter().zip(&a).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>().sqrt();
+        prop_assert!(err < 1e-9 * scale);
+    }
+
+    /// GEMM distributes over addition: (A + B) C = AC + BC.
+    #[test]
+    fn gemm_is_linear(seed in 0u64..500) {
+        let (m, k, n) = (4usize, 5usize, 3usize);
+        let a = deterministic_matrix(m, k, seed);
+        let b = deterministic_matrix(m, k, seed + 7);
+        let c = deterministic_matrix(k, n, seed + 13);
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut lhs = vec![Complex64::ZERO; m * n];
+        gemm_serial(m, k, n, &sum, &c, &mut lhs);
+        let mut ac = vec![Complex64::ZERO; m * n];
+        let mut bc = vec![Complex64::ZERO; m * n];
+        gemm_serial(m, k, n, &a, &c, &mut ac);
+        gemm_serial(m, k, n, &b, &c, &mut bc);
+        for i in 0..m * n {
+            prop_assert!((lhs[i] - (ac[i] + bc[i])).norm() < 1e-10);
+        }
+    }
+
+    /// Conjugate transpose is an involution and reverses products:
+    /// (AB)^H = B^H A^H.
+    #[test]
+    fn dagger_reverses_products(seed in 0u64..500) {
+        let (m, k, n) = (3usize, 4usize, 5usize);
+        let a = deterministic_matrix(m, k, seed);
+        let b = deterministic_matrix(k, n, seed + 3);
+        let mut ab = vec![Complex64::ZERO; m * n];
+        gemm_serial(m, k, n, &a, &b, &mut ab);
+        let abh = conj_transpose(m, n, &ab); // n x m
+        let ah = conj_transpose(m, k, &a); // k x m
+        let bh = conj_transpose(k, n, &b); // n x k
+        let mut bh_ah = vec![Complex64::ZERO; n * m];
+        gemm_serial(n, k, m, &bh, &ah, &mut bh_ah);
+        for i in 0..n * m {
+            prop_assert!((abh[i] - bh_ah[i]).norm() < 1e-10);
+        }
+    }
+
+    /// Tensor contraction over a matching middle axis is associative with
+    /// matrix multiplication: contract(contract(A,B),C) = contract(A,contract(B,C)).
+    #[test]
+    fn contraction_is_associative(seed in 0u64..500) {
+        let a = Tensor::from_data(&[3, 4], deterministic_matrix(3, 4, seed));
+        let b = Tensor::from_data(&[4, 2], deterministic_matrix(4, 2, seed + 1));
+        let c = Tensor::from_data(&[2, 5], deterministic_matrix(2, 5, seed + 2));
+        let left = contract(&contract(&a, &[1], &b, &[0]), &[1], &c, &[0]);
+        let right = contract(&a, &[1], &contract(&b, &[1], &c, &[0]), &[0]);
+        prop_assert_eq!(left.shape(), right.shape());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((*x - *y).norm() < 1e-10);
+        }
+    }
+
+    /// Permuting axes preserves the multiset of entries and the norm.
+    #[test]
+    fn permute_preserves_norm(seed in 0u64..500) {
+        let t = Tensor::from_data(&[2, 3, 4], deterministic_matrix(6, 4, seed));
+        for perm in [[1usize, 0, 2], [2, 1, 0], [0, 2, 1], [2, 0, 1]] {
+            let p = t.permute(&perm);
+            prop_assert!((p.frobenius_norm() - t.frobenius_norm()).abs() < 1e-12);
+        }
+    }
+
+    /// SVD also holds on proptest-generated (shrinkable) inputs, and the
+    /// rank never exceeds min(m, n).
+    #[test]
+    fn svd_on_arbitrary_matrices(a in matrix(5, 3)) {
+        let f = svd(5, 3, &a);
+        prop_assert!(f.s.len() <= 3);
+        let recon = f.reconstruct();
+        let scale = frob(&a).max(1.0);
+        let err: f64 =
+            recon.iter().zip(&a).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>().sqrt();
+        prop_assert!(err < 1e-9 * scale, "residual {err}");
+    }
+
+    /// Scaling a matrix by a complex scalar scales the Frobenius norm by
+    /// its modulus.
+    #[test]
+    fn scalar_scales_frobenius_norm(z in complex_entry(), a in matrix(4, 4)) {
+        let scaled: Vec<Complex64> = a.iter().map(|&x| z * x).collect();
+        prop_assert!((frob(&scaled) - z.norm() * frob(&a)).abs() < 1e-10);
+    }
+
+    /// GEMM on flat buffers agrees with the generic tensor contraction.
+    #[test]
+    fn gemm_matches_tensor_contract(a in matrix(3, 4), b in matrix(4, 2)) {
+        let mut ab = vec![Complex64::ZERO; 3 * 2];
+        gemm_serial(3, 4, 2, &a, &b, &mut ab);
+        let ta = Tensor::from_data(&[3, 4], a);
+        let tb = Tensor::from_data(&[4, 2], b);
+        let tc = contract(&ta, &[1], &tb, &[0]);
+        for (x, y) in ab.iter().zip(tc.data()) {
+            prop_assert!((*x - *y).norm() < 1e-10);
+        }
+    }
+}
+
+/// Deterministic pseudo-random matrix (xorshift), so failures replay.
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Complex64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..rows * cols)
+        .map(|_| {
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            c64(next(), next())
+        })
+        .collect()
+}

@@ -1,0 +1,117 @@
+//! Shot-noise study: what happens to the quantum kernel model when the
+//! kernel entries come from a *finite number of measurements* instead of
+//! the exact MPS inner products the paper computes.
+//!
+//! The paper's simulations are "(virtually) noiseless" — one of its core
+//! advantages over running on hardware, where each kernel entry
+//! `|<psi(x_i)|psi(x_j)>|^2` must be estimated from S shots of a
+//! compute–uncompute circuit and carries binomial noise of order
+//! `sqrt(p(1-p)/S)`. This example quantifies that gap: it trains the same
+//! SVM on the exact kernel and on shot-estimated kernels at increasing S,
+//! and reports test AUC and the kernel error. Related to the exponential
+//! concentration discussion the paper cites (Thanasilp et al.): as
+//! kernels concentrate, entries shrink below the shot-noise floor and
+//! hardware estimation needs exponentially many shots.
+//!
+//! Run with: `cargo run --release -p qk-core --example shot_noise_study`
+
+use qk_circuit::AnsatzConfig;
+use qk_core::gram::{gram_matrix, kernel_block};
+use qk_core::states::simulate_states;
+use qk_data::{generate, prepare_experiment, SyntheticConfig};
+use qk_mps::sample::shot_estimate_overlap;
+use qk_mps::TruncationConfig;
+use qk_svm::{sweep_c, KernelBlock, KernelMatrix};
+use qk_tensor::backend::CpuBackend;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let backend = CpuBackend::new();
+    let data = generate(&SyntheticConfig {
+        noise: 1.0,
+        num_features: 12,
+        num_illicit: 150,
+        num_licit: 350,
+        ..SyntheticConfig::small(77)
+    });
+    let split = prepare_experiment(&data, 160, 8, 77);
+    let ansatz = AnsatzConfig::new(2, 1, 0.5);
+    let trunc = TruncationConfig::default();
+
+    let train = simulate_states(&split.train.features, &ansatz, &backend, &trunc);
+    let test = simulate_states(&split.test.features, &ansatz, &backend, &trunc);
+
+    // Exact (the paper's regime).
+    let exact_gram = gram_matrix(&train.states, &backend).kernel;
+    let exact_block = kernel_block(&test.states, &train.states, &backend).block;
+    let c_grid = [0.1, 1.0, 4.0];
+    let exact_auc = sweep_c(
+        &exact_gram,
+        &split.train.label_signs(),
+        &exact_block,
+        &split.test.label_signs(),
+        &c_grid,
+        1e-3,
+    )
+    .best_by_test_auc()
+    .test
+    .auc;
+
+    println!(
+        "shot-noise study: {} train / {} test points, r = 2, d = 1, gamma = 0.5",
+        train.states.len(),
+        test.states.len()
+    );
+    println!("exact-kernel test AUC (the paper's noiseless regime): {exact_auc:.3}\n");
+    println!("{:>9} | {:>12} {:>12} | {:>7} {:>9}", "shots", "mean |dK|", "max |dK|", "AUC", "dAUC");
+
+    let n = train.states.len();
+    for &shots in &[32usize, 128, 512, 2048, 8192] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + shots as u64);
+        // Estimate every kernel entry from `shots` measurements.
+        let mut err_sum = 0.0f64;
+        let mut err_max = 0.0f64;
+        let mut count = 0usize;
+        let noisy_gram = KernelMatrix::from_fn(n, |i, j| {
+            if i == j {
+                return 1.0; // overlap of a state with itself needs no shots
+            }
+            let v = shot_estimate_overlap(&train.states[i], &train.states[j], shots, &mut rng);
+            let e = (v - exact_gram.get(i, j)).abs();
+            err_sum += e;
+            err_max = err_max.max(e);
+            count += 1;
+            v
+        });
+        let noisy_block = KernelBlock::from_fn(test.states.len(), n, |t, s| {
+            shot_estimate_overlap(&test.states[t], &train.states[s], shots, &mut rng)
+        });
+        let auc = sweep_c(
+            &noisy_gram,
+            &split.train.label_signs(),
+            &noisy_block,
+            &split.test.label_signs(),
+            &c_grid,
+            1e-3,
+        )
+        .best_by_test_auc()
+        .test
+        .auc;
+        println!(
+            "{:>9} | {:>12.2e} {:>12.2e} | {:>7.3} {:>+9.3}",
+            shots,
+            err_sum / count as f64,
+            err_max,
+            auc,
+            auc - exact_auc
+        );
+    }
+
+    println!(
+        "\nshot noise shrinks as 1/sqrt(S); the SVM tolerates surprisingly coarse \
+         kernels,\nbut a concentrated kernel (deep/wide ansatz, Table III) would push \
+         entries below\nthe noise floor and break trainability — the hardware-side case \
+         for the paper's\nnoiseless MPS approach."
+    );
+}

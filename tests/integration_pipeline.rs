@@ -1,0 +1,134 @@
+//! Cross-crate integration: data pipeline -> quantum kernel -> SVM.
+
+use qk_circuit::AnsatzConfig;
+use qk_core::pipeline::{run_gaussian_experiment, run_quantum_experiment, ExperimentConfig};
+use qk_data::{generate, prepare_experiment, SyntheticConfig};
+use qk_svm::default_c_grid;
+use qk_tensor::backend::CpuBackend;
+
+fn small_data(seed: u64) -> qk_data::Dataset {
+    generate(&SyntheticConfig::small(seed))
+}
+
+#[test]
+fn quantum_pipeline_produces_valid_metrics() {
+    let data = small_data(21);
+    let config = ExperimentConfig {
+        c_grid: vec![0.1, 1.0, 4.0],
+        ..ExperimentConfig::qml(80, 8, 21)
+    };
+    let be = CpuBackend::new();
+    let result = run_quantum_experiment(&data, &config, &be);
+    for p in &result.sweep.points {
+        for m in [&p.train, &p.test] {
+            assert!((0.0..=1.0).contains(&m.auc), "auc {}", m.auc);
+            assert!((0.0..=1.0).contains(&m.accuracy));
+            assert!((0.0..=1.0).contains(&m.precision));
+            assert!((0.0..=1.0).contains(&m.recall));
+        }
+    }
+}
+
+#[test]
+fn quantum_and_gaussian_both_learn_the_synthetic_task() {
+    let data = generate(&SyntheticConfig {
+        noise: 1.2,
+        num_features: 12,
+        num_illicit: 120,
+        num_licit: 240,
+        ..SyntheticConfig::small(22)
+    });
+    let be = CpuBackend::new();
+    let config = ExperimentConfig {
+        ansatz: AnsatzConfig::new(2, 1, 0.2),
+        ..ExperimentConfig::qml(160, 12, 22)
+    };
+    let quantum = run_quantum_experiment(&data, &config, &be);
+    let gaussian = run_gaussian_experiment(&data, 160, 12, 22, &default_c_grid(), 1e-3);
+    assert!(quantum.best_test_auc() > 0.62, "quantum {}", quantum.best_test_auc());
+    assert!(gaussian.best_test_auc() > 0.62, "gaussian {}", gaussian.best_test_auc());
+}
+
+#[test]
+fn more_features_help_on_average() {
+    // The Fig. 9/10 mechanism at mini scale: averaged over seeds, AUC
+    // with 12 features beats AUC with 2 features given enough data.
+    // Single-seed comparisons are too noisy at this scale, so average.
+    let be = CpuBackend::new();
+    let mean_auc = |k: usize| {
+        let seeds = [23u64, 24, 25];
+        seeds
+            .iter()
+            .map(|&seed| {
+                let data = generate(&SyntheticConfig {
+                    num_features: 12,
+                    num_illicit: 150,
+                    num_licit: 350,
+                    noise: 1.5,
+                    ..SyntheticConfig::small(seed)
+                });
+                run_quantum_experiment(
+                    &data,
+                    &ExperimentConfig {
+                        ansatz: AnsatzConfig::new(2, 1, 0.3),
+                        ..ExperimentConfig::qml(200, k, seed)
+                    },
+                    &be,
+                )
+                .best_test_auc()
+            })
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let few = mean_auc(2);
+    let many = mean_auc(12);
+    assert!(
+        many > few,
+        "12 features (mean AUC {many}) should beat 2 features ({few})"
+    );
+}
+
+#[test]
+fn prepared_split_feeds_feature_map_domain() {
+    // Every prepared feature must be in (0, 2), the feature-map domain.
+    let data = small_data(24);
+    let split = prepare_experiment(&data, 60, 10, 24);
+    for row in split.train.features.iter().chain(&split.test.features) {
+        assert_eq!(row.len(), 10);
+        for &x in row {
+            assert!((0.0..=2.0).contains(&x));
+        }
+    }
+    // Balanced training classes.
+    assert_eq!(split.train.num_illicit(), split.train.num_licit());
+}
+
+#[test]
+fn deep_circuits_concentrate_the_kernel() {
+    // Table III's mechanism: depth drives overlaps toward zero.
+    use qk_core::gram::gram_matrix;
+    use qk_core::states::simulate_states;
+    use qk_mps::TruncationConfig;
+
+    let data = small_data(25);
+    let split = prepare_experiment(&data, 30, 8, 25);
+    let be = CpuBackend::new();
+    let shallow_cfg = AnsatzConfig::new(1, 1, 1.0);
+    let deep_cfg = AnsatzConfig::new(12, 1, 1.0);
+    let shallow = gram_matrix(
+        &simulate_states(&split.train.features, &shallow_cfg, &be, &TruncationConfig::default()).states,
+        &be,
+    )
+    .kernel;
+    let deep = gram_matrix(
+        &simulate_states(&split.train.features, &deep_cfg, &be, &TruncationConfig::default()).states,
+        &be,
+    )
+    .kernel;
+    assert!(
+        deep.off_diagonal_mean() < shallow.off_diagonal_mean(),
+        "deep kernel mean {} not below shallow {}",
+        deep.off_diagonal_mean(),
+        shallow.off_diagonal_mean()
+    );
+}
