@@ -80,15 +80,11 @@ fn bench_launch_latency_sweep(c: &mut Criterion) {
             transfer_bytes_per_sec: f64::INFINITY,
             compute_speedup: 1.0,
         };
-        group.bench_with_input(
-            BenchmarkId::new("accel_sim", micros),
-            &micros,
-            |bch, _| {
-                let acc = AcceleratorBackend::new(model);
-                let sim = MpsSimulator::new(&acc);
-                bch.iter(|| sim.simulate(&circuit));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("accel_sim", micros), &micros, |bch, _| {
+            let acc = AcceleratorBackend::new(model);
+            let sim = MpsSimulator::new(&acc);
+            bch.iter(|| sim.simulate(&circuit));
+        });
     }
     group.finish();
 }

@@ -44,10 +44,16 @@ fn prepared_states(m: usize, d: usize) -> (Mps, Mps) {
     let sim = MpsSimulator::new(&cpu);
     let rows = sample_rows(2, m, 53);
     let a = sim
-        .simulate(&feature_map_circuit(&rows[0], &AnsatzConfig::new(2, d, 1.0)))
+        .simulate(&feature_map_circuit(
+            &rows[0],
+            &AnsatzConfig::new(2, d, 1.0),
+        ))
         .0;
     let b = sim
-        .simulate(&feature_map_circuit(&rows[1], &AnsatzConfig::new(2, d, 1.0)))
+        .simulate(&feature_map_circuit(
+            &rows[1],
+            &AnsatzConfig::new(2, d, 1.0),
+        ))
         .0;
     (a, b)
 }
@@ -104,8 +110,8 @@ fn bench_truncation_cutoffs(c: &mut Criterion) {
             BenchmarkId::new("cutoff", format!("{cutoff:e}")),
             &cutoff,
             |bch, &cutoff| {
-                let sim = MpsSimulator::new(&cpu)
-                    .with_truncation(TruncationConfig::with_cutoff(cutoff));
+                let sim =
+                    MpsSimulator::new(&cpu).with_truncation(TruncationConfig::with_cutoff(cutoff));
                 bch.iter(|| sim.simulate(&circuit));
             },
         );

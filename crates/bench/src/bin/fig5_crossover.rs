@@ -148,7 +148,10 @@ fn main() {
     }
 
     println!("\nTable I (average largest bond dimension and memory per MPS):");
-    println!("{:>12} {:>14} {:>14} {:>16}", "distance", "chi (GPU)", "chi (CPU)", "memory (MiB)");
+    println!(
+        "{:>12} {:>14} {:>14} {:>16}",
+        "distance", "chi (GPU)", "chi (CPU)", "memory (MiB)"
+    );
     for pair in points.chunks(2) {
         let (c, a) = (&pair[0], &pair[1]);
         println!(

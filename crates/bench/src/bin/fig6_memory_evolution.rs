@@ -118,9 +118,19 @@ fn main() {
         );
     }
 
-    let peak_low = families[0].buckets.iter().map(|b| b.max_kib).fold(0.0, f64::max);
-    let peak_high = families[1].buckets.iter().map(|b| b.max_kib).fold(0.0, f64::max);
-    println!("\npeak memory: d = {dlow}: {peak_low:.1} KiB, d = {dhigh}: {peak_high:.1} KiB (x{:.1})",
-        peak_high / peak_low.max(1e-9));
+    let peak_low = families[0]
+        .buckets
+        .iter()
+        .map(|b| b.max_kib)
+        .fold(0.0, f64::max);
+    let peak_high = families[1]
+        .buckets
+        .iter()
+        .map(|b| b.max_kib)
+        .fold(0.0, f64::max);
+    println!(
+        "\npeak memory: d = {dlow}: {peak_low:.1} KiB, d = {dhigh}: {peak_high:.1} KiB (x{:.1})",
+        peak_high / peak_low.max(1e-9)
+    );
     write_results("fig6_memory_evolution", &families);
 }

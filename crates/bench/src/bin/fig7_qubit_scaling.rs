@@ -85,7 +85,10 @@ fn main() {
             ));
             points.push(p);
         }
-        println!("{:>7} | {:>22} | {:>22} | {:>22}", m, cells[0], cells[1], cells[2]);
+        println!(
+            "{:>7} | {:>22} | {:>22} | {:>22}",
+            m, cells[0], cells[1], cells[2]
+        );
     }
 
     // Shape check: gamma = 0.5 at the largest m should be the slowest.
@@ -95,7 +98,10 @@ fn main() {
         .iter()
         .max_by(|a, b| a.mean_sim_seconds.partial_cmp(&b.mean_sim_seconds).unwrap())
     {
-        println!("\nslowest gamma at m = {largest}: {} (paper: 0.5)", max_p.gamma);
+        println!(
+            "\nslowest gamma at m = {largest}: {} (paper: 0.5)",
+            max_p.gamma
+        );
     }
     write_results("fig7_qubit_scaling", &points);
 }

@@ -61,7 +61,14 @@ fn main() {
         let n = base_n << step;
         let procs = base_procs << step;
         let rows = sample_rows(n, features, 37);
-        let result = distributed_gram(&rows, &ansatz, &backend, &trunc, procs, Strategy::RoundRobin);
+        let result = distributed_gram(
+            &rows,
+            &ansatz,
+            &backend,
+            &trunc,
+            procs,
+            Strategy::RoundRobin,
+        );
         let max = result.max_phase_times();
         println!(
             "{:>8} {:>7} | {:>12.3?} {:>14.3?} {:>14.3?} {:>12.3?}",

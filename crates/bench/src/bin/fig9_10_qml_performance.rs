@@ -28,51 +28,60 @@ fn main() {
     let args = Args::from_env();
     // Paper: sample sizes {300, 1500, 6400}, features {15, 50, 100, 165},
     // r = 2, d = 1, gamma = 0.1.
-    let (sample_sizes, feature_grid, dataset, runs): (Vec<usize>, Vec<usize>, SyntheticConfig, usize) =
-        match args.scale() {
-            Scale::Ci => (
-                vec![40, 80],
-                vec![4, 8],
-                SyntheticConfig {
-                    num_features: 8,
-                    num_illicit: 60,
-                    num_licit: 60,
-                    latent_dim: 6,
-                    noise: 1.6,
-                    seed: 0,
-                },
-                1,
-            ),
-            Scale::Default => (
-                vec![80, 240, 480],
-                vec![4, 12, 24, 40],
-                SyntheticConfig {
-                    num_features: 40,
-                    num_illicit: 320,
-                    num_licit: 320,
-                    latent_dim: 6,
-                    noise: 1.6,
-                    seed: 0,
-                },
-                3,
-            ),
-            Scale::Paper => (
-                vec![300, 1500, 6400],
-                vec![15, 50, 100, 165],
-                SyntheticConfig::elliptic_like(0),
-                1,
-            ),
-        };
+    let (sample_sizes, feature_grid, dataset, runs): (
+        Vec<usize>,
+        Vec<usize>,
+        SyntheticConfig,
+        usize,
+    ) = match args.scale() {
+        Scale::Ci => (
+            vec![40, 80],
+            vec![4, 8],
+            SyntheticConfig {
+                num_features: 8,
+                num_illicit: 60,
+                num_licit: 60,
+                latent_dim: 6,
+                noise: 1.6,
+                seed: 0,
+            },
+            1,
+        ),
+        Scale::Default => (
+            vec![80, 240, 480],
+            vec![4, 12, 24, 40],
+            SyntheticConfig {
+                num_features: 40,
+                num_illicit: 320,
+                num_licit: 320,
+                latent_dim: 6,
+                noise: 1.6,
+                seed: 0,
+            },
+            3,
+        ),
+        Scale::Paper => (
+            vec![300, 1500, 6400],
+            vec![15, 50, 100, 165],
+            SyntheticConfig::elliptic_like(0),
+            1,
+        ),
+    };
     let gamma = args.get_or("gamma", 0.25);
     let runs = args.get_or("runs", runs);
 
     let backend = CpuBackend::new();
-    println!("Figs. 9-10: AUC vs features for several sample sizes (r = 2, d = 1, gamma = {gamma})");
+    println!(
+        "Figs. 9-10: AUC vs features for several sample sizes (r = 2, d = 1, gamma = {gamma})"
+    );
     println!("paper shape: test AUC improves with features at the largest N; the");
     println!("smallest N overfits (train AUC highest, test AUC unstable)\n");
 
     let mut points = Vec::new();
-    println!("{:>9} {:>9} | {:>10} {:>10}", "N", "features", "train AUC", "test AUC");
+    println!(
+        "{:>9} {:>9} | {:>10} {:>10}",
+        "N", "features", "train AUC", "test AUC"
+    );
     for &n in &sample_sizes {
         for &k in &feature_grid {
             let mut train = Vec::new();
@@ -94,7 +103,10 @@ fn main() {
                 train_auc: mean(&train),
                 test_auc: mean(&test),
             };
-            println!("{:>9} {:>9} | {:>10.3} {:>10.3}", n, k, p.train_auc, p.test_auc);
+            println!(
+                "{:>9} {:>9} | {:>10.3} {:>10.3}",
+                n, k, p.train_auc, p.test_auc
+            );
             points.push(p);
         }
         println!();

@@ -50,7 +50,8 @@ fn main() {
     let args = Args::from_env();
     // Paper: 50 features, 400 samples, r = 2, 6 runs,
     // d in {1,2,4,6} x gamma in {0.1, 0.5, 1.0}.
-    let (features, samples, runs, distances): (usize, usize, usize, Vec<usize>) = match args.scale() {
+    let (features, samples, runs, distances): (usize, usize, usize, Vec<usize>) = match args.scale()
+    {
         Scale::Ci => (6, 40, 2, vec![1, 2]),
         Scale::Default => (10, 100, 3, vec![1, 2, 4]),
         Scale::Paper => (50, 400, 6, vec![1, 2, 4, 6]),
@@ -74,7 +75,10 @@ fn main() {
     let splits: Vec<_> = (0..runs)
         .map(|r| {
             let seed = 200 + r as u64;
-            let data = generate(&SyntheticConfig { seed, ..dataset_cfg });
+            let data = generate(&SyntheticConfig {
+                seed,
+                ..dataset_cfg
+            });
             prepare_experiment(&data, samples, features, seed)
         })
         .collect();

@@ -80,7 +80,10 @@ fn main() {
     let splits: Vec<_> = (0..runs)
         .map(|r| {
             let seed = 300 + r as u64;
-            let data = generate(&SyntheticConfig { seed, ..dataset_cfg });
+            let data = generate(&SyntheticConfig {
+                seed,
+                ..dataset_cfg
+            });
             prepare_experiment(&data, samples, features, seed)
         })
         .collect();
@@ -125,8 +128,14 @@ fn main() {
         let off_diag = report.off_diagonal_mean;
         println!(
             "{:>6} | {:>7.3} {:>7.3} {:>10.3} {:>9.3} {:>14.4} {:>8.1} {:>7.3}",
-            depth, m.auc, m.recall, m.precision, m.accuracy, off_diag,
-            report.effective_dimension, report.alignment
+            depth,
+            m.auc,
+            m.recall,
+            m.precision,
+            m.accuracy,
+            off_diag,
+            report.effective_dimension,
+            report.alignment
         );
         rows.push(DepthRow {
             depth,
@@ -145,8 +154,12 @@ fn main() {
         let last = &rows[rows.len() - 1];
         println!(
             "\nAUC {:.3} -> {:.3} and off-diagonal kernel mean {:.4} -> {:.4} from depth {} to {}",
-            first.auc, last.auc, first.kernel_off_diag_mean, last.kernel_off_diag_mean,
-            first.depth, last.depth
+            first.auc,
+            last.auc,
+            first.kernel_off_diag_mean,
+            last.kernel_off_diag_mean,
+            first.depth,
+            last.depth
         );
     }
     write_results("table3_depth_sweep", &rows);

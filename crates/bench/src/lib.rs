@@ -52,7 +52,9 @@ impl Args {
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("expected --key, found {key}"))
                 .to_string();
-            let value = it.next().unwrap_or_else(|| panic!("missing value for --{key}"));
+            let value = it
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{key}"));
             pairs.push((key, value));
         }
         Args { pairs }
@@ -174,7 +176,10 @@ mod tests {
 
     #[test]
     fn median_and_quartiles() {
-        let xs: Vec<Duration> = [5, 1, 3, 2, 4].iter().map(|&s| Duration::from_secs(s)).collect();
+        let xs: Vec<Duration> = [5, 1, 3, 2, 4]
+            .iter()
+            .map(|&s| Duration::from_secs(s))
+            .collect();
         assert_eq!(median(xs.clone()), Duration::from_secs(3));
         let (q1, q3) = quartiles(xs);
         assert_eq!(q1, Duration::from_secs(2));

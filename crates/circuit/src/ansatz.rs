@@ -38,12 +38,20 @@ impl AnsatzConfig {
     /// The configuration used for the paper's large-scale QML runs
     /// (Figs. 8-10): `r = 2`, `d = 1`, `gamma = 0.1`.
     pub fn qml_default() -> Self {
-        AnsatzConfig { layers: 2, interaction_distance: 1, gamma: 0.1 }
+        AnsatzConfig {
+            layers: 2,
+            interaction_distance: 1,
+            gamma: 0.1,
+        }
     }
 
     /// New configuration.
     pub fn new(layers: usize, interaction_distance: usize, gamma: f64) -> Self {
-        AnsatzConfig { layers, interaction_distance, gamma }
+        AnsatzConfig {
+            layers,
+            interaction_distance,
+            gamma,
+        }
     }
 }
 
@@ -121,7 +129,11 @@ pub fn feature_map_circuit(features: &[f64], cfg: &AnsatzConfig) -> Circuit {
         // e^{-i H_XX(x)}: RXX per edge, emitted layer by layer.
         for layer in &layers {
             for &(i, j) in layer {
-                circuit.push2(Gate::Rxx(rxx_angle(cfg.gamma, features[i], features[j])), i, j);
+                circuit.push2(
+                    Gate::Rxx(rxx_angle(cfg.gamma, features[i], features[j])),
+                    i,
+                    j,
+                );
             }
         }
     }

@@ -22,14 +22,20 @@ impl Operation {
     /// Single-qubit operation.
     pub fn one(gate: Gate, q: usize) -> Self {
         debug_assert_eq!(gate.arity(), 1);
-        Operation { gate, qubits: vec![q] }
+        Operation {
+            gate,
+            qubits: vec![q],
+        }
     }
 
     /// Two-qubit operation.
     pub fn two(gate: Gate, q0: usize, q1: usize) -> Self {
         debug_assert_eq!(gate.arity(), 2);
         debug_assert_ne!(q0, q1);
-        Operation { gate, qubits: vec![q0, q1] }
+        Operation {
+            gate,
+            qubits: vec![q0, q1],
+        }
     }
 
     /// `true` when the operation acts on adjacent chain positions.
@@ -52,7 +58,10 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit on `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Circuit { num_qubits, ops: Vec::new() }
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+        }
     }
 
     /// Number of qubits in the register.
@@ -91,7 +100,10 @@ impl Circuit {
     /// # Panics
     /// Panics if qubits are out of range, equal, or the gate arity is wrong.
     pub fn push2(&mut self, gate: Gate, q0: usize, q1: usize) -> &mut Self {
-        assert!(q0 < self.num_qubits && q1 < self.num_qubits, "qubit out of range");
+        assert!(
+            q0 < self.num_qubits && q1 < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(q0, q1, "two-qubit gate needs distinct qubits");
         assert_eq!(gate.arity(), 2, "push2 requires a two-qubit gate");
         self.ops.push(Operation::two(gate, q0, q1));
@@ -117,7 +129,10 @@ impl Circuit {
 
     /// Count of SWAP gates (routing overhead).
     pub fn swap_count(&self) -> usize {
-        self.ops.iter().filter(|op| matches!(op.gate, Gate::Swap)).count()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op.gate, Gate::Swap))
+            .count()
     }
 
     /// `true` when every two-qubit gate acts on adjacent chain positions,

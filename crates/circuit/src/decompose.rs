@@ -93,7 +93,12 @@ pub fn zyz_decompose(u: &[Complex64; 4]) -> Zyz {
             let beta_plus_delta_half = p11 - alpha;
             let b = beta_minus_delta_half + beta_plus_delta_half;
             let d = beta_plus_delta_half - beta_minus_delta_half;
-            return canonical(Zyz { alpha, beta: b, gamma, delta: d });
+            return canonical(Zyz {
+                alpha,
+                beta: b,
+                gamma,
+                delta: d,
+            });
         }
         // gamma ~ 0: only beta + delta is determined; put it all in delta.
         let sum = p11 - p00; // (beta + delta)
@@ -111,14 +116,24 @@ pub fn zyz_decompose(u: &[Complex64; 4]) -> Zyz {
             let minus_beta_minus_delta_half = p00 - alpha;
             let b = beta_minus_delta_half - minus_beta_minus_delta_half;
             let d = -(beta_minus_delta_half + minus_beta_minus_delta_half);
-            return canonical(Zyz { alpha, beta: b, gamma, delta: d });
+            return canonical(Zyz {
+                alpha,
+                beta: b,
+                gamma,
+                delta: d,
+            });
         }
         // gamma ~ pi: only beta - delta is determined; put it in beta.
         let diff = p10 - p01; // (beta - delta)
         beta = diff;
         delta = 0.0;
     }
-    canonical(Zyz { alpha, beta, gamma, delta })
+    canonical(Zyz {
+        alpha,
+        beta,
+        gamma,
+        delta,
+    })
 }
 
 /// Wraps angles into `(-2pi, 2pi]`-ish canonical ranges for stable
@@ -144,7 +159,11 @@ fn canonical(z: Zyz) -> Zyz {
 
 /// Decomposes a single-qubit [`Gate`] into ZYZ form via its matrix.
 pub fn decompose_gate(gate: &Gate) -> Zyz {
-    assert_eq!(gate.arity(), 1, "ZYZ decomposition is for single-qubit gates");
+    assert_eq!(
+        gate.arity(),
+        1,
+        "ZYZ decomposition is for single-qubit gates"
+    );
     let m = gate.matrix();
     let mut u = [Complex64::ZERO; 4];
     u.copy_from_slice(m.data());
@@ -177,7 +196,12 @@ mod tests {
 
     #[test]
     fn identity_decomposes_trivially() {
-        let u = [Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
+        let u = [
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+        ];
         let z = zyz_decompose(&u);
         assert!(z.gamma.abs() < 1e-12);
         assert_reconstructs(&u, 1e-12);
@@ -253,7 +277,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "unitary")]
     fn rejects_non_unitary() {
-        let u = [c64(2.0, 0.0), Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
+        let u = [
+            c64(2.0, 0.0),
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+        ];
         let _ = zyz_decompose(&u);
     }
 }

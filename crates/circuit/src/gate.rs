@@ -232,7 +232,11 @@ pub fn is_unitary(t: &Tensor, tol: f64) -> bool {
             for p in 0..n {
                 acc = acc.conj_mul_add(d[p * n + i], d[p * n + j]);
             }
-            let expect = if i == j { Complex64::ONE } else { Complex64::ZERO };
+            let expect = if i == j {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
             if (acc - expect).norm() > tol {
                 return false;
             }
@@ -285,8 +289,16 @@ mod tests {
     fn rz_is_diagonal_phase() {
         let theta = 0.9;
         let u = Gate::Rz(theta).matrix();
-        assert!(approx_eq(u.get(&[0, 0]), Complex64::cis(-theta / 2.0), 1e-12));
-        assert!(approx_eq(u.get(&[1, 1]), Complex64::cis(theta / 2.0), 1e-12));
+        assert!(approx_eq(
+            u.get(&[0, 0]),
+            Complex64::cis(-theta / 2.0),
+            1e-12
+        ));
+        assert!(approx_eq(
+            u.get(&[1, 1]),
+            Complex64::cis(theta / 2.0),
+            1e-12
+        ));
         assert_eq!(u.get(&[0, 1]), Complex64::ZERO);
     }
 
@@ -295,7 +307,11 @@ mod tests {
         let u = Gate::Rxx(0.0).matrix();
         for i in 0..4 {
             for j in 0..4 {
-                let expect = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if i == j {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert!(approx_eq(u.get(&[i, j]), expect, 1e-12));
             }
         }
@@ -307,7 +323,11 @@ mod tests {
         let u = Gate::Rxx(std::f64::consts::PI).matrix();
         for i in 0..4 {
             for j in 0..4 {
-                let expect = if i + j == 3 { c64(0.0, -1.0) } else { Complex64::ZERO };
+                let expect = if i + j == 3 {
+                    c64(0.0, -1.0)
+                } else {
+                    Complex64::ZERO
+                };
                 assert!(approx_eq(u.get(&[i, j]), expect, 1e-12), "[{i}][{j}]");
             }
         }
@@ -336,7 +356,11 @@ mod tests {
         let prod = qk_tensor::contract(&h, &[1], &h, &[0]);
         for i in 0..2 {
             for j in 0..2 {
-                let expect = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if i == j {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert!(approx_eq(prod.get(&[i, j]), expect, 1e-12));
             }
         }

@@ -118,7 +118,11 @@ fn same_symmetric_pair(a: &Operation, b: &Operation) -> bool {
 
 /// One peephole sweep. Returns the rewritten operation list and whether
 /// anything changed.
-fn sweep(num_qubits: usize, ops: &[Operation], report: &mut OptimizeReport) -> (Vec<Operation>, bool) {
+fn sweep(
+    num_qubits: usize,
+    ops: &[Operation],
+    report: &mut OptimizeReport,
+) -> (Vec<Operation>, bool) {
     // out holds accepted operations; tombstones (None) mark removals.
     let mut out: Vec<Option<Operation>> = Vec::with_capacity(ops.len());
     // Index in `out` of the latest live op touching each qubit.
@@ -418,7 +422,9 @@ mod tests {
     #[test]
     fn histogram_counts_names() {
         let mut c = Circuit::new(2);
-        c.push1(Gate::H, 0).push1(Gate::H, 1).push2(Gate::Rxx(0.1), 0, 1);
+        c.push1(Gate::H, 0)
+            .push1(Gate::H, 1)
+            .push2(Gate::Rxx(0.1), 0, 1);
         let h = gate_histogram(&c);
         assert_eq!(h["H"], 2);
         assert_eq!(h["Rxx"], 1);

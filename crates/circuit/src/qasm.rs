@@ -59,12 +59,8 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
                 let z = zyz_decompose(u);
                 for g in z.to_gates() {
                     match g {
-                        Gate::Rz(t) => {
-                            out.push_str(&format!("rz({}) q[{q}];\n", fmt_angle(t)))
-                        }
-                        Gate::Ry(t) => {
-                            out.push_str(&format!("ry({}) q[{q}];\n", fmt_angle(t)))
-                        }
+                        Gate::Rz(t) => out.push_str(&format!("rz({}) q[{q}];\n", fmt_angle(t))),
+                        Gate::Ry(t) => out.push_str(&format!("ry({}) q[{q}];\n", fmt_angle(t))),
                         _ => unreachable!("ZYZ emits only Rz/Ry"),
                     }
                 }
@@ -210,8 +206,8 @@ fn parse_operands(text: &str, num_qubits: usize) -> Result<Vec<usize>, QasmError
     let mut qubits = Vec::new();
     for part in text.split(',') {
         let part = part.trim();
-        let (name, idx) = parse_indexed(part)
-            .ok_or_else(|| QasmError::Parse(format!("bad operand: {part}")))?;
+        let (name, idx) =
+            parse_indexed(part).ok_or_else(|| QasmError::Parse(format!("bad operand: {part}")))?;
         if name != "q" {
             return Err(QasmError::Invalid(format!("unknown register {name:?}")));
         }
@@ -321,7 +317,10 @@ fn apply_parsed(
 /// unary `+`/`-`, binary `*`, `/`, `+`, `-`, and parentheses.
 pub fn eval_angle(expr: &str) -> Result<f64, QasmError> {
     let tokens = tokenize(expr)?;
-    let mut parser = ExprParser { tokens: &tokens, pos: 0 };
+    let mut parser = ExprParser {
+        tokens: &tokens,
+        pos: 0,
+    };
     let value = parser.sum()?;
     if parser.pos != tokens.len() {
         return Err(QasmError::Parse(format!(

@@ -104,7 +104,9 @@ mod tests {
     #[test]
     fn local_circuit_unchanged() {
         let mut c = Circuit::new(3);
-        c.push1(Gate::H, 0).push2(Gate::Rxx(0.5), 0, 1).push2(Gate::Cx, 2, 1);
+        c.push1(Gate::H, 0)
+            .push2(Gate::Rxx(0.5), 0, 1)
+            .push2(Gate::Cx, 2, 1);
         let routed = route_for_mps(&c);
         assert_eq!(routed, c);
     }

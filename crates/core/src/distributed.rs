@@ -153,50 +153,51 @@ fn no_messaging(
         for (p, my_tiles) in assignments.iter().enumerate() {
             let entry_tx = entry_tx.clone();
             let blocks = &blocks;
-            handles.push((p, scope.spawn(move || {
-                let clock = PhaseClock::new();
-                let mut times = ProcessTimes::default();
-                let mut sims = 0usize;
-                let mut entries: Vec<Entry> = Vec::new();
-                // Simulate the union of blocks this process touches, once
-                // per process (still redundant across processes).
-                let mut needed: Vec<usize> = my_tiles
-                    .iter()
-                    .flat_map(|&(a, b)| [a, b])
-                    .collect();
-                needed.sort_unstable();
-                needed.dedup();
-                let mut states: Vec<Option<Vec<Mps>>> = vec![None; blocks.len()];
-                for &blk in &needed {
-                    let slice = &rows[blocks[blk].clone()];
-                    let t0 = clock.now();
-                    let batch = simulate_states_serial(slice, ansatz, backend, truncation);
-                    times.simulation += clock.since(t0);
-                    sims += slice.len();
-                    states[blk] = Some(batch.states);
-                }
-                for &(a, b) in my_tiles {
-                    let sa = states[a].as_ref().unwrap();
-                    let sb = states[b].as_ref().unwrap();
-                    let t0 = clock.now();
-                    for (ia, va) in sa.iter().enumerate() {
-                        for (ib, vb) in sb.iter().enumerate() {
-                            let gi = blocks[a].start + ia;
-                            let gj = blocks[b].start + ib;
-                            if a == b && gj <= gi {
-                                continue; // symmetric tile: upper half only
-                            }
-                            let v = va.inner_with(backend, vb).norm_sqr();
-                            entries.push((gi, gj, v));
-                        }
+            handles.push((
+                p,
+                scope.spawn(move || {
+                    let clock = PhaseClock::new();
+                    let mut times = ProcessTimes::default();
+                    let mut sims = 0usize;
+                    let mut entries: Vec<Entry> = Vec::new();
+                    // Simulate the union of blocks this process touches, once
+                    // per process (still redundant across processes).
+                    let mut needed: Vec<usize> =
+                        my_tiles.iter().flat_map(|&(a, b)| [a, b]).collect();
+                    needed.sort_unstable();
+                    needed.dedup();
+                    let mut states: Vec<Option<Vec<Mps>>> = vec![None; blocks.len()];
+                    for &blk in &needed {
+                        let slice = &rows[blocks[blk].clone()];
+                        let t0 = clock.now();
+                        let batch = simulate_states_serial(slice, ansatz, backend, truncation);
+                        times.simulation += clock.since(t0);
+                        sims += slice.len();
+                        states[blk] = Some(batch.states);
                     }
-                    times.inner_products += clock.since(t0);
-                }
-                let t0 = Instant::now();
-                entry_tx.send(entries).expect("collector alive");
-                times.communication += t0.elapsed();
-                (times, sims)
-            })));
+                    for &(a, b) in my_tiles {
+                        let sa = states[a].as_ref().unwrap();
+                        let sb = states[b].as_ref().unwrap();
+                        let t0 = clock.now();
+                        for (ia, va) in sa.iter().enumerate() {
+                            for (ib, vb) in sb.iter().enumerate() {
+                                let gi = blocks[a].start + ia;
+                                let gj = blocks[b].start + ib;
+                                if a == b && gj <= gi {
+                                    continue; // symmetric tile: upper half only
+                                }
+                                let v = va.inner_with(backend, vb).norm_sqr();
+                                entries.push((gi, gj, v));
+                            }
+                        }
+                        times.inner_products += clock.since(t0);
+                    }
+                    let t0 = Instant::now();
+                    entry_tx.send(entries).expect("collector alive");
+                    times.communication += t0.elapsed();
+                    (times, sims)
+                }),
+            ));
         }
         drop(entry_tx);
         for (p, h) in handles {
@@ -341,7 +342,10 @@ fn round_robin(
                     let payload = pack_states(&traveling);
                     comm_bytes += payload.len();
                     tx_left
-                        .send(RingMessage { owner: traveling_owner, payload })
+                        .send(RingMessage {
+                            owner: traveling_owner,
+                            payload,
+                        })
                         .expect("ring neighbour alive");
                     let msg = rx.recv().expect("ring neighbour alive");
                     traveling_owner = msg.owner;
@@ -575,8 +579,8 @@ mod tests {
         // CPU-time phases cannot exceed the work actually done; sanity
         // bound: no phase total wildly exceeds the whole run's wall time
         // times the process count.
-        let bound = result.wall_time * (result.per_process.len() as u32 + 1)
-            + Duration::from_millis(50);
+        let bound =
+            result.wall_time * (result.per_process.len() as u32 + 1) + Duration::from_millis(50);
         for p in &result.per_process {
             assert!(p.total() <= bound);
         }

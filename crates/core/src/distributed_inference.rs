@@ -64,12 +64,22 @@ pub fn distributed_kernel_block(
     assert!(!train_rows.is_empty(), "need at least one training point");
     assert!(!test_rows.is_empty(), "need at least one test point");
     match strategy {
-        Strategy::NoMessaging => {
-            no_messaging_block(test_rows, train_rows, ansatz, backend, truncation, num_processes)
-        }
-        Strategy::RoundRobin => {
-            round_robin_block(test_rows, train_rows, ansatz, backend, truncation, num_processes)
-        }
+        Strategy::NoMessaging => no_messaging_block(
+            test_rows,
+            train_rows,
+            ansatz,
+            backend,
+            truncation,
+            num_processes,
+        ),
+        Strategy::RoundRobin => round_robin_block(
+            test_rows,
+            train_rows,
+            ansatz,
+            backend,
+            truncation,
+            num_processes,
+        ),
     }
 }
 
@@ -102,8 +112,7 @@ fn no_messaging_block(
     let g = tile_grid_order(k).min(nt.min(ns).max(1));
     let test_blocks = block_ranges(nt, g);
     let train_blocks = block_ranges(ns, g);
-    let tiles: Vec<(usize, usize)> =
-        (0..g).flat_map(|a| (0..g).map(move |b| (a, b))).collect();
+    let tiles: Vec<(usize, usize)> = (0..g).flat_map(|a| (0..g).map(move |b| (a, b))).collect();
     let assignments: Vec<Vec<(usize, usize)>> = (0..k)
         .map(|p| tiles.iter().copied().skip(p).step_by(k).collect())
         .collect();
@@ -118,50 +127,53 @@ fn no_messaging_block(
             let entry_tx = entry_tx.clone();
             let test_blocks = &test_blocks;
             let train_blocks = &train_blocks;
-            handles.push((p, scope.spawn(move || {
-                let clock = PhaseClock::new();
-                let mut times = ProcessTimes::default();
-                let mut sims = 0usize;
-                let mut entries: Vec<Entry> = Vec::new();
+            handles.push((
+                p,
+                scope.spawn(move || {
+                    let clock = PhaseClock::new();
+                    let mut times = ProcessTimes::default();
+                    let mut sims = 0usize;
+                    let mut entries: Vec<Entry> = Vec::new();
 
-                // Simulate every test/train block this process touches.
-                let mut test_states: Vec<Option<Vec<Mps>>> = vec![None; test_blocks.len()];
-                let mut train_states: Vec<Option<Vec<Mps>>> = vec![None; train_blocks.len()];
-                for &(a, b) in my_tiles {
-                    if test_states[a].is_none() {
-                        let slice = &test_rows[test_blocks[a].clone()];
-                        let t0 = clock.now();
-                        let batch = simulate_states_serial(slice, ansatz, backend, truncation);
-                        times.simulation += clock.since(t0);
-                        sims += slice.len();
-                        test_states[a] = Some(batch.states);
-                    }
-                    if train_states[b].is_none() {
-                        let slice = &train_rows[train_blocks[b].clone()];
-                        let t0 = clock.now();
-                        let batch = simulate_states_serial(slice, ansatz, backend, truncation);
-                        times.simulation += clock.since(t0);
-                        sims += slice.len();
-                        train_states[b] = Some(batch.states);
-                    }
-                    let sa = test_states[a].as_ref().unwrap();
-                    let sb = train_states[b].as_ref().unwrap();
-                    let t0 = clock.now();
-                    for (ia, va) in sa.iter().enumerate() {
-                        for (ib, vb) in sb.iter().enumerate() {
-                            let gi = test_blocks[a].start + ia;
-                            let gj = train_blocks[b].start + ib;
-                            let v = va.inner_with(backend, vb).norm_sqr();
-                            entries.push((gi, gj, v));
+                    // Simulate every test/train block this process touches.
+                    let mut test_states: Vec<Option<Vec<Mps>>> = vec![None; test_blocks.len()];
+                    let mut train_states: Vec<Option<Vec<Mps>>> = vec![None; train_blocks.len()];
+                    for &(a, b) in my_tiles {
+                        if test_states[a].is_none() {
+                            let slice = &test_rows[test_blocks[a].clone()];
+                            let t0 = clock.now();
+                            let batch = simulate_states_serial(slice, ansatz, backend, truncation);
+                            times.simulation += clock.since(t0);
+                            sims += slice.len();
+                            test_states[a] = Some(batch.states);
                         }
+                        if train_states[b].is_none() {
+                            let slice = &train_rows[train_blocks[b].clone()];
+                            let t0 = clock.now();
+                            let batch = simulate_states_serial(slice, ansatz, backend, truncation);
+                            times.simulation += clock.since(t0);
+                            sims += slice.len();
+                            train_states[b] = Some(batch.states);
+                        }
+                        let sa = test_states[a].as_ref().unwrap();
+                        let sb = train_states[b].as_ref().unwrap();
+                        let t0 = clock.now();
+                        for (ia, va) in sa.iter().enumerate() {
+                            for (ib, vb) in sb.iter().enumerate() {
+                                let gi = test_blocks[a].start + ia;
+                                let gj = train_blocks[b].start + ib;
+                                let v = va.inner_with(backend, vb).norm_sqr();
+                                entries.push((gi, gj, v));
+                            }
+                        }
+                        times.inner_products += clock.since(t0);
                     }
-                    times.inner_products += clock.since(t0);
-                }
-                let t0 = Instant::now();
-                entry_tx.send(entries).expect("collector alive");
-                times.communication += t0.elapsed();
-                (times, sims)
-            })));
+                    let t0 = Instant::now();
+                    entry_tx.send(entries).expect("collector alive");
+                    times.communication += t0.elapsed();
+                    (times, sims)
+                }),
+            ));
         }
         drop(entry_tx);
         for (p, h) in handles {
@@ -233,12 +245,20 @@ fn round_robin_block(
                 // Phase 1: simulate the owned train and test partitions,
                 // each exactly once across the whole ring.
                 let t0 = clock.now();
-                let own_train =
-                    simulate_states_serial(&train_rows[my_train.clone()], ansatz, backend, truncation)
-                        .states;
-                let own_test =
-                    simulate_states_serial(&test_rows[my_test.clone()], ansatz, backend, truncation)
-                        .states;
+                let own_train = simulate_states_serial(
+                    &train_rows[my_train.clone()],
+                    ansatz,
+                    backend,
+                    truncation,
+                )
+                .states;
+                let own_test = simulate_states_serial(
+                    &test_rows[my_test.clone()],
+                    ansatz,
+                    backend,
+                    truncation,
+                )
+                .states;
                 times.simulation += clock.since(t0);
                 let sims = my_train.len() + my_test.len();
 
@@ -263,7 +283,10 @@ fn round_robin_block(
                     let payload = pack_states(&traveling);
                     comm_bytes += payload.len();
                     tx_left
-                        .send(RingMessage { owner: traveling_owner, payload })
+                        .send(RingMessage {
+                            owner: traveling_owner,
+                            payload,
+                        })
                         .expect("ring neighbour alive");
                     let msg = rx.recv().expect("ring neighbour alive");
                     traveling_owner = msg.owner;
@@ -316,7 +339,11 @@ mod tests {
 
     fn rows(n: usize, m: usize, offset: f64) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|i| (0..m).map(|j| ((i * m + j) % 7) as f64 * 0.27 + offset).collect())
+            .map(|i| {
+                (0..m)
+                    .map(|j| ((i * m + j) % 7) as f64 * 0.27 + offset)
+                    .collect()
+            })
             .collect()
     }
 
@@ -382,7 +409,12 @@ mod tests {
 
     #[test]
     fn no_messaging_never_communicates_but_duplicates_work() {
-        let out = check_matches(&rows(6, 3, 0.1), &rows(10, 3, 0.3), 4, Strategy::NoMessaging);
+        let out = check_matches(
+            &rows(6, 3, 0.1),
+            &rows(10, 3, 0.3),
+            4,
+            Strategy::NoMessaging,
+        );
         assert_eq!(out.bytes_communicated, 0);
         // The tile grid makes some block simulated on several processes.
         assert!(out.simulations_run >= 16, "{}", out.simulations_run);

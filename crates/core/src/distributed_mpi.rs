@@ -75,7 +75,12 @@ pub fn mpi_distributed_gram(
                 .flat_map(|bytes| decode_entries(bytes))
                 .collect::<Vec<Entry>>()
         });
-        RankOutput { times, comm_bytes, simulations, entries: merged }
+        RankOutput {
+            times,
+            comm_bytes,
+            simulations,
+            entries: merged,
+        }
     });
 
     let per_process: Vec<ProcessTimes> = outputs.iter().map(|o| o.times).collect();
@@ -134,8 +139,7 @@ fn no_messaging_rank(
     let g = tile_grid_order(k).min(n.max(1));
     let blocks = block_ranges(n, g);
     let tiles: Vec<(usize, usize)> = (0..g).flat_map(|a| (a..g).map(move |b| (a, b))).collect();
-    let my_tiles: Vec<(usize, usize)> =
-        tiles.iter().copied().skip(p.rank()).step_by(k).collect();
+    let my_tiles: Vec<(usize, usize)> = tiles.iter().copied().skip(p.rank()).step_by(k).collect();
 
     let clock = PhaseClock::new();
     let mut times = ProcessTimes::default();

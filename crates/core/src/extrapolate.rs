@@ -61,7 +61,10 @@ impl PrimitiveCosts {
         truncation: &TruncationConfig,
         backend: &dyn ExecutionBackend,
     ) -> Self {
-        assert!(sample.len() >= 2, "need at least two rows to time inner products");
+        assert!(
+            sample.len() >= 2,
+            "need at least two rows to time inner products"
+        );
         let batch = simulate_states_serial(sample, ansatz, backend, truncation);
         let simulation = batch.total_simulation_time().div_f64(sample.len() as f64);
 
@@ -83,7 +86,11 @@ impl PrimitiveCosts {
         }
         let communication_per_state = t0.elapsed() / batch.states.len() as u32;
 
-        PrimitiveCosts { simulation, inner_product, communication_per_state }
+        PrimitiveCosts {
+            simulation,
+            inner_product,
+            communication_per_state,
+        }
     }
 
     /// Recovers per-primitive costs from a measured distributed run on
@@ -354,7 +361,10 @@ mod tests {
     fn deadline_solver_reports_unreachable() {
         let c = PrimitiveCosts::paper_qml_ansatz();
         // One minute for 64k points is beyond any process count.
-        assert_eq!(processes_for_deadline(&c, 64_000, Duration::from_secs(60)), None);
+        assert_eq!(
+            processes_for_deadline(&c, 64_000, Duration::from_secs(60)),
+            None
+        );
     }
 
     #[test]

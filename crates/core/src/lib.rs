@@ -48,14 +48,14 @@ pub use extrapolate::{
     PrimitiveCosts, TrainingForecast,
 };
 pub use gram::{gram_matrix, kernel_block, TimedBlock, TimedKernel};
+pub use inference::{InferenceTiming, Prediction, QuantumKernelModel};
 pub use pipeline::{
     run_gaussian_experiment, run_gaussian_on_split, run_quantum_experiment, run_quantum_on_split,
     ExperimentConfig, ExperimentResult, PipelineTimings,
 };
-pub use inference::{InferenceTiming, Prediction, QuantumKernelModel};
+pub use projected::{projected_block, projected_feature_batch, projected_gram};
 pub use states::{simulate_states, simulate_states_serial, StateBatch};
 pub use timing::{thread_cpu_time, PhaseClock};
-pub use projected::{projected_block, projected_feature_batch, projected_gram};
 pub use truncation_study::{
     run_truncation_study, TruncationPoint, TruncationStudy, TruncationStudyConfig,
 };

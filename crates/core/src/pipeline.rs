@@ -7,9 +7,7 @@ use crate::states::simulate_states;
 use qk_circuit::AnsatzConfig;
 use qk_data::{prepare_experiment, Dataset, Split};
 use qk_mps::TruncationConfig;
-use qk_svm::{
-    gaussian_block, gaussian_gram, scale_bandwidth, sweep_c, SweepResult,
-};
+use qk_svm::{gaussian_block, gaussian_gram, scale_bandwidth, sweep_c, SweepResult};
 use qk_tensor::backend::ExecutionBackend;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -95,8 +93,18 @@ pub fn run_quantum_on_split(
     config: &ExperimentConfig,
     backend: &dyn ExecutionBackend,
 ) -> ExperimentResult {
-    let train_batch = simulate_states(&split.train.features, &config.ansatz, backend, &config.truncation);
-    let test_batch = simulate_states(&split.test.features, &config.ansatz, backend, &config.truncation);
+    let train_batch = simulate_states(
+        &split.train.features,
+        &config.ansatz,
+        backend,
+        &config.truncation,
+    );
+    let test_batch = simulate_states(
+        &split.test.features,
+        &config.ansatz,
+        backend,
+        &config.truncation,
+    );
 
     let train_timed = gram_matrix(&train_batch.states, backend);
     let test_timed = kernel_block(&test_batch.states, &train_batch.states, backend);
@@ -214,7 +222,11 @@ mod tests {
         let result = run_gaussian_experiment(&data, 80, 8, 6, &[0.5, 2.0], 1e-3);
         assert_eq!(result.sweep.points.len(), 2);
         // The synthetic task is learnable: better than chance.
-        assert!(result.best_test_auc() > 0.5, "auc {}", result.best_test_auc());
+        assert!(
+            result.best_test_auc() > 0.5,
+            "auc {}",
+            result.best_test_auc()
+        );
     }
 
     #[test]

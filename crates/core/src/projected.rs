@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn projected_kernel_trains_an_svm() {
         use qk_data::{generate, prepare_experiment, SyntheticConfig};
-        use qk_svm::{sweep_c, default_c_grid};
+        use qk_svm::{default_c_grid, sweep_c};
         // A large enough split that test AUC is stable (tiny test sets
         // make AUC a coin flip regardless of the kernel).
         let data = generate(&SyntheticConfig {

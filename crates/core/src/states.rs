@@ -36,7 +36,11 @@ impl StateBatch {
         if self.states.is_empty() {
             return 0.0;
         }
-        self.states.iter().map(|s| s.memory_bytes() as f64).sum::<f64>() / self.states.len() as f64
+        self.states
+            .iter()
+            .map(|s| s.memory_bytes() as f64)
+            .sum::<f64>()
+            / self.states.len() as f64
     }
 
     /// Sum of per-state simulation durations (CPU time, not wall time).
@@ -63,7 +67,11 @@ pub fn simulate_states(
         })
         .collect();
     let (states, records): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-    StateBatch { states, records, wall_time: start.elapsed() }
+    StateBatch {
+        states,
+        records,
+        wall_time: start.elapsed(),
+    }
 }
 
 /// Serial variant used inside explicitly-threaded distribution strategies
@@ -84,7 +92,11 @@ pub fn simulate_states_serial(
                 .simulate(&circuit)
         })
         .unzip();
-    StateBatch { states, records, wall_time: start.elapsed() }
+    StateBatch {
+        states,
+        records,
+        wall_time: start.elapsed(),
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! to wall-clock elsewhere. On a host with one core per process the two
 //! coincide.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// A per-thread phase clock: thread CPU time when available, wall time
@@ -27,7 +28,7 @@ impl PhaseClock {
     /// Creates a clock for the calling thread.
     pub fn new() -> Self {
         PhaseClock {
-            cpu_clock: thread_cpu_time().is_some(),
+            cpu_clock: schedstat_is_healthy(),
             epoch: Instant::now(),
         }
     }
@@ -65,6 +66,39 @@ pub fn thread_cpu_time() -> Option<Duration> {
     let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
     let ns: u64 = text.split_whitespace().next()?.parse().ok()?;
     Some(Duration::from_nanos(ns))
+}
+
+/// Whether the kernel's scheduler run-time accounting actually advances.
+///
+/// Some kernels expose `/proc/thread-self/schedstat` but with run-time
+/// accounting compiled out or disabled, so the on-CPU field reads zero
+/// forever; trusting it would silently measure every phase as zero. A
+/// freshly spawned thread also legitimately reads zero until its first
+/// scheduler tick, so the counter cannot be judged from a single
+/// instantaneous read at construction time. Instead the first caller
+/// burns CPU until the counter moves or a small wall budget (well past a
+/// scheduler tick) expires, and the process-wide verdict is cached.
+fn schedstat_is_healthy() -> bool {
+    static HEALTHY: OnceLock<bool> = OnceLock::new();
+    *HEALTHY.get_or_init(|| {
+        if thread_cpu_time().is_none() {
+            return false;
+        }
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let mut acc = 0u64;
+        loop {
+            // Spin-work so the probing thread keeps accumulating runtime.
+            for i in 0..50_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+            match thread_cpu_time() {
+                Some(t) if t > Duration::ZERO => return true,
+                Some(_) if Instant::now() < deadline => continue,
+                _ => return false,
+            }
+        }
+    })
 }
 
 #[cfg(test)]

@@ -19,9 +19,9 @@
 use crate::gram::{gram_matrix, kernel_block};
 use crate::states::simulate_states;
 use qk_circuit::AnsatzConfig;
+use qk_data::Split;
 use qk_mps::TruncationConfig;
 use qk_svm::{sweep_c, KernelBlock, KernelMatrix};
-use qk_data::Split;
 use qk_tensor::backend::ExecutionBackend;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -166,20 +166,35 @@ pub fn run_truncation_study(
     config: &TruncationStudyConfig,
     backend: &dyn ExecutionBackend,
 ) -> TruncationStudy {
-    assert!(!config.cutoffs.is_empty(), "sweep needs at least one cutoff");
+    assert!(
+        !config.cutoffs.is_empty(),
+        "sweep needs at least one cutoff"
+    );
     assert!(
         config.cutoffs.iter().all(|&c| c > 0.0 && c < 1.0),
         "cutoffs must lie in (0, 1)"
     );
-    let (reference, ref_kernel, ref_block) =
-        study_point(split, config, &TruncationConfig::paper_default(), backend, None);
+    let (reference, ref_kernel, ref_block) = study_point(
+        split,
+        config,
+        &TruncationConfig::paper_default(),
+        backend,
+        None,
+    );
 
     let points = config
         .cutoffs
         .iter()
         .map(|&cutoff| {
             let trunc = TruncationConfig::with_cutoff(cutoff);
-            study_point(split, config, &trunc, backend, Some((&ref_kernel, &ref_block))).0
+            study_point(
+                split,
+                config,
+                &trunc,
+                backend,
+                Some((&ref_kernel, &ref_block)),
+            )
+            .0
         })
         .collect();
 
@@ -203,7 +218,7 @@ mod tests {
             cutoffs,
             c_grid: vec![1.0],
             tol: 1e-3,
-            };
+        };
         run_truncation_study(&small_split(), &config, &CpuBackend::new())
     }
 
@@ -223,7 +238,10 @@ mod tests {
         // Monotone within measurement jitter: the loosest cutoff must be
         // at least as bad as the tightest, and strictly noisy.
         assert!(errs[2] >= errs[0], "{errs:?}");
-        assert!(errs[2] > 1e-4, "aggressive truncation should inject visible noise: {errs:?}");
+        assert!(
+            errs[2] > 1e-4,
+            "aggressive truncation should inject visible noise: {errs:?}"
+        );
         // Tight cutoff stays small. Note the amplitude-level error scales
         // like sqrt(cutoff) per truncation, accumulated over every
         // two-qubit gate, so 1e-10 discarded weight shows up as ~1e-6
@@ -251,9 +269,7 @@ mod tests {
     #[test]
     fn discarded_weight_accounting_matches_direction() {
         let study = run_small(vec![1e-10, 5e-2], 3);
-        assert!(
-            study.points[1].mean_discarded_weight >= study.points[0].mean_discarded_weight
-        );
+        assert!(study.points[1].mean_discarded_weight >= study.points[0].mean_discarded_weight);
         assert!(study.points[1].min_fidelity_bound <= study.points[0].min_fidelity_bound);
         // Fidelity bounds stay valid probabilities.
         for p in study.points.iter().chain([&study.reference]) {

@@ -14,10 +14,7 @@ use std::time::Duration;
 
 /// Feature rows in the rescaled (0, 2) domain the ansatz expects.
 fn rows_strategy(max_rows: usize, features: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..2.0, features),
-        2..=max_rows,
-    )
+    prop::collection::vec(prop::collection::vec(0.0f64..2.0, features), 2..=max_rows)
 }
 
 proptest! {

@@ -28,7 +28,9 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
-            CsvError::Parse { line, message } => write!(f, "csv parse error on line {line}: {message}"),
+            CsvError::Parse { line, message } => {
+                write!(f, "csv parse error on line {line}: {message}")
+            }
         }
     }
 }

@@ -90,7 +90,11 @@ impl Dataset {
     /// Keeps only the first `k` features of every row (the paper
     /// "down-selects and seeds to a specified dimension").
     pub fn truncate_features(&self, k: usize) -> Dataset {
-        assert!(k <= self.num_features(), "cannot keep {k} of {} features", self.num_features());
+        assert!(
+            k <= self.num_features(),
+            "cannot keep {k} of {} features",
+            self.num_features()
+        );
         Dataset {
             features: self.features.iter().map(|row| row[..k].to_vec()).collect(),
             labels: self.labels.clone(),

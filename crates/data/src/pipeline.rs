@@ -65,7 +65,12 @@ impl Scaler {
                 maxes[j] = 1.0;
             }
         }
-        Scaler { means, stds, mins, maxes }
+        Scaler {
+            means,
+            stds,
+            mins,
+            maxes,
+        }
     }
 
     /// Standardizes then min-max rescales one row into `(0, 2)`; values
@@ -85,7 +90,10 @@ impl Scaler {
     /// Transforms a whole dataset.
     pub fn transform(&self, data: &Dataset) -> Dataset {
         Dataset::new(
-            data.features.iter().map(|r| self.transform_row(r)).collect(),
+            data.features
+                .iter()
+                .map(|r| self.transform_row(r))
+                .collect(),
             data.labels.clone(),
         )
     }
@@ -131,12 +139,17 @@ pub fn balanced_subsample(data: &Dataset, n: usize, seed: u64) -> Dataset {
 /// Stratified train/test split with the given train fraction (the paper
 /// uses 0.8), seeded.
 pub fn stratified_split(data: &Dataset, train_fraction: f64, seed: u64) -> Split {
-    assert!((0.0..1.0).contains(&train_fraction), "fraction must be in (0, 1)");
+    assert!(
+        (0.0..1.0).contains(&train_fraction),
+        "fraction must be in (0, 1)"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5_5A5A);
     let mut train_idx = Vec::new();
     let mut test_idx = Vec::new();
     for class in [Label::Illicit, Label::Licit] {
-        let mut idx: Vec<usize> = (0..data.len()).filter(|&i| data.labels[i] == class).collect();
+        let mut idx: Vec<usize> = (0..data.len())
+            .filter(|&i| data.labels[i] == class)
+            .collect();
         idx.shuffle(&mut rng);
         let cut = ((idx.len() as f64) * train_fraction).round() as usize;
         train_idx.extend_from_slice(&idx[..cut]);

@@ -55,7 +55,10 @@ impl Default for SyntheticConfig {
 impl SyntheticConfig {
     /// The full elliptic-like shape with a custom seed.
     pub fn elliptic_like(seed: u64) -> Self {
-        SyntheticConfig { seed, ..Self::default() }
+        SyntheticConfig {
+            seed,
+            ..Self::default()
+        }
     }
 
     /// A small configuration for unit tests and quick examples.
@@ -131,7 +134,11 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
         loop {
             let z: Vec<f64> = (0..config.latent_dim).map(|_| normal(rng)).collect();
             let s = latent_score(&z);
-            let ok = if want_positive { s > SCORE_MARGIN } else { s < -SCORE_MARGIN };
+            let ok = if want_positive {
+                s > SCORE_MARGIN
+            } else {
+                s < -SCORE_MARGIN
+            };
             if ok {
                 return z;
             }
@@ -139,7 +146,11 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
     };
 
     for class_positive in [true, false] {
-        let count = if class_positive { config.num_illicit } else { config.num_licit };
+        let count = if class_positive {
+            config.num_illicit
+        } else {
+            config.num_licit
+        };
         for _ in 0..count {
             let z = draw_class(&mut rng, class_positive);
             let row: Vec<f64> = w
@@ -150,7 +161,11 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
                 })
                 .collect();
             features.push(row);
-            labels.push(if class_positive { Label::Illicit } else { Label::Licit });
+            labels.push(if class_positive {
+                Label::Illicit
+            } else {
+                Label::Licit
+            });
         }
     }
 
@@ -222,7 +237,11 @@ mod tests {
         let mut mean_pos = vec![0.0f64; m];
         let mut mean_neg = vec![0.0f64; m];
         for (row, label) in d.features.iter().zip(&d.labels) {
-            let target = if *label == Label::Illicit { &mut mean_pos } else { &mut mean_neg };
+            let target = if *label == Label::Illicit {
+                &mut mean_pos
+            } else {
+                &mut mean_neg
+            };
             for (t, x) in target.iter_mut().zip(row) {
                 *t += x;
             }

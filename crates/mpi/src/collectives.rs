@@ -93,7 +93,11 @@ impl Process {
         let seq = self.next_collective_seq();
         // Work in root-relative rank space so the tree is rooted at 0.
         let vrank = (self.rank() + k - root) % k;
-        let mut payload = if vrank == 0 { data.to_vec() } else { Vec::new() };
+        let mut payload = if vrank == 0 {
+            data.to_vec()
+        } else {
+            Vec::new()
+        };
 
         // Receive round: the highest power of two below or at vrank tells
         // which round this rank is reached in.
@@ -118,7 +122,10 @@ impl Process {
                 let dest = (dest_v + root) % k;
                 self.send_internal(
                     dest,
-                    Class::Collective { seq, round: r as u32 },
+                    Class::Collective {
+                        seq,
+                        round: r as u32,
+                    },
                     payload.clone(),
                 );
             }
@@ -181,7 +188,10 @@ impl Process {
         let left = (self.rank() + k - 1) % k;
         // At step s, forward the block that originated at rank - s.
         for step in 0..k.saturating_sub(1) {
-            let class = Class::Collective { seq, round: step as u32 };
+            let class = Class::Collective {
+                seq,
+                round: step as u32,
+            };
             let outgoing_owner = (self.rank() + k - step) % k;
             self.send_internal(right, class, out[outgoing_owner].clone());
             let incoming_owner = (self.rank() + k - step - 1) % k;
@@ -253,7 +263,11 @@ mod tests {
         for k in 1..=6usize {
             for root in 0..k {
                 let out = run_world(k, |p| {
-                    let data = if p.rank() == root { vec![7u8, 8, 9] } else { Vec::new() };
+                    let data = if p.rank() == root {
+                        vec![7u8, 8, 9]
+                    } else {
+                        Vec::new()
+                    };
                     p.broadcast(root, &data)
                 });
                 for (rank, payload) in out.iter().enumerate() {

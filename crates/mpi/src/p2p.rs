@@ -80,12 +80,7 @@ impl Mailbox {
     /// Blocks until an envelope matching the filter is queued, removes and
     /// returns it. The earliest matching envelope wins, preserving
     /// per-sender ordering.
-    pub(crate) fn take(
-        &self,
-        class: Class,
-        source: Source,
-        tag: u32,
-    ) -> Envelope {
+    pub(crate) fn take(&self, class: Class, source: Source, tag: u32) -> Envelope {
         let mut q = self.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|e| {
@@ -98,12 +93,7 @@ impl Mailbox {
     }
 
     /// Non-blocking variant of [`Mailbox::take`].
-    pub(crate) fn try_take(
-        &self,
-        class: Class,
-        source: Source,
-        tag: u32,
-    ) -> Option<Envelope> {
+    pub(crate) fn try_take(&self, class: Class, source: Source, tag: u32) -> Option<Envelope> {
         let mut q = self.queue.lock();
         q.iter()
             .position(|e| {
@@ -124,7 +114,12 @@ mod tests {
     use super::*;
 
     fn user(src: usize, tag: u32, byte: u8) -> Envelope {
-        Envelope { src, tag, class: Class::User, payload: vec![byte] }
+        Envelope {
+            src,
+            tag,
+            class: Class::User,
+            payload: vec![byte],
+        }
     }
 
     #[test]

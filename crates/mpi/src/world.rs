@@ -95,7 +95,10 @@ impl Process {
     /// Panics if `dest` is out of range or `tag` is the reserved
     /// [`crate::ANY_TAG`] value.
     pub fn send(&mut self, dest: usize, tag: u32, payload: &[u8]) {
-        assert!(dest < self.world_size, "destination rank {dest} out of range");
+        assert!(
+            dest < self.world_size,
+            "destination rank {dest} out of range"
+        );
         assert_ne!(tag, crate::ANY_TAG, "ANY_TAG is receive-only");
         self.stats.bytes_sent += payload.len();
         self.stats.messages_sent += 1;
@@ -114,7 +117,11 @@ impl Process {
         self.stats.blocked += t0.elapsed();
         self.stats.bytes_received += e.payload.len();
         self.stats.messages_received += 1;
-        Message { src: e.src, tag: e.tag, payload: e.payload }
+        Message {
+            src: e.src,
+            tag: e.tag,
+            payload: e.payload,
+        }
     }
 
     /// Non-blocking receive; `None` when no matching message is queued.
@@ -122,7 +129,11 @@ impl Process {
         let e = self.mailboxes[self.rank].try_take(Class::User, source, tag)?;
         self.stats.bytes_received += e.payload.len();
         self.stats.messages_received += 1;
-        Some(Message { src: e.src, tag: e.tag, payload: e.payload })
+        Some(Message {
+            src: e.src,
+            tag: e.tag,
+            payload: e.payload,
+        })
     }
 
     /// Combined send + receive (like `MPI_Sendrecv`); safe in rings
@@ -144,7 +155,12 @@ impl Process {
     pub(crate) fn send_internal(&mut self, dest: usize, class: Class, payload: Vec<u8>) {
         self.stats.bytes_sent += payload.len();
         self.stats.messages_sent += 1;
-        self.mailboxes[dest].deposit(Envelope { src: self.rank, tag: 0, class, payload });
+        self.mailboxes[dest].deposit(Envelope {
+            src: self.rank,
+            tag: 0,
+            class,
+            payload,
+        });
     }
 
     pub(crate) fn recv_internal(&mut self, src: usize, class: Class) -> Vec<u8> {

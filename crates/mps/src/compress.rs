@@ -30,7 +30,11 @@ impl Mps {
     /// in general far from minimal — follow with [`Mps::compress`].
     pub fn add(&self, other: &Mps) -> Mps {
         let m = self.num_qubits();
-        assert_eq!(m, other.num_qubits(), "MPS addition requires equal qubit counts");
+        assert_eq!(
+            m,
+            other.num_qubits(),
+            "MPS addition requires equal qubit counts"
+        );
         if m == 1 {
             let mut data = self.sites()[0].data().to_vec();
             for (z, w) in data.iter_mut().zip(other.sites()[0].data()) {

@@ -70,7 +70,9 @@ impl Mpo {
         data[0] = Complex64::ONE;
         data[3] = Complex64::ONE;
         let site = Tensor::from_data(&[1, 2, 2, 1], data);
-        Mpo { sites: vec![site; num_qubits] }
+        Mpo {
+            sites: vec![site; num_qubits],
+        }
     }
 
     /// A single weighted Pauli string as a bond-dimension-1 MPO. The
@@ -139,13 +141,19 @@ impl Mpo {
     /// Direct-sum addition `self + other` (bonds add; boundaries stay 1).
     pub fn add(&self, other: &Mpo) -> Mpo {
         let m = self.num_qubits();
-        assert_eq!(m, other.num_qubits(), "MPO addition requires equal qubit counts");
+        assert_eq!(
+            m,
+            other.num_qubits(),
+            "MPO addition requires equal qubit counts"
+        );
         if m == 1 {
             let mut data = self.sites[0].data().to_vec();
             for (z, w) in data.iter_mut().zip(other.sites[0].data()) {
                 *z += *w;
             }
-            return Mpo { sites: vec![Tensor::from_data(&[1, 2, 2, 1], data)] };
+            return Mpo {
+                sites: vec![Tensor::from_data(&[1, 2, 2, 1], data)],
+            };
         }
         let mut sites = Vec::with_capacity(m);
         for q in 0..m {
@@ -202,7 +210,10 @@ impl Mpo {
         if m == 1 {
             return;
         }
-        let config = TruncationConfig { cutoff, max_bond: None };
+        let config = TruncationConfig {
+            cutoff,
+            max_bond: None,
+        };
         // Left-to-right QR pass to orthogonalize (reusing the SVD as an
         // orthogonalizer keeps the dependency surface small: U columns are
         // orthonormal).
@@ -510,9 +521,7 @@ mod tests {
         let plus = Mps::plus_state(5);
         let expect: f64 = qk_circuit::linear_chain_edges(5, d)
             .into_iter()
-            .map(|(i, j)| {
-                gamma * gamma * std::f64::consts::FRAC_PI_2 * (1.0 - x[i]) * (1.0 - x[j])
-            })
+            .map(|(i, j)| gamma * gamma * std::f64::consts::FRAC_PI_2 * (1.0 - x[i]) * (1.0 - x[j]))
             .sum();
         assert!((h.expectation_real(&plus) - expect).abs() < 1e-9);
     }
@@ -548,9 +557,11 @@ mod tests {
 
     #[test]
     fn compress_preserves_dense_form() {
-        let terms = [PauliString::new(0.5, vec![(0, Pauli::Z)]),
+        let terms = [
+            PauliString::new(0.5, vec![(0, Pauli::Z)]),
             PauliString::new(0.5, vec![(1, Pauli::Z)]),
-            PauliString::new(0.25, vec![(0, Pauli::X), (1, Pauli::X)])];
+            PauliString::new(0.25, vec![(0, Pauli::X), (1, Pauli::X)]),
+        ];
         // Build without intermediate compression to get a padded MPO.
         let mut op = Mpo::from_pauli_string(2, &terms[0]);
         for t in &terms[1..] {

@@ -28,7 +28,10 @@ pub struct TruncationConfig {
 
 impl Default for TruncationConfig {
     fn default() -> Self {
-        TruncationConfig { cutoff: 1e-16, max_bond: None }
+        TruncationConfig {
+            cutoff: 1e-16,
+            max_bond: None,
+        }
     }
 }
 
@@ -40,12 +43,18 @@ impl TruncationConfig {
 
     /// A lossier configuration for ablation studies.
     pub fn with_cutoff(cutoff: f64) -> Self {
-        TruncationConfig { cutoff, max_bond: None }
+        TruncationConfig {
+            cutoff,
+            max_bond: None,
+        }
     }
 
     /// Cutoff plus a hard bond cap.
     pub fn capped(cutoff: f64, max_bond: usize) -> Self {
-        TruncationConfig { cutoff, max_bond: Some(max_bond) }
+        TruncationConfig {
+            cutoff,
+            max_bond: Some(max_bond),
+        }
     }
 }
 
@@ -116,7 +125,11 @@ impl Mps {
                 Tensor::from_data(&[1, 2, 1], data)
             })
             .collect();
-        Mps { sites, center: 0, stats: TruncationStats::default() }
+        Mps {
+            sites,
+            center: 0,
+            stats: TruncationStats::default(),
+        }
     }
 
     /// Builds an MPS from explicit site tensors and establishes canonical
@@ -133,7 +146,11 @@ impl Mps {
             assert_eq!(site.shape()[1], 2, "site {q} physical dimension must be 2");
         }
         assert_eq!(sites[0].shape()[0], 1, "left boundary bond must be 1");
-        assert_eq!(sites[sites.len() - 1].shape()[2], 1, "right boundary bond must be 1");
+        assert_eq!(
+            sites[sites.len() - 1].shape()[2],
+            1,
+            "right boundary bond must be 1"
+        );
         for q in 0..sites.len() - 1 {
             assert_eq!(
                 sites[q].shape()[2],
@@ -142,7 +159,11 @@ impl Mps {
                 q + 1
             );
         }
-        let mut mps = Mps { sites, center: 0, stats: TruncationStats::default() };
+        let mut mps = Mps {
+            sites,
+            center: 0,
+            stats: TruncationStats::default(),
+        };
         // Left-to-right QR sweep: left-orthogonalizes every site, so the
         // mixed-canonical invariant holds with the center at the last site.
         for _ in 0..mps.sites.len() - 1 {
@@ -460,7 +481,11 @@ impl Mps {
             sites.push(Tensor::from_data(&[l, 2, r], data));
         }
         assert!(center < n_sites, "corrupt MPS bytes: bad center");
-        Mps { sites, center, stats: TruncationStats::default() }
+        Mps {
+            sites,
+            center,
+            stats: TruncationStats::default(),
+        }
     }
 }
 
@@ -525,7 +550,11 @@ mod tests {
         let mps = Mps::basis_state(&[1, 0, 1]);
         let sv = mps.to_statevector();
         for (idx, z) in sv.iter().enumerate() {
-            let expect = if idx == 0b101 { Complex64::ONE } else { Complex64::ZERO };
+            let expect = if idx == 0b101 {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
             assert!(approx_eq(*z, expect, 1e-12), "index {idx}");
         }
     }
@@ -659,7 +688,10 @@ mod tests {
     #[test]
     fn decide_rank_keeps_all_without_cutoff() {
         let s = vec![0.9, 0.3, 0.1];
-        let cfg = TruncationConfig { cutoff: 0.0, max_bond: None };
+        let cfg = TruncationConfig {
+            cutoff: 0.0,
+            max_bond: None,
+        };
         let (kept, w, n) = decide_rank(&s, &cfg);
         assert_eq!(kept, 3);
         assert_eq!(w, 0.0);

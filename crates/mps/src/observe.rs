@@ -15,7 +15,12 @@ use qk_tensor::tensor::Tensor;
 pub fn pauli_x() -> Tensor {
     Tensor::from_data(
         &[2, 2],
-        vec![Complex64::ZERO, Complex64::ONE, Complex64::ONE, Complex64::ZERO],
+        vec![
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ONE,
+            Complex64::ZERO,
+        ],
     )
 }
 

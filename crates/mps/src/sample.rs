@@ -125,12 +125,7 @@ impl Mps {
 /// binomial sample mean — this models *shot noise only*, which is exactly
 /// the error source hardware adds on top of the exact kernel the paper's
 /// simulator computes.
-pub fn shot_estimate_overlap<R: Rng + ?Sized>(
-    a: &Mps,
-    b: &Mps,
-    shots: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn shot_estimate_overlap<R: Rng + ?Sized>(a: &Mps, b: &Mps, shots: usize, rng: &mut R) -> f64 {
     assert!(shots > 0, "need at least one shot");
     let p = a.overlap_sqr(b).clamp(0.0, 1.0);
     let hits = (0..shots).filter(|_| rng.gen::<f64>() < p).count();
@@ -179,10 +174,7 @@ mod tests {
         let sv = mps.to_statevector();
         for (idx, &amp) in sv.iter().enumerate() {
             let bits: Vec<u8> = (0..4).map(|q| ((idx >> (3 - q)) & 1) as u8).collect();
-            assert!(
-                approx_eq(mps.amplitude(&bits), amp, 1e-10),
-                "index {idx}"
-            );
+            assert!(approx_eq(mps.amplitude(&bits), amp, 1e-10), "index {idx}");
         }
     }
 

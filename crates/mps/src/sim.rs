@@ -100,7 +100,11 @@ impl<'b> MpsSimulator<'b> {
             circuit.is_mps_local(),
             "circuit must be routed for MPS locality first"
         );
-        assert_eq!(circuit.num_qubits(), mps.num_qubits(), "register size mismatch");
+        assert_eq!(
+            circuit.num_qubits(),
+            mps.num_qubits(),
+            "register size mismatch"
+        );
         let start = Instant::now();
         let total_gates = circuit.len().max(1);
         let mut record = SimRecord {
@@ -185,7 +189,9 @@ mod tests {
         let be = CpuBackend::new();
         let sim = MpsSimulator::new(&be);
         let mut c = Circuit::new(3);
-        c.push1(Gate::H, 0).push2(Gate::Cx, 0, 1).push2(Gate::Cx, 1, 2);
+        c.push1(Gate::H, 0)
+            .push2(Gate::Cx, 0, 1)
+            .push2(Gate::Cx, 1, 2);
         let (mps, rec) = sim.simulate(&c);
         assert_eq!(rec.gates_applied, 3);
         assert_eq!(rec.two_qubit_gates, 2);

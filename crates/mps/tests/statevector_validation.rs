@@ -187,5 +187,8 @@ fn truncation_error_bound_holds() {
     );
     // With a 1e-4 cutoff some truncation should actually have happened on
     // this circuit; otherwise the test is vacuous.
-    assert!(rec.truncation.values_discarded > 0, "no truncation exercised");
+    assert!(
+        rec.truncation.values_discarded > 0,
+        "no truncation exercised"
+    );
 }

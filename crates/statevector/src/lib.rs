@@ -33,7 +33,10 @@ impl StateVector {
         );
         let mut amplitudes = vec![Complex64::ZERO; 1 << num_qubits];
         amplitudes[0] = Complex64::ONE;
-        StateVector { num_qubits, amplitudes }
+        StateVector {
+            num_qubits,
+            amplitudes,
+        }
     }
 
     /// The uniform superposition `|+>^m` (the ansatz input state).
@@ -102,7 +105,10 @@ impl StateVector {
     /// Applies a two-qubit gate to qubits `(qa, qb)`; `qa` is the gate's
     /// first qubit. Works for arbitrary (non-adjacent) pairs.
     pub fn apply_gate2(&mut self, gate: &Tensor, qa: usize, qb: usize) {
-        assert!(qa < self.num_qubits && qb < self.num_qubits, "qubit out of range");
+        assert!(
+            qa < self.num_qubits && qb < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
         assert_eq!(gate.shape(), &[4, 4], "two-qubit gate must be 4x4");
         let g = gate.data();
@@ -136,7 +142,11 @@ impl StateVector {
 
     /// Runs a circuit starting from this state.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert_eq!(circuit.num_qubits(), self.num_qubits, "register size mismatch");
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "register size mismatch"
+        );
         for op in circuit.ops() {
             let matrix = op.gate.matrix();
             match op.qubits.as_slice() {

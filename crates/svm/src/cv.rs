@@ -83,7 +83,10 @@ pub fn stratified_folds(labels: &[f64], k: usize, seed: u64) -> Vec<Fold> {
             val.sort_unstable();
             let in_val: std::collections::HashSet<usize> = val.iter().copied().collect();
             let train: Vec<usize> = (0..labels.len()).filter(|i| !in_val.contains(i)).collect();
-            Fold { train, validation: val }
+            Fold {
+                train,
+                validation: val,
+            }
         })
         .collect()
 }
@@ -132,7 +135,11 @@ pub fn cross_validate(
         .map(|m| (m.auc - mean.auc).powi(2))
         .sum::<f64>()
         / fold_metrics.len() as f64;
-    CvResult { fold_metrics, mean, auc_std: auc_var.sqrt() }
+    CvResult {
+        fold_metrics,
+        mean,
+        auc_std: auc_var.sqrt(),
+    }
 }
 
 /// Cross-validated C selection: runs [`cross_validate`] for every C in
@@ -169,7 +176,9 @@ mod tests {
     /// Block kernel with strong within-class similarity: class of index i
     /// is +1 for even i. Cross-class similarity is low.
     fn separable_problem(n: usize) -> (KernelMatrix, Vec<f64>) {
-        let labels: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let labels: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let kernel = KernelMatrix::from_fn(n, |i, j| {
             if i == j {
                 1.0
@@ -224,7 +233,9 @@ mod tests {
 
     #[test]
     fn folds_are_seed_deterministic() {
-        let labels: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let labels: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let a = stratified_folds(&labels, 4, 11);
         let b = stratified_folds(&labels, 4, 11);
         let c = stratified_folds(&labels, 4, 12);
@@ -244,7 +255,9 @@ mod tests {
     #[test]
     fn cv_on_uninformative_kernel_is_chance_level() {
         let n = 24;
-        let labels: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let labels: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         // Constant kernel carries no information.
         let kernel = KernelMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { 0.5 });
         let result = cross_validate(&kernel, &labels, &SmoParams::with_c(1.0), 4, 3);
@@ -258,14 +271,8 @@ mod tests {
     #[test]
     fn select_c_prefers_better_c() {
         let (kernel, labels) = separable_problem(24);
-        let (best_c, results) = select_c_by_cv(
-            &kernel,
-            &labels,
-            &[0.01, 1.0],
-            &SmoParams::default(),
-            3,
-            5,
-        );
+        let (best_c, results) =
+            select_c_by_cv(&kernel, &labels, &[0.01, 1.0], &SmoParams::default(), 3, 5);
         assert_eq!(results.len(), 2);
         let best = results.iter().find(|(c, _)| *c == best_c).unwrap();
         for (_, r) in &results {

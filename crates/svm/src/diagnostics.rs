@@ -364,7 +364,9 @@ mod tests {
     fn alignment_of_identity_is_inverse_sqrt_n() {
         // <I, yy^T> = n, |I|_F = sqrt(n), |yy^T|_F = n -> 1/sqrt(n).
         let n = 9;
-        let labels: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let labels: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let a = kernel_target_alignment(&identity(n), &labels);
         assert!((a - 1.0 / (n as f64).sqrt()).abs() < 1e-12, "alignment {a}");
     }

@@ -67,7 +67,9 @@ mod tests {
 
     #[test]
     fn symmetric_and_bounded() {
-        let pts: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 * 0.3, (i * i) as f64 * 0.1]).collect();
+        let pts: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![i as f64 * 0.3, (i * i) as f64 * 0.1])
+            .collect();
         let k = gaussian_gram(&pts, 0.7);
         assert_eq!(k.max_asymmetry(), 0.0);
         for i in 0..6 {

@@ -49,6 +49,6 @@ pub use metrics::{
     average_precision, balanced_accuracy, f1_score, matthews_corrcoef, pr_curve, roc_auc,
     roc_curve, Metrics,
 };
-pub use platt::{fit_platt, PlattCalibration};
 pub use model_select::{default_c_grid, sweep_c, SweepPoint, SweepResult};
+pub use platt::{fit_platt, PlattCalibration};
 pub use smo::{train_svc, SmoParams, TrainedSvm};

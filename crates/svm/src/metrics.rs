@@ -156,7 +156,11 @@ pub fn roc_curve(scores: &[f64], labels: &[f64]) -> Vec<RocPoint> {
     let n_neg = labels.len() - n_pos;
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
-    let mut curve = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let mut curve = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut i = 0;
     while i < order.len() {
@@ -170,8 +174,16 @@ pub fn roc_curve(scores: &[f64], labels: &[f64]) -> Vec<RocPoint> {
             i += 1;
         }
         curve.push(RocPoint {
-            fpr: if n_neg == 0 { 0.0 } else { fp as f64 / n_neg as f64 },
-            tpr: if n_pos == 0 { 0.0 } else { tp as f64 / n_pos as f64 },
+            fpr: if n_neg == 0 {
+                0.0
+            } else {
+                fp as f64 / n_neg as f64
+            },
+            tpr: if n_pos == 0 {
+                0.0
+            } else {
+                tp as f64 / n_pos as f64
+            },
             threshold: t,
         });
     }
@@ -249,8 +261,16 @@ pub fn pr_curve(scores: &[f64], labels: &[f64]) -> Vec<PrPoint> {
             i += 1;
         }
         curve.push(PrPoint {
-            recall: if n_pos == 0 { 0.0 } else { tp as f64 / n_pos as f64 },
-            precision: if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 },
+            recall: if n_pos == 0 {
+                0.0
+            } else {
+                tp as f64 / n_pos as f64
+            },
+            precision: if tp + fp == 0 {
+                1.0
+            } else {
+                tp as f64 / (tp + fp) as f64
+            },
             threshold: t,
         });
     }
@@ -322,7 +342,15 @@ mod tests {
         let scores = [1.0, 1.0, -1.0, -1.0, 1.0];
         let labels = [1.0, -1.0, -1.0, 1.0, 1.0];
         let c = confusion(&scores, &labels, 0.0);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((precision(&scores, &labels, 0.0) - 2.0 / 3.0).abs() < 1e-12);
         assert!((recall(&scores, &labels, 0.0) - 2.0 / 3.0).abs() < 1e-12);
         assert!((accuracy(&scores, &labels, 0.0) - 0.6).abs() < 1e-12);
@@ -428,8 +456,18 @@ mod tests {
 
     #[test]
     fn metrics_mean() {
-        let a = Metrics { auc: 0.8, recall: 0.6, precision: 0.7, accuracy: 0.75 };
-        let b = Metrics { auc: 1.0, recall: 1.0, precision: 0.9, accuracy: 0.85 };
+        let a = Metrics {
+            auc: 0.8,
+            recall: 0.6,
+            precision: 0.7,
+            accuracy: 0.75,
+        };
+        let b = Metrics {
+            auc: 1.0,
+            recall: 1.0,
+            precision: 0.9,
+            accuracy: 0.85,
+        };
         let m = Metrics::mean(&[a, b]);
         assert!((m.auc - 0.9).abs() < 1e-12);
         assert!((m.recall - 0.8).abs() < 1e-12);

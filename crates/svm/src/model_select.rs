@@ -51,12 +51,24 @@ pub fn sweep_c(
     grid: &[f64],
     tol: f64,
 ) -> SweepResult {
-    assert_eq!(test_kernel.cols(), train_kernel.len(), "kernel shape mismatch");
-    assert_eq!(test_kernel.rows(), test_labels.len(), "test label count mismatch");
+    assert_eq!(
+        test_kernel.cols(),
+        train_kernel.len(),
+        "kernel shape mismatch"
+    );
+    assert_eq!(
+        test_kernel.rows(),
+        test_labels.len(),
+        "test label count mismatch"
+    );
     let points = grid
         .iter()
         .map(|&c| {
-            let params = SmoParams { c, tol, ..SmoParams::default() };
+            let params = SmoParams {
+                c,
+                tol,
+                ..SmoParams::default()
+            };
             let model = train_svc(train_kernel, train_labels, &params);
             SweepPoint {
                 c,

@@ -38,7 +38,10 @@ impl PlattCalibration {
 
     /// Calibrated probabilities for a batch of decision values.
     pub fn probabilities(&self, decision_values: &[f64]) -> Vec<f64> {
-        decision_values.iter().map(|&f| self.probability(f)).collect()
+        decision_values
+            .iter()
+            .map(|&f| self.probability(f))
+            .collect()
     }
 }
 
@@ -139,7 +142,12 @@ pub fn fit_platt(decision_values: &[f64], labels: &[f64]) -> PlattCalibration {
         }
     }
 
-    PlattCalibration { a, b, nll: fval, iterations }
+    PlattCalibration {
+        a,
+        b,
+        nll: fval,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +183,9 @@ mod tests {
         let (scores, labels) = synthetic(60);
         let cal = fit_platt(&scores, &labels);
         assert!(cal.a < 0.0, "slope should be negative, got {}", cal.a);
-        let ps: Vec<f64> = (-20..=20).map(|i| cal.probability(i as f64 / 5.0)).collect();
+        let ps: Vec<f64> = (-20..=20)
+            .map(|i| cal.probability(i as f64 / 5.0))
+            .collect();
         for w in ps.windows(2) {
             assert!(w[1] >= w[0] - 1e-12);
         }
@@ -204,8 +214,16 @@ mod tests {
             labels.push(if i % 5 == 0 { 1.0 } else { -1.0 });
         }
         let cal = fit_platt(&scores, &labels);
-        assert!((cal.probability(1.0) - 0.8).abs() < 0.08, "{}", cal.probability(1.0));
-        assert!((cal.probability(-1.0) - 0.2).abs() < 0.08, "{}", cal.probability(-1.0));
+        assert!(
+            (cal.probability(1.0) - 0.8).abs() < 0.08,
+            "{}",
+            cal.probability(1.0)
+        );
+        assert!(
+            (cal.probability(-1.0) - 0.2).abs() < 0.08,
+            "{}",
+            cal.probability(-1.0)
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl Default for SmoParams {
 impl SmoParams {
     /// Default parameters at a given `C`.
     pub fn with_c(c: f64) -> Self {
-        SmoParams { c, ..Self::default() }
+        SmoParams {
+            c,
+            ..Self::default()
+        }
     }
 }
 
@@ -159,7 +162,12 @@ pub fn train_svc(kernel: &KernelMatrix, labels: &[f64], params: &SmoParams) -> T
         }
     }
 
-    TrainedSvm { alphas, bias, labels: labels.to_vec(), passes: total_passes }
+    TrainedSvm {
+        alphas,
+        bias,
+        labels: labels.to_vec(),
+        passes: total_passes,
+    }
 }
 
 /// Chooses the second working-set index.
@@ -182,14 +190,28 @@ fn select_second(i: usize, errors: &[f64], alphas: &[f64], c: f64, rng: &mut Cha
             best = Some(j);
         }
     }
-    best.unwrap_or_else(|| {
-        // Random fallback over all other indices.
-        let mut j = rng.gen_range(0..n - 1);
-        if j >= i {
-            j += 1;
-        }
+    best.unwrap_or_else(|| random_other_index(i, n, rng))
+}
+
+/// Uniform draw of `j != i` from `0..n`.
+///
+/// Draws from the `n - 1` admissible values and shifts the draws at or
+/// above `i` up by one: `[0, n-1)` maps bijectively onto `[0, n) \ {i}`,
+/// so every `j != i` has probability exactly `1/(n-1)` (no
+/// rejection-resampling and no modulo bias; see the distribution test
+/// below). Degenerate problems with `n < 2` have no admissible second
+/// index, so `i` itself is returned and the caller's `take_step`
+/// rejects the `i == j` pair as unproductive.
+fn random_other_index(i: usize, n: usize, rng: &mut ChaCha8Rng) -> usize {
+    if n < 2 {
+        return i;
+    }
+    let j = rng.gen_range(0..n - 1);
+    if j >= i {
+        j + 1
+    } else {
         j
-    })
+    }
 }
 
 /// Attempts the analytic two-variable update; returns `true` on progress.
@@ -270,6 +292,50 @@ fn take_step(
 mod tests {
     use super::*;
 
+    /// The fallback draw hits every `j != i` with frequency `1/(n-1)`.
+    ///
+    /// Pins the distribution over small `n` with a fixed seed: for each
+    /// `i`, 20 000 draws must put every admissible index within 5% of
+    /// the uniform share absolutely, and must never produce `j == i`.
+    #[test]
+    fn second_index_fallback_is_uniform() {
+        const DRAWS: usize = 20_000;
+        for n in 2..=6usize {
+            for i in 0..n {
+                let mut rng = ChaCha8Rng::seed_from_u64(42 + (n * 10 + i) as u64);
+                let mut counts = vec![0usize; n];
+                for _ in 0..DRAWS {
+                    let j = random_other_index(i, n, &mut rng);
+                    assert_ne!(j, i, "fallback must avoid the first index (n={n}, i={i})");
+                    counts[j] += 1;
+                }
+                assert_eq!(counts[i], 0);
+                let expected = DRAWS as f64 / (n - 1) as f64;
+                for (j, &c) in counts.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let dev = (c as f64 - expected).abs() / expected;
+                    assert!(
+                        dev < 0.05,
+                        "n={n} i={i} j={j}: count {c} deviates {:.1}% from uniform {expected}",
+                        dev * 100.0
+                    );
+                }
+            }
+        }
+    }
+
+    /// Degenerate single-point problems must not panic: with no
+    /// admissible second index the draw returns `i` and `take_step`
+    /// rejects the pair.
+    #[test]
+    fn second_index_fallback_degenerate_n1() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(random_other_index(0, 1, &mut rng), 0);
+        assert_eq!(random_other_index(0, 0, &mut rng), 0);
+    }
+
     /// Linear kernel on explicit points: k(x, y) = <x, y>.
     fn linear_kernel(points: &[Vec<f64>]) -> KernelMatrix {
         KernelMatrix::from_fn(points.len(), |i, j| {
@@ -306,7 +372,10 @@ mod tests {
         }
         // Support vectors exist and duals respect the box.
         assert!(!model.support_indices().is_empty());
-        assert!(model.alphas.iter().all(|&a| (0.0..=10.0 + 1e-9).contains(&a)));
+        assert!(model
+            .alphas
+            .iter()
+            .all(|&a| (0.0..=10.0 + 1e-9).contains(&a)));
     }
 
     #[test]
@@ -314,7 +383,9 @@ mod tests {
         let pts: Vec<Vec<f64>> = (0..10)
             .map(|i| vec![(i as f64) - 4.5, ((i * 7) % 10) as f64 / 3.0])
             .collect();
-        let y: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let k = linear_kernel(&pts);
         let model = train_svc(&k, &y, &SmoParams::with_c(2.0));
         let balance: f64 = model.alphas.iter().zip(&y).map(|(a, yi)| a * yi).sum();
@@ -361,7 +432,9 @@ mod tests {
         let pts: Vec<Vec<f64>> = (0..30)
             .map(|i| vec![((i * 37) % 13) as f64 / 6.0 - 1.0])
             .collect();
-        let y: Vec<f64> = (0..30).map(|i| if (i * 17) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..30)
+            .map(|i| if (i * 17) % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let k = linear_kernel(&pts);
         let model = train_svc(&k, &y, &SmoParams::with_c(1.0));
         assert!(model.passes <= SmoParams::default().max_total_passes);

@@ -19,7 +19,10 @@ fn scores_and_labels() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
 fn planar_problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
     prop::collection::vec(((-2.0f64..2.0), (-2.0f64..2.0), prop::bool::ANY), 6..24).prop_map(|v| {
         let pts: Vec<Vec<f64>> = v.iter().map(|(x, y, _)| vec![*x, *y]).collect();
-        let mut labels: Vec<f64> = v.iter().map(|(_, _, p)| if *p { 1.0 } else { -1.0 }).collect();
+        let mut labels: Vec<f64> = v
+            .iter()
+            .map(|(_, _, p)| if *p { 1.0 } else { -1.0 })
+            .collect();
         // Guarantee both classes.
         labels[0] = 1.0;
         let last = labels.len() - 1;

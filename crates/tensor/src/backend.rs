@@ -28,7 +28,15 @@ pub trait ExecutionBackend: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// `c = a * b` with `a: m x k`, `b: k x n`, row-major.
-    fn gemm(&self, m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]);
+    fn gemm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[Complex64],
+        b: &[Complex64],
+        c: &mut [Complex64],
+    );
 
     /// Thin SVD of a row-major `m x n` matrix.
     fn svd(&self, m: usize, n: usize, a: &[Complex64]) -> Svd;
@@ -65,7 +73,15 @@ impl ExecutionBackend for CpuBackend {
         "cpu-serial"
     }
 
-    fn gemm(&self, m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+    fn gemm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[Complex64],
+        b: &[Complex64],
+        c: &mut [Complex64],
+    ) {
         self.calls.fetch_add(1, Ordering::Relaxed);
         gemm_serial(m, k, n, a, b, c);
     }
@@ -144,7 +160,8 @@ impl DeviceModel {
     /// Virtual cost of one call: measured kernel time scaled by the
     /// throughput model, plus overhead.
     pub fn virtual_cost(&self, kernel_time: Duration, bytes: usize) -> Duration {
-        let compute = Duration::from_secs_f64(kernel_time.as_secs_f64() / self.compute_speedup.max(1.0));
+        let compute =
+            Duration::from_secs_f64(kernel_time.as_secs_f64() / self.compute_speedup.max(1.0));
         compute + self.overhead(bytes)
     }
 }
@@ -196,7 +213,15 @@ impl ExecutionBackend for AcceleratorBackend {
         "accelerator"
     }
 
-    fn gemm(&self, m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+    fn gemm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[Complex64],
+        b: &[Complex64],
+        c: &mut [Complex64],
+    ) {
         self.calls.fetch_add(1, Ordering::Relaxed);
         let bytes = (a.len() + b.len() + c.len()) * std::mem::size_of::<Complex64>();
         let t0 = Instant::now();
@@ -315,7 +340,9 @@ mod tests {
             acc.gemm(4, 4, 4, &a, &b, &mut c);
         }
         // 3 calls x 500us launch, plus (tiny) kernel time.
-        let v = acc.virtual_clock().expect("accelerator has a virtual clock");
+        let v = acc
+            .virtual_clock()
+            .expect("accelerator has a virtual clock");
         assert!(v >= Duration::from_micros(1500), "virtual clock {v:?}");
         assert!(v < Duration::from_millis(50));
     }
@@ -340,7 +367,8 @@ mod tests {
             compute_speedup: 4.0,
         };
         let v = model.virtual_cost(Duration::from_micros(400), 0);
-        assert_eq!(v, Duration::from_micros(200)); // 400/4 + 100
+        // 400/4 + 100
+        assert_eq!(v, Duration::from_micros(200));
         // CPU backend exposes no virtual clock.
         assert!(CpuBackend::new().virtual_clock().is_none());
     }
@@ -349,7 +377,10 @@ mod tests {
     fn backend_kind_parsing() {
         assert_eq!(BackendKind::parse("cpu"), Some(BackendKind::Cpu));
         assert_eq!(BackendKind::parse("GPU"), Some(BackendKind::Accelerator));
-        assert_eq!(BackendKind::parse("accelerator"), Some(BackendKind::Accelerator));
+        assert_eq!(
+            BackendKind::parse("accelerator"),
+            Some(BackendKind::Accelerator)
+        );
         assert_eq!(BackendKind::parse("tpu"), None);
         assert_eq!(BackendKind::Cpu.build().name(), "cpu-serial");
     }

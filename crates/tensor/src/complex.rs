@@ -305,11 +305,7 @@ mod tests {
 
     #[test]
     fn i_squared_is_minus_one() {
-        assert!(approx_eq(
-            Complex64::I * Complex64::I,
-            c64(-1.0, 0.0),
-            TOL
-        ));
+        assert!(approx_eq(Complex64::I * Complex64::I, c64(-1.0, 0.0), TOL));
     }
 
     #[test]
@@ -330,7 +326,13 @@ mod tests {
 
     #[test]
     fn sqrt_roundtrip() {
-        for &(re, im) in &[(2.0, 3.0), (-1.0, 0.5), (0.0, -2.0), (4.0, 0.0), (-4.0, 0.0)] {
+        for &(re, im) in &[
+            (2.0, 3.0),
+            (-1.0, 0.5),
+            (0.0, -2.0),
+            (4.0, 0.0),
+            (-4.0, 0.0),
+        ] {
             let z = c64(re, im);
             let s = z.sqrt();
             assert!(approx_eq(s * s, z, 1e-10), "sqrt({z:?})^2 = {:?}", s * s);

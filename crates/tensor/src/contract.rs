@@ -87,7 +87,11 @@ fn contract_impl(
 fn validate_axes(t: &Tensor, axes: &[usize]) {
     let mut seen = vec![false; t.rank()];
     for &ax in axes {
-        assert!(ax < t.rank(), "axis {ax} out of range for rank {}", t.rank());
+        assert!(
+            ax < t.rank(),
+            "axis {ax} out of range for rank {}",
+            t.rank()
+        );
         assert!(!seen[ax], "axis {ax} repeated in contraction spec");
         seen[ax] = true;
     }

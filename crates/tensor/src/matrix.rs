@@ -23,7 +23,14 @@ pub const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
 ///
 /// # Panics
 /// Panics if slice lengths do not match the dimensions.
-pub fn gemm_serial(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+pub fn gemm_serial(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    c: &mut [Complex64],
+) {
     check_dims(m, k, n, a.len(), b.len(), c.len());
     c.fill(Complex64::ZERO);
     for i in 0..m {
@@ -34,7 +41,14 @@ pub fn gemm_serial(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64
 }
 
 /// `c = a * b`, rows of `c` computed in parallel with rayon.
-pub fn gemm_parallel(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+pub fn gemm_parallel(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    c: &mut [Complex64],
+) {
     check_dims(m, k, n, a.len(), b.len(), c.len());
     c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
         c_row.fill(Complex64::ZERO);
@@ -44,7 +58,14 @@ pub fn gemm_parallel(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex
 }
 
 /// `c = a * b`, choosing serial or parallel by problem size.
-pub fn gemm_auto(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+pub fn gemm_auto(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    c: &mut [Complex64],
+) {
     if m * k * n >= PARALLEL_FLOP_THRESHOLD {
         gemm_parallel(m, k, n, a, b, c);
     } else {
@@ -70,7 +91,14 @@ fn gemm_row(a_row: &[Complex64], b: &[Complex64], n: usize, c_row: &mut [Complex
 ///
 /// Used by inner products and canonicalization; conjugation is fused into
 /// the kernel to avoid materializing `a^H`.
-pub fn gemm_conj_a(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], c: &mut [Complex64]) {
+pub fn gemm_conj_a(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    c: &mut [Complex64],
+) {
     assert_eq!(a.len(), k * m, "a must be k x m for gemm_conj_a");
     assert_eq!(b.len(), k * n, "b must be k x n");
     assert_eq!(c.len(), m * n, "c must be m x n");
@@ -143,7 +171,13 @@ mod tests {
     use super::*;
     use crate::complex::{approx_eq, c64};
 
-    fn naive_gemm(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64]) -> Vec<Complex64> {
+    fn naive_gemm(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[Complex64],
+        b: &[Complex64],
+    ) -> Vec<Complex64> {
         let mut c = vec![Complex64::ZERO; m * n];
         for i in 0..m {
             for j in 0..n {
@@ -163,9 +197,13 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..rows * cols)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let re = ((state >> 33) as f64) / (u32::MAX as f64) - 0.5;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let im = ((state >> 33) as f64) / (u32::MAX as f64) - 0.5;
                 c64(re, im)
             })

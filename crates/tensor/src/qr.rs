@@ -45,7 +45,8 @@ pub struct Lq {
 pub fn qr(m: usize, n: usize, a: &[Complex64]) -> Qr {
     assert_eq!(a.len(), m * n, "qr: matrix size mismatch");
     let k = m.min(n);
-    let mut r = a.to_vec(); // working copy, becomes R in its top k rows
+    // Working copy, becomes R in its top k rows.
+    let mut r = a.to_vec();
     // Householder vectors, one per reflection, stored packed. v_j has
     // length m - j; tau is the real scale 2 / ||v||^2.
     let mut vs: Vec<(Vec<Complex64>, f64)> = Vec::with_capacity(k);
@@ -119,7 +120,13 @@ pub fn qr(m: usize, n: usize, a: &[Complex64]) -> Qr {
         }
     }
 
-    Qr { q, r: r_out, m, n, k }
+    Qr {
+        q,
+        r: r_out,
+        m,
+        n,
+        k,
+    }
 }
 
 /// Thin LQ of a row-major `m x n` matrix, computed as the conjugate
@@ -162,11 +169,12 @@ mod tests {
                 for i in 0..m {
                     dot = dot.conj_mul_add(q[i * k + c1], q[i * k + c2]);
                 }
-                let expect = if c1 == c2 { Complex64::ONE } else { Complex64::ZERO };
-                assert!(
-                    approx_eq(dot, expect, tol),
-                    "q^H q [{c1}][{c2}] = {dot:?}"
-                );
+                let expect = if c1 == c2 {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
+                assert!(approx_eq(dot, expect, tol), "q^H q [{c1}][{c2}] = {dot:?}");
             }
         }
     }
@@ -260,7 +268,11 @@ mod tests {
                 for j in 0..n {
                     dot = dot.conj_mul_add(f.q[r2 * n + j], f.q[r1 * n + j]);
                 }
-                let expect = if r1 == r2 { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if r1 == r2 {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert!(approx_eq(dot, expect, 1e-10));
             }
         }

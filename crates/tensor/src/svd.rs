@@ -77,7 +77,10 @@ const MAX_SWEEPS: usize = 60;
 /// Panics if `a.len() != m * n`.
 pub fn svd(m: usize, n: usize, a: &[Complex64]) -> Svd {
     assert_eq!(a.len(), m * n, "svd: matrix size mismatch");
-    debug_assert!(a.iter().all(|z| z.is_finite()), "svd input contains non-finite entries");
+    debug_assert!(
+        a.iter().all(|z| z.is_finite()),
+        "svd input contains non-finite entries"
+    );
     if m >= n {
         svd_tall(m, n, a)
     } else {
@@ -107,7 +110,14 @@ pub fn svd(m: usize, n: usize, a: &[Complex64]) -> Svd {
                 vh[i * n + j] = f.u[j * k + i].conj();
             }
         }
-        Svd { u, s: f.s, vh, m, n, k }
+        Svd {
+            u,
+            s: f.s,
+            vh,
+            m,
+            n,
+            k,
+        }
     }
 }
 
@@ -155,7 +165,9 @@ fn svd_tall(m: usize, n: usize, a: &[Complex64]) -> Svd {
                 // The negated `>` is deliberate: it also trips when gamma
                 // is NaN, which `<=` would silently let through.
                 #[allow(clippy::neg_cmp_op_on_partial_ord)]
-                if !(gamma > JACOBI_TOL * (alpha * beta).max(0.0).sqrt()) || gamma < f64::MIN_POSITIVE {
+                if !(gamma > JACOBI_TOL * (alpha * beta).max(0.0).sqrt())
+                    || gamma < f64::MIN_POSITIVE
+                {
                     continue;
                 }
                 rotated = true;
@@ -220,7 +232,14 @@ pub fn svd_parallel(m: usize, n: usize, a: &[Complex64]) -> Svd {
                 vh[i * n + j] = f.u[j * k + i].conj();
             }
         }
-        return Svd { u, s: f.s, vh, m, n, k };
+        return Svd {
+            u,
+            s: f.s,
+            vh,
+            m,
+            n,
+            k,
+        };
     }
 
     use parking_lot::Mutex;
@@ -311,7 +330,13 @@ fn circle_pair(slots: usize, round: usize, p: usize) -> (usize, usize) {
 
 /// Shared tail of both Jacobi drivers: sort columns by norm and emit
 /// `u`, `s`, `vh`.
-fn finalize_svd(m: usize, n: usize, k: usize, cols: Vec<Vec<Complex64>>, vcols: Vec<Vec<Complex64>>) -> Svd {
+fn finalize_svd(
+    m: usize,
+    n: usize,
+    k: usize,
+    cols: Vec<Vec<Complex64>>,
+    vcols: Vec<Vec<Complex64>>,
+) -> Svd {
     let mut order: Vec<usize> = (0..n).collect();
     let sigmas: Vec<f64> = cols
         .iter()
@@ -340,7 +365,13 @@ fn finalize_svd(m: usize, n: usize, k: usize, cols: Vec<Vec<Complex64>>, vcols: 
 
 /// Applies the 2x2 column rotation to two column slices.
 #[inline]
-fn rotate_slices(ci: &mut [Complex64], cj: &mut [Complex64], c: f64, s_neg: Complex64, s_pos: Complex64) {
+fn rotate_slices(
+    ci: &mut [Complex64],
+    cj: &mut [Complex64],
+    c: f64,
+    s_neg: Complex64,
+    s_pos: Complex64,
+) {
     for (x, y) in ci.iter_mut().zip(cj.iter_mut()) {
         let xi = *x;
         let yj = *y;
@@ -352,7 +383,14 @@ fn rotate_slices(ci: &mut [Complex64], cj: &mut [Complex64], c: f64, s_neg: Comp
 /// Applies the 2x2 column rotation to columns `i` and `j` of `cols`:
 /// `col_i' = c col_i - s_neg col_j`, `col_j' = s_pos col_i + c col_j`.
 #[inline]
-fn rotate_pair(cols: &mut [Vec<Complex64>], i: usize, j: usize, c: f64, s_neg: Complex64, s_pos: Complex64) {
+fn rotate_pair(
+    cols: &mut [Vec<Complex64>],
+    i: usize,
+    j: usize,
+    c: f64,
+    s_neg: Complex64,
+    s_pos: Complex64,
+) {
     debug_assert!(i < j);
     let (lo, hi) = cols.split_at_mut(j);
     let ci = &mut lo[i];
@@ -373,7 +411,10 @@ fn rotate_pair(cols: &mut [Vec<Complex64>], i: usize, j: usize, c: f64, s_neg: C
 /// `[r][p_out_2][p_in_2]`. This implements the paper's footnote-5
 /// optimisation: an RXX gate has two exactly-zero singular values in this
 /// bipartition, so its bond contribution is 2, not 4.
-pub fn split_two_qubit_gate(gate: &[Complex64], cutoff: f64) -> (Vec<Complex64>, Vec<Complex64>, usize) {
+pub fn split_two_qubit_gate(
+    gate: &[Complex64],
+    cutoff: f64,
+) -> (Vec<Complex64>, Vec<Complex64>, usize) {
     assert_eq!(gate.len(), 16, "two-qubit gate must be 4x4");
     // gate[(p1_out*2 + p2_out) * 4 + (p1_in*2 + p2_in)]
     // Rearrange into M[(p1_out, p1_in)][(p2_out, p2_in)].
@@ -455,7 +496,11 @@ mod tests {
         );
         // Descending non-negative singular values.
         for w in f.s.windows(2) {
-            assert!(w[0] >= w[1] - 1e-12, "singular values not sorted: {:?}", f.s);
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "singular values not sorted: {:?}",
+                f.s
+            );
         }
         assert!(f.s.iter().all(|&s| s >= 0.0));
         // Orthonormality of u columns with non-negligible sigma. Columns
@@ -474,7 +519,11 @@ mod tests {
                 for i in 0..m {
                     dot = dot.conj_mul_add(f.u[i * f.k + c1], f.u[i * f.k + c2]);
                 }
-                let expect = if c1 == c2 { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if c1 == c2 {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert!(approx_eq(dot, expect, 1e-9), "u not orthonormal");
             }
         }
@@ -485,7 +534,11 @@ mod tests {
                 for j in 0..n {
                     dot = dot.conj_mul_add(f.vh[r2 * n + j], f.vh[r1 * n + j]);
                 }
-                let expect = if r1 == r2 { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if r1 == r2 {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert!(approx_eq(dot, expect, 1e-9), "vh not row-orthonormal");
             }
         }
@@ -562,7 +615,11 @@ mod tests {
         let f = svd(m, n, &a);
         assert!(f.s[0] > 1e-6);
         for &s in &f.s[1..] {
-            assert!(s < 1e-10, "rank-1 matrix has extra singular values {:?}", f.s);
+            assert!(
+                s < 1e-10,
+                "rank-1 matrix has extra singular values {:?}",
+                f.s
+            );
         }
         assert_svd_valid(m, n, &a, 1e-10);
     }

@@ -123,7 +123,11 @@ impl Tensor {
         debug_assert_eq!(idx.len(), self.shape.len());
         let mut off = 0;
         for (k, &i) in idx.iter().enumerate() {
-            debug_assert!(i < self.shape[k], "index {idx:?} out of shape {:?}", self.shape);
+            debug_assert!(
+                i < self.shape[k],
+                "index {idx:?} out of shape {:?}",
+                self.shape
+            );
             off = off * self.shape[k] + i;
         }
         off
@@ -298,7 +302,11 @@ mod tests {
         let t = Tensor::identity(3);
         for i in 0..3 {
             for j in 0..3 {
-                let expect = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if i == j {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert_eq!(t.get(&[i, j]), expect);
             }
         }

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release -p qk-core --example fraud_detection`
 
-use qk_core::pipeline::{
-    run_gaussian_experiment, run_quantum_experiment, ExperimentConfig,
-};
+use qk_core::pipeline::{run_gaussian_experiment, run_quantum_experiment, ExperimentConfig};
 use qk_data::{generate, SyntheticConfig};
 use qk_svm::default_c_grid;
 use qk_tensor::backend::CpuBackend;
@@ -26,7 +24,10 @@ fn main() {
     let feature_counts = [6usize, 12, 24, 48];
     let backend = CpuBackend::new();
 
-    println!("fraud detection, {} balanced samples (80/20 split)", samples);
+    println!(
+        "fraud detection, {} balanced samples (80/20 split)",
+        samples
+    );
     println!("\n features   quantum AUC   gaussian AUC   quantum train AUC");
     for &k in &feature_counts {
         let config = ExperimentConfig::qml(samples, k, 7);

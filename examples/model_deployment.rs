@@ -53,12 +53,18 @@ fn main() {
     //    model as bytes — the artifact a serving fleet would load.
     model.calibrate(&split.test.features, &split.test.label_signs(), &backend);
     let artifact = model.to_bytes();
-    println!("serialized model artifact: {:.1} KiB", artifact.len() as f64 / 1024.0);
+    println!(
+        "serialized model artifact: {:.1} KiB",
+        artifact.len() as f64 / 1024.0
+    );
     let served = QuantumKernelModel::from_bytes(&artifact);
 
     // 3. Serve: classify the first few test transactions one at a time,
     //    with the paper's simulation / inner-product cost split.
-    println!("\n{:>4} {:>9} {:>12} {:>12} {:>12}", "idx", "label", "p(illicit)", "sim", "inner prod");
+    println!(
+        "\n{:>4} {:>9} {:>12} {:>12} {:>12}",
+        "idx", "label", "p(illicit)", "sim", "inner prod"
+    );
     let mut correct = 0usize;
     let labels = split.test.label_signs();
     for (i, x) in split.test.features.iter().enumerate() {
@@ -96,12 +102,19 @@ fn main() {
         "\nmeasured primitives: simulation {:?}, inner product {:?}",
         costs.simulation, costs.inner_product
     );
-    println!("\n{:>10} {:>7} | {:>12} {:>14} {:>12}", "N", "procs", "simulation", "inner products", "total");
+    println!(
+        "\n{:>10} {:>7} | {:>12} {:>14} {:>12}",
+        "N", "procs", "simulation", "inner products", "total"
+    );
     for (n, k) in [(6_400usize, 32usize), (64_000, 320), (64_000, 640)] {
         let f = forecast_training(&costs, n, k, Strategy::RoundRobin);
         println!(
             "{:>10} {:>7} | {:>12.1?} {:>14.1?} {:>12.1?}",
-            n, k, f.simulation, f.inner_products, f.total()
+            n,
+            k,
+            f.simulation,
+            f.inner_products,
+            f.total()
         );
     }
     let inf = forecast_inference(&costs, 64_000, 320);

@@ -64,7 +64,10 @@ fn main() {
         test.states.len()
     );
     println!("exact-kernel test AUC (the paper's noiseless regime): {exact_auc:.3}\n");
-    println!("{:>9} | {:>12} {:>12} | {:>7} {:>9}", "shots", "mean |dK|", "max |dK|", "AUC", "dAUC");
+    println!(
+        "{:>9} | {:>12} {:>12} | {:>7} {:>9}",
+        "shots", "mean |dK|", "max |dK|", "AUC", "dAUC"
+    );
 
     let n = train.states.len();
     for &shots in &[32usize, 128, 512, 2048, 8192] {

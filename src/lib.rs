@@ -1,0 +1,27 @@
+//! Workspace facade for the quantum-kernel MPS reproduction.
+//!
+//! Re-exports every `qk-*` crate under one roof so downstream users (and
+//! this package's own integration suites and examples) can depend on a
+//! single `qk` crate. The pipeline mirrors the paper:
+//!
+//! 1. [`data`] — datasets, synthetic generators, preprocessing into the
+//!    feature-map domain;
+//! 2. [`circuit`] — the IQP-style feature-map ansatz and circuit tooling;
+//! 3. [`mps`] / [`statevector`] — matrix-product-state simulation and the
+//!    dense ground-truth simulator;
+//! 4. [`core`] — Gram-matrix assembly, distribution strategies,
+//!    inference;
+//! 5. [`svm`] — kernel SVM training (SMO), calibration, metrics;
+//! 6. [`bench`] — figure/table reproduction harness;
+//! 7. [`tensor`] — the shared dense linear-algebra substrate;
+//! 8. [`mpi`] — the in-process MPI-shaped messaging shim.
+
+pub use qk_bench as bench;
+pub use qk_circuit as circuit;
+pub use qk_core as core;
+pub use qk_data as data;
+pub use qk_mpi as mpi;
+pub use qk_mps as mps;
+pub use qk_statevector as statevector;
+pub use qk_svm as svm;
+pub use qk_tensor as tensor;

@@ -89,7 +89,10 @@ fn gamma_controls_kernel_bandwidth() {
         k_small.off_diagonal_mean(),
         k_large.off_diagonal_mean()
     );
-    assert!(k_small.off_diagonal_mean() > 0.9, "gamma=0.05 should be near-flat");
+    assert!(
+        k_small.off_diagonal_mean() > 0.9,
+        "gamma=0.05 should be near-flat"
+    );
 }
 
 #[test]

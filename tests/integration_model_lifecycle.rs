@@ -108,7 +108,10 @@ fn forecast_scales_from_measured_small_run() {
 
     let f4k = forecast_training(&costs, 400, 4, Strategy::RoundRobin);
     let half = f4.inner_products.as_secs_f64() / f4k.inner_products.as_secs_f64();
-    assert!((1.9..=2.1).contains(&half), "process scaling violated: {half}");
+    assert!(
+        (1.9..=2.1).contains(&half),
+        "process scaling violated: {half}"
+    );
 }
 
 #[test]

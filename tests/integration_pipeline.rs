@@ -45,8 +45,16 @@ fn quantum_and_gaussian_both_learn_the_synthetic_task() {
     };
     let quantum = run_quantum_experiment(&data, &config, &be);
     let gaussian = run_gaussian_experiment(&data, 160, 12, 22, &default_c_grid(), 1e-3);
-    assert!(quantum.best_test_auc() > 0.62, "quantum {}", quantum.best_test_auc());
-    assert!(gaussian.best_test_auc() > 0.62, "gaussian {}", gaussian.best_test_auc());
+    assert!(
+        quantum.best_test_auc() > 0.62,
+        "quantum {}",
+        quantum.best_test_auc()
+    );
+    assert!(
+        gaussian.best_test_auc() > 0.62,
+        "gaussian {}",
+        gaussian.best_test_auc()
+    );
 }
 
 #[test]
@@ -116,12 +124,24 @@ fn deep_circuits_concentrate_the_kernel() {
     let shallow_cfg = AnsatzConfig::new(1, 1, 1.0);
     let deep_cfg = AnsatzConfig::new(12, 1, 1.0);
     let shallow = gram_matrix(
-        &simulate_states(&split.train.features, &shallow_cfg, &be, &TruncationConfig::default()).states,
+        &simulate_states(
+            &split.train.features,
+            &shallow_cfg,
+            &be,
+            &TruncationConfig::default(),
+        )
+        .states,
         &be,
     )
     .kernel;
     let deep = gram_matrix(
-        &simulate_states(&split.train.features, &deep_cfg, &be, &TruncationConfig::default()).states,
+        &simulate_states(
+            &split.train.features,
+            &deep_cfg,
+            &be,
+            &TruncationConfig::default(),
+        )
+        .states,
         &be,
     )
     .kernel;

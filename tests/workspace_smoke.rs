@@ -1,0 +1,51 @@
+//! Workspace smoke test: the examples, Criterion benches and the
+//! figure/table reproduction binaries must stay inside the build graph.
+//!
+//! `cargo build` / `cargo test` do not touch `--examples`, `--benches`
+//! or the bench crate's `--bins`, so without this test those targets
+//! could silently rot (the state the seed tree was in: 89 source files,
+//! zero manifests, nothing compiled). The test shells out to the same
+//! `cargo` that is running the suite and type-checks every target kind.
+//!
+//! Skipped when `QK_SKIP_SMOKE` is set (e.g. on machines where the
+//! target directory is locked by an outer cargo invocation with a
+//! different profile).
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn examples_benches_and_bins_stay_green() {
+    if std::env::var_os("QK_SKIP_SMOKE").is_some() {
+        eprintln!("QK_SKIP_SMOKE set; skipping workspace smoke check");
+        return;
+    }
+
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    assert!(
+        Path::new(manifest_dir).join("Cargo.toml").exists(),
+        "workspace root manifest missing"
+    );
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(&cargo)
+        .current_dir(manifest_dir)
+        .args([
+            "check",
+            "--offline",
+            "--workspace",
+            "--examples",
+            "--benches",
+            "--bins",
+            "--quiet",
+        ])
+        .output()
+        .expect("failed to spawn cargo check");
+
+    assert!(
+        output.status.success(),
+        "cargo check --examples --benches --bins failed:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}

@@ -1,0 +1,261 @@
+//! Offline `criterion` shim.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` bench surface used
+//! by this workspace with a simple median-of-samples wall-clock
+//! measurement instead of criterion's statistical machinery. Bench
+//! binaries stay `harness = false` executables, print one line per
+//! benchmark, and honour `--test` (run every body once, no timing) so
+//! `cargo test --benches` stays fast.
+//!
+//! `QK_BENCH_SAMPLES` overrides the per-benchmark sample count.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("serial", 64)` → `serial/64`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Unparameterized id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Measurement harness handed to bench closures.
+pub struct Bencher {
+    /// Iterations per sample.
+    iters: u64,
+    /// Collected per-iteration mean durations, one per sample.
+    samples: Vec<Duration>,
+    /// Test mode: run the body once, skip timing.
+    test_mode: bool,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_count` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / self.iters as u32);
+        }
+    }
+
+    fn report(mut self, label: &str) {
+        if self.test_mode {
+            println!("{label}: ok (test mode)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{label}: no samples");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        println!("{label}: median {median:?} (min {lo:?}, max {hi:?})");
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("QK_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Top-level bench context (one per binary).
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: env_samples(10),
+        }
+    }
+}
+
+impl Criterion {
+    /// Adjusts the default sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 1,
+            samples: Vec::new(),
+            test_mode: self.test_mode,
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = env_samples(n);
+        self
+    }
+
+    /// Criterion's measurement-time knob; accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 1,
+            samples: Vec::new(),
+            test_mode: self.test_mode,
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: 1,
+            samples: Vec::new(),
+            test_mode: self.test_mode,
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.name));
+        self
+    }
+
+    /// Ends the group (marker for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0u32;
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 3,
+        };
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 3,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let n = 4usize;
+        group.bench_with_input(BenchmarkId::new("f", n), &n, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn timing_mode_collects_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            sample_size: 2,
+        };
+        c.bench_function("tiny", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

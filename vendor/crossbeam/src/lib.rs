@@ -1,0 +1,175 @@
+//! Offline `crossbeam` shim: `crossbeam::channel` mapped onto
+//! `std::sync::mpsc`.
+//!
+//! Covers the multi-producer/single-consumer patterns this workspace
+//! uses (cloned senders feeding one collector; bounded ring channels).
+//! Crossbeam's multi-consumer `Receiver::clone` is intentionally not
+//! provided — `std::sync::mpsc` cannot express it — and no caller needs
+//! it.
+
+pub mod channel {
+    //! MPSC channels with the crossbeam surface used by this workspace.
+
+    use std::sync::mpsc;
+
+    /// Sending half; clonable for fan-in.
+    pub struct Sender<T> {
+        flavor: SenderFlavor<T>,
+    }
+
+    enum SenderFlavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            let flavor = match &self.flavor {
+                SenderFlavor::Unbounded(tx) => SenderFlavor::Unbounded(tx.clone()),
+                SenderFlavor::Bounded(tx) => SenderFlavor::Bounded(tx.clone()),
+            };
+            Sender { flavor }
+        }
+    }
+
+    /// Error from [`Sender::send`] when the receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    // Like upstream crossbeam: Debug without a `T: Debug` bound.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking on a full bounded channel.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.flavor {
+                SenderFlavor::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+                SenderFlavor::Bounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+            }
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    /// Error from [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug)]
+    pub enum TryRecvError {
+        /// Channel is currently empty.
+        Empty,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Borrowing iterator, blocking until senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.rx.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> mpsc::IntoIter<T> {
+            self.rx.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> mpsc::Iter<'a, T> {
+            self.rx.iter()
+        }
+    }
+
+    /// Unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                flavor: SenderFlavor::Unbounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    /// Bounded channel of the given capacity (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                flavor: SenderFlavor::Bounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_unbounded() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        std::thread::scope(|scope| {
+            for p in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || tx.send(p).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.into_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn bounded_ring_step() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv().unwrap(), 9);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

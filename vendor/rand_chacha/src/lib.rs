@@ -1,0 +1,162 @@
+//! Offline `rand_chacha` shim: a real ChaCha8 keystream generator
+//! implementing the vendored [`rand`] shim's `RngCore`/`SeedableRng`.
+//!
+//! The block function is the standard ChaCha permutation (RFC 7539
+//! constants and quarter-round, 8 double-rounds, 64-bit block counter).
+//! Output is a deterministic function of the 32-byte seed, so every
+//! `ChaCha8Rng::seed_from_u64(s)` stream is stable across runs and
+//! platforms — the property the workspace's tests and benchmarks rely
+//! on. Byte-for-byte equality with the upstream `rand_chacha` stream is
+//! not guaranteed (no consumer in this workspace depends on it).
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 double-rounds; the fast, statistically strong family
+/// member used throughout this workspace for reproducible experiments.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state words (the 4x4 input block).
+    state: [u32; 16],
+    /// Current 64-byte output block, as sixteen u32 words.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 means "exhausted".
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const DOUBLE_ROUNDS: usize = 4; // ChaCha8 = 8 rounds = 4 double-rounds.
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit little-endian block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    /// Words consumed from the stream so far (for diagnostics).
+    pub fn word_pos(&self) -> u128 {
+        let counter = self.state[12] as u128 | ((self.state[13] as u128) << 32);
+        if self.cursor >= 16 {
+            // No partially consumed block (fresh RNG or exhausted block):
+            // the counter equals the number of fully consumed blocks.
+            counter * 16
+        } else {
+            // refill() incremented the counter for the block currently
+            // being consumed, so back it out and add the cursor.
+            (counter - 1) * 16 + self.cursor as u128
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        // Mean of many unit uniforms should be near 0.5.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn word_pos_counts_consumed_words() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(rng.word_pos(), 0);
+        let _ = rng.next_u64(); // two u32 words
+        assert_eq!(rng.word_pos(), 2);
+        for _ in 0..7 {
+            let _ = rng.next_u64();
+        }
+        // Exactly one full 16-word block consumed.
+        assert_eq!(rng.word_pos(), 16);
+        let _ = rng.next_u32();
+        assert_eq!(rng.word_pos(), 17);
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline `rayon` shim: the `par_*` entry points used by this
+//! workspace, executed sequentially.
+//!
+//! The build environment cannot reach crates.io, so this crate maps the
+//! rayon API surface the workspace uses (`par_iter`, `into_par_iter`,
+//! `par_chunks_mut`, `flat_map_iter`) onto ordinary sequential
+//! iterators. Call sites keep rayon's parallel-by-construction shape —
+//! no borrows across items, `Send + Sync` data — so swapping the real
+//! rayon back in is a one-line `Cargo.toml` change once a registry is
+//! reachable (see DESIGN.md, substitution 4). On the current 1-CPU CI
+//! hardware the sequential schedule is also the fastest one.
+
+/// Consuming conversion into a "parallel" (here: sequential) iterator.
+///
+/// Blanket-implemented for everything iterable, which covers `Vec<T>`,
+/// ranges and adapters alike.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// The iterator type produced.
+    type ParIter: Iterator<Item = <Self as IntoIterator>::Item>;
+    /// Converts `self` into an iterator (sequential stand-in).
+    fn into_par_iter(self) -> Self::ParIter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type ParIter = I::IntoIter;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing conversion: `xs.par_iter()` for slices and `Vec`s.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item yielded by the borrowed iterator.
+    type Item: 'data;
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrows `self` as an iterator (sequential stand-in).
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutable chunking: `c.par_chunks_mut(n)` for slices.
+pub trait ParallelSliceMut<T> {
+    /// Chunked mutable traversal (sequential stand-in).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Rayon-specific iterator combinators grafted onto std iterators.
+pub trait ParallelIteratorExt: Iterator + Sized {
+    /// `flat_map` over a serial inner iterator (rayon's `flat_map_iter`).
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// Rayon's `with_min_len` tuning knob: a no-op here.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIteratorExt for I {}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential stand-in for `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude::*`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIteratorExt, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn into_par_iter_on_vec_and_range() {
+        let v: Vec<usize> = (0..5).into_par_iter().collect();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+        let w: Vec<usize> = v.clone().into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(w, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = [0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let rows = [vec![1, 2], vec![3]];
+        let flat: Vec<i32> = rows
+            .par_iter()
+            .flat_map_iter(|r| r.iter().copied())
+            .collect();
+        assert_eq!(flat, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline `serde_derive` shim: hand-rolled `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` with no syn/quote dependency (the registry
+//! is unreachable, so the parser walks raw `proc_macro` token trees).
+//!
+//! Supported shapes — the ones this workspace uses:
+//! - structs with named fields → JSON objects in declaration order;
+//! - tuple structs → JSON arrays;
+//! - enums with unit variants → the variant name as a JSON string.
+//!
+//! Generic types and data-carrying enum variants produce a
+//! `compile_error!` naming the offending item rather than silently
+//! emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::NamedStruct { name, fields }) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .unwrap()
+        }
+        Ok(Item::TupleStruct { name, arity }) => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .unwrap()
+        }
+        Ok(Item::UnitEnum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .unwrap()
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::NamedStruct { name, .. })
+        | Ok(Item::TupleStruct { name, .. })
+        | Ok(Item::UnitEnum { name, .. }) => format!("impl ::serde::Deserialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility until `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => return Err("serde shim derive: no struct or enum found".to_string()),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: missing item name".to_string()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported (vendor a manual impl)"
+        ));
+    }
+
+    // Find the body group (brace for named struct/enum, paren for tuple).
+    while i < tokens.len() {
+        if let TokenTree::Group(g) = &tokens[i] {
+            match (kind, g.delimiter()) {
+                ("struct", Delimiter::Brace) => {
+                    return Ok(Item::NamedStruct {
+                        name,
+                        fields: parse_named_fields(g.stream())?,
+                    });
+                }
+                ("struct", Delimiter::Parenthesis) => {
+                    return Ok(Item::TupleStruct {
+                        name,
+                        arity: count_top_level_items(g.stream()),
+                    });
+                }
+                ("enum", Delimiter::Brace) => {
+                    return Ok(Item::UnitEnum {
+                        name: name.clone(),
+                        variants: parse_unit_variants(g.stream(), &name)?,
+                    });
+                }
+                _ => i += 1,
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Err(format!(
+        "serde shim derive: could not find the body of `{name}`"
+    ))
+}
+
+/// Splits a token stream on commas at angle-bracket depth zero and
+/// returns the number of non-empty segments.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut seen_any = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                seen_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        seen_any = true;
+    }
+    count + usize::from(seen_any)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes (doc comments included).
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // '#' + bracket group
+        }
+        // Skip visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            if tokens.get(i).is_none() {
+                break;
+            }
+            return Err("serde shim derive: unexpected token in struct fields".to_string());
+        };
+        fields.push(field.to_string());
+        i += 1;
+        // Skip `: Type` up to the next comma at angle depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(variant)) = tokens.get(i) else {
+            if tokens.get(i).is_none() {
+                break;
+            }
+            return Err(format!(
+                "serde shim derive: unexpected token in enum `{enum_name}`"
+            ));
+        };
+        let variant = variant.to_string();
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(variant);
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive: enum `{enum_name}` variant `{variant}` carries data; \
+                     only unit variants are supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip discriminant expression to the next comma.
+                variants.push(variant);
+                while let Some(tok) = tokens.get(i) {
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            Some(_) => {
+                return Err(format!(
+                    "serde shim derive: unexpected token after variant `{variant}`"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}

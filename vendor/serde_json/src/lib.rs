@@ -1,0 +1,180 @@
+//! Offline `serde_json` shim: renders the vendored `serde::Value` model
+//! as JSON text. Only the producing half of the API is provided —
+//! nothing in this workspace parses JSON.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the shim's value model cannot actually fail;
+/// the type exists so call sites keep serde_json's `Result` shape).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON encoding.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Pretty JSON encoding with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Mirror serde_json: always include a decimal point or
+                // exponent so the value round-trips as a float.
+                let s = format!("{x}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            write_seq(items.iter(), '[', ']', indent, level, out, |item, o, l| {
+                write_value(item, indent, l, o)
+            })
+        }
+        Value::Object(fields) => write_seq(
+            fields.iter(),
+            '{',
+            '}',
+            indent,
+            level,
+            out,
+            |(k, val), o, l| {
+                write_escaped(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(val, indent, l, o);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    items: I,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(I::Item, &mut String, usize),
+{
+    out.push(open);
+    let n = items.len();
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        write_item(item, out, level + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+    out.push(close);
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("qk".into())),
+            (
+                "sizes".into(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+            ("rate".into(), Value::Float(0.5)),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let compact = to_string(&Wrap(v.clone())).unwrap();
+        assert_eq!(compact, r#"{"name":"qk","sizes":[1,2],"rate":0.5}"#);
+        let pretty = to_string_pretty(&Wrap(v)).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"qk\""));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        struct F(f64);
+        impl Serialize for F {
+            fn to_value(&self) -> Value {
+                Value::Float(self.0)
+            }
+        }
+        assert_eq!(to_string(&F(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&F(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        struct S(&'static str);
+        impl Serialize for S {
+            fn to_value(&self) -> Value {
+                Value::String(self.0.to_string())
+            }
+        }
+        assert_eq!(to_string(&S("a\"b\n")).unwrap(), r#""a\"b\n""#);
+    }
+}
