@@ -1,0 +1,166 @@
+//! Serving-layer throughput sweep: batch size x worker count.
+//!
+//! Drives a fixed duplicate-heavy request stream through `qk-serve` for
+//! every (workers, max_batch) cell, reporting throughput, tail latency,
+//! and cache hit rate. The expected shape on multi-core hardware:
+//! throughput scales with workers until the core count, micro-batching
+//! lifts it further under duplicate-heavy load (one simulation and one
+//! kernel row amortize over the whole batch), and the cache turns
+//! repeat traffic into pure inner-product work.
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin serve_throughput -- \
+//!     [--scale ci|default|paper] [--smoke] [--requests N] \
+//!     [--features M] [--train N] [--pool P]
+
+use qk_bench::{sample_rows, write_results, Args, Scale};
+use qk_circuit::AnsatzConfig;
+use qk_core::QuantumKernelModel;
+use qk_data::{generate, prepare_experiment, SyntheticConfig};
+use qk_mps::TruncationConfig;
+use qk_serve::{KernelServer, ServeConfig};
+use qk_svm::SmoParams;
+use qk_tensor::backend::CpuBackend;
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Cell {
+    workers: usize,
+    max_batch: usize,
+    requests: usize,
+    wall: Duration,
+    throughput_rps: f64,
+    p50: Duration,
+    p99: Duration,
+    mean_batch_size: f64,
+    cache_hit_rate: f64,
+    simulations: u64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = if args.flag("smoke") {
+        Scale::Ci
+    } else {
+        args.scale()
+    };
+    let (features, train, requests, pool, worker_grid, batch_grid): (
+        usize,
+        usize,
+        usize,
+        usize,
+        &[usize],
+        &[usize],
+    ) = match scale {
+        Scale::Ci => (4, 16, 64, 8, &[1, 2], &[1, 4]),
+        Scale::Default => (8, 60, 1000, 50, &[1, 2, 4], &[1, 4, 8]),
+        Scale::Paper => (16, 240, 5000, 200, &[1, 2, 4, 8], &[1, 4, 8, 16]),
+    };
+    let features = args.get_or("features", features);
+    let train = args.get_or("train", train);
+    let requests = args.get_or("requests", requests);
+    let pool = args.get_or("pool", pool);
+
+    // One trained model artifact, redeployed fresh per cell.
+    let data = generate(&SyntheticConfig {
+        num_features: features + 2,
+        num_illicit: train,
+        num_licit: train,
+        latent_dim: 6,
+        noise: 2.0,
+        seed: 97,
+    });
+    let split = prepare_experiment(&data, train + train / 4, features, 97);
+    let backend = CpuBackend::new();
+    let artifact = QuantumKernelModel::fit(
+        &split.train.features,
+        &split.train.label_signs(),
+        &AnsatzConfig::new(2, 1, 0.5),
+        &TruncationConfig::default(),
+        &SmoParams::with_c(1.0),
+        &backend,
+    )
+    .to_bytes();
+    let queries = sample_rows(pool, features, 101);
+
+    println!(
+        "serve_throughput: {} requests over a {}-point pool, model with {} retained states ({} features)",
+        requests,
+        pool,
+        split.train.features.len(),
+        features
+    );
+    println!(
+        "\n{:>7} {:>9} | {:>12} {:>10} {:>10} {:>10} {:>9} {:>6}",
+        "workers", "max_batch", "rps", "p50", "p99", "mean_bat", "hit_rate", "sims"
+    );
+
+    let mut cells = Vec::new();
+    for &workers in worker_grid {
+        for &max_batch in batch_grid {
+            let server = KernelServer::start(
+                QuantumKernelModel::from_bytes(&artifact),
+                &ServeConfig {
+                    workers,
+                    max_batch,
+                    max_wait: Duration::from_millis(1),
+                    queue_capacity: 4 * workers * max_batch.max(8),
+                    ..ServeConfig::default()
+                },
+            );
+            let handle = server.handle();
+            let t0 = std::time::Instant::now();
+            // Pipelined duplicate-heavy stream: step 7 walks the whole
+            // pool while revisiting every point `requests / pool` times.
+            let pending: Vec<_> = (0..requests)
+                .map(|r| {
+                    handle
+                        .submit(queries[(r * 7) % queries.len()].clone())
+                        .expect("accepted")
+                })
+                .collect();
+            for p in pending {
+                p.wait().expect("answered");
+            }
+            let wall = t0.elapsed();
+            let snap = server.shutdown();
+            let cell = Cell {
+                workers,
+                max_batch,
+                requests,
+                wall,
+                throughput_rps: requests as f64 / wall.as_secs_f64().max(1e-9),
+                p50: snap.latency.p50,
+                p99: snap.latency.p99,
+                mean_batch_size: snap.mean_batch_size,
+                cache_hit_rate: snap.cache_hit_rate,
+                simulations: snap.simulations,
+            };
+            println!(
+                "{:>7} {:>9} | {:>12.1} {:>10.2?} {:>10.2?} {:>10.2} {:>8.1}% {:>6}",
+                cell.workers,
+                cell.max_batch,
+                cell.throughput_rps,
+                cell.p50,
+                cell.p99,
+                cell.mean_batch_size,
+                100.0 * cell.cache_hit_rate,
+                cell.simulations
+            );
+            cells.push(cell);
+        }
+    }
+
+    if let (Some(first), Some(last)) = (cells.first(), cells.last()) {
+        println!(
+            "\nthroughput corner-to-corner: x{:.2} ({} worker / batch {} -> {} workers / batch {})",
+            last.throughput_rps / first.throughput_rps.max(1e-9),
+            first.workers,
+            first.max_batch,
+            last.workers,
+            last.max_batch
+        );
+    }
+    write_results("serve_throughput", &cells);
+}

@@ -36,7 +36,9 @@ impl Scale {
     }
 }
 
-/// Minimal command-line parser: `--key value` pairs only.
+/// Minimal command-line parser: `--key value` pairs plus bare `--flag`
+/// booleans (a `--key` followed by another `--…` token or the end of
+/// the line records as the flag value `true`).
 pub struct Args {
     pairs: Vec<(String, String)>,
 }
@@ -44,20 +46,29 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args`, panicking on malformed input.
     pub fn from_env() -> Args {
-        let raw: Vec<String> = std::env::args().skip(1).collect();
+        Args::parse(std::env::args().skip(1).collect())
+    }
+
+    fn parse(raw: Vec<String>) -> Args {
         let mut pairs = Vec::new();
-        let mut it = raw.into_iter();
+        let mut it = raw.into_iter().peekable();
         while let Some(key) = it.next() {
             let key = key
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("expected --key, found {key}"))
                 .to_string();
-            let value = it
-                .next()
-                .unwrap_or_else(|| panic!("missing value for --{key}"));
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap(),
+                _ => "true".to_string(),
+            };
             pairs.push((key, value));
         }
         Args { pairs }
+    }
+
+    /// `true` when `--key` was passed bare or with a truthy value.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
     }
 
     /// Looks up a raw string value.
@@ -160,6 +171,24 @@ mod tests {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("full"), Some(Scale::Paper));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let args = Args::parse(
+            ["--scale", "ci", "--smoke", "--workers", "4", "--fast"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(args.scale(), Scale::Ci);
+        assert!(args.flag("smoke"));
+        assert!(args.flag("fast"));
+        assert!(!args.flag("absent"));
+        assert_eq!(args.get_or("workers", 0usize), 4);
+        // Negative numbers are values, not flags.
+        let neg = Args::parse(vec!["--shift".into(), "-3".into()]);
+        assert_eq!(neg.get_or("shift", 0i64), -3);
     }
 
     #[test]

@@ -26,13 +26,15 @@ pub struct TimedKernel {
 pub fn gram_matrix(states: &[Mps], backend: &dyn ExecutionBackend) -> TimedKernel {
     let n = states.len();
     let start = Instant::now();
-    // Upper-triangle pair list, processed in parallel.
-    let pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-        .collect();
-    let entries: Vec<((usize, usize), f64)> = pairs
-        .par_iter()
-        .map(|&(i, j)| {
+    // Upper-triangle entries, processed in parallel. The (i, j) pair is
+    // derived from the flat index inside the loop, so no O(N^2) pair
+    // list is materialized up front (at the paper's N = 64,000 that
+    // list alone would be ~32 GiB of index tuples).
+    let total = n * n.saturating_sub(1) / 2;
+    let entries: Vec<((usize, usize), f64)> = (0..total)
+        .into_par_iter()
+        .map(|k| {
+            let (i, j) = pair_from_flat(k, n);
             let v = states[i].inner_with(backend, &states[j]).norm_sqr();
             ((i, j), v)
         })
@@ -50,6 +52,27 @@ pub fn gram_matrix(states: &[Mps], backend: &dyn ExecutionBackend) -> TimedKerne
         wall_time: start.elapsed(),
         inner_products: n * (n - 1) / 2,
     }
+}
+
+/// Maps a flat upper-triangle index to its `(i, j)` pair (`i < j`).
+///
+/// Pairs are ordered row-major — `(0,1), (0,2), …, (0,n-1), (1,2), …` —
+/// so row `i` starts at flat offset `C(i) = i (2n - i - 1) / 2`. The row
+/// is recovered with the quadratic formula; the adjustment loops absorb
+/// any floating-point drift in the square root (at most one step).
+fn pair_from_flat(k: usize, n: usize) -> (usize, usize) {
+    debug_assert!(k < n * (n - 1) / 2);
+    let row_start = |i: usize| i * (2 * n - i - 1) / 2;
+    let m = (2 * n - 1) as f64;
+    let mut i = ((m - (m * m - 8.0 * k as f64).sqrt()) / 2.0).floor() as usize;
+    i = i.min(n - 2);
+    while i + 1 < n - 1 && row_start(i + 1) <= k {
+        i += 1;
+    }
+    while i > 0 && row_start(i) > k {
+        i -= 1;
+    }
+    (i, i + 1 + (k - row_start(i)))
 }
 
 /// A rectangular kernel block plus timing.
@@ -180,6 +203,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn flat_index_enumerates_upper_triangle() {
+        // pair_from_flat must be a bijection onto {(i, j) : i < j} in
+        // row-major order, for a spread of sizes including tiny ones.
+        for n in [2usize, 3, 4, 5, 7, 16, 33, 100] {
+            let expected: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
+            let got: Vec<(usize, usize)> =
+                (0..n * (n - 1) / 2).map(|k| pair_from_flat(k, n)).collect();
+            assert_eq!(got, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn flat_index_gram_matches_materialized_pair_list() {
+        // Pin the flat-index loop against the old implementation, which
+        // materialized the pair list before the parallel loop: entries
+        // must be bitwise identical.
+        let st = states(7, 4);
+        let be = CpuBackend::new();
+        let n = st.len();
+        let k_new = gram_matrix(&st, &be).kernel;
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let mut data = vec![0.0f64; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        for &(i, j) in &pairs {
+            let v = st[i].inner_with(&be, &st[j]).norm_sqr();
+            data[i * n + j] = v;
+            data[j * n + i] = v;
+        }
+        assert_eq!(k_new.data(), data.as_slice(), "flat-index path diverged");
     }
 
     #[test]

@@ -15,8 +15,8 @@ use crate::gram::gram_matrix;
 use crate::states::simulate_states;
 use qk_circuit::ansatz::feature_map_circuit;
 use qk_circuit::{route_for_mps, AnsatzConfig};
-use qk_mps::{Mps, MpsSimulator, TruncationConfig};
-use qk_svm::{fit_platt, train_svc, PlattCalibration, SmoParams, TrainedSvm};
+use qk_mps::{Mps, MpsDecodeError, MpsSimulator, TruncationConfig};
+use qk_svm::{fit_platt, train_svc, KernelBlock, PlattCalibration, SmoParams, TrainedSvm};
 use qk_tensor::backend::ExecutionBackend;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -111,41 +111,124 @@ impl QuantumKernelModel {
         self.calibration.as_ref()
     }
 
+    /// The feature-map ansatz this model encodes points with. Two model
+    /// versions with equal ansatz and truncation produce identical
+    /// encodings, so cached states can survive a hot-swap between them.
+    pub fn ansatz(&self) -> &AnsatzConfig {
+        &self.ansatz
+    }
+
+    /// The truncation policy applied during encoding.
+    pub fn truncation(&self) -> &TruncationConfig {
+        &self.truncation
+    }
+
     /// Total bytes of retained MPS states — the paper's point that a
     /// d = 1 model on 165 qubits stores 64,000 states in under 1 GiB.
     pub fn retained_state_bytes(&self) -> usize {
         self.train_states.iter().map(Mps::memory_bytes).sum()
     }
 
-    /// Classifies one data point, reporting the paper's inference timing
-    /// split. The kernel row is computed in parallel across training
-    /// states (the paper distributes exactly this loop over its ranks).
-    pub fn predict_one(&self, x: &[f64], backend: &dyn ExecutionBackend) -> Prediction {
+    /// Encodes a data point into its quantum feature state — the paper's
+    /// dominant inference cost (~2 s at 165 qubits). Exposed separately
+    /// so a serving layer can cache the result and skip this phase for
+    /// repeated points.
+    pub fn encode(&self, x: &[f64], backend: &dyn ExecutionBackend) -> Mps {
         assert_eq!(x.len(), self.num_features(), "feature count mismatch");
-        let t0 = Instant::now();
         let circuit = route_for_mps(&feature_map_circuit(x, &self.ansatz));
         let sim = MpsSimulator::new(backend).with_truncation(self.truncation);
-        let (state, _) = sim.simulate(&circuit);
-        let simulation = t0.elapsed();
+        sim.simulate(&circuit).0
+    }
 
-        let t0 = Instant::now();
-        let row: Vec<f64> = self
-            .train_states
+    /// Kernel row of a pre-simulated state against every retained
+    /// training state, computed in parallel (the paper distributes
+    /// exactly this loop over its ranks).
+    pub fn kernel_row(&self, state: &Mps, backend: &dyn ExecutionBackend) -> Vec<f64> {
+        self.train_states
             .par_iter()
             .map(|s| state.inner_with(backend, s).norm_sqr())
-            .collect();
-        let inner_products = t0.elapsed();
+            .collect()
+    }
 
-        let decision_value = self.svm.decision_value(&row);
+    fn prediction_from_decision(&self, decision_value: f64, timing: InferenceTiming) -> Prediction {
         Prediction {
             decision_value,
             label: if decision_value >= 0.0 { 1.0 } else { -1.0 },
             probability: self.calibration.map(|c| c.probability(decision_value)),
-            timing: InferenceTiming {
-                simulation,
+            timing,
+        }
+    }
+
+    /// Classifies a point whose feature state is already simulated:
+    /// only the cheap inner-product phase runs, so `timing.simulation`
+    /// is zero. This is the cache-hit path of a serving layer.
+    pub fn predict_from_state(&self, state: &Mps, backend: &dyn ExecutionBackend) -> Prediction {
+        let t0 = Instant::now();
+        let row = self.kernel_row(state, backend);
+        let inner_products = t0.elapsed();
+        self.prediction_from_decision(
+            self.svm.decision_value(&row),
+            InferenceTiming {
+                simulation: Duration::ZERO,
                 inner_products,
             },
+        )
+    }
+
+    /// Classifies a batch of pre-simulated states at once: one kernel
+    /// block is assembled in parallel and decision values are evaluated
+    /// over its borrowed rows. Decision values are bitwise identical to
+    /// calling [`QuantumKernelModel::predict_from_state`] per point.
+    /// `timing.inner_products` reports each point's equal share of the
+    /// block's wall time; `timing.simulation` is zero.
+    pub fn predict_from_states(
+        &self,
+        states: &[&Mps],
+        backend: &dyn ExecutionBackend,
+    ) -> Vec<Prediction> {
+        if states.is_empty() {
+            return Vec::new();
         }
+        let t0 = Instant::now();
+        // Parallelism follows the larger axis: a lone state (a serving
+        // layer's light-traffic batch) fans out across the training
+        // states like predict_from_state; bigger batches fan out across
+        // the query states. Entry order — and thus every decision
+        // value — is identical either way.
+        let data: Vec<f64> = if states.len() == 1 {
+            self.kernel_row(states[0], backend)
+        } else {
+            states
+                .par_iter()
+                .flat_map_iter(|t| {
+                    self.train_states
+                        .iter()
+                        .map(move |s| t.inner_with(backend, s).norm_sqr())
+                })
+                .collect()
+        };
+        let block = KernelBlock::from_dense(states.len(), self.train_states.len(), data);
+        let share = t0.elapsed() / states.len() as u32;
+        let timing = InferenceTiming {
+            simulation: Duration::ZERO,
+            inner_products: share,
+        };
+        self.svm
+            .decision_values_block(&block)
+            .into_iter()
+            .map(|d| self.prediction_from_decision(d, timing))
+            .collect()
+    }
+
+    /// Classifies one data point, reporting the paper's inference timing
+    /// split (simulation vs inner products).
+    pub fn predict_one(&self, x: &[f64], backend: &dyn ExecutionBackend) -> Prediction {
+        let t0 = Instant::now();
+        let state = self.encode(x, backend);
+        let simulation = t0.elapsed();
+        let mut prediction = self.predict_from_state(&state, backend);
+        prediction.timing.simulation = simulation;
+        prediction
     }
 
     /// Classifies a batch of points.
@@ -198,47 +281,68 @@ impl QuantumKernelModel {
     /// Deserializes a model produced by [`QuantumKernelModel::to_bytes`].
     ///
     /// # Panics
-    /// Panics on malformed input.
+    /// Panics on malformed input; use
+    /// [`QuantumKernelModel::try_from_bytes`] to handle untrusted
+    /// artifacts (e.g. a serving registry loading uploaded models).
     pub fn from_bytes(bytes: &[u8]) -> Self {
+        Self::try_from_bytes(bytes).unwrap_or_else(|e| panic!("corrupt model bytes: {e}"))
+    }
+
+    /// Fallible deserialization of [`QuantumKernelModel::to_bytes`]
+    /// output. Rejects truncated or trailing input, unknown calibration
+    /// tags, dual-coefficient/state count mismatches, corrupt retained
+    /// states, and states with inconsistent qubit counts — corrupt
+    /// headers cannot trigger allocations beyond the input size.
+    pub fn try_from_bytes(bytes: &[u8]) -> Result<Self, ModelDecodeError> {
         let mut pos = 0usize;
-        let read_f64 = |pos: &mut usize| {
-            let v = f64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
-            *pos += 8;
-            v
+        let read_u64 = |pos: &mut usize| -> Result<u64, ModelDecodeError> {
+            let end = pos
+                .checked_add(8)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(ModelDecodeError::Truncated { offset: *pos })?;
+            let v = u64::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+            *pos = end;
+            Ok(v)
         };
-        let read_u64 = |pos: &mut usize| {
-            let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
-            *pos += 8;
-            v
+        let read_f64 = |pos: &mut usize| -> Result<f64, ModelDecodeError> {
+            Ok(f64::from_bits(read_u64(pos)?))
         };
 
-        let layers = read_u64(&mut pos) as usize;
-        let interaction_distance = read_u64(&mut pos) as usize;
-        let gamma = read_f64(&mut pos);
-        let cutoff = read_f64(&mut pos);
-        let max_bond = match read_u64(&mut pos) {
+        let layers = read_u64(&mut pos)? as usize;
+        let interaction_distance = read_u64(&mut pos)? as usize;
+        let gamma = read_f64(&mut pos)?;
+        let cutoff = read_f64(&mut pos)?;
+        let max_bond = match read_u64(&mut pos)? {
             0 => None,
             b => Some(b as usize),
         };
 
-        let bias = read_f64(&mut pos);
-        let n = read_u64(&mut pos) as usize;
+        let bias = read_f64(&mut pos)?;
+        let n = read_u64(&mut pos)? as usize;
+        if n == 0 {
+            return Err(ModelDecodeError::NoTrainStates);
+        }
+        // Each (alpha, label) pair is 16 wire bytes; bound the allocation
+        // by what the buffer can hold.
+        if n > (bytes.len() - pos) / 16 {
+            return Err(ModelDecodeError::Truncated { offset: pos });
+        }
         let mut alphas = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
-            alphas.push(read_f64(&mut pos));
-            labels.push(read_f64(&mut pos));
+            alphas.push(read_f64(&mut pos)?);
+            labels.push(read_f64(&mut pos)?);
         }
 
-        let calibration = match bytes[pos] {
-            0 => {
+        let calibration = match bytes.get(pos) {
+            Some(0) => {
                 pos += 1;
                 None
             }
-            1 => {
+            Some(1) => {
                 pos += 1;
-                let a = read_f64(&mut pos);
-                let b = read_f64(&mut pos);
+                let a = read_f64(&mut pos)?;
+                let b = read_f64(&mut pos)?;
                 Some(PlattCalibration {
                     a,
                     b,
@@ -246,19 +350,43 @@ impl QuantumKernelModel {
                     iterations: 0,
                 })
             }
-            tag => panic!("corrupt model bytes: bad calibration tag {tag}"),
+            Some(&tag) => return Err(ModelDecodeError::BadCalibrationTag { tag }),
+            None => return Err(ModelDecodeError::Truncated { offset: pos }),
         };
 
-        let n_states = read_u64(&mut pos) as usize;
-        assert_eq!(n_states, n, "state count must match dual coefficient count");
+        let n_states = read_u64(&mut pos)? as usize;
+        if n_states != n {
+            return Err(ModelDecodeError::StateCountMismatch {
+                states: n_states,
+                alphas: n,
+            });
+        }
         let mut train_states = Vec::with_capacity(n_states);
-        for _ in 0..n_states {
-            let len = read_u64(&mut pos) as usize;
-            train_states.push(Mps::from_bytes(&bytes[pos..pos + len]));
+        for index in 0..n_states {
+            let len = read_u64(&mut pos)? as usize;
+            if len > bytes.len() - pos {
+                return Err(ModelDecodeError::Truncated { offset: pos });
+            }
+            let state = Mps::try_from_bytes(&bytes[pos..pos + len])
+                .map_err(|source| ModelDecodeError::State { index, source })?;
+            if state.num_qubits()
+                != train_states
+                    .first()
+                    .map_or(state.num_qubits(), Mps::num_qubits)
+            {
+                return Err(ModelDecodeError::QubitMismatch { index });
+            }
+            train_states.push(state);
             pos += len;
         }
+        if pos != bytes.len() {
+            return Err(ModelDecodeError::TrailingBytes {
+                consumed: pos,
+                len: bytes.len(),
+            });
+        }
 
-        QuantumKernelModel {
+        Ok(QuantumKernelModel {
             ansatz: AnsatzConfig::new(layers, interaction_distance, gamma),
             truncation: TruncationConfig { cutoff, max_bond },
             train_states,
@@ -269,6 +397,84 @@ impl QuantumKernelModel {
                 passes: 0,
             },
             calibration,
+        })
+    }
+}
+
+/// Why a byte buffer failed to decode as a [`QuantumKernelModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelDecodeError {
+    /// The buffer ended inside a field at this offset.
+    Truncated {
+        /// Byte offset where more input was required.
+        offset: usize,
+    },
+    /// The model declares zero training states.
+    NoTrainStates,
+    /// The calibration tag byte is neither 0 nor 1.
+    BadCalibrationTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// Retained state count disagrees with the dual coefficient count.
+    StateCountMismatch {
+        /// Declared state count.
+        states: usize,
+        /// Declared dual coefficient count.
+        alphas: usize,
+    },
+    /// A retained state failed to decode.
+    State {
+        /// Index of the offending state.
+        index: usize,
+        /// The underlying MPS decode failure.
+        source: MpsDecodeError,
+    },
+    /// A retained state has a different qubit count than the first.
+    QubitMismatch {
+        /// Index of the offending state.
+        index: usize,
+    },
+    /// Input continues past the end of the encoded model.
+    TrailingBytes {
+        /// Bytes consumed by the decoder.
+        consumed: usize,
+        /// Total input length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for ModelDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelDecodeError::Truncated { offset } => {
+                write!(f, "input truncated at byte {offset}")
+            }
+            ModelDecodeError::NoTrainStates => write!(f, "zero training states declared"),
+            ModelDecodeError::BadCalibrationTag { tag } => {
+                write!(f, "bad calibration tag {tag}")
+            }
+            ModelDecodeError::StateCountMismatch { states, alphas } => {
+                write!(f, "{states} states for {alphas} dual coefficients")
+            }
+            ModelDecodeError::State { index, source } => {
+                write!(f, "state {index}: {source}")
+            }
+            ModelDecodeError::QubitMismatch { index } => {
+                write!(f, "state {index} has a different qubit count")
+            }
+            ModelDecodeError::TrailingBytes { consumed, len } => {
+                write!(f, "{} trailing bytes after model data", len - consumed)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelDecodeError::State { source, .. } => Some(source),
+            _ => None,
         }
     }
 }
@@ -397,6 +603,100 @@ mod tests {
             let (pa, pb) = (a.probability.unwrap(), b.probability.unwrap());
             assert!((pa - pb).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn predict_from_state_matches_predict_one() {
+        // The split encode/predict API must be bitwise identical to the
+        // fused path — the serving layer's cache-hit correctness rests
+        // on this.
+        let (model, split, be) = trained_model();
+        let xs = &split.test.features[..6];
+        let states: Vec<Mps> = xs.iter().map(|x| model.encode(x, &be)).collect();
+        let refs: Vec<&Mps> = states.iter().collect();
+        let batched = model.predict_from_states(&refs, &be);
+        assert_eq!(batched.len(), xs.len());
+        for ((x, state), via_batch) in xs.iter().zip(&states).zip(&batched) {
+            let fused = model.predict_one(x, &be);
+            let via_state = model.predict_from_state(state, &be);
+            assert_eq!(fused.decision_value, via_state.decision_value);
+            assert_eq!(fused.decision_value, via_batch.decision_value);
+            assert_eq!(fused.label, via_batch.label);
+            assert_eq!(via_state.timing.simulation, Duration::ZERO);
+        }
+        assert!(model.predict_from_states(&[], &be).is_empty());
+    }
+
+    #[test]
+    fn try_from_bytes_rejects_mangled_model_buffers() {
+        let (mut model, split, be) = trained_model();
+        model.calibrate(&split.test.features, &split.test.label_signs(), &be);
+        let bytes = model.to_bytes();
+
+        // Truncations at a spread of depths: header, duals, calibration,
+        // state headers, state payloads, and the final byte.
+        for cut in [0, 8, 40, 47, 57, 90, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                QuantumKernelModel::try_from_bytes(&bytes[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
+        }
+
+        // Trailing junk.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(QuantumKernelModel::try_from_bytes(&long).is_err());
+
+        // Bad calibration tag (tag byte sits right after the duals).
+        let tag_pos = 7 * 8 + model.num_train_states() * 16;
+        assert_eq!(bytes[tag_pos], 1, "layout drifted: not the tag byte");
+        let mut bad_tag = bytes.clone();
+        bad_tag[tag_pos] = 7;
+        assert_eq!(
+            QuantumKernelModel::try_from_bytes(&bad_tag).err(),
+            Some(ModelDecodeError::BadCalibrationTag { tag: 7 })
+        );
+
+        // State count disagreeing with the dual coefficient count.
+        let count_pos = tag_pos + 17;
+        let mut bad_count = bytes.clone();
+        bad_count[count_pos..count_pos + 8].copy_from_slice(&3u64.to_le_bytes());
+        assert!(matches!(
+            QuantumKernelModel::try_from_bytes(&bad_count).err(),
+            Some(ModelDecodeError::StateCountMismatch { states: 3, .. })
+        ));
+
+        // Corrupt first retained state (mangle its center field).
+        let state0 = count_pos + 8 + 8;
+        let mut bad_state = bytes.clone();
+        bad_state[state0 + 8..state0 + 16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            QuantumKernelModel::try_from_bytes(&bad_state).err(),
+            Some(ModelDecodeError::State { index: 0, .. })
+        ));
+
+        // The pristine artifact still decodes and predicts identically.
+        let back = QuantumKernelModel::try_from_bytes(&bytes).expect("pristine artifact");
+        let x = &split.test.features[0];
+        assert_eq!(
+            back.predict_one(x, &be).decision_value,
+            model.predict_one(x, &be).decision_value
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt model bytes")]
+    fn from_bytes_panics_on_truncation() {
+        let (model, _, _) = trained_model();
+        let bytes = model.to_bytes();
+        QuantumKernelModel::from_bytes(&bytes[..bytes.len() - 3]);
+    }
+
+    #[test]
+    fn accessors_expose_encoding_parameters() {
+        let (model, _, _) = trained_model();
+        assert_eq!(model.ansatz(), &AnsatzConfig::new(2, 1, 0.3));
+        assert_eq!(model.truncation(), &TruncationConfig::default());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use extrapolate::{
     PrimitiveCosts, TrainingForecast,
 };
 pub use gram::{gram_matrix, kernel_block, TimedBlock, TimedKernel};
-pub use inference::{InferenceTiming, Prediction, QuantumKernelModel};
+pub use inference::{InferenceTiming, ModelDecodeError, Prediction, QuantumKernelModel};
 pub use pipeline::{
     run_gaussian_experiment, run_gaussian_on_split, run_quantum_experiment, run_quantum_on_split,
     ExperimentConfig, ExperimentResult, PipelineTimings,

@@ -41,6 +41,12 @@ impl PhaseClock {
     /// Current reading.
     pub fn now(&self) -> PhaseInstant {
         if self.cpu_clock {
+            // The kernel credits a thread's run time at scheduler events
+            // (ticks and switches), so a mid-slice read lags by up to a
+            // full tick (~4 ms at HZ=250) and a sub-tick phase would
+            // read as zero. A voluntary yield forces the credit, making
+            // the counter exact at the cost of one reschedule (~µs).
+            std::thread::yield_now();
             if let Some(t) = thread_cpu_time() {
                 return PhaseInstant(t);
             }

@@ -51,7 +51,7 @@ pub mod sample;
 pub mod sim;
 
 pub use mpo::{encoding_hamiltonian, hxx_mpo, hz_mpo, Mpo, Pauli, PauliString};
-pub use mps::{Mps, TruncationConfig, TruncationStats};
+pub use mps::{Mps, MpsDecodeError, TruncationConfig, TruncationStats};
 pub use observe::{pauli_x, pauli_y, pauli_z};
 pub use sample::shot_estimate_overlap;
 pub use sim::{MpsSimulator, SimRecord, TracePoint};

@@ -455,21 +455,57 @@ impl Mps {
     /// Deserializes an MPS from [`Mps::to_bytes`] output.
     ///
     /// # Panics
-    /// Panics on malformed input.
+    /// Panics on malformed input; use [`Mps::try_from_bytes`] to handle
+    /// untrusted buffers.
     pub fn from_bytes(bytes: &[u8]) -> Self {
+        Self::try_from_bytes(bytes).unwrap_or_else(|e| panic!("corrupt MPS bytes: {e}"))
+    }
+
+    /// Fallible deserialization of [`Mps::to_bytes`] output.
+    ///
+    /// Rejects truncated buffers, bond dimensions whose tensor sizes
+    /// overflow or exceed the remaining input (so corrupt headers cannot
+    /// trigger huge allocations), out-of-range centers, mismatched
+    /// interior bonds, non-trivial boundary bonds, and trailing bytes.
+    pub fn try_from_bytes(bytes: &[u8]) -> Result<Self, MpsDecodeError> {
         let mut pos = 0usize;
-        let read_u64 = |pos: &mut usize| {
-            let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
-            *pos += 8;
-            v
+        let read_u64 = |pos: &mut usize| -> Result<u64, MpsDecodeError> {
+            let end = pos
+                .checked_add(8)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(MpsDecodeError::Truncated { offset: *pos })?;
+            let v = u64::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+            *pos = end;
+            Ok(v)
         };
-        let n_sites = read_u64(&mut pos) as usize;
-        let center = read_u64(&mut pos) as usize;
-        let mut sites = Vec::with_capacity(n_sites);
-        for _ in 0..n_sites {
-            let l = read_u64(&mut pos) as usize;
-            let r = read_u64(&mut pos) as usize;
-            let len = l * 2 * r;
+        let n_sites = read_u64(&mut pos)? as usize;
+        let center = read_u64(&mut pos)? as usize;
+        if n_sites == 0 {
+            return Err(MpsDecodeError::NoSites);
+        }
+        if center >= n_sites {
+            return Err(MpsDecodeError::BadCenter { center, n_sites });
+        }
+        let mut sites = Vec::with_capacity(n_sites.min(bytes.len() / 16));
+        for q in 0..n_sites {
+            let l = read_u64(&mut pos)? as usize;
+            let r = read_u64(&mut pos)? as usize;
+            // Bound the allocation by what the buffer can actually hold:
+            // each amplitude is 16 bytes on the wire.
+            let len = l
+                .checked_mul(2)
+                .and_then(|x| x.checked_mul(r))
+                .filter(|&x| x <= (bytes.len() - pos) / 16)
+                .ok_or(MpsDecodeError::OversizedSite {
+                    site: q,
+                    offset: pos,
+                })?;
+            if l == 0 || r == 0 {
+                return Err(MpsDecodeError::OversizedSite {
+                    site: q,
+                    offset: pos,
+                });
+            }
             let mut data = Vec::with_capacity(len);
             for _ in 0..len {
                 let re = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
@@ -480,14 +516,97 @@ impl Mps {
             }
             sites.push(Tensor::from_data(&[l, 2, r], data));
         }
-        assert!(center < n_sites, "corrupt MPS bytes: bad center");
-        Mps {
+        if sites[0].shape()[0] != 1 || sites[n_sites - 1].shape()[2] != 1 {
+            return Err(MpsDecodeError::BadBoundary);
+        }
+        for q in 0..n_sites - 1 {
+            if sites[q].shape()[2] != sites[q + 1].shape()[0] {
+                return Err(MpsDecodeError::BondMismatch { site: q });
+            }
+        }
+        if pos != bytes.len() {
+            return Err(MpsDecodeError::TrailingBytes {
+                consumed: pos,
+                len: bytes.len(),
+            });
+        }
+        Ok(Mps {
             sites,
             center,
             stats: TruncationStats::default(),
+        })
+    }
+}
+
+/// Why a byte buffer failed to decode as an [`Mps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpsDecodeError {
+    /// The buffer ended inside a header or amplitude at this offset.
+    Truncated {
+        /// Byte offset where more input was required.
+        offset: usize,
+    },
+    /// The header declares zero sites.
+    NoSites,
+    /// The orthogonality center is outside the site range.
+    BadCenter {
+        /// Declared center.
+        center: usize,
+        /// Declared site count.
+        n_sites: usize,
+    },
+    /// A site header declares a tensor larger than the remaining input
+    /// (or with a zero/overflowing bond dimension).
+    OversizedSite {
+        /// Index of the offending site.
+        site: usize,
+        /// Byte offset of its amplitude data.
+        offset: usize,
+    },
+    /// A boundary bond dimension is not 1.
+    BadBoundary,
+    /// Adjacent sites disagree on their shared bond dimension.
+    BondMismatch {
+        /// Left site of the mismatched bond.
+        site: usize,
+    },
+    /// Input continues past the end of the encoded state.
+    TrailingBytes {
+        /// Bytes consumed by the decoder.
+        consumed: usize,
+        /// Total input length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for MpsDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpsDecodeError::Truncated { offset } => {
+                write!(f, "input truncated at byte {offset}")
+            }
+            MpsDecodeError::NoSites => write!(f, "zero sites declared"),
+            MpsDecodeError::BadCenter { center, n_sites } => {
+                write!(f, "bad center {center} for {n_sites} sites")
+            }
+            MpsDecodeError::OversizedSite { site, offset } => {
+                write!(
+                    f,
+                    "site {site} at byte {offset} larger than remaining input"
+                )
+            }
+            MpsDecodeError::BadBoundary => write!(f, "boundary bond dimension is not 1"),
+            MpsDecodeError::BondMismatch { site } => {
+                write!(f, "bond mismatch between sites {site} and {}", site + 1)
+            }
+            MpsDecodeError::TrailingBytes { consumed, len } => {
+                write!(f, "{} trailing bytes after site data", len - consumed)
+            }
         }
     }
 }
+
+impl std::error::Error for MpsDecodeError {}
 
 /// Decides how many singular values to keep under the truncation policy.
 ///
@@ -737,6 +856,79 @@ mod tests {
         assert_eq!(back.num_qubits(), 4);
         assert_eq!(back.center(), mps.center());
         assert!((mps.overlap_sqr(&back) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_from_bytes_rejects_mangled_buffers() {
+        let be = backend();
+        let cfg = TruncationConfig::default();
+        let mut mps = Mps::plus_state(4);
+        let g = qk_circuit::Gate::Rxx(0.6).matrix();
+        mps.apply_gate2(&be, &g, 1, &cfg);
+        let bytes = mps.to_bytes();
+
+        // Every proper prefix is rejected as truncated/oversized, never
+        // accepted and never panicking.
+        for cut in 0..bytes.len() {
+            let err = Mps::try_from_bytes(&bytes[..cut])
+                .err()
+                .expect("prefix accepted");
+            assert!(
+                matches!(
+                    err,
+                    MpsDecodeError::Truncated { .. } | MpsDecodeError::OversizedSite { .. }
+                ),
+                "prefix {cut}: {err}"
+            );
+        }
+
+        // Trailing junk.
+        let mut long = bytes.clone();
+        long.push(0xAB);
+        assert!(matches!(
+            Mps::try_from_bytes(&long),
+            Err(MpsDecodeError::Truncated { .. } | MpsDecodeError::TrailingBytes { .. })
+        ));
+
+        // Corrupt center.
+        let mut bad_center = bytes.clone();
+        bad_center[8..16].copy_from_slice(&99u64.to_le_bytes());
+        assert_eq!(
+            Mps::try_from_bytes(&bad_center).err(),
+            Some(MpsDecodeError::BadCenter {
+                center: 99,
+                n_sites: 4
+            })
+        );
+
+        // Huge bond dimension in the first site header must not allocate.
+        let mut huge = bytes.clone();
+        huge[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Mps::try_from_bytes(&huge),
+            Err(MpsDecodeError::OversizedSite { site: 0, .. })
+        ));
+
+        // Zero sites.
+        let mut empty = bytes.clone();
+        empty[0..8].copy_from_slice(&0u64.to_le_bytes());
+        let err = Mps::try_from_bytes(&empty)
+            .err()
+            .expect("zero sites accepted");
+        assert!(matches!(
+            err,
+            MpsDecodeError::NoSites | MpsDecodeError::BadCenter { .. }
+        ));
+
+        // The pristine buffer still decodes.
+        assert!(Mps::try_from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt MPS bytes")]
+    fn from_bytes_panics_on_truncation() {
+        let bytes = Mps::plus_state(3).to_bytes();
+        Mps::from_bytes(&bytes[..bytes.len() - 1]);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Serving configuration.
+
+use std::time::Duration;
+
+/// Tuning knobs for a [`crate::KernelServer`].
+///
+/// The defaults target the paper's inference profile: simulation is
+/// ~100x the cost of a kernel row, so the queue is sized to keep every
+/// worker busy while duplicates coalesce, and the cache is large enough
+/// to hold tens of thousands of d = 1 states (the paper stores 64,000
+/// training states in under 1 GiB; query states are the same size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads sharing the submission queue (min 1).
+    pub workers: usize,
+    /// Most requests coalesced into one worker wake (min 1).
+    pub max_batch: usize,
+    /// How long a worker tops up a partial batch before processing it.
+    pub max_wait: Duration,
+    /// Bound on queued requests; submitters block (backpressure) or get
+    /// [`crate::ServeError::QueueFull`] from `try_submit` beyond it.
+    pub queue_capacity: usize,
+    /// Encoding-cache entry budget; 0 disables the cache entirely.
+    pub cache_capacity: usize,
+    /// Optional encoding-cache byte budget (entry sizes come from
+    /// [`qk_mps::Mps::memory_bytes`]); `None` = entries-only bound.
+    pub cache_max_bytes: Option<usize>,
+    /// Feature quantization scale for cache keys: coordinates are mapped
+    /// to `round(x * scale)`, so points within `0.5 / scale` per
+    /// coordinate share one cached encoding. Larger = stricter matching
+    /// (fewer false shares), smaller = more aggressive deduplication.
+    pub quantization_scale: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            cache_max_bytes: None,
+            quantization_scale: 1e6,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults with the given worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServeConfig {
+            workers,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with the structurally-zero fields clamped to their
+    /// minimum legal values (`cache_capacity` 0 stays 0: cache off).
+    pub(crate) fn normalized(&self) -> Self {
+        ServeConfig {
+            workers: self.workers.max(1),
+            max_batch: self.max_batch.max(1),
+            queue_capacity: self.queue_capacity.max(1),
+            quantization_scale: if self.quantization_scale > 0.0 {
+                self.quantization_scale
+            } else {
+                1e6
+            },
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_clamps_zeros() {
+        let cfg = ServeConfig {
+            workers: 0,
+            max_batch: 0,
+            queue_capacity: 0,
+            cache_capacity: 0,
+            quantization_scale: -1.0,
+            ..ServeConfig::default()
+        }
+        .normalized();
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.queue_capacity, 1);
+        assert_eq!(cfg.cache_capacity, 0, "cache off must stay off");
+        assert!(cfg.quantization_scale > 0.0);
+    }
+}

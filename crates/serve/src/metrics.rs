@@ -1,0 +1,309 @@
+//! Serving telemetry: counters, a latency histogram, and snapshots.
+//!
+//! Latencies land in logarithmic (power-of-two microsecond) buckets, so
+//! recording is lock-brief and constant-size while still resolving the
+//! tail percentiles the serving story cares about; quantiles report a
+//! bucket's upper edge (clamped to the true maximum), i.e. p99 is never
+//! under-reported. Follows the `core::timing` convention of measuring
+//! durations with monotonic instants and reporting `Duration`s.
+
+use crate::cache::CacheStats;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const BUCKETS: usize = 40;
+
+/// Fixed-size logarithmic latency histogram.
+#[derive(Debug, Clone)]
+pub(crate) struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: Duration,
+    max: Duration,
+}
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+
+    fn bucket(latency: Duration) -> usize {
+        let us = latency.as_micros().max(1) as u64;
+        ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    pub(crate) fn record(&mut self, latency: Duration) {
+        self.counts[Self::bucket(latency)] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Upper edge of the bucket holding the q-quantile observation,
+    /// clamped to the observed maximum. Zero when empty.
+    pub(crate) fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Duration::from_micros(1u64 << (i + 1).min(63)).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.sum / self.count as u32
+        }
+    }
+}
+
+/// Latency percentiles for one snapshot.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencySnapshot {
+    /// Median request latency (enqueue to reply).
+    pub p50: Duration,
+    /// 95th percentile latency.
+    pub p95: Duration,
+    /// 99th percentile latency.
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+    /// Mean latency.
+    pub mean: Duration,
+}
+
+/// Point-in-time view of the server's health and throughput.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Time since the server started.
+    pub uptime: Duration,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests refused: failed validation at submit (closed, wrong
+    /// feature count, unrepresentable feature), `try_submit`
+    /// backpressure, or — rarely — answered with an error because a
+    /// hot-swap changed the feature count while they were queued (those
+    /// also appear in `submitted`).
+    pub rejected: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Completed requests per wall-clock second since start.
+    pub throughput_rps: f64,
+    /// Requests currently waiting in the submission queue.
+    pub queue_depth: usize,
+    /// Worker wakes that processed at least one request.
+    pub batches: u64,
+    /// Mean coalesced batch size.
+    pub mean_batch_size: f64,
+    /// Largest coalesced batch.
+    pub max_batch_size: u64,
+    /// Circuit simulations performed (= encoding-cache misses that were
+    /// actually simulated).
+    pub simulations: u64,
+    /// Encoding-cache counters.
+    pub cache: CacheStats,
+    /// Fraction of lookups served from the encoding cache.
+    pub cache_hit_rate: f64,
+    /// Request latency percentiles.
+    pub latency: LatencySnapshot,
+    /// Model version serving new batches.
+    pub model_version: u64,
+    /// Encoding epoch (bumps when a deploy changes ansatz/truncation).
+    pub encoding_epoch: u64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "uptime {:.2?}  model v{} (epoch {})",
+            self.uptime, self.model_version, self.encoding_epoch
+        )?;
+        writeln!(
+            f,
+            "requests: {} completed / {} submitted ({} rejected), {:.1} req/s, queue depth {}",
+            self.completed, self.submitted, self.rejected, self.throughput_rps, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "batching: {} batches, mean size {:.2}, max size {}",
+            self.batches, self.mean_batch_size, self.max_batch_size
+        )?;
+        writeln!(
+            f,
+            "cache: {:.1}% hit rate ({} hits / {} misses), {} entries, {:.1} KiB, {} evictions; {} simulations",
+            100.0 * self.cache_hit_rate,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.entries,
+            self.cache.bytes as f64 / 1024.0,
+            self.cache.evictions,
+            self.simulations
+        )?;
+        write!(
+            f,
+            "latency: p50 {:.2?}, p95 {:.2?}, p99 {:.2?}, max {:.2?}, mean {:.2?}",
+            self.latency.p50,
+            self.latency.p95,
+            self.latency.p99,
+            self.latency.max,
+            self.latency.mean
+        )
+    }
+}
+
+/// Shared mutable telemetry, updated by submitters and workers.
+pub(crate) struct Metrics {
+    started: Instant,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_jobs: AtomicU64,
+    pub(crate) max_batch_size: AtomicU64,
+    pub(crate) simulations: AtomicU64,
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) latency: Mutex<LatencyHistogram>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            max_batch_size: AtomicU64::new(0),
+            simulations: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            latency: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch_size
+            .fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        cache: CacheStats,
+        model_version: u64,
+        encoding_epoch: u64,
+    ) -> MetricsSnapshot {
+        let uptime = self.started.elapsed();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_jobs = self.batched_jobs.load(Ordering::Relaxed);
+        let latency = self.latency.lock();
+        MetricsSnapshot {
+            uptime,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            throughput_rps: completed as f64 / uptime.as_secs_f64().max(1e-9),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched_jobs as f64 / batches as f64
+            },
+            max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
+            simulations: self.simulations.load(Ordering::Relaxed),
+            cache,
+            cache_hit_rate: cache.hit_rate(),
+            latency: LatencySnapshot {
+                p50: latency.quantile(0.50),
+                p95: latency.quantile(0.95),
+                p99: latency.quantile(0.99),
+                max: latency.max,
+                mean: latency.mean(),
+            },
+            model_version,
+            encoding_epoch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for us in [50u64, 80, 120, 400, 900, 1500, 3000, 9000, 20_000, 70_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 > Duration::ZERO);
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        assert!(p99 <= h.max);
+        assert_eq!(h.max, Duration::from_micros(70_000));
+        assert!(h.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_observation_hits_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(333));
+        for q in [0.01, 0.5, 0.99] {
+            assert_eq!(h.quantile(q), Duration::from_micros(333));
+        }
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_to_edge_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.count, 2);
+        assert_eq!(h.quantile(1.0), h.max);
+    }
+
+    #[test]
+    fn snapshot_math() {
+        let m = Metrics::new();
+        m.submitted.store(10, Ordering::Relaxed);
+        m.completed.store(8, Ordering::Relaxed);
+        m.record_batch(3);
+        m.record_batch(5);
+        m.latency.lock().record(Duration::from_millis(2));
+        let s = m.snapshot(CacheStats::default(), 2, 1);
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.completed, 8);
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch_size - 4.0).abs() < 1e-12);
+        assert_eq!(s.max_batch_size, 5);
+        assert_eq!(s.model_version, 2);
+        assert!(s.throughput_rps > 0.0);
+        assert!(!format!("{s}").is_empty());
+    }
+}

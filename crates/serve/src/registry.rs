@@ -1,0 +1,138 @@
+//! Versioned model registry with atomic hot-swap.
+//!
+//! The registry hands workers an `Arc` snapshot of the current model at
+//! each batch start, so a deploy is one pointer swap: batches already in
+//! flight drain on the old version while new batches pick up the new
+//! one — no request is ever dropped or served by a half-installed model.
+//!
+//! Deploys also track the *encoding epoch*: encodings depend only on the
+//! ansatz and truncation policy, so a retrain that keeps both (the
+//! common "same circuit, more data" rollout) preserves the cache across
+//! the swap, while a deploy that changes either bumps the epoch and
+//! invalidates every cached state.
+
+use parking_lot::RwLock;
+use qk_core::QuantumKernelModel;
+use std::sync::Arc;
+
+/// One installed model plus its registry metadata.
+pub struct ModelVersion {
+    /// Monotonic deploy counter, starting at 1.
+    pub version: u64,
+    /// Monotonic encoding-parameter counter, starting at 1.
+    pub encoding_epoch: u64,
+    /// The model itself.
+    pub model: QuantumKernelModel,
+}
+
+/// What a deploy did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploySummary {
+    /// Version now serving.
+    pub version: u64,
+    /// Encoding epoch now serving.
+    pub encoding_epoch: u64,
+    /// `true` when the new model's ansatz or truncation differs from
+    /// the previous version's (cached encodings are stale).
+    pub encoding_changed: bool,
+}
+
+/// Atomic holder of the serving [`ModelVersion`].
+pub struct ModelRegistry {
+    current: RwLock<Arc<ModelVersion>>,
+}
+
+impl ModelRegistry {
+    /// A registry serving `model` as version 1, epoch 1.
+    pub fn new(model: QuantumKernelModel) -> Self {
+        ModelRegistry {
+            current: RwLock::new(Arc::new(ModelVersion {
+                version: 1,
+                encoding_epoch: 1,
+                model,
+            })),
+        }
+    }
+
+    /// The version serving new batches right now.
+    pub fn current(&self) -> Arc<ModelVersion> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Installs `model` as the next version. In-flight batches keep
+    /// their `Arc` to the old version and drain undisturbed.
+    pub fn deploy(&self, model: QuantumKernelModel) -> DeploySummary {
+        let mut slot = self.current.write();
+        let encoding_changed =
+            model.ansatz() != slot.model.ansatz() || model.truncation() != slot.model.truncation();
+        let next = ModelVersion {
+            version: slot.version + 1,
+            encoding_epoch: slot.encoding_epoch + u64::from(encoding_changed),
+            model,
+        };
+        let summary = DeploySummary {
+            version: next.version,
+            encoding_epoch: next.encoding_epoch,
+            encoding_changed,
+        };
+        *slot = Arc::new(next);
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qk_circuit::AnsatzConfig;
+    use qk_data::{generate, prepare_experiment, SyntheticConfig};
+    use qk_mps::TruncationConfig;
+    use qk_svm::SmoParams;
+    use qk_tensor::backend::CpuBackend;
+
+    fn model(gamma: f64) -> QuantumKernelModel {
+        let data = generate(&SyntheticConfig::small(5));
+        let split = prepare_experiment(&data, 20, 4, 5);
+        QuantumKernelModel::fit(
+            &split.train.features,
+            &split.train.label_signs(),
+            &AnsatzConfig::new(1, 1, gamma),
+            &TruncationConfig::default(),
+            &SmoParams::with_c(1.0),
+            &CpuBackend::new(),
+        )
+    }
+
+    #[test]
+    fn deploys_version_and_epoch() {
+        let registry = ModelRegistry::new(model(0.5));
+        let v1 = registry.current();
+        assert_eq!((v1.version, v1.encoding_epoch), (1, 1));
+
+        // Same encoding parameters: version moves, epoch does not.
+        let s = registry.deploy(model(0.5));
+        assert_eq!(
+            s,
+            DeploySummary {
+                version: 2,
+                encoding_epoch: 1,
+                encoding_changed: false
+            }
+        );
+
+        // Different gamma: epoch bumps.
+        let s = registry.deploy(model(0.9));
+        assert_eq!(
+            s,
+            DeploySummary {
+                version: 3,
+                encoding_epoch: 2,
+                encoding_changed: true
+            }
+        );
+
+        // The old Arc is still usable by an in-flight batch.
+        assert_eq!(v1.version, 1);
+        assert_eq!(v1.model.num_features(), 4);
+        assert_eq!(registry.current().version, 3);
+    }
+}

@@ -1,0 +1,554 @@
+//! The serving loop: bounded submission queue, micro-batching workers.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! ServeHandle::submit ──► bounded channel (backpressure) ──► worker pool
+//!                                                             │  coalesce ≤ max_batch
+//!                                                             │  (wait ≤ max_wait)
+//!                                                             ▼
+//!                        reply channel ◄── predict_from_states(unique states)
+//!                                              ▲
+//!                 encoding cache (hit: skip simulation entirely)
+//! ```
+//!
+//! Each worker blocks on the shared MPMC queue, then tops its batch up
+//! with whatever arrives within `max_wait`. The batch is deduplicated by
+//! quantized cache key, missing encodings are simulated once, and the
+//! whole batch is answered from one kernel block — so `k` duplicates of
+//! a point cost one simulation and one kernel row, not `k` of each.
+//!
+//! ## Shutdown protocol
+//!
+//! `shutdown` must answer every accepted request while racing against
+//! concurrent submitters. The ordering argument: submitters increment
+//! `submitting` *before* checking the stop flag, and `shutdown` sets the
+//! flag *before* waiting for `submitting` to reach zero — so every
+//! successful enqueue strictly precedes the `Shutdown` tokens in the
+//! FIFO queue. A worker that pops a token therefore knows every accepted
+//! request has already been popped (by some worker), and can exit
+//! immediately without draining.
+
+use crate::cache::{CacheKey, EncodingCache, Quantizer};
+use crate::config::ServeConfig;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::registry::{DeploySummary, ModelRegistry, ModelVersion};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use qk_core::{ModelDecodeError, Prediction, QuantumKernelModel};
+use qk_mps::Mps;
+use qk_tensor::backend::CpuBackend;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a request was not served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server has shut down (or did so before answering).
+    Closed,
+    /// The submission queue is full (`try_submit` only).
+    QueueFull,
+    /// The request's feature count does not match the serving model.
+    FeatureCount {
+        /// Features the serving model expects.
+        expected: usize,
+        /// Features the request carried.
+        got: usize,
+    },
+    /// A feature is NaN, infinite, or too large for the cache-key
+    /// quantization grid. Such coordinates would collapse onto
+    /// legitimate grid points (NaN casts to 0; infinities and huge
+    /// values saturate at the i64 grid edge) and poison the encoding
+    /// cache — or, with the cache off, the in-batch deduplication.
+    InvalidFeature {
+        /// Index of the offending coordinate.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "server is shut down"),
+            ServeError::QueueFull => write!(f, "submission queue is full"),
+            ServeError::FeatureCount { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            ServeError::InvalidFeature { index } => {
+                write!(
+                    f,
+                    "feature {index} is not representable (NaN, infinite, or huge)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served classification with its provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServedPrediction {
+    /// The underlying prediction. `timing.simulation` is the circuit
+    /// simulation this request's batch actually paid for its point
+    /// (zero on a cache hit); `timing.inner_products` is the request's
+    /// share of its batch's kernel-block time.
+    pub prediction: Prediction,
+    /// Model version that served this request.
+    pub model_version: u64,
+    /// `true` when the encoding came from the cache.
+    pub cache_hit: bool,
+    /// Size of the coalesced batch this request rode in.
+    pub batch_size: usize,
+    /// Enqueue-to-reply latency.
+    pub latency: Duration,
+}
+
+/// A ticket for an accepted request; redeem with
+/// [`PendingPrediction::wait`].
+pub struct PendingPrediction {
+    rx: Receiver<Result<ServedPrediction, ServeError>>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the request is answered.
+    pub fn wait(self) -> Result<ServedPrediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)?
+    }
+}
+
+struct Job {
+    features: Vec<f64>,
+    reply: Sender<Result<ServedPrediction, ServeError>>,
+    enqueued: Instant,
+}
+
+enum Msg {
+    Request(Job),
+    Shutdown,
+}
+
+struct ServerCore {
+    registry: ModelRegistry,
+    cache: Mutex<EncodingCache>,
+    quantizer: Quantizer,
+    metrics: Metrics,
+    stop: AtomicBool,
+    submitting: AtomicUsize,
+    config: ServeConfig,
+}
+
+impl ServerCore {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let current = self.registry.current();
+        self.metrics.snapshot(
+            self.cache.lock().stats(),
+            current.version,
+            current.encoding_epoch,
+        )
+    }
+}
+
+/// A clonable client endpoint for submitting requests and reading
+/// metrics. Handles stay valid across hot-swaps; after shutdown every
+/// submission returns [`ServeError::Closed`].
+pub struct ServeHandle {
+    core: Arc<ServerCore>,
+    tx: Sender<Msg>,
+}
+
+impl Clone for ServeHandle {
+    fn clone(&self) -> Self {
+        ServeHandle {
+            core: Arc::clone(&self.core),
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl ServeHandle {
+    fn make_job(&self, features: Vec<f64>) -> Result<(Msg, PendingPrediction), ServeError> {
+        let expected = self.core.registry.current().model.num_features();
+        if features.len() != expected {
+            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::FeatureCount {
+                expected,
+                got: features.len(),
+            });
+        }
+        // The quantization grid covers |x * scale| < 2^63; anything
+        // outside (or NaN) would saturate onto a shared key.
+        let scale = self.core.config.quantization_scale;
+        if let Some(index) = features
+            .iter()
+            .position(|x| !x.is_finite() || (x * scale).abs() >= 9.0e18)
+        {
+            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::InvalidFeature { index });
+        }
+        let (reply, rx) = channel::bounded(1);
+        Ok((
+            Msg::Request(Job {
+                features,
+                reply,
+                enqueued: Instant::now(),
+            }),
+            PendingPrediction { rx },
+        ))
+    }
+
+    fn accepted(&self) -> PendingAccounting<'_> {
+        // Increment-before-flag-check: see the shutdown protocol note in
+        // the module docs.
+        self.core.submitting.fetch_add(1, Ordering::SeqCst);
+        PendingAccounting { core: &self.core }
+    }
+
+    /// Submits a request, blocking while the queue is full
+    /// (backpressure).
+    pub fn submit(&self, features: Vec<f64>) -> Result<PendingPrediction, ServeError> {
+        let (msg, pending) = self.make_job(features)?;
+        let guard = self.accepted();
+        if self.core.stop.load(Ordering::SeqCst) {
+            drop(guard);
+            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Closed);
+        }
+        self.core.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+        let sent = self.tx.send(msg);
+        drop(guard);
+        match sent {
+            Ok(()) => {
+                self.core.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(pending)
+            }
+            Err(_) => {
+                self.core.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Closed)
+            }
+        }
+    }
+
+    /// Non-blocking submit: fails fast with [`ServeError::QueueFull`]
+    /// instead of exerting backpressure.
+    pub fn try_submit(&self, features: Vec<f64>) -> Result<PendingPrediction, ServeError> {
+        let (msg, pending) = self.make_job(features)?;
+        let guard = self.accepted();
+        if self.core.stop.load(Ordering::SeqCst) {
+            drop(guard);
+            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Closed);
+        }
+        self.core.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+        let sent = self.tx.try_send(msg);
+        drop(guard);
+        match sent {
+            Ok(()) => {
+                self.core.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(pending)
+            }
+            Err(e) => {
+                self.core.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(match e {
+                    TrySendError::Full(_) => ServeError::QueueFull,
+                    TrySendError::Disconnected(_) => ServeError::Closed,
+                })
+            }
+        }
+    }
+
+    /// Current metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.core.snapshot()
+    }
+}
+
+/// RAII decrement of the `submitting` gate.
+struct PendingAccounting<'a> {
+    core: &'a ServerCore,
+}
+
+impl Drop for PendingAccounting<'_> {
+    fn drop(&mut self) {
+        self.core.submitting.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running inference service over a [`QuantumKernelModel`].
+pub struct KernelServer {
+    core: Arc<ServerCore>,
+    tx: Sender<Msg>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl KernelServer {
+    /// Starts the worker pool serving `model` as version 1.
+    pub fn start(model: QuantumKernelModel, config: &ServeConfig) -> Self {
+        let config = config.normalized();
+        let (tx, rx) = channel::bounded::<Msg>(config.queue_capacity);
+        let core = Arc::new(ServerCore {
+            registry: ModelRegistry::new(model),
+            cache: Mutex::new(EncodingCache::new(
+                config.cache_capacity,
+                config.cache_max_bytes,
+            )),
+            quantizer: Quantizer::new(config.quantization_scale),
+            metrics: Metrics::new(),
+            stop: AtomicBool::new(false),
+            submitting: AtomicUsize::new(0),
+            config,
+        });
+        let workers = (0..config.workers)
+            .map(|w| {
+                let core = Arc::clone(&core);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("qk-serve-{w}"))
+                    .spawn(move || worker_loop(&core, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        KernelServer { core, tx, workers }
+    }
+
+    /// A new client endpoint.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            core: Arc::clone(&self.core),
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Hot-swaps the serving model: new batches pick up the new version
+    /// immediately, in-flight batches drain on the old one. When the
+    /// deploy changes the encoding parameters the cache is flushed
+    /// (stale epochs could never be served, but their memory is freed
+    /// eagerly).
+    pub fn deploy(&self, model: QuantumKernelModel) -> DeploySummary {
+        // The cache lock is held *across* the registry swap: no worker
+        // can insert between the swap and the epoch retirement, so the
+        // flush never discards valid new-epoch entries (a worker that
+        // snapshots the new version inserts only after this lock is
+        // released), and stragglers on the old version are rejected by
+        // the retired-epoch floor. Workers never hold the cache lock
+        // while taking a registry lock, so the ordering cannot deadlock.
+        let mut cache = self.core.cache.lock();
+        let summary = self.core.registry.deploy(model);
+        if summary.encoding_changed {
+            cache.retire_epochs_below(summary.encoding_epoch);
+        }
+        summary
+    }
+
+    /// Deploys a serialized model artifact, rejecting corrupt input
+    /// without disturbing the serving version.
+    pub fn deploy_bytes(&self, bytes: &[u8]) -> Result<DeploySummary, ModelDecodeError> {
+        Ok(self.deploy(QuantumKernelModel::try_from_bytes(bytes)?))
+    }
+
+    /// Current metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.core.snapshot()
+    }
+
+    /// Graceful shutdown: every request accepted before (or racing with)
+    /// the call is answered, then workers exit. Returns the final
+    /// metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_inner();
+        self.core.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.core.stop.store(true, Ordering::SeqCst);
+        // Wait out submitters that passed the flag check: once
+        // `submitting` reads zero, every accepted request is in the
+        // queue ahead of the tokens below.
+        while self.core.submitting.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+        for _ in 0..self.workers.len() {
+            // Err means every worker already exited; nothing to wake.
+            let _ = self.tx.send(Msg::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for KernelServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
+    let backend = CpuBackend::new();
+    loop {
+        let first = match rx.recv() {
+            Ok(Msg::Request(job)) => job,
+            // Shutdown token or disconnect: the FIFO argument in the
+            // module docs guarantees no accepted request remains.
+            Ok(Msg::Shutdown) | Err(_) => return,
+        };
+        core.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let mut batch = vec![first];
+        let deadline = Instant::now() + core.config.max_wait;
+        let mut shutting_down = false;
+        while batch.len() < core.config.max_batch {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let next = if remaining.is_zero() {
+                match rx.try_recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                }
+            } else {
+                match rx.recv_timeout(remaining) {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                }
+            };
+            match next {
+                Msg::Request(job) => {
+                    core.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    batch.push(job);
+                }
+                Msg::Shutdown => {
+                    shutting_down = true;
+                    break;
+                }
+            }
+        }
+        process_batch(core, &backend, batch);
+        if shutting_down {
+            return;
+        }
+    }
+}
+
+/// One encoding shared by every job in the batch that quantizes to it.
+struct UniquePoint {
+    key: CacheKey,
+    /// Index into the batch of the first job with this key (its exact
+    /// features are the ones simulated on a miss).
+    exemplar: usize,
+    state: Option<Arc<Mps>>,
+    cache_hit: bool,
+    simulation: Duration,
+}
+
+fn process_batch(core: &ServerCore, backend: &CpuBackend, batch: Vec<Job>) {
+    core.metrics.record_batch(batch.len());
+    // One model snapshot per batch: a concurrent deploy affects later
+    // batches, never a partially processed one.
+    let current: Arc<ModelVersion> = core.registry.current();
+    let model = &current.model;
+    let expected = model.num_features();
+
+    // Answer (rare) stale-shape jobs that validated against a different
+    // version than the one now serving.
+    let mut jobs = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.features.len() != expected {
+            let _ = job.reply.send(Err(ServeError::FeatureCount {
+                expected,
+                got: job.features.len(),
+            }));
+            core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        } else {
+            jobs.push(job);
+        }
+    }
+    if jobs.is_empty() {
+        return;
+    }
+
+    // Coalesce duplicates: one UniquePoint per distinct quantized key.
+    let cache_enabled = core.config.cache_capacity > 0;
+    let mut unique: Vec<UniquePoint> = Vec::with_capacity(jobs.len());
+    let mut slot_of_key: HashMap<CacheKey, usize> = HashMap::with_capacity(jobs.len());
+    let mut job_slots = Vec::with_capacity(jobs.len());
+    for (j, job) in jobs.iter().enumerate() {
+        let key = core.quantizer.key(current.encoding_epoch, &job.features);
+        let slot = *slot_of_key.entry(key.clone()).or_insert_with(|| {
+            unique.push(UniquePoint {
+                key,
+                exemplar: j,
+                state: None,
+                cache_hit: false,
+                simulation: Duration::ZERO,
+            });
+            unique.len() - 1
+        });
+        job_slots.push(slot);
+    }
+
+    // Cache lookups under one short lock.
+    if cache_enabled {
+        let mut cache = core.cache.lock();
+        for point in unique.iter_mut() {
+            if let Some(state) = cache.get(&point.key) {
+                point.state = Some(state);
+                point.cache_hit = true;
+            }
+        }
+    }
+
+    // Simulate the misses (the expensive phase) without holding any
+    // lock, then publish them.
+    for point in unique.iter_mut().filter(|p| p.state.is_none()) {
+        let t0 = Instant::now();
+        let state = Arc::new(model.encode(&jobs[point.exemplar].features, backend));
+        point.simulation = t0.elapsed();
+        core.metrics.simulations.fetch_add(1, Ordering::Relaxed);
+        point.state = Some(state);
+    }
+    if cache_enabled {
+        let mut cache = core.cache.lock();
+        for point in unique.iter().filter(|p| !p.cache_hit) {
+            cache.insert(
+                point.key.clone(),
+                Arc::clone(point.state.as_ref().expect("simulated above")),
+            );
+        }
+    } else {
+        // Keep miss accounting meaningful with the cache disabled.
+        let mut cache = core.cache.lock();
+        for point in &unique {
+            cache.get(&point.key);
+        }
+    }
+
+    // One kernel block answers the whole batch.
+    let states: Vec<&Mps> = unique
+        .iter()
+        .map(|p| p.state.as_deref().expect("simulated above"))
+        .collect();
+    let predictions = model.predict_from_states(&states, backend);
+
+    let batch_size = jobs.len();
+    for (job, &slot) in jobs.into_iter().zip(&job_slots) {
+        let point = &unique[slot];
+        let mut prediction = predictions[slot];
+        prediction.timing.simulation = point.simulation;
+        let latency = job.enqueued.elapsed();
+        core.metrics.latency.lock().record(latency);
+        core.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        // A client that dropped its ticket is not an error.
+        let _ = job.reply.send(Ok(ServedPrediction {
+            prediction,
+            model_version: current.version,
+            cache_hit: point.cache_hit,
+            batch_size,
+            latency,
+        }));
+    }
+}

@@ -96,6 +96,16 @@ impl TrainedSvm {
         rows.map(|r| self.decision_value(r)).collect()
     }
 
+    /// Decision values over a precomputed test-against-train block,
+    /// borrowing each kernel row in place — the batched-inference path:
+    /// the serving layer evaluates a whole micro-batch against one block
+    /// without copying rows out.
+    pub fn decision_values_block(&self, block: &crate::kernel::KernelBlock) -> Vec<f64> {
+        (0..block.rows())
+            .map(|i| self.decision_value(block.row(i)))
+            .collect()
+    }
+
     /// Class prediction (`+1` / `-1`).
     pub fn predict(&self, row: &[f64]) -> f64 {
         if self.decision_value(row) >= 0.0 {
@@ -291,6 +301,24 @@ fn take_step(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decision_values_block_matches_per_row() {
+        let svm = TrainedSvm {
+            alphas: vec![0.5, 0.0, 1.2],
+            bias: -0.3,
+            labels: vec![1.0, -1.0, -1.0],
+            passes: 1,
+        };
+        let block = crate::kernel::KernelBlock::from_fn(4, 3, |i, j| {
+            1.0 / (1.0 + (i as f64 - j as f64).abs())
+        });
+        let batched = svm.decision_values_block(&block);
+        assert_eq!(batched.len(), 4);
+        for (i, &d) in batched.iter().enumerate() {
+            assert_eq!(d, svm.decision_value(block.row(i)), "row {i}");
+        }
+    }
 
     /// The fallback draw hits every `j != i` with frequency `1/(n-1)`.
     ///

@@ -12,9 +12,11 @@
 //! 4. [`core`] — Gram-matrix assembly, distribution strategies,
 //!    inference;
 //! 5. [`svm`] — kernel SVM training (SMO), calibration, metrics;
-//! 6. [`bench`] — figure/table reproduction harness;
-//! 7. [`tensor`] — the shared dense linear-algebra substrate;
-//! 8. [`mpi`] — the in-process MPI-shaped messaging shim.
+//! 6. [`serve`] — concurrent batched-inference serving with an MPS
+//!    encoding cache and hot-swappable model versions;
+//! 7. [`bench`] — figure/table reproduction harness;
+//! 8. [`tensor`] — the shared dense linear-algebra substrate;
+//! 9. [`mpi`] — the in-process MPI-shaped messaging shim.
 
 pub use qk_bench as bench;
 pub use qk_circuit as circuit;
@@ -22,6 +24,7 @@ pub use qk_core as core;
 pub use qk_data as data;
 pub use qk_mpi as mpi;
 pub use qk_mps as mps;
+pub use qk_serve as serve;
 pub use qk_statevector as statevector;
 pub use qk_svm as svm;
 pub use qk_tensor as tensor;

@@ -1,38 +1,104 @@
-//! Offline `crossbeam` shim: `crossbeam::channel` mapped onto
-//! `std::sync::mpsc`.
+//! Offline `crossbeam` shim: MPMC `crossbeam::channel` on std
+//! primitives.
 //!
-//! Covers the multi-producer/single-consumer patterns this workspace
-//! uses (cloned senders feeding one collector; bounded ring channels).
-//! Crossbeam's multi-consumer `Receiver::clone` is intentionally not
-//! provided — `std::sync::mpsc` cannot express it — and no caller needs
-//! it.
+//! Real crossbeam channels are multi-producer *and* multi-consumer with
+//! timed receives; this shim implements the same semantics over a
+//! `Mutex<VecDeque>` plus two condition variables (`not_empty` /
+//! `not_full`), so a pool of worker threads can share one submission
+//! queue — the pattern `qk-serve` is built on. Covered surface:
+//! `bounded`/`unbounded`, blocking/timed/non-blocking send and receive,
+//! clonable `Sender` *and* `Receiver`, disconnect-on-last-drop on either
+//! side, and the borrowing/consuming receive iterators. Capacity-0
+//! rendezvous channels are approximated as capacity 1 (no caller in
+//! this workspace uses a rendezvous channel).
 
 pub mod channel {
-    //! MPSC channels with the crossbeam surface used by this workspace.
+    //! MPMC channels with the crossbeam surface used by this workspace.
 
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// `None` = unbounded; `Some(cap)` blocks senders at `cap` items.
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            // No poisoning, matching crossbeam: a panicking thread leaves
+            // the queue in a consistent state (all mutations are single
+            // push/pop calls).
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        fn has_room(&self, state: &State<T>) -> bool {
+            self.capacity.is_none_or(|cap| state.queue.len() < cap)
+        }
+    }
 
     /// Sending half; clonable for fan-in.
     pub struct Sender<T> {
-        flavor: SenderFlavor<T>,
+        chan: Arc<Chan<T>>,
     }
 
-    enum SenderFlavor<T> {
-        Unbounded(mpsc::Sender<T>),
-        Bounded(mpsc::SyncSender<T>),
+    /// Receiving half; clonable for fan-out to a consumer pool.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
-            let flavor = match &self.flavor {
-                SenderFlavor::Unbounded(tx) => SenderFlavor::Unbounded(tx.clone()),
-                SenderFlavor::Bounded(tx) => SenderFlavor::Bounded(tx.clone()),
-            };
-            Sender { flavor }
+            self.chan.lock().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
         }
     }
 
-    /// Error from [`Sender::send`] when the receiver is gone.
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake receivers blocked on an empty queue so they can
+                // observe the disconnect.
+                drop(state);
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan.lock().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Error from [`Sender::send`] when all receivers are gone.
     pub struct SendError<T>(pub T);
 
     // Like upstream crossbeam: Debug without a `T: Debug` bound.
@@ -48,27 +114,74 @@ pub mod channel {
         }
     }
 
-    impl<T> Sender<T> {
-        /// Sends a message, blocking on a full bounded channel.
-        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match &self.flavor {
-                SenderFlavor::Unbounded(tx) => {
-                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
-                }
-                SenderFlavor::Bounded(tx) => {
-                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
-                }
+    /// Error from [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
             }
         }
     }
 
-    /// Receiving half.
-    pub struct Receiver<T> {
-        rx: mpsc::Receiver<T>,
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if self.chan.has_room(&state) {
+                    state.queue.push_back(value);
+                    drop(state);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .chan
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking send.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.chan.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if self.chan.has_room(&state) {
+                state.queue.push_back(value);
+                drop(state);
+                self.chan.not_empty.notify_one();
+                Ok(())
+            } else {
+                Err(TrySendError::Full(value))
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.lock().queue.len()
+        }
+
+        /// `true` when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     /// Error from [`Receiver::recv`] when all senders are gone.
-    #[derive(Debug)]
+    #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
     impl std::fmt::Display for RecvError {
@@ -78,7 +191,7 @@ pub mod channel {
     }
 
     /// Error from [`Receiver::try_recv`].
-    #[derive(Debug)]
+    #[derive(Debug, PartialEq, Eq)]
     pub enum TryRecvError {
         /// Channel is currently empty.
         Empty,
@@ -86,68 +199,167 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
     impl<T> Receiver<T> {
         /// Blocks for the next message.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.rx.recv().map_err(|_| RecvError)
+            let mut state = self.chan.lock();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .chan
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Blocks for the next message, up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.chan.lock();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.rx.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut state = self.chan.lock();
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.chan.not_full.notify_one();
+                Ok(v)
+            } else if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.lock().queue.len()
+        }
+
+        /// `true` when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Borrowing iterator, blocking until senders disconnect.
-        pub fn iter(&self) -> mpsc::Iter<'_, T> {
-            self.rx.iter()
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Borrowing blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Consuming blocking iterator over received messages.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
-        fn into_iter(self) -> mpsc::IntoIter<T> {
-            self.rx.into_iter()
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
         }
     }
 
     impl<'a, T> IntoIterator for &'a Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::Iter<'a, T>;
-        fn into_iter(self) -> mpsc::Iter<'a, T> {
-            self.rx.iter()
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
         }
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
     }
 
     /// Unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (
-            Sender {
-                flavor: SenderFlavor::Unbounded(tx),
-            },
-            Receiver { rx },
-        )
+        with_capacity(None)
     }
 
-    /// Bounded channel of the given capacity (0 = rendezvous).
+    /// Bounded channel of the given capacity (0 is treated as 1; see the
+    /// module docs).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (
-            Sender {
-                flavor: SenderFlavor::Bounded(tx),
-            },
-            Receiver { rx },
-        )
+        with_capacity(Some(cap.max(1)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::channel;
+    use std::time::Duration;
 
     #[test]
     fn fan_in_unbounded() {
@@ -171,5 +383,120 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 9);
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn fifo_order_single_consumer() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.into_iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fan_out_multi_consumer() {
+        // Every message reaches exactly one of the cloned receivers.
+        let (tx, rx) = channel::unbounded::<usize>();
+        let collected = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for i in 0..200 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+            let mut all: Vec<usize> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            all
+        });
+        assert_eq!(collected, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Full(3))
+        ));
+        assert_eq!(tx.len(), 2);
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Disconnected(4))
+        ));
+    }
+
+    #[test]
+    fn try_recv_states() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(move || {
+                for i in 0..50 {
+                    tx.send(i).unwrap();
+                }
+            });
+            // Slow consumer: the producer must block rather than overrun.
+            let mut got = Vec::new();
+            for _ in 0..50 {
+                assert!(rx.len() <= 2, "bounded channel overran: {}", rx.len());
+                got.push(rx.recv().unwrap());
+            }
+            producer.join().unwrap();
+            assert_eq!(got, (0..50).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn receiver_clone_drop_keeps_channel_open() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.send(1).unwrap();
+        assert_eq!(rx2.recv(), Ok(1));
     }
 }
