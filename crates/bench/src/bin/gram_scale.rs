@@ -1,0 +1,223 @@
+//! Tiled Gram-engine scaling harness: tile size x worker count, plus a
+//! checkpointed smoke mode for kill-and-resume drills.
+//!
+//! Two modes:
+//!
+//! * **Sweep** (default): runs the in-memory engine over every
+//!   (tile, workers) cell, reporting wall time, throughput and the
+//!   bitwise check against the single-pass reference.
+//! * **Smoke** (`--smoke`): one fixed checkpointed job. A fresh run
+//!   wipes the checkpoint directory first; `--resume` keeps it, so a
+//!   SIGKILLed run picks up from its last completed tile. `--out FILE`
+//!   writes the raw little-endian matrix bytes, which CI diffs between
+//!   a killed+resumed run and a clean run (they must be identical).
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin gram_scale -- \
+//!     [--scale ci|default|paper] [--n N] [--features M] \
+//!     [--tiles 8,16,32] [--workers 1,2,4] \
+//!     [--smoke] [--resume] [--checkpoint-dir DIR] [--out FILE] \
+//!     [--throttle-ms T] [--budget-kb B]
+
+use qk_bench::{sample_rows, write_results, Args, Scale};
+use qk_circuit::AnsatzConfig;
+use qk_core::simulate_states;
+use qk_gram::{encoding_fingerprint, GramConfig, GramEngine, GramError};
+use qk_mps::TruncationConfig;
+use qk_tensor::backend::CpuBackend;
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Cell {
+    tile: usize,
+    workers: usize,
+    n: usize,
+    wall: Duration,
+    throughput_ips: f64,
+    tiles_total: usize,
+    bitwise_ok: bool,
+}
+
+#[derive(Serialize)]
+struct SmokeRecord {
+    n: usize,
+    tile: usize,
+    workers: usize,
+    tiles_total: usize,
+    tiles_computed: usize,
+    tiles_restored: usize,
+    inner_products: usize,
+    wall: Duration,
+    spilled: bool,
+}
+
+fn parse_list(args: &Args, key: &str, default: &[usize]) -> Vec<usize> {
+    match args.get(key) {
+        None => default.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad --{key}: {e:?}"))
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("smoke") {
+        smoke(&args);
+    } else {
+        sweep(&args);
+    }
+}
+
+/// One fixed checkpointed job; the CI kill-and-resume drill drives this.
+fn smoke(args: &Args) {
+    let n = args.get_or("n", 48usize);
+    let features = args.get_or("features", 6usize);
+    let tile = args.get_or("tile", 8usize);
+    let workers = args.get_or("workers", 2usize);
+    let dir = PathBuf::from(
+        args.get("checkpoint-dir")
+            .unwrap_or("results/gram_scale_ckpt"),
+    );
+    let resume = args.flag("resume");
+    if !resume && dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("wiping stale checkpoint dir");
+    }
+
+    let ansatz = AnsatzConfig::qml_default();
+    let trunc = TruncationConfig::default();
+    let be = CpuBackend::new();
+    let rows = sample_rows(n, features, 11);
+    let states = simulate_states(&rows, &ansatz, &be, &trunc).states;
+
+    let mut cfg = GramConfig::checkpointed(&dir, tile, encoding_fingerprint(&ansatz, &trunc));
+    cfg.workers = workers;
+    cfg.throttle = match args.get_or("throttle-ms", 0u64) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    cfg.memory_budget = match args.get_or("budget-kb", 0usize) {
+        0 => None,
+        kb => Some(kb * 1024),
+    };
+    let engine = GramEngine::new(cfg);
+    let out = match engine.compute_gram_owned(states, &be) {
+        Ok(out) => out,
+        Err(GramError::Interrupted { done, total }) => {
+            eprintln!("interrupted at {done}/{total} tiles; re-run with --resume");
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("gram job failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let r = &out.report;
+    println!(
+        "gram_scale smoke: n={n} tile={tile} workers={workers} resume={resume}\n\
+         tiles {}/{} computed, {} restored; {} inner products; wall {:.3?}; spilled {}",
+        r.tiles_computed, r.tiles_total, r.tiles_restored, r.inner_products, r.wall_time, r.spilled
+    );
+    println!("{}", engine.metrics().snapshot());
+
+    if let Some(path) = args.get("out") {
+        let mut bytes = Vec::with_capacity(out.kernel.data().len() * 8);
+        for v in out.kernel.data() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let mut f = std::fs::File::create(path).expect("creating --out file");
+        f.write_all(&bytes).expect("writing --out file");
+        eprintln!("[matrix bytes written to {path}]");
+    }
+    write_results(
+        "gram_scale_smoke",
+        &SmokeRecord {
+            n,
+            tile,
+            workers,
+            tiles_total: r.tiles_total,
+            tiles_computed: r.tiles_computed,
+            tiles_restored: r.tiles_restored,
+            inner_products: r.inner_products,
+            wall: r.wall_time,
+            spilled: r.spilled,
+        },
+    );
+}
+
+/// Tile x workers sweep over the in-memory engine.
+fn sweep(args: &Args) {
+    let scale = args.scale();
+    let (n, features, tile_grid, worker_grid): (usize, usize, &[usize], &[usize]) = match scale {
+        Scale::Ci => (24, 4, &[4, 8], &[1, 2]),
+        Scale::Default => (96, 8, &[8, 16, 32], &[1, 2, 4]),
+        Scale::Paper => (512, 16, &[32, 64, 128, 256], &[1, 2, 4, 8, 16]),
+    };
+    let n = args.get_or("n", n);
+    let features = args.get_or("features", features);
+    let tiles = parse_list(args, "tiles", tile_grid);
+    let workers = parse_list(args, "workers", worker_grid);
+
+    let ansatz = AnsatzConfig::qml_default();
+    let trunc = TruncationConfig::default();
+    let be = CpuBackend::new();
+    let rows = sample_rows(n, features, 11);
+    let states = simulate_states(&rows, &ansatz, &be, &trunc).states;
+
+    // Single-pass reference for the bitwise check.
+    let mut reference = vec![0.0f64; n * n];
+    for i in 0..n {
+        reference[i * n + i] = 1.0;
+        for j in (i + 1)..n {
+            let v = states[i].inner_with(&be, &states[j]).norm_sqr();
+            reference[i * n + j] = v;
+            reference[j * n + i] = v;
+        }
+    }
+
+    println!("gram_scale sweep: n={n} features={features}");
+    println!(
+        "{:>6} {:>8} {:>12} {:>14} {:>8}",
+        "tile", "workers", "wall", "ip/s", "bitwise"
+    );
+    let mut cells = Vec::new();
+    for &tile in &tiles {
+        for &w in &workers {
+            let mut cfg = GramConfig::in_memory(tile);
+            cfg.workers = w;
+            let engine = GramEngine::new(cfg);
+            let out = engine
+                .compute_gram(&states, &be)
+                .expect("in-memory sweep cell cannot fail");
+            let r = &out.report;
+            let ips = r.inner_products as f64 / r.wall_time.as_secs_f64().max(1e-9);
+            let ok = out.kernel.data() == reference.as_slice();
+            println!(
+                "{:>6} {:>8} {:>12.3?} {:>14.0} {:>8}",
+                tile, w, r.wall_time, ips, ok
+            );
+            cells.push(Cell {
+                tile,
+                workers: w,
+                n,
+                wall: r.wall_time,
+                throughput_ips: ips,
+                tiles_total: r.tiles_total,
+                bitwise_ok: ok,
+            });
+        }
+    }
+    assert!(
+        cells.iter().all(|c| c.bitwise_ok),
+        "a sweep cell diverged from the single-pass reference"
+    );
+    write_results("gram_scale", &cells);
+}

@@ -2,13 +2,39 @@
 //!
 //! The symmetric training Gram matrix needs `N(N-1)/2` inner products
 //! (diagonal entries are exactly 1 for normalized states); the inference
-//! block needs `N_test * N_train`. Both fan out over rayon.
+//! block needs `N_test * N_train`.
+//!
+//! Small problems run a single-pass loop that writes straight into
+//! per-row chunks of the dense buffer — no `O(N²)` list of index/value
+//! tuples is ever materialized next to the matrix (at the paper's
+//! N = 64,000 that list alone would be ~32 GiB of temporaries). At and
+//! above [`TILED_THRESHOLD`] the computation delegates to `qk-gram`'s
+//! tiled engine, which adds a worker pool, checkpoint/resume and a
+//! memory budget; both paths are pinned bitwise identical by tests.
 
+use qk_gram::{GramConfig, GramEngine};
 use qk_mps::Mps;
 use qk_svm::{KernelBlock, KernelMatrix};
 use qk_tensor::backend::ExecutionBackend;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
+
+/// Problem size (states for [`gram_matrix`], total entries for
+/// [`kernel_block`]) at which computation delegates to the tiled
+/// `qk-gram` engine instead of the single-pass loop.
+pub const TILED_THRESHOLD: usize = 64;
+
+/// Tile edge for the delegated in-memory path. Tile interiors are
+/// serial, so the edge shrinks with the problem until the plan yields
+/// several tiles per available worker (keeping moderate-N problems as
+/// parallel as the old per-pair loop), and is floored to amortize
+/// scheduling and capped to bound per-tile memory.
+fn delegated_tile(extent: usize) -> usize {
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1);
+    extent.div_ceil(2 * workers).clamp(16, 128)
+}
 
 /// A Gram matrix plus the wall time spent computing it.
 pub struct TimedKernel {
@@ -16,7 +42,9 @@ pub struct TimedKernel {
     pub kernel: KernelMatrix,
     /// Wall-clock time of the inner-product phase.
     pub wall_time: Duration,
-    /// Number of inner products evaluated.
+    /// Number of inner products evaluated. Computed once from the
+    /// problem shape (and surfaced from the engine's tile-plan manifest
+    /// on the delegated path), never recounted per entry.
     pub inner_products: usize,
 }
 
@@ -26,31 +54,40 @@ pub struct TimedKernel {
 pub fn gram_matrix(states: &[Mps], backend: &dyn ExecutionBackend) -> TimedKernel {
     let n = states.len();
     let start = Instant::now();
-    // Upper-triangle entries, processed in parallel. The (i, j) pair is
-    // derived from the flat index inside the loop, so no O(N^2) pair
-    // list is materialized up front (at the paper's N = 64,000 that
-    // list alone would be ~32 GiB of index tuples).
-    let total = n * n.saturating_sub(1) / 2;
-    let entries: Vec<((usize, usize), f64)> = (0..total)
-        .into_par_iter()
-        .map(|k| {
-            let (i, j) = pair_from_flat(k, n);
-            let v = states[i].inner_with(backend, &states[j]).norm_sqr();
-            ((i, j), v)
-        })
-        .collect();
-    let mut data = vec![0.0f64; n * n];
-    for i in 0..n {
-        data[i * n + i] = 1.0;
+    if n >= TILED_THRESHOLD {
+        let engine = GramEngine::new(GramConfig::in_memory(delegated_tile(n)));
+        let out = engine
+            .compute_gram(states, backend)
+            .expect("in-memory tiled gram cannot fail: no checkpoint, no spill, no budget");
+        return TimedKernel {
+            kernel: out.kernel.into_kernel_matrix(),
+            wall_time: start.elapsed(),
+            inner_products: out.report.inner_products,
+        };
     }
-    for ((i, j), v) in entries {
-        data[i * n + j] = v;
-        data[j * n + i] = v;
+    // Small-N fast path: each row of the dense buffer is an independent
+    // chunk; row i computes its strict upper triangle in place, then a
+    // cheap serial pass mirrors the triangle. Peak memory is the matrix
+    // itself.
+    let total = n * n.saturating_sub(1) / 2;
+    let mut data = vec![0.0f64; n * n];
+    data.par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, row)| {
+            row[i] = 1.0;
+            for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+                *slot = states[i].inner_with(backend, &states[j]).norm_sqr();
+            }
+        });
+    for i in 0..n {
+        for j in (i + 1)..n {
+            data[j * n + i] = data[i * n + j];
+        }
     }
     TimedKernel {
         kernel: KernelMatrix::from_dense(n, data),
         wall_time: start.elapsed(),
-        inner_products: n * (n - 1) / 2,
+        inner_products: total,
     }
 }
 
@@ -60,7 +97,9 @@ pub fn gram_matrix(states: &[Mps], backend: &dyn ExecutionBackend) -> TimedKerne
 /// so row `i` starts at flat offset `C(i) = i (2n - i - 1) / 2`. The row
 /// is recovered with the quadratic formula; the adjustment loops absorb
 /// any floating-point drift in the square root (at most one step).
-fn pair_from_flat(k: usize, n: usize) -> (usize, usize) {
+/// Inverse of [`flat_from_pair`]; exercised by property tests up to the
+/// paper's scale, where the `f64` recovery is the delicate part.
+pub fn pair_from_flat(k: usize, n: usize) -> (usize, usize) {
     debug_assert!(k < n * (n - 1) / 2);
     let row_start = |i: usize| i * (2 * n - i - 1) / 2;
     let m = (2 * n - 1) as f64;
@@ -73,6 +112,13 @@ fn pair_from_flat(k: usize, n: usize) -> (usize, usize) {
         i -= 1;
     }
     (i, i + 1 + (k - row_start(i)))
+}
+
+/// Maps an upper-triangle pair (`i < j < n`) to its flat row-major
+/// index: the inverse of [`pair_from_flat`].
+pub fn flat_from_pair(i: usize, j: usize, n: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
 }
 
 /// A rectangular kernel block plus timing.
@@ -93,6 +139,19 @@ pub fn kernel_block(
 ) -> TimedBlock {
     let start = Instant::now();
     let cols = train_states.len();
+    let entries = test_states.len() * cols;
+    if entries >= TILED_THRESHOLD * TILED_THRESHOLD {
+        let tile = delegated_tile(test_states.len().max(cols));
+        let engine = GramEngine::new(GramConfig::in_memory(tile));
+        let out = engine
+            .compute_block(test_states, train_states, backend)
+            .expect("in-memory tiled block cannot fail: no checkpoint, no spill, no budget");
+        return TimedBlock {
+            block: out.block,
+            wall_time: start.elapsed(),
+            inner_products: out.report.inner_products,
+        };
+    }
     let data: Vec<f64> = test_states
         .par_iter()
         .flat_map_iter(|t| {
@@ -104,7 +163,7 @@ pub fn kernel_block(
     TimedBlock {
         block: KernelBlock::from_dense(test_states.len(), cols, data),
         wall_time: start.elapsed(),
-        inner_products: test_states.len() * cols,
+        inner_products: entries,
     }
 }
 
@@ -171,6 +230,14 @@ mod tests {
     }
 
     #[test]
+    fn empty_gram_is_empty() {
+        let be = CpuBackend::new();
+        let timed = gram_matrix(&[], &be);
+        assert_eq!(timed.kernel.len(), 0);
+        assert_eq!(timed.inner_products, 0);
+    }
+
+    #[test]
     fn identical_rows_give_unit_entries() {
         // Two copies of the same data point must overlap to exactly 1.
         let row = vec![0.3, 1.1, 0.6, 1.7];
@@ -220,10 +287,21 @@ mod tests {
     }
 
     #[test]
-    fn flat_index_gram_matches_materialized_pair_list() {
-        // Pin the flat-index loop against the old implementation, which
-        // materialized the pair list before the parallel loop: entries
-        // must be bitwise identical.
+    fn flat_round_trip_exhaustive_small_n() {
+        for n in 2usize..=40 {
+            for k in 0..n * (n - 1) / 2 {
+                let (i, j) = pair_from_flat(k, n);
+                assert!(i < j && j < n, "n={n} k={k} -> ({i},{j})");
+                assert_eq!(flat_from_pair(i, j, n), k, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_n_gram_matches_materialized_pair_list() {
+        // Pin the fast path against the original implementation, which
+        // materialized the full pair list before the loop: entries must
+        // be bitwise identical.
         let st = states(7, 4);
         let be = CpuBackend::new();
         let n = st.len();
@@ -240,7 +318,46 @@ mod tests {
             data[i * n + j] = v;
             data[j * n + i] = v;
         }
-        assert_eq!(k_new.data(), data.as_slice(), "flat-index path diverged");
+        assert_eq!(k_new.data(), data.as_slice(), "fast path diverged");
+    }
+
+    #[test]
+    fn delegated_tile_yields_parallel_work() {
+        // The delegated path must never collapse a moderate problem
+        // into one serial tile on a multi-core host: with more than one
+        // worker available, every delegated size plans several tiles.
+        let workers = std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1);
+        for n in [TILED_THRESHOLD, 100, 240, 1_000, 64_000] {
+            let tile = delegated_tile(n);
+            assert!((16..=128).contains(&tile), "n={n} tile={tile}");
+            let bands = n.div_ceil(tile);
+            if workers > 1 {
+                assert!(bands >= 2, "n={n} tile={tile} is one serial tile");
+            }
+        }
+    }
+
+    #[test]
+    fn delegated_gram_matches_fast_path_bitwise() {
+        // At TILED_THRESHOLD the engine takes over; its output must be
+        // bitwise identical to the single-pass loop on the same states.
+        let st = states(TILED_THRESHOLD, 3);
+        let be = CpuBackend::new();
+        let n = st.len();
+        let timed = gram_matrix(&st, &be);
+        assert_eq!(timed.inner_products, n * (n - 1) / 2);
+        let mut reference = vec![0.0f64; n * n];
+        for i in 0..n {
+            reference[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let v = st[i].inner_with(&be, &st[j]).norm_sqr();
+                reference[i * n + j] = v;
+                reference[j * n + i] = v;
+            }
+        }
+        assert_eq!(timed.kernel.data(), reference.as_slice());
     }
 
     #[test]
@@ -265,6 +382,26 @@ mod tests {
             for (s, train_state) in train.iter().enumerate() {
                 let direct = test_state.overlap_sqr(train_state);
                 assert!((timed.block.row(t)[s] - direct).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn delegated_block_matches_fast_path_bitwise() {
+        // 64 * 64 entries trip the delegation threshold.
+        let train = states(TILED_THRESHOLD, 3);
+        let test = states(TILED_THRESHOLD, 3);
+        let be = CpuBackend::new();
+        let timed = kernel_block(&test, &train, &be);
+        assert_eq!(timed.inner_products, TILED_THRESHOLD * TILED_THRESHOLD);
+        for (t, test_state) in test.iter().enumerate() {
+            for (s, train_state) in train.iter().enumerate() {
+                let direct = test_state.inner_with(&be, train_state).norm_sqr();
+                assert_eq!(
+                    timed.block.row(t)[s].to_bits(),
+                    direct.to_bits(),
+                    "[{t}][{s}]"
+                );
             }
         }
     }

@@ -47,7 +47,10 @@ pub use extrapolate::{
     forecast_inference, forecast_training, processes_for_deadline, InferenceForecast,
     PrimitiveCosts, TrainingForecast,
 };
-pub use gram::{gram_matrix, kernel_block, TimedBlock, TimedKernel};
+pub use gram::{
+    flat_from_pair, gram_matrix, kernel_block, pair_from_flat, TimedBlock, TimedKernel,
+    TILED_THRESHOLD,
+};
 pub use inference::{InferenceTiming, ModelDecodeError, Prediction, QuantumKernelModel};
 pub use pipeline::{
     run_gaussian_experiment, run_gaussian_on_split, run_quantum_experiment, run_quantum_on_split,

@@ -1,0 +1,493 @@
+//! On-disk checkpoint store: a manifest binding the directory to one job
+//! fingerprint, plus one checksummed file per completed tile.
+//!
+//! Layout:
+//!
+//! ```text
+//! <dir>/manifest.qkg            # QKGRAM1\0 | fingerprint | kind | rows
+//!                               #   | cols | tile | checksum
+//! <dir>/tiles/t_<bi>_<bj>.qkt   # QKTILE1\0 | fingerprint | bi | bj
+//!                               #   | rows | cols | payload f64s | checksum
+//! ```
+//!
+//! All integers and floats are little-endian; checksums are FNV-1a 64
+//! over every preceding byte of the file. Tiles are written to a
+//! temporary name and renamed into place, so a SIGKILL can at worst
+//! leave one torn temp file (swept on the next open) — and even a torn
+//! final file fails its checksum and is recomputed rather than loaded.
+//! A checkpoint directory has a single writer at a time (the manifest
+//! binds it to one job); opening it sweeps debris from earlier lives.
+
+use crate::fingerprint::{Fnv1a, JobKind, JobSpec};
+use crate::tiles::Tile;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MANIFEST_MAGIC: &[u8; 8] = b"QKGRAM1\0";
+const TILE_MAGIC: &[u8; 8] = b"QKTILE1\0";
+const MANIFEST_NAME: &str = "manifest.qkg";
+
+/// Why a checkpoint directory could not be used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure underneath the store.
+    Io(std::io::Error),
+    /// The manifest exists but records a different job fingerprint: the
+    /// directory belongs to another computation and is rejected.
+    Mismatch {
+        /// Fingerprint of the job being run.
+        expected: u64,
+        /// Fingerprint recorded in the manifest.
+        found: u64,
+    },
+    /// The manifest file itself is malformed or fails its checksum.
+    CorruptManifest {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Mismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint mismatch: job is {expected:#018x}, \
+                 directory was written by {found:#018x}"
+            ),
+            CheckpointError::CorruptManifest { reason } => {
+                write!(f, "corrupt checkpoint manifest: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// The manifest record for one checkpoint directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// Job fingerprint the directory is bound to.
+    pub fingerprint: u64,
+    /// Job kind.
+    pub kind: JobKind,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Tile edge.
+    pub tile: usize,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(49);
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        buf.push(self.kind.tag());
+        buf.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.cols as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.tile as u64).to_le_bytes());
+        let sum = crate::fingerprint::fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest, CheckpointError> {
+        let corrupt = |reason| CheckpointError::CorruptManifest { reason };
+        if bytes.len() != 49 {
+            return Err(corrupt("wrong length"));
+        }
+        if &bytes[..8] != MANIFEST_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let sum = u64::from_le_bytes(bytes[41..49].try_into().unwrap());
+        if crate::fingerprint::fnv1a64(&bytes[..41]) != sum {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let u64_at =
+            |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+        let kind = match bytes[16] {
+            0 => JobKind::Train,
+            1 => JobKind::Block,
+            _ => return Err(corrupt("unknown job kind")),
+        };
+        Ok(Manifest {
+            fingerprint: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            kind,
+            rows: u64_at(17),
+            cols: u64_at(25),
+            tile: u64_at(33),
+        })
+    }
+}
+
+/// A checkpoint directory opened for one job.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl CheckpointStore {
+    /// Opens (or initializes) `dir` for the given job.
+    ///
+    /// A fresh or empty directory is initialized with a new manifest. An
+    /// existing manifest must carry the job's exact fingerprint —
+    /// anything else is a hard [`CheckpointError::Mismatch`] /
+    /// [`CheckpointError::CorruptManifest`] error, never silent reuse.
+    pub fn open(dir: &Path, spec: &JobSpec) -> Result<CheckpointStore, CheckpointError> {
+        let fingerprint = spec.fingerprint();
+        fs::create_dir_all(dir.join("tiles"))?;
+        // Sweep torn temp tiles a SIGKILL mid-store left behind; they
+        // would otherwise accumulate across kill/resume cycles (each
+        // life embeds its own pid in the temp name).
+        if let Ok(entries) = fs::read_dir(dir.join("tiles")) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with('.') && name.ends_with(".tmp") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        let manifest_path = dir.join(MANIFEST_NAME);
+        match fs::read(&manifest_path) {
+            Ok(bytes) => {
+                let manifest = Manifest::decode(&bytes)?;
+                if manifest.fingerprint != fingerprint {
+                    return Err(CheckpointError::Mismatch {
+                        expected: fingerprint,
+                        found: manifest.fingerprint,
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let manifest = Manifest {
+                    fingerprint,
+                    kind: spec.kind,
+                    rows: spec.rows,
+                    cols: spec.cols,
+                    tile: spec.tile,
+                };
+                let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+                fs::write(&tmp, manifest.encode())?;
+                fs::rename(&tmp, &manifest_path)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            fingerprint,
+        })
+    }
+
+    /// Reads this directory's manifest back.
+    pub fn manifest(&self) -> Result<Manifest, CheckpointError> {
+        Manifest::decode(&fs::read(self.dir.join(MANIFEST_NAME))?)
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn tile_file_name(bi: usize, bj: usize) -> String {
+        format!("t_{bi}_{bj}.qkt")
+    }
+
+    fn tile_path(&self, bi: usize, bj: usize) -> PathBuf {
+        self.dir.join("tiles").join(Self::tile_file_name(bi, bj))
+    }
+
+    /// Cheap presence probe: `true` when a (possibly stale) tile file
+    /// exists for `tile` under `dir`. Used to recognize warm resumes
+    /// before committing to expensive preparation (e.g. spilling
+    /// states); validity is still checked at load time.
+    pub fn tile_present(dir: &Path, tile: &Tile) -> bool {
+        dir.join("tiles")
+            .join(Self::tile_file_name(tile.bi, tile.bj))
+            .exists()
+    }
+
+    /// Persists one completed tile payload (row-major `tile.rows x
+    /// tile.cols`). Write-to-temp-then-rename keeps the final name
+    /// atomic under SIGKILL.
+    pub fn store(&self, tile: &Tile, payload: &[f64]) -> Result<(), CheckpointError> {
+        debug_assert_eq!(payload.len(), tile.len());
+        let mut buf = Vec::with_capacity(56 + payload.len() * 8 + 8);
+        buf.extend_from_slice(TILE_MAGIC);
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        for v in [tile.bi, tile.bj, tile.rows, tile.cols] {
+            buf.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        for v in payload {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let mut sum = Fnv1a::new();
+        sum.update(&buf);
+        buf.extend_from_slice(&sum.finish().to_le_bytes());
+
+        let final_path = self.tile_path(tile.bi, tile.bj);
+        let tmp = self.dir.join("tiles").join(format!(
+            ".t_{}_{}.{}.tmp",
+            tile.bi,
+            tile.bj,
+            std::process::id()
+        ));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        drop(f);
+        fs::rename(&tmp, &final_path)?;
+        Ok(())
+    }
+
+    /// Attempts to load the persisted payload for `tile`.
+    ///
+    /// Returns `Ok(Some(values))` only when the file exists, matches the
+    /// job fingerprint and tile geometry, and passes its checksum. A
+    /// missing file is `Ok(None)`; a truncated, corrupted or mismatched
+    /// file is *also* `Ok(None)` after the stale file is deleted — the
+    /// engine then recomputes the tile instead of loading it.
+    pub fn load(&self, tile: &Tile) -> Result<Option<Vec<f64>>, CheckpointError> {
+        let path = self.tile_path(tile.bi, tile.bj);
+        let mut bytes = Vec::new();
+        match fs::File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        match Self::decode_tile(&bytes, self.fingerprint, tile) {
+            Some(values) => Ok(Some(values)),
+            None => {
+                // Quarantine-by-deletion: the engine recomputes and
+                // rewrites a valid replacement.
+                let _ = fs::remove_file(&path);
+                Ok(None)
+            }
+        }
+    }
+
+    fn decode_tile(bytes: &[u8], fingerprint: u64, tile: &Tile) -> Option<Vec<f64>> {
+        let header = 48usize;
+        let expected_len = header + tile.len() * 8 + 8;
+        if bytes.len() != expected_len || &bytes[..8] != TILE_MAGIC {
+            return None;
+        }
+        let sum = u64::from_le_bytes(bytes[expected_len - 8..].try_into().unwrap());
+        if crate::fingerprint::fnv1a64(&bytes[..expected_len - 8]) != sum {
+            return None;
+        }
+        if u64::from_le_bytes(bytes[8..16].try_into().unwrap()) != fingerprint {
+            return None;
+        }
+        let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        if [u64_at(16), u64_at(24), u64_at(32), u64_at(40)]
+            != [
+                tile.bi as u64,
+                tile.bj as u64,
+                tile.rows as u64,
+                tile.cols as u64,
+            ]
+        {
+            return None;
+        }
+        let mut values = Vec::with_capacity(tile.len());
+        for k in 0..tile.len() {
+            let off = header + k * 8;
+            values.push(f64::from_bits(u64::from_le_bytes(
+                bytes[off..off + 8].try_into().unwrap(),
+            )));
+        }
+        Some(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiles::TilePlan;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "qk-gram-ckpt-test-{}-{tag}-{id}",
+            std::process::id()
+        ))
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            encoding: 0xFEED,
+            kind: JobKind::Train,
+            rows: 10,
+            cols: 10,
+            tile: 4,
+        }
+    }
+
+    #[test]
+    fn roundtrip_store_and_load() {
+        let dir = scratch("roundtrip");
+        let spec = spec();
+        let store = CheckpointStore::open(&dir, &spec).unwrap();
+        let plan = TilePlan::symmetric(spec.rows, spec.tile);
+        let tile = plan.tiles[1];
+        let payload: Vec<f64> = (0..tile.len()).map(|k| (k as f64) * 0.125 - 0.3).collect();
+        assert_eq!(store.load(&tile).unwrap(), None);
+        store.store(&tile, &payload).unwrap();
+        assert_eq!(store.load(&tile).unwrap(), Some(payload.clone()));
+        // Reopen resumes: same fingerprint, tile still loadable.
+        drop(store);
+        let store = CheckpointStore::open(&dir, &spec).unwrap();
+        assert_eq!(store.load(&tile).unwrap(), Some(payload));
+        let m = store.manifest().unwrap();
+        assert_eq!(m.fingerprint, spec.fingerprint());
+        assert_eq!(m.tile, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_rejected() {
+        let dir = scratch("mismatch");
+        let spec_a = spec();
+        CheckpointStore::open(&dir, &spec_a).unwrap();
+        // Same shape, different encoding: a different computation.
+        let spec_b = JobSpec {
+            encoding: 0xBEEF,
+            ..spec_a
+        };
+        match CheckpointStore::open(&dir, &spec_b) {
+            Err(CheckpointError::Mismatch { expected, found }) => {
+                assert_eq!(expected, spec_b.fingerprint());
+                assert_eq!(found, spec_a.fingerprint());
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        // Different tile size is a different fingerprint too.
+        let spec_c = JobSpec { tile: 2, ..spec_a };
+        assert!(matches!(
+            CheckpointStore::open(&dir, &spec_c),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected() {
+        let dir = scratch("badmanifest");
+        CheckpointStore::open(&dir, &spec()).unwrap();
+        let path = dir.join(MANIFEST_NAME);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[20] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            CheckpointStore::open(&dir, &spec()),
+            Err(CheckpointError::CorruptManifest { .. })
+        ));
+        // Truncated manifest is equally rejected.
+        fs::write(&path, &bytes[..30]).unwrap();
+        assert!(matches!(
+            CheckpointStore::open(&dir, &spec()),
+            Err(CheckpointError::CorruptManifest { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tile_is_dropped_not_loaded() {
+        let dir = scratch("badtile");
+        let spec = spec();
+        let store = CheckpointStore::open(&dir, &spec).unwrap();
+        let plan = TilePlan::symmetric(spec.rows, spec.tile);
+        let tile = plan.tiles[0];
+        let payload = vec![0.5f64; tile.len()];
+        store.store(&tile, &payload).unwrap();
+        let path = store.tile_path(tile.bi, tile.bj);
+
+        // Flip one payload bit: checksum fails, file is deleted.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[60] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.load(&tile).unwrap(), None);
+        assert!(!path.exists(), "corrupt tile must be quarantined");
+
+        // Truncated file: same treatment.
+        store.store(&tile, &payload).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(store.load(&tile).unwrap(), None);
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_temp_tiles_are_swept_on_open() {
+        let dir = scratch("sweep");
+        let spec = spec();
+        CheckpointStore::open(&dir, &spec).unwrap();
+        // Simulate a SIGKILL mid-store: a torn temp next to a real tile.
+        let torn = dir.join("tiles").join(".t_0_1.12345.tmp");
+        fs::write(&torn, b"half-written").unwrap();
+        let store = CheckpointStore::open(&dir, &spec).unwrap();
+        assert!(!torn.exists(), "torn temp must be swept");
+        // Real tiles survive the sweep.
+        let plan = TilePlan::symmetric(spec.rows, spec.tile);
+        let tile = plan.tiles[0];
+        store.store(&tile, &vec![0.25; tile.len()]).unwrap();
+        CheckpointStore::open(&dir, &spec).unwrap();
+        assert_eq!(store.load(&tile).unwrap(), Some(vec![0.25; tile.len()]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tile_presence_probe() {
+        let dir = scratch("presence");
+        let spec = spec();
+        let store = CheckpointStore::open(&dir, &spec).unwrap();
+        let plan = TilePlan::symmetric(spec.rows, spec.tile);
+        let tile = plan.tiles[0];
+        assert!(!CheckpointStore::tile_present(&dir, &tile));
+        store.store(&tile, &vec![1.0; tile.len()]).unwrap();
+        assert!(CheckpointStore::tile_present(&dir, &tile));
+        assert!(!CheckpointStore::tile_present(&dir, &plan.tiles[1]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tile_from_other_job_is_not_loaded() {
+        let dir_a = scratch("foreign-a");
+        let dir_b = scratch("foreign-b");
+        let spec_a = spec();
+        let spec_b = JobSpec {
+            encoding: 0xD00D,
+            ..spec_a
+        };
+        let store_a = CheckpointStore::open(&dir_a, &spec_a).unwrap();
+        let store_b = CheckpointStore::open(&dir_b, &spec_b).unwrap();
+        let plan = TilePlan::symmetric(spec_a.rows, spec_a.tile);
+        let tile = plan.tiles[2];
+        store_a.store(&tile, &vec![1.0; tile.len()]).unwrap();
+        // Copy A's tile into B's directory: fingerprint check refuses it.
+        fs::copy(
+            store_a.tile_path(tile.bi, tile.bj),
+            store_b.tile_path(tile.bi, tile.bj),
+        )
+        .unwrap();
+        assert_eq!(store_b.load(&tile).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+}

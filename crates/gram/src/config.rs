@@ -1,0 +1,109 @@
+//! Engine configuration: tile geometry, worker count, checkpointing,
+//! memory budget and test/drill hooks.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration of a [`crate::GramEngine`].
+#[derive(Debug, Clone)]
+pub struct GramConfig {
+    /// Tile edge length. Peak per-worker tile memory is
+    /// `tile^2 * 8` bytes; smaller tiles checkpoint at a finer grain,
+    /// larger tiles amortize scheduling and I/O.
+    pub tile: usize,
+    /// Worker threads; `0` means one per available CPU.
+    pub workers: usize,
+    /// Encoding digest folded into the job fingerprint
+    /// ([`crate::encoding_fingerprint`] for the standard pipeline).
+    pub encoding: u64,
+    /// Checkpoint directory. `None` disables persistence (pure in-memory
+    /// run); `Some(dir)` persists every completed tile and resumes any
+    /// valid tiles already present.
+    pub checkpoint: Option<PathBuf>,
+    /// Byte budget for resident MPS states on the owned-state entry
+    /// points. When the encoded states exceed it, they are spilled to
+    /// disk per row band and reloaded at most two bands per worker.
+    /// `None` keeps everything resident.
+    pub memory_budget: Option<usize>,
+    /// Stop after computing this many *new* tiles, leaving the
+    /// checkpoint partial — deterministic stand-in for a preemption in
+    /// interrupt/resume tests. `None` runs to completion.
+    pub max_tiles: Option<usize>,
+    /// Per-tile pacing delay. Widens the preemption window in
+    /// kill-and-resume drills (CI SIGKILLs a throttled run mid-flight);
+    /// `None` in production.
+    pub throttle: Option<Duration>,
+}
+
+impl Default for GramConfig {
+    fn default() -> Self {
+        GramConfig {
+            tile: 128,
+            workers: 0,
+            encoding: 0,
+            checkpoint: None,
+            memory_budget: None,
+            max_tiles: None,
+            throttle: None,
+        }
+    }
+}
+
+impl GramConfig {
+    /// Pure in-memory configuration (no checkpoint, no spill) at the
+    /// given tile edge — what `core::gram` delegates to.
+    pub fn in_memory(tile: usize) -> Self {
+        GramConfig {
+            tile,
+            ..Self::default()
+        }
+    }
+
+    /// Checkpointing configuration bound to an encoding digest.
+    pub fn checkpointed(dir: impl Into<PathBuf>, tile: usize, encoding: u64) -> Self {
+        GramConfig {
+            tile,
+            encoding,
+            checkpoint: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Resolved worker count.
+    pub(crate) fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let m = GramConfig::in_memory(64);
+        assert_eq!(m.tile, 64);
+        assert!(m.checkpoint.is_none());
+        let c = GramConfig::checkpointed("/tmp/x", 32, 7);
+        assert_eq!(
+            c.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
+        assert_eq!(c.encoding, 7);
+        assert!(GramConfig::default().effective_workers() >= 1);
+        assert_eq!(
+            GramConfig {
+                workers: 3,
+                ..GramConfig::default()
+            }
+            .effective_workers(),
+            3
+        );
+    }
+}

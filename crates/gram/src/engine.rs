@@ -1,0 +1,844 @@
+//! The tiled Gram engine: plans tiles, restores any valid checkpointed
+//! ones, and schedules the rest across a work-stealing worker pool.
+//!
+//! Scheduling: the pending tiles (band-major order) are split into one
+//! contiguous run per worker, each guarded by its own deque. A worker
+//! pops from the *front* of its own deque — preserving band order, so
+//! its row-band cache stays hot — and when empty steals from the *back*
+//! of the most loaded victim, where the bands it would have to load
+//! anyway are coldest for the owner. Completed tiles stream over a
+//! channel to the assembler thread, which writes them into the dense
+//! output (and the checkpoint store persists them before they are
+//! reported), so a kill at any instant loses at most the tiles in
+//! flight.
+//!
+//! Determinism: every kernel entry is produced by the exact expression
+//! `states[i].inner_with(backend, &states[j]).norm_sqr()` with `i < j`,
+//! regardless of tile size, worker count, spill mode or resume history —
+//! so any two runs of the same job are bitwise identical.
+
+use crate::checkpoint::{CheckpointError, CheckpointStore};
+use crate::config::GramConfig;
+use crate::fingerprint::{JobKind, JobSpec};
+use crate::metrics::GramMetrics;
+use crate::spill::{SpillError, SpillStore};
+use crate::tiles::{Tile, TilePlan};
+use crate::view::TiledKernel;
+use qk_mps::Mps;
+use qk_svm::KernelBlock;
+use qk_tensor::backend::ExecutionBackend;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a Gram job did not produce a complete matrix.
+#[derive(Debug)]
+pub enum GramError {
+    /// The checkpoint directory was unusable (I/O failure, corrupt
+    /// manifest, or a fingerprint belonging to a different job).
+    Checkpoint(CheckpointError),
+    /// Spilling or reloading states failed.
+    Spill(SpillError),
+    /// The run stopped at the configured `max_tiles` budget with tiles
+    /// still outstanding. Completed tiles are checkpointed; rerunning
+    /// the same job resumes from them.
+    Interrupted {
+        /// Tiles finished (restored + computed) before stopping.
+        done: usize,
+        /// Tiles in the whole job.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for GramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GramError::Checkpoint(e) => write!(f, "{e}"),
+            GramError::Spill(e) => write!(f, "{e}"),
+            GramError::Interrupted { done, total } => {
+                write!(
+                    f,
+                    "interrupted at tile budget: {done}/{total} tiles complete"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GramError {}
+
+impl From<CheckpointError> for GramError {
+    fn from(e: CheckpointError) -> Self {
+        GramError::Checkpoint(e)
+    }
+}
+
+impl From<SpillError> for GramError {
+    fn from(e: SpillError) -> Self {
+        GramError::Spill(e)
+    }
+}
+
+/// Accounting for one completed job (the manifest-derived counts that
+/// `core::gram` surfaces instead of recomputing).
+#[derive(Debug, Clone, Copy)]
+pub struct GramReport {
+    /// Tiles in the job.
+    pub tiles_total: usize,
+    /// Tiles computed fresh this run.
+    pub tiles_computed: usize,
+    /// Tiles restored from the checkpoint.
+    pub tiles_restored: usize,
+    /// Inner products the full job represents (`n(n-1)/2` for train
+    /// jobs, `rows * cols` for blocks), from the tile plan.
+    pub inner_products: usize,
+    /// Wall-clock time of this run.
+    pub wall_time: Duration,
+    /// Whether states were spilled to disk for this run.
+    pub spilled: bool,
+}
+
+/// A completed symmetric train job.
+#[derive(Debug)]
+pub struct GramOutcome {
+    /// The assembled kernel view.
+    pub kernel: TiledKernel,
+    /// Run accounting.
+    pub report: GramReport,
+}
+
+/// A completed rectangular block job.
+#[derive(Debug)]
+pub struct BlockOutcome {
+    /// The assembled test-against-train block.
+    pub block: KernelBlock,
+    /// Run accounting.
+    pub report: GramReport,
+}
+
+/// Where a job's states live.
+enum StateSet<'a> {
+    Resident(&'a [Mps]),
+    Spilled(&'a SpillStore),
+}
+
+impl StateSet<'_> {
+    fn len(&self) -> usize {
+        match self {
+            StateSet::Resident(s) => s.len(),
+            StateSet::Spilled(s) => s.len(),
+        }
+    }
+}
+
+/// Per-worker cache of the most recently used band of one state set.
+/// Resident sets borrow bands for free; spilled sets hold one loaded
+/// band at a time.
+struct BandCache<'a, 'b> {
+    src: &'b StateSet<'a>,
+    tile: usize,
+    loaded: Option<(usize, Vec<Mps>)>,
+}
+
+impl<'a, 'b> BandCache<'a, 'b> {
+    fn new(src: &'b StateSet<'a>, tile: usize) -> Self {
+        BandCache {
+            src,
+            tile,
+            loaded: None,
+        }
+    }
+
+    fn band(&mut self, b: usize) -> Result<&[Mps], GramError> {
+        match self.src {
+            StateSet::Resident(states) => {
+                let lo = b * self.tile;
+                let hi = (lo + self.tile).min(states.len());
+                Ok(&states[lo..hi])
+            }
+            StateSet::Spilled(store) => {
+                if self.loaded.as_ref().map(|(idx, _)| *idx) != Some(b) {
+                    self.loaded = Some((b, store.load_band(b)?));
+                }
+                Ok(&self.loaded.as_ref().unwrap().1)
+            }
+        }
+    }
+}
+
+/// Contracts one tile. `row_states` / `col_states` are the tile's bands;
+/// indices inside are local. Every contracted pair keeps global `i < j`
+/// operand order, which is what pins tiled output bitwise to the
+/// single-pass path.
+fn compute_tile(
+    tile: &Tile,
+    kind: JobKind,
+    row_states: &[Mps],
+    col_states: &[Mps],
+    backend: &dyn ExecutionBackend,
+) -> Vec<f64> {
+    debug_assert_eq!(row_states.len(), tile.rows);
+    debug_assert_eq!(col_states.len(), tile.cols);
+    let mut payload = vec![0.0f64; tile.rows * tile.cols];
+    let diagonal = kind == JobKind::Train && tile.bi == tile.bj;
+    for r in 0..tile.rows {
+        for c in 0..tile.cols {
+            let v = if diagonal {
+                let (i, j) = (tile.row0 + r, tile.col0 + c);
+                if i == j {
+                    1.0
+                } else if i < j {
+                    row_states[r].inner_with(backend, &col_states[c]).norm_sqr()
+                } else {
+                    // Mirror of the (c, r) entry computed earlier in
+                    // this same payload (c < r here).
+                    payload[c * tile.cols + r]
+                }
+            } else {
+                row_states[r].inner_with(backend, &col_states[c]).norm_sqr()
+            };
+            payload[r * tile.cols + c] = v;
+        }
+    }
+    payload
+}
+
+/// Writes a completed tile payload into the dense row-major output,
+/// mirroring off-diagonal train tiles across the main diagonal.
+fn write_tile(data: &mut [f64], total_cols: usize, kind: JobKind, tile: &Tile, payload: &[f64]) {
+    for r in 0..tile.rows {
+        let row = (tile.row0 + r) * total_cols + tile.col0;
+        data[row..row + tile.cols].copy_from_slice(&payload[r * tile.cols..(r + 1) * tile.cols]);
+    }
+    if kind == JobKind::Train && tile.bi != tile.bj {
+        for r in 0..tile.rows {
+            for c in 0..tile.cols {
+                data[(tile.col0 + c) * total_cols + (tile.row0 + r)] = payload[r * tile.cols + c];
+            }
+        }
+    }
+}
+
+/// The tiled Gram computation engine.
+pub struct GramEngine {
+    cfg: GramConfig,
+    metrics: Arc<GramMetrics>,
+    spill_seq: AtomicUsize,
+}
+
+impl GramEngine {
+    /// Builds an engine from a configuration.
+    pub fn new(cfg: GramConfig) -> Self {
+        assert!(cfg.tile >= 1, "tile edge must be at least 1");
+        GramEngine {
+            cfg,
+            metrics: Arc::new(GramMetrics::new()),
+            spill_seq: AtomicUsize::new(0),
+        }
+    }
+
+    /// The engine's live progress counters; poll from any thread while a
+    /// job runs.
+    pub fn metrics(&self) -> Arc<GramMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GramConfig {
+        &self.cfg
+    }
+
+    /// Computes the symmetric training kernel over resident states.
+    pub fn compute_gram(
+        &self,
+        states: &[Mps],
+        backend: &dyn ExecutionBackend,
+    ) -> Result<GramOutcome, GramError> {
+        let rows = StateSet::Resident(states);
+        let cols = StateSet::Resident(states);
+        let (data, report) = self.run(JobKind::Train, &rows, &cols, backend, false)?;
+        Ok(GramOutcome {
+            kernel: TiledKernel::from_parts(states.len(), data),
+            report,
+        })
+    }
+
+    /// Computes the symmetric training kernel, taking ownership of the
+    /// states so they can be spilled to disk per row band when they
+    /// exceed the configured memory budget. Under the budget (or with no
+    /// budget) this is exactly [`GramEngine::compute_gram`].
+    pub fn compute_gram_owned(
+        &self,
+        states: Vec<Mps>,
+        backend: &dyn ExecutionBackend,
+    ) -> Result<GramOutcome, GramError> {
+        let resident_bytes: usize = states.iter().map(Mps::memory_bytes).sum();
+        let over_budget = self
+            .cfg
+            .memory_budget
+            .is_some_and(|budget| resident_bytes > budget);
+        if !over_budget {
+            return self.compute_gram(&states, backend);
+        }
+        // Warm resume: when every planned tile already has a checkpoint
+        // file, run() will restore them without ever touching a band —
+        // skip serializing the whole state set to disk for nothing.
+        // (Any invalid file just recomputes from the resident states.)
+        if let Some(dir) = &self.cfg.checkpoint {
+            let plan = TilePlan::symmetric(states.len(), self.cfg.tile);
+            if plan
+                .tiles
+                .iter()
+                .all(|t| CheckpointStore::tile_present(dir, t))
+            {
+                return self.compute_gram(&states, backend);
+            }
+        }
+        let n = states.len();
+        let spill_dir = self.spill_dir();
+        // A SIGKILLed spilled run can leave a stale band directory (the
+        // store's cleaning Drop never ran); clear it before rewriting,
+        // or stale bands from a different job shape would linger.
+        let _ = std::fs::remove_dir_all(&spill_dir);
+        let store = SpillStore::spill(states, &spill_dir, self.cfg.tile)?;
+        let rows = StateSet::Spilled(&store);
+        let cols = StateSet::Spilled(&store);
+        let (data, report) = self.run(JobKind::Train, &rows, &cols, backend, true)?;
+        Ok(GramOutcome {
+            kernel: TiledKernel::from_parts(n, data),
+            report,
+        })
+    }
+
+    /// Computes the rectangular test-against-train block.
+    pub fn compute_block(
+        &self,
+        test_states: &[Mps],
+        train_states: &[Mps],
+        backend: &dyn ExecutionBackend,
+    ) -> Result<BlockOutcome, GramError> {
+        let rows = StateSet::Resident(test_states);
+        let cols = StateSet::Resident(train_states);
+        let (data, report) = self.run(JobKind::Block, &rows, &cols, backend, false)?;
+        Ok(BlockOutcome {
+            block: KernelBlock::from_dense(test_states.len(), train_states.len(), data),
+            report,
+        })
+    }
+
+    fn spill_dir(&self) -> std::path::PathBuf {
+        let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
+        match &self.cfg.checkpoint {
+            Some(dir) => dir.join(format!("spill_{seq}")),
+            None => {
+                std::env::temp_dir().join(format!("qk-gram-spill-{}-{seq}", std::process::id()))
+            }
+        }
+    }
+
+    fn run(
+        &self,
+        kind: JobKind,
+        rows_src: &StateSet<'_>,
+        cols_src: &StateSet<'_>,
+        backend: &dyn ExecutionBackend,
+        spilled: bool,
+    ) -> Result<(Vec<f64>, GramReport), GramError> {
+        let start = Instant::now();
+        let (rows, cols) = (rows_src.len(), cols_src.len());
+        let plan = match kind {
+            JobKind::Train => TilePlan::symmetric(rows, self.cfg.tile),
+            JobKind::Block => TilePlan::rectangular(rows, cols, self.cfg.tile),
+        };
+        let inner_products = plan.inner_products();
+        self.metrics.start_job(plan.tiles.len(), inner_products);
+        let mut data = vec![0.0f64; rows * cols];
+
+        // Open (or resume) the checkpoint and restore valid tiles.
+        let store = match &self.cfg.checkpoint {
+            Some(dir) => Some(CheckpointStore::open(
+                dir,
+                &JobSpec {
+                    encoding: self.cfg.encoding,
+                    kind,
+                    rows,
+                    cols,
+                    tile: self.cfg.tile,
+                },
+            )?),
+            None => None,
+        };
+        let mut pending: Vec<Tile> = Vec::with_capacity(plan.tiles.len());
+        let mut restored = 0usize;
+        for tile in &plan.tiles {
+            if let Some(store) = &store {
+                if let Some(payload) = store.load(tile)? {
+                    write_tile(&mut data, cols, kind, tile, &payload);
+                    self.metrics.record_restored(tile.inner_products(kind));
+                    restored += 1;
+                    continue;
+                }
+            }
+            pending.push(*tile);
+        }
+
+        let to_compute = pending.len();
+        let computed = if to_compute > 0 {
+            self.run_pool(
+                kind,
+                rows_src,
+                cols_src,
+                backend,
+                store.as_ref(),
+                pending,
+                &mut data,
+            )?
+        } else {
+            0
+        };
+
+        if computed < to_compute {
+            return Err(GramError::Interrupted {
+                done: restored + computed,
+                total: plan.tiles.len(),
+            });
+        }
+        Ok((
+            data,
+            GramReport {
+                tiles_total: plan.tiles.len(),
+                tiles_computed: computed,
+                tiles_restored: restored,
+                inner_products,
+                wall_time: start.elapsed(),
+                spilled,
+            },
+        ))
+    }
+
+    /// Fans the pending tiles out over the worker pool; returns how many
+    /// were computed (less than `pending.len()` only under a `max_tiles`
+    /// budget).
+    #[allow(clippy::too_many_arguments)]
+    fn run_pool(
+        &self,
+        kind: JobKind,
+        rows_src: &StateSet<'_>,
+        cols_src: &StateSet<'_>,
+        backend: &dyn ExecutionBackend,
+        store: Option<&CheckpointStore>,
+        pending: Vec<Tile>,
+        data: &mut [f64],
+    ) -> Result<usize, GramError> {
+        let total_cols = cols_src.len();
+        let workers = self.cfg.effective_workers().min(pending.len()).max(1);
+        // One contiguous band-major run per worker: own work is popped
+        // from the front (band locality), steals come off the back.
+        let chunk = pending.len().div_ceil(workers);
+        let queues: Vec<Mutex<VecDeque<Tile>>> = pending
+            .chunks(chunk)
+            .map(|c| Mutex::new(c.iter().copied().collect()))
+            .collect();
+        let budget = AtomicIsize::new(
+            self.cfg
+                .max_tiles
+                .map(|m| m.min(isize::MAX as usize) as isize)
+                .unwrap_or(isize::MAX),
+        );
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<Result<(Tile, Vec<f64>), GramError>>();
+        let mut first_error: Option<GramError> = None;
+        let mut computed = 0usize;
+
+        std::thread::scope(|scope| {
+            for wid in 0..queues.len() {
+                let tx = tx.clone();
+                let queues = &queues;
+                let budget = &budget;
+                let stop = &stop;
+                let metrics = &self.metrics;
+                let cfg = &self.cfg;
+                scope.spawn(move || {
+                    let mut row_cache = BandCache::new(rows_src, cfg.tile);
+                    let mut col_cache = BandCache::new(cols_src, cfg.tile);
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let tile = match claim(queues, wid) {
+                            Some(t) => t,
+                            None => break,
+                        };
+                        if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                            // Budget exhausted: leave the rest uncomputed
+                            // (the checkpoint already holds what finished).
+                            break;
+                        }
+                        let result = (|| -> Result<(Tile, Vec<f64>), GramError> {
+                            let payload = if kind == JobKind::Train && tile.bi == tile.bj {
+                                let row_band = row_cache.band(tile.bi)?;
+                                compute_tile(&tile, kind, row_band, row_band, backend)
+                            } else {
+                                let col_band = col_cache.band(tile.bj)?;
+                                let row_band = row_cache.band(tile.bi)?;
+                                compute_tile(&tile, kind, row_band, col_band, backend)
+                            };
+                            if let Some(t) = cfg.throttle {
+                                std::thread::sleep(t);
+                            }
+                            if let Some(store) = store {
+                                store.store(&tile, &payload)?;
+                            }
+                            metrics.record_computed(tile.inner_products(kind));
+                            Ok((tile, payload))
+                        })();
+                        let failed = result.is_err();
+                        let _ = tx.send(result);
+                        if failed {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // Assembler: stream completed tiles into the dense output.
+            for msg in rx {
+                match msg {
+                    Ok((tile, payload)) => {
+                        write_tile(data, total_cols, kind, &tile, &payload);
+                        computed += 1;
+                    }
+                    Err(e) => {
+                        stop.store(true, Ordering::Relaxed);
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+        });
+
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(computed),
+        }
+    }
+}
+
+/// Claims the next tile for worker `wid`: front of its own deque, else a
+/// steal from the back of the most loaded victim. Returns `None` only
+/// after a full scan finds every queue empty.
+fn claim(queues: &[Mutex<VecDeque<Tile>>], wid: usize) -> Option<Tile> {
+    if let Some(t) = queues[wid].lock().expect("queue poisoned").pop_front() {
+        return Some(t);
+    }
+    loop {
+        // Pick the non-empty victim with the most remaining work.
+        let mut best: Option<(usize, usize)> = None; // (len, index)
+        for (idx, q) in queues.iter().enumerate() {
+            if idx == wid {
+                continue;
+            }
+            let len = q.lock().expect("queue poisoned").len();
+            if len > 0 && best.is_none_or(|(l, _)| len > l) {
+                best = Some((len, idx));
+            }
+        }
+        let (_, idx) = best?;
+        if let Some(t) = queues[idx].lock().expect("queue poisoned").pop_back() {
+            return Some(t);
+        }
+        // Lost the race for the victim's last tile; rescan.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qk_circuit::ansatz::{feature_map_circuit, AnsatzConfig};
+    use qk_mps::{MpsSimulator, TruncationConfig};
+    use qk_tensor::backend::CpuBackend;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "qk-gram-engine-test-{}-{tag}-{id}",
+            std::process::id()
+        ))
+    }
+
+    fn states(n: usize, features: usize) -> Vec<Mps> {
+        let be = CpuBackend::new();
+        let ansatz = AnsatzConfig::new(2, 1, 0.7);
+        let trunc = TruncationConfig::default();
+        (0..n)
+            .map(|i| {
+                let row: Vec<f64> = (0..features)
+                    .map(|j| ((i * features + j) % 9) as f64 * 0.22)
+                    .collect();
+                MpsSimulator::new(&be)
+                    .with_truncation(trunc)
+                    .simulate(&feature_map_circuit(&row, &ansatz))
+                    .0
+            })
+            .collect()
+    }
+
+    /// Reference single-pass upper-triangle kernel.
+    fn reference_gram(st: &[Mps], be: &dyn ExecutionBackend) -> Vec<f64> {
+        let n = st.len();
+        let mut data = vec![0.0f64; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let v = st[i].inner_with(be, &st[j]).norm_sqr();
+                data[i * n + j] = v;
+                data[j * n + i] = v;
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn tiled_gram_is_bitwise_identical_to_reference() {
+        let st = states(13, 4);
+        let be = CpuBackend::new();
+        let reference = reference_gram(&st, &be);
+        for tile in [1usize, 3, 4, 13, 64] {
+            for workers in [1usize, 2, 5] {
+                let engine = GramEngine::new(GramConfig {
+                    tile,
+                    workers,
+                    ..GramConfig::default()
+                });
+                let out = engine.compute_gram(&st, &be).unwrap();
+                assert_eq!(
+                    out.kernel.data(),
+                    reference.as_slice(),
+                    "tile={tile} workers={workers}"
+                );
+                assert_eq!(out.report.inner_products, 13 * 12 / 2);
+                assert_eq!(out.report.tiles_restored, 0);
+                assert_eq!(out.report.tiles_computed, out.report.tiles_total);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_block_matches_direct() {
+        let train = states(7, 3);
+        let test = states(4, 3);
+        let be = CpuBackend::new();
+        let engine = GramEngine::new(GramConfig {
+            tile: 3,
+            workers: 2,
+            ..GramConfig::default()
+        });
+        let out = engine.compute_block(&test, &train, &be).unwrap();
+        assert_eq!(out.block.rows(), 4);
+        assert_eq!(out.block.cols(), 7);
+        assert_eq!(out.report.inner_products, 28);
+        for (t, ts) in test.iter().enumerate() {
+            for (s, ss) in train.iter().enumerate() {
+                let direct = ts.inner_with(&be, ss).norm_sqr();
+                assert_eq!(out.block.row(t)[s].to_bits(), direct.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_state_jobs() {
+        let be = CpuBackend::new();
+        let engine = GramEngine::new(GramConfig::in_memory(8));
+        let empty = engine.compute_gram(&[], &be).unwrap();
+        assert_eq!(empty.kernel.len(), 0);
+        assert_eq!(empty.report.inner_products, 0);
+        let one = engine.compute_gram(&states(1, 3), &be).unwrap();
+        assert_eq!(one.kernel.len(), 1);
+        assert_eq!(one.kernel.get(0, 0), 1.0);
+        assert_eq!(one.report.inner_products, 0);
+        let block = engine.compute_block(&[], &states(3, 3), &be).unwrap();
+        assert_eq!(block.block.rows(), 0);
+    }
+
+    #[test]
+    fn interrupt_and_resume_is_bitwise_identical() {
+        let st = states(11, 4);
+        let be = CpuBackend::new();
+        let clean = {
+            let engine = GramEngine::new(GramConfig::in_memory(3));
+            engine.compute_gram(&st, &be).unwrap().kernel
+        };
+        let dir = scratch("resume");
+        // First life: budget of 4 tiles, then "preemption".
+        let interrupted = GramEngine::new(GramConfig {
+            max_tiles: Some(4),
+            ..GramConfig::checkpointed(&dir, 3, 0xE0)
+        });
+        match interrupted.compute_gram(&st, &be) {
+            Err(GramError::Interrupted { done, total }) => {
+                assert_eq!(done, 4);
+                assert_eq!(total, 10);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        // Second life: resume and finish.
+        let resumed = GramEngine::new(GramConfig::checkpointed(&dir, 3, 0xE0));
+        let out = resumed.compute_gram(&st, &be).unwrap();
+        assert_eq!(out.report.tiles_restored, 4);
+        assert_eq!(out.report.tiles_computed, 6);
+        assert_eq!(out.kernel.data(), clean.data());
+        // Third life: everything restores, nothing recomputes.
+        let warm = GramEngine::new(GramConfig::checkpointed(&dir, 3, 0xE0));
+        let again = warm.compute_gram(&st, &be).unwrap();
+        assert_eq!(again.report.tiles_restored, 10);
+        assert_eq!(again.report.tiles_computed, 0);
+        assert_eq!(again.kernel.data(), clean.data());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_job_rejects_checkpoint_dir() {
+        let st = states(6, 3);
+        let be = CpuBackend::new();
+        let dir = scratch("reject");
+        let a = GramEngine::new(GramConfig::checkpointed(&dir, 3, 0xAA));
+        a.compute_gram(&st, &be).unwrap();
+        // Different encoding fingerprint: refuse to touch the directory.
+        let b = GramEngine::new(GramConfig::checkpointed(&dir, 3, 0xBB));
+        assert!(matches!(
+            b.compute_gram(&st, &be),
+            Err(GramError::Checkpoint(CheckpointError::Mismatch { .. }))
+        ));
+        // Different tile size: also a different job.
+        let c = GramEngine::new(GramConfig::checkpointed(&dir, 2, 0xAA));
+        assert!(matches!(
+            c.compute_gram(&st, &be),
+            Err(GramError::Checkpoint(CheckpointError::Mismatch { .. }))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tile_is_recomputed_on_resume() {
+        let st = states(9, 3);
+        let be = CpuBackend::new();
+        let dir = scratch("recompute");
+        let first = GramEngine::new(GramConfig::checkpointed(&dir, 3, 0xCC));
+        let clean = first.compute_gram(&st, &be).unwrap();
+        // Corrupt one tile file and truncate another.
+        let tiles_dir = dir.join("tiles");
+        let mut names: Vec<PathBuf> = std::fs::read_dir(&tiles_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        names.sort();
+        let mut bytes = std::fs::read(&names[0]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&names[0], &bytes).unwrap();
+        let bytes = std::fs::read(&names[1]).unwrap();
+        std::fs::write(&names[1], &bytes[..bytes.len() - 5]).unwrap();
+        // Resume: the two damaged tiles recompute, output identical.
+        let second = GramEngine::new(GramConfig::checkpointed(&dir, 3, 0xCC));
+        let out = second.compute_gram(&st, &be).unwrap();
+        assert_eq!(out.report.tiles_computed, 2);
+        assert_eq!(out.report.tiles_restored, out.report.tiles_total - 2);
+        assert_eq!(out.kernel.data(), clean.kernel.data());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilled_run_is_bitwise_identical_and_bounded() {
+        let st = states(10, 4);
+        let be = CpuBackend::new();
+        let resident = GramEngine::new(GramConfig::in_memory(4))
+            .compute_gram(&st, &be)
+            .unwrap();
+        assert!(!resident.report.spilled);
+        // A 1-byte budget forces the spill path.
+        let engine = GramEngine::new(GramConfig {
+            memory_budget: Some(1),
+            workers: 3,
+            ..GramConfig::in_memory(4)
+        });
+        let spilled = engine.compute_gram_owned(st.clone(), &be).unwrap();
+        assert!(spilled.report.spilled);
+        assert_eq!(spilled.kernel.data(), resident.kernel.data());
+        // A generous budget keeps the resident path.
+        let engine = GramEngine::new(GramConfig {
+            memory_budget: Some(usize::MAX),
+            ..GramConfig::in_memory(4)
+        });
+        let kept = engine.compute_gram_owned(st, &be).unwrap();
+        assert!(!kept.report.spilled);
+        assert_eq!(kept.kernel.data(), resident.kernel.data());
+    }
+
+    #[test]
+    fn warm_resume_skips_the_spill() {
+        let st = states(10, 3);
+        let be = CpuBackend::new();
+        let dir = scratch("warmspill");
+        let cfg = GramConfig {
+            memory_budget: Some(1),
+            ..GramConfig::checkpointed(&dir, 4, 0xF0)
+        };
+        // Cold run: over budget, spills, checkpoints everything.
+        let cold = GramEngine::new(cfg.clone())
+            .compute_gram_owned(st.clone(), &be)
+            .unwrap();
+        assert!(cold.report.spilled);
+        assert_eq!(cold.report.tiles_computed, cold.report.tiles_total);
+        // Warm run: every tile restores, so the states are never
+        // serialized again even though the budget is still exceeded.
+        let warm = GramEngine::new(cfg).compute_gram_owned(st, &be).unwrap();
+        assert!(!warm.report.spilled);
+        assert_eq!(warm.report.tiles_restored, warm.report.tiles_total);
+        assert_eq!(warm.kernel.data(), cold.kernel.data());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_track_progress() {
+        let st = states(8, 3);
+        let be = CpuBackend::new();
+        let engine = GramEngine::new(GramConfig::in_memory(3));
+        let metrics = engine.metrics();
+        engine.compute_gram(&st, &be).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.tiles_total, 6);
+        assert_eq!(snap.tiles_computed, 6);
+        assert_eq!(snap.inner_products_done, 28);
+        assert_eq!(snap.inner_products_total, 28);
+        assert_eq!(snap.fraction_done(), 1.0);
+        assert!(snap.throughput_ips > 0.0);
+    }
+
+    #[test]
+    fn trains_svm_from_tiled_view_without_dense_copy() {
+        // Two tight clusters: the engine's view trains exactly like the
+        // dense matrix.
+        use qk_svm::{train_svc, KernelMatrix, SmoParams};
+        let st = states(8, 4);
+        let be = CpuBackend::new();
+        let out = GramEngine::new(GramConfig::in_memory(3))
+            .compute_gram(&st, &be)
+            .unwrap();
+        let labels: Vec<f64> = (0..8)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let from_view = train_svc(&out.kernel, &labels, &SmoParams::with_c(1.0));
+        let dense = KernelMatrix::from_dense(8, out.kernel.data().to_vec());
+        let from_dense = train_svc(&dense, &labels, &SmoParams::with_c(1.0));
+        assert_eq!(from_view.alphas, from_dense.alphas);
+        assert_eq!(from_view.bias, from_dense.bias);
+        assert_eq!(from_view.passes, from_dense.passes);
+    }
+}

@@ -1,0 +1,181 @@
+//! Engine telemetry: tile/product counters and a progress snapshot with
+//! throughput and ETA.
+//!
+//! Follows the same conventions as `qk-serve`'s metrics surface —
+//! atomically updated counters, a `Serialize + Display` snapshot struct,
+//! `Duration`-typed times from monotonic instants — so a serving or
+//! orchestration layer can stream both through one reporting path.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared mutable progress counters, updated by workers and the
+/// assembler; cheap enough to poll from another thread mid-run.
+#[derive(Debug)]
+pub struct GramMetrics {
+    started: Instant,
+    tiles_total: AtomicU64,
+    tiles_computed: AtomicU64,
+    tiles_restored: AtomicU64,
+    products_done: AtomicU64,
+    products_total: AtomicU64,
+}
+
+impl GramMetrics {
+    pub(crate) fn new() -> Self {
+        GramMetrics {
+            started: Instant::now(),
+            tiles_total: AtomicU64::new(0),
+            tiles_computed: AtomicU64::new(0),
+            tiles_restored: AtomicU64::new(0),
+            products_done: AtomicU64::new(0),
+            products_total: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn start_job(&self, tiles_total: usize, products_total: usize) {
+        self.tiles_total
+            .store(tiles_total as u64, Ordering::Relaxed);
+        self.products_total
+            .store(products_total as u64, Ordering::Relaxed);
+        self.tiles_computed.store(0, Ordering::Relaxed);
+        self.tiles_restored.store(0, Ordering::Relaxed);
+        self.products_done.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_computed(&self, products: usize) {
+        self.tiles_computed.fetch_add(1, Ordering::Relaxed);
+        self.products_done
+            .fetch_add(products as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_restored(&self, products: usize) {
+        self.tiles_restored.fetch_add(1, Ordering::Relaxed);
+        self.products_done
+            .fetch_add(products as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time progress view.
+    pub fn snapshot(&self) -> GramProgress {
+        let elapsed = self.started.elapsed();
+        let tiles_total = self.tiles_total.load(Ordering::Relaxed);
+        let tiles_computed = self.tiles_computed.load(Ordering::Relaxed);
+        let tiles_restored = self.tiles_restored.load(Ordering::Relaxed);
+        let products_done = self.products_done.load(Ordering::Relaxed);
+        let products_total = self.products_total.load(Ordering::Relaxed);
+        let tiles_done = tiles_computed + tiles_restored;
+        let throughput = products_done as f64 / elapsed.as_secs_f64().max(1e-9);
+        let eta = if tiles_done == 0 || tiles_done >= tiles_total {
+            Duration::ZERO
+        } else {
+            // Restored tiles are nearly free, so scale the remaining
+            // time by outstanding *products*, not outstanding tiles.
+            let remaining = products_total.saturating_sub(products_done) as f64;
+            if throughput > 0.0 {
+                Duration::from_secs_f64(remaining / throughput)
+            } else {
+                Duration::ZERO
+            }
+        };
+        GramProgress {
+            elapsed,
+            tiles_total,
+            tiles_computed,
+            tiles_restored,
+            inner_products_done: products_done,
+            inner_products_total: products_total,
+            throughput_ips: throughput,
+            eta,
+        }
+    }
+}
+
+/// One progress snapshot: completion, throughput and ETA.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GramProgress {
+    /// Time since the engine was created.
+    pub elapsed: Duration,
+    /// Tiles in the job.
+    pub tiles_total: u64,
+    /// Tiles computed fresh this run.
+    pub tiles_computed: u64,
+    /// Tiles restored from the checkpoint.
+    pub tiles_restored: u64,
+    /// Inner products accounted for so far (computed + restored).
+    pub inner_products_done: u64,
+    /// Inner products in the whole job.
+    pub inner_products_total: u64,
+    /// Inner products per second since the engine started.
+    pub throughput_ips: f64,
+    /// Estimated time to completion at the current throughput.
+    pub eta: Duration,
+}
+
+impl GramProgress {
+    /// Completed fraction in `[0, 1]` (1 for empty jobs).
+    pub fn fraction_done(&self) -> f64 {
+        if self.tiles_total == 0 {
+            1.0
+        } else {
+            (self.tiles_computed + self.tiles_restored) as f64 / self.tiles_total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for GramProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tiles {}/{} ({} restored)  {:.1}% done  {:.0} ip/s  elapsed {:.2?}  eta {:.2?}",
+            self.tiles_computed + self.tiles_restored,
+            self.tiles_total,
+            self.tiles_restored,
+            100.0 * self.fraction_done(),
+            self.throughput_ips,
+            self.elapsed,
+            self.eta,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up_into_snapshot() {
+        let m = GramMetrics::new();
+        m.start_job(10, 100);
+        m.record_computed(8);
+        m.record_computed(8);
+        m.record_restored(12);
+        let s = m.snapshot();
+        assert_eq!(s.tiles_total, 10);
+        assert_eq!(s.tiles_computed, 2);
+        assert_eq!(s.tiles_restored, 1);
+        assert_eq!(s.inner_products_done, 28);
+        assert_eq!(s.inner_products_total, 100);
+        assert!((s.fraction_done() - 0.3).abs() < 1e-12);
+        assert!(s.throughput_ips > 0.0);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn empty_job_is_complete_with_zero_eta() {
+        let m = GramMetrics::new();
+        m.start_job(0, 0);
+        let s = m.snapshot();
+        assert_eq!(s.fraction_done(), 1.0);
+        assert_eq!(s.eta, Duration::ZERO);
+    }
+
+    #[test]
+    fn finished_job_has_zero_eta() {
+        let m = GramMetrics::new();
+        m.start_job(2, 20);
+        m.record_computed(10);
+        m.record_restored(10);
+        assert_eq!(m.snapshot().eta, Duration::ZERO);
+    }
+}

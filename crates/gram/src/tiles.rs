@@ -1,0 +1,205 @@
+//! Tile decomposition of Gram jobs.
+//!
+//! The matrix is cut into fixed-edge square tiles (edge tiles may be
+//! smaller). A symmetric train job only enumerates the upper block
+//! triangle `bi <= bj`; diagonal tiles carry the full square block (unit
+//! diagonal plus the in-block mirror) so assembly is a plain row copy.
+//! Tiles are ordered row-band-major — consecutive tiles share their row
+//! band, which is what makes the spill path's band cache effective.
+
+use crate::fingerprint::JobKind;
+
+/// One tile of the output matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Row band index.
+    pub bi: usize,
+    /// Column band index (`bi <= bj` for symmetric jobs).
+    pub bj: usize,
+    /// First matrix row covered.
+    pub row0: usize,
+    /// Rows covered.
+    pub rows: usize,
+    /// First matrix column covered.
+    pub col0: usize,
+    /// Columns covered.
+    pub cols: usize,
+}
+
+impl Tile {
+    /// Number of entries in the tile payload.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` for degenerate zero-area tiles (never produced by a plan).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inner products the engine must contract for this tile under the
+    /// given job kind: diagonal train tiles only contract their strict
+    /// upper triangle, everything else contracts every entry.
+    pub fn inner_products(&self, kind: JobKind) -> usize {
+        if kind == JobKind::Train && self.bi == self.bj {
+            self.rows * self.rows.saturating_sub(1) / 2
+        } else {
+            self.len()
+        }
+    }
+}
+
+/// The full tile schedule for one job.
+#[derive(Debug, Clone)]
+pub struct TilePlan {
+    /// Job kind the plan was built for.
+    pub kind: JobKind,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Tile edge.
+    pub tile: usize,
+    /// Tiles in execution order (row-band-major).
+    pub tiles: Vec<Tile>,
+}
+
+/// Number of bands covering `extent` rows or columns at a tile edge.
+pub fn band_count(extent: usize, tile: usize) -> usize {
+    extent.div_ceil(tile)
+}
+
+impl TilePlan {
+    /// Plans a symmetric `n x n` train job: upper block triangle only.
+    pub fn symmetric(n: usize, tile: usize) -> TilePlan {
+        assert!(tile >= 1, "tile edge must be at least 1");
+        let bands = band_count(n, tile);
+        let mut tiles = Vec::with_capacity(bands * (bands + 1) / 2);
+        for bi in 0..bands {
+            for bj in bi..bands {
+                tiles.push(Self::tile_at(bi, bj, n, n, tile));
+            }
+        }
+        TilePlan {
+            kind: JobKind::Train,
+            rows: n,
+            cols: n,
+            tile,
+            tiles,
+        }
+    }
+
+    /// Plans a rectangular `rows x cols` block job: every tile.
+    pub fn rectangular(rows: usize, cols: usize, tile: usize) -> TilePlan {
+        assert!(tile >= 1, "tile edge must be at least 1");
+        let row_bands = band_count(rows, tile);
+        let col_bands = band_count(cols, tile);
+        let mut tiles = Vec::with_capacity(row_bands * col_bands);
+        for bi in 0..row_bands {
+            for bj in 0..col_bands {
+                tiles.push(Self::tile_at(bi, bj, rows, cols, tile));
+            }
+        }
+        TilePlan {
+            kind: JobKind::Block,
+            rows,
+            cols,
+            tile,
+            tiles,
+        }
+    }
+
+    fn tile_at(bi: usize, bj: usize, rows: usize, cols: usize, tile: usize) -> Tile {
+        let row0 = bi * tile;
+        let col0 = bj * tile;
+        Tile {
+            bi,
+            bj,
+            row0,
+            rows: tile.min(rows - row0),
+            col0,
+            cols: tile.min(cols - col0),
+        }
+    }
+
+    /// Total inner products over the whole plan (`n(n-1)/2` for train
+    /// jobs, `rows * cols` for blocks) — the count the manifest reports.
+    pub fn inner_products(&self) -> usize {
+        self.tiles.iter().map(|t| t.inner_products(self.kind)).sum()
+    }
+
+    /// Looks up the planned tile at band coordinates.
+    pub fn find(&self, bi: usize, bj: usize) -> Option<&Tile> {
+        self.tiles.iter().find(|t| t.bi == bi && t.bj == bj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_plan_covers_upper_triangle_once() {
+        for (n, tile) in [(10usize, 3usize), (8, 4), (5, 5), (7, 10), (1, 2), (64, 16)] {
+            let plan = TilePlan::symmetric(n, tile);
+            let bands = band_count(n, tile);
+            assert_eq!(plan.tiles.len(), bands * (bands + 1) / 2, "n={n} t={tile}");
+            // Every (i, j) with i <= j is covered by exactly one tile.
+            let mut cover = vec![0usize; n * n];
+            for t in &plan.tiles {
+                assert!(t.bi <= t.bj);
+                assert!(!t.is_empty());
+                for i in t.row0..t.row0 + t.rows {
+                    for j in t.col0..t.col0 + t.cols {
+                        cover[i * n + j] += 1;
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    let expect = usize::from(i / tile <= j / tile);
+                    assert_eq!(cover[i * n + j], expect, "({i},{j}) n={n} t={tile}");
+                }
+            }
+            assert_eq!(plan.inner_products(), n * (n - 1) / 2, "n={n} t={tile}");
+        }
+    }
+
+    #[test]
+    fn rectangular_plan_covers_everything_once() {
+        for (rows, cols, tile) in [(5usize, 9usize, 4usize), (3, 3, 3), (1, 7, 2), (6, 2, 8)] {
+            let plan = TilePlan::rectangular(rows, cols, tile);
+            let mut cover = vec![0usize; rows * cols];
+            for t in &plan.tiles {
+                for i in t.row0..t.row0 + t.rows {
+                    for j in t.col0..t.col0 + t.cols {
+                        cover[i * cols + j] += 1;
+                    }
+                }
+            }
+            assert!(cover.iter().all(|&c| c == 1), "{rows}x{cols} t={tile}");
+            assert_eq!(plan.inner_products(), rows * cols);
+        }
+    }
+
+    #[test]
+    fn tiles_are_row_band_major() {
+        let plan = TilePlan::symmetric(20, 4);
+        let order: Vec<(usize, usize)> = plan.tiles.iter().map(|t| (t.bi, t.bj)).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn diagonal_tile_product_count() {
+        let plan = TilePlan::symmetric(10, 4);
+        let diag = plan.find(0, 0).unwrap();
+        assert_eq!(diag.inner_products(JobKind::Train), 6); // C(4, 2)
+        let off = plan.find(0, 1).unwrap();
+        assert_eq!(off.inner_products(JobKind::Train), 16);
+        let edge = plan.find(2, 2).unwrap();
+        assert_eq!(edge.rows, 2);
+        assert_eq!(edge.inner_products(JobKind::Train), 1);
+    }
+}

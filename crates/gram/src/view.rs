@@ -1,0 +1,83 @@
+//! The assembled kernel view handed to consumers.
+//!
+//! [`TiledKernel`] owns the dense row-major buffer the engine assembled
+//! tile by tile (no tuples-of-pairs temporaries anywhere on the way) and
+//! implements `qk_svm::KernelSource`, so `train_svc` consumes it
+//! directly — no copy into a `KernelMatrix`. Conversion into the dense
+//! container is a move ([`TiledKernel::into_kernel_matrix`]) for callers
+//! that need the legacy type.
+
+use qk_svm::{KernelMatrix, KernelSource};
+
+/// A symmetric kernel assembled from tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledKernel {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl TiledKernel {
+    pub(crate) fn from_parts(n: usize, data: Vec<f64>) -> Self {
+        debug_assert_eq!(data.len(), n * n);
+        TiledKernel { n, data }
+    }
+
+    /// Matrix order.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the 0x0 kernel.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Entry `K[i][j]`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// The raw row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Moves the buffer into a [`KernelMatrix`] without copying.
+    pub fn into_kernel_matrix(self) -> KernelMatrix {
+        KernelMatrix::from_dense(self.n, self.data)
+    }
+}
+
+impl KernelSource for TiledKernel {
+    fn order(&self) -> usize {
+        self.n
+    }
+
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j)
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_accessors_and_conversion() {
+        let data = vec![1.0, 0.25, 0.25, 1.0];
+        let k = TiledKernel::from_parts(2, data.clone());
+        assert_eq!(k.len(), 2);
+        assert!(!k.is_empty());
+        assert_eq!(k.get(0, 1), 0.25);
+        assert_eq!(KernelSource::row(&k, 1), &[0.25, 1.0]);
+        assert_eq!(KernelSource::order(&k), 2);
+        assert_eq!(KernelSource::entry(&k, 1, 0), 0.25);
+        let dense = k.into_kernel_matrix();
+        assert_eq!(dense.data(), data.as_slice());
+    }
+}

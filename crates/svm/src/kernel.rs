@@ -6,6 +6,36 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Read access to a symmetric kernel, however it is stored.
+///
+/// The SMO solver only ever reads single entries and whole rows, so any
+/// backing layout that can serve a contiguous row slice — the dense
+/// [`KernelMatrix`], or an externally assembled view like `qk-gram`'s
+/// `TiledKernel` — can train an SVM directly, without copying itself
+/// into a `KernelMatrix` first.
+pub trait KernelSource {
+    /// Matrix order `n`.
+    fn order(&self) -> usize;
+    /// Entry `K[i][j]`.
+    fn entry(&self, i: usize, j: usize) -> f64;
+    /// Row `i` as a contiguous slice of length `n`.
+    fn row(&self, i: usize) -> &[f64];
+}
+
+impl KernelSource for KernelMatrix {
+    fn order(&self) -> usize {
+        self.len()
+    }
+
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j)
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        KernelMatrix::row(self, i)
+    }
+}
+
 /// A symmetric positive semi-definite kernel (Gram) matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelMatrix {
@@ -203,5 +233,14 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn bad_block_panics() {
         KernelBlock::from_dense(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn kernel_matrix_implements_kernel_source() {
+        let k = KernelMatrix::from_fn(3, |i, j| (i + j) as f64);
+        let src: &dyn KernelSource = &k;
+        assert_eq!(src.order(), 3);
+        assert_eq!(src.entry(1, 2), k.get(1, 2));
+        assert_eq!(src.row(2), k.row(2));
     }
 }

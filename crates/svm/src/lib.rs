@@ -44,7 +44,7 @@ pub use diagnostics::{
     spectral_entropy, symmetric_eigenvalues, ConcentrationReport,
 };
 pub use gaussian::{gaussian_block, gaussian_gram, scale_bandwidth};
-pub use kernel::{KernelBlock, KernelMatrix};
+pub use kernel::{KernelBlock, KernelMatrix, KernelSource};
 pub use metrics::{
     average_precision, balanced_accuracy, f1_score, matthews_corrcoef, pr_curve, roc_auc,
     roc_curve, Metrics,

@@ -12,7 +12,7 @@
 //! chosen by the max-|E_i - E_j| heuristic with a seeded random fallback,
 //! and an error cache keeps each update O(n).
 
-use crate::kernel::KernelMatrix;
+use crate::kernel::KernelSource;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -116,13 +116,21 @@ impl TrainedSvm {
     }
 }
 
-/// Trains a C-SVC on a precomputed kernel matrix.
+/// Trains a C-SVC on a precomputed kernel.
+///
+/// Generic over [`KernelSource`], so a dense [`crate::KernelMatrix`] and
+/// an externally assembled view (e.g. `qk-gram`'s `TiledKernel`) train
+/// identically — no dense copy is made of non-`KernelMatrix` sources.
 ///
 /// # Panics
 /// Panics if labels are not `+1`/`-1`, sizes mismatch, or both classes are
 /// not present.
-pub fn train_svc(kernel: &KernelMatrix, labels: &[f64], params: &SmoParams) -> TrainedSvm {
-    let n = kernel.len();
+pub fn train_svc<K: KernelSource + ?Sized>(
+    kernel: &K,
+    labels: &[f64],
+    params: &SmoParams,
+) -> TrainedSvm {
+    let n = kernel.order();
     assert_eq!(labels.len(), n, "label count must match kernel order");
     assert!(n >= 2, "need at least two training points");
     assert!(
@@ -226,8 +234,8 @@ fn random_other_index(i: usize, n: usize, rng: &mut ChaCha8Rng) -> usize {
 
 /// Attempts the analytic two-variable update; returns `true` on progress.
 #[allow(clippy::too_many_arguments)]
-fn take_step(
-    kernel: &KernelMatrix,
+fn take_step<K: KernelSource + ?Sized>(
+    kernel: &K,
     labels: &[f64],
     alphas: &mut [f64],
     bias: &mut f64,
@@ -253,9 +261,9 @@ fn take_step(
         return false;
     }
 
-    let kii = kernel.get(i, i);
-    let kjj = kernel.get(j, j);
-    let kij = kernel.get(i, j);
+    let kii = kernel.entry(i, i);
+    let kjj = kernel.entry(j, j);
+    let kij = kernel.entry(i, j);
     let eta = kii + kjj - 2.0 * kij;
     if eta <= 1e-12 {
         // Non-positive curvature (can happen with degenerate kernels):
@@ -301,6 +309,7 @@ fn take_step(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::KernelMatrix;
 
     #[test]
     fn decision_values_block_matches_per_row() {

@@ -11,17 +11,20 @@
 //!    dense ground-truth simulator;
 //! 4. [`core`] — Gram-matrix assembly, distribution strategies,
 //!    inference;
-//! 5. [`svm`] — kernel SVM training (SMO), calibration, metrics;
-//! 6. [`serve`] — concurrent batched-inference serving with an MPS
+//! 5. [`gram`] — the out-of-core tiled Gram engine with
+//!    checkpoint/resume and state spill;
+//! 6. [`svm`] — kernel SVM training (SMO), calibration, metrics;
+//! 7. [`serve`] — concurrent batched-inference serving with an MPS
 //!    encoding cache and hot-swappable model versions;
-//! 7. [`bench`] — figure/table reproduction harness;
-//! 8. [`tensor`] — the shared dense linear-algebra substrate;
-//! 9. [`mpi`] — the in-process MPI-shaped messaging shim.
+//! 8. [`bench`] — figure/table reproduction harness;
+//! 9. [`tensor`] — the shared dense linear-algebra substrate;
+//! 10. [`mpi`] — the in-process MPI-shaped messaging shim.
 
 pub use qk_bench as bench;
 pub use qk_circuit as circuit;
 pub use qk_core as core;
 pub use qk_data as data;
+pub use qk_gram as gram;
 pub use qk_mpi as mpi;
 pub use qk_mps as mps;
 pub use qk_serve as serve;
