@@ -1,0 +1,243 @@
+//! Inner-product hot-path harness: old (contract-based) vs new
+//! (zero-allocation zipper) kernel across a bond-dimension sweep.
+//!
+//! For each χ it measures:
+//!
+//! * **single-pair, old path** — `Mps::inner_via_contract` dispatched
+//!   through a backend running the pre-PR unblocked GEMM
+//!   (`gemm_unblocked_reference`): exactly the code that computed every
+//!   Gram entry before the zipper kernel landed;
+//! * **single-pair, new path** — `Mps::inner_into` with a reused
+//!   [`ZipperWorkspace`] over the blocked, register-tiled GEMM;
+//! * **tile-batched, new path** — one workspace carried across a whole
+//!   row of inner products, the way `qk-gram` tile workers and `qk-serve`
+//!   batch workers run it.
+//!
+//! Every cell cross-checks the two paths to 1e-12 (relative); `--smoke`
+//! runs a seconds-level sweep whose only job is that assertion (CI runs
+//! it on every push). Results land in `results/BENCH_kernel.json`.
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin kernel_hotpath -- \
+//!     [--chis 8,16,32,64,128] [--batch 16] [--smoke]
+
+use qk_bench::{write_results, Args};
+use qk_mps::{Mps, ZipperWorkspace};
+use qk_tensor::backend::{CpuBackend, ExecutionBackend};
+use qk_tensor::complex::Complex64;
+use qk_tensor::matrix::gemm_unblocked_reference;
+use qk_tensor::svd::{svd, Svd};
+use qk_tensor::tensor::Tensor;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The pre-PR CPU backend: serial unblocked GEMM with the per-element
+/// zero check. `inner_via_contract` through this backend reproduces the
+/// old inner-product path operation for operation.
+struct PrePrBackend;
+
+impl ExecutionBackend for PrePrBackend {
+    fn name(&self) -> &'static str {
+        "pre-pr-reference"
+    }
+
+    fn gemm(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[Complex64],
+        b: &[Complex64],
+        c: &mut [Complex64],
+    ) {
+        gemm_unblocked_reference(m, k, n, a, b, c);
+    }
+
+    fn svd(&self, m: usize, n: usize, a: &[Complex64]) -> Svd {
+        svd(m, n, a)
+    }
+}
+
+/// Deterministic random MPS with a maximal bond profile capped at `chi`
+/// (bonds grow 1, 2, 4, … toward the center), so the center of the chain
+/// genuinely runs χ x χ zipper steps.
+fn random_state(qubits: usize, chi: usize, seed: u64) -> Mps {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let bond = |q: usize| -> usize {
+        let left = 1usize << q.min(60);
+        let right = 1usize << (qubits - q).min(60);
+        left.min(right).min(chi)
+    };
+    let sites = (0..qubits)
+        .map(|q| {
+            let (l, r) = (bond(q), bond(q + 1));
+            let data = (0..l * 2 * r)
+                .map(|_| Complex64::new(next(), next()))
+                .collect();
+            Tensor::from_data(&[l, 2, r], data)
+        })
+        .collect();
+    let mut mps = Mps::from_sites(sites);
+    mps.normalize();
+    mps
+}
+
+/// Enough qubits that ~4 interior bonds sit at the full χ.
+fn qubits_for(chi: usize) -> usize {
+    2 * chi.next_power_of_two().trailing_zeros() as usize + 4
+}
+
+/// Median-free adaptive timer: repeats `f` until `min_total` elapses
+/// (max `max_reps`), returns time per call.
+fn time_per_call<F: FnMut()>(mut f: F, min_total: Duration, max_reps: usize) -> Duration {
+    f(); // warm-up (also grows workspaces/pack buffers)
+    let t0 = Instant::now();
+    let mut reps = 0u32;
+    loop {
+        f();
+        reps += 1;
+        if t0.elapsed() >= min_total || reps as usize >= max_reps {
+            break;
+        }
+    }
+    t0.elapsed() / reps
+}
+
+#[derive(Serialize)]
+struct Row {
+    chi: usize,
+    qubits: usize,
+    old_single_ns: u64,
+    new_single_ns: u64,
+    single_speedup: f64,
+    new_batched_ns_per_pair: u64,
+    batched_speedup: f64,
+    max_rel_dev: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    batch: usize,
+    tolerance: f64,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let default_chis: &[usize] = if smoke {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64, 128]
+    };
+    let chis: Vec<usize> = match args.get("chis") {
+        None => default_chis.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| s.trim().parse().expect("bad --chis"))
+            .collect(),
+    };
+    let batch = args.get_or("batch", 16usize);
+    let min_total = if smoke {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(400)
+    };
+    let max_reps = if smoke { 10 } else { 4000 };
+    const TOL: f64 = 1e-12;
+
+    let old_be = PrePrBackend;
+    let new_be = CpuBackend::new();
+
+    println!("kernel_hotpath: batch={batch} smoke={smoke}");
+    println!(
+        "{:>6} {:>7} {:>12} {:>12} {:>9} {:>14} {:>9} {:>10}",
+        "chi", "qubits", "old/pair", "new/pair", "speedup", "batched/pair", "speedup", "max dev"
+    );
+    let mut rows = Vec::new();
+    for &chi in &chis {
+        let qubits = qubits_for(chi);
+        let a = random_state(qubits, chi, 0xA5 + chi as u64);
+        let b = random_state(qubits, chi, 0xB7 + chi as u64);
+        let others: Vec<Mps> = (0..batch)
+            .map(|i| random_state(qubits, chi, 0xC1 + (chi * 131 + i) as u64))
+            .collect();
+
+        // Correctness first: both paths agree on every pair this cell
+        // will time (|z| is O(1) for normalized states, so the relative
+        // scale is max(1, |old|)).
+        let mut ws = ZipperWorkspace::new();
+        let mut max_dev = 0.0f64;
+        for other in others.iter().chain([&b]) {
+            let old = a.inner_via_contract(&old_be, other);
+            let new = a.inner_into(&mut ws, &new_be, other);
+            let dev = (old - new).norm() / old.norm().max(1.0);
+            max_dev = max_dev.max(dev);
+        }
+        assert!(
+            max_dev <= TOL,
+            "chi={chi}: new path deviates from reference by {max_dev:.3e} (tol {TOL:.0e})"
+        );
+
+        let old_single = time_per_call(
+            || {
+                black_box(a.inner_via_contract(&old_be, black_box(&b)));
+            },
+            min_total,
+            max_reps,
+        );
+        let new_single = time_per_call(
+            || {
+                black_box(a.inner_into(&mut ws, &new_be, black_box(&b)));
+            },
+            min_total,
+            max_reps,
+        );
+        let batched = time_per_call(
+            || {
+                for other in &others {
+                    black_box(a.inner_into(&mut ws, &new_be, black_box(other)));
+                }
+            },
+            min_total,
+            max_reps,
+        ) / batch as u32;
+
+        let single_speedup = old_single.as_secs_f64() / new_single.as_secs_f64().max(1e-12);
+        let batched_speedup = old_single.as_secs_f64() / batched.as_secs_f64().max(1e-12);
+        println!(
+            "{:>6} {:>7} {:>12.3?} {:>12.3?} {:>8.2}x {:>14.3?} {:>8.2}x {:>10.1e}",
+            chi, qubits, old_single, new_single, single_speedup, batched, batched_speedup, max_dev
+        );
+        rows.push(Row {
+            chi,
+            qubits,
+            old_single_ns: old_single.as_nanos() as u64,
+            new_single_ns: new_single.as_nanos() as u64,
+            single_speedup,
+            new_batched_ns_per_pair: batched.as_nanos() as u64,
+            batched_speedup,
+            max_rel_dev: max_dev,
+        });
+    }
+
+    if smoke {
+        println!("kernel_hotpath smoke: new path matches the reference path on every cell");
+        return;
+    }
+    write_results(
+        "BENCH_kernel",
+        &Record {
+            batch,
+            tolerance: TOL,
+            rows,
+        },
+    );
+}

@@ -15,7 +15,7 @@ use crate::gram::gram_matrix;
 use crate::states::simulate_states;
 use qk_circuit::ansatz::feature_map_circuit;
 use qk_circuit::{route_for_mps, AnsatzConfig};
-use qk_mps::{Mps, MpsDecodeError, MpsSimulator, TruncationConfig};
+use qk_mps::{Mps, MpsDecodeError, MpsSimulator, TruncationConfig, ZipperWorkspace};
 use qk_svm::{fit_platt, train_svc, KernelBlock, PlattCalibration, SmoParams, TrainedSvm};
 use qk_tensor::backend::ExecutionBackend;
 use rayon::prelude::*;
@@ -150,6 +150,25 @@ impl QuantumKernelModel {
             .collect()
     }
 
+    /// [`QuantumKernelModel::kernel_row`] into a caller-held zipper
+    /// workspace: the serving worker's hot path. One worker holds one
+    /// workspace and amortizes the kernel's buffers across every row it
+    /// serves; entries are bitwise identical to [`kernel_row`]'s (both
+    /// run the same zipper kernel).
+    ///
+    /// [`kernel_row`]: QuantumKernelModel::kernel_row
+    pub fn kernel_row_into(
+        &self,
+        ws: &mut ZipperWorkspace,
+        state: &Mps,
+        backend: &dyn ExecutionBackend,
+    ) -> Vec<f64> {
+        self.train_states
+            .iter()
+            .map(|s| state.inner_into(ws, backend, s).norm_sqr())
+            .collect()
+    }
+
     fn prediction_from_decision(&self, decision_value: f64, timing: InferenceTiming) -> Prediction {
         Prediction {
             decision_value,
@@ -207,6 +226,42 @@ impl QuantumKernelModel {
                 })
                 .collect()
         };
+        let block = KernelBlock::from_dense(states.len(), self.train_states.len(), data);
+        let share = t0.elapsed() / states.len() as u32;
+        let timing = InferenceTiming {
+            simulation: Duration::ZERO,
+            inner_products: share,
+        };
+        self.svm
+            .decision_values_block(&block)
+            .into_iter()
+            .map(|d| self.prediction_from_decision(d, timing))
+            .collect()
+    }
+
+    /// [`QuantumKernelModel::predict_from_states`] with a caller-held
+    /// zipper workspace: kernel rows are evaluated serially on the
+    /// calling thread, reusing one workspace across the whole batch.
+    /// This is the serving worker's batch path — the worker already *is*
+    /// the unit of parallelism, so fanning out again buys nothing, while
+    /// the shared workspace removes every per-pair allocation. Decision
+    /// values are bitwise identical to `predict_from_states`.
+    pub fn predict_from_states_with(
+        &self,
+        ws: &mut ZipperWorkspace,
+        states: &[&Mps],
+        backend: &dyn ExecutionBackend,
+    ) -> Vec<Prediction> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let t0 = Instant::now();
+        let mut data = Vec::with_capacity(states.len() * self.train_states.len());
+        for t in states {
+            for s in &self.train_states {
+                data.push(t.inner_into(ws, backend, s).norm_sqr());
+            }
+        }
         let block = KernelBlock::from_dense(states.len(), self.train_states.len(), data);
         let share = t0.elapsed() / states.len() as u32;
         let timing = InferenceTiming {

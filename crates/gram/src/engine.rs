@@ -12,10 +12,12 @@
 //! reported), so a kill at any instant loses at most the tiles in
 //! flight.
 //!
-//! Determinism: every kernel entry is produced by the exact expression
-//! `states[i].inner_with(backend, &states[j]).norm_sqr()` with `i < j`,
-//! regardless of tile size, worker count, spill mode or resume history —
-//! so any two runs of the same job are bitwise identical.
+//! Determinism: every kernel entry is produced by the single shared
+//! zipper kernel (`Mps::inner_into`, the same kernel behind
+//! `Mps::inner_with`) with `i < j` operand order, regardless of tile
+//! size, worker count, spill mode or resume history — so any two runs of
+//! the same job are bitwise identical, and also bitwise identical to
+//! `core::gram`'s single-pass loop.
 
 use crate::checkpoint::{CheckpointError, CheckpointStore};
 use crate::config::GramConfig;
@@ -24,7 +26,7 @@ use crate::metrics::GramMetrics;
 use crate::spill::{SpillError, SpillStore};
 use crate::tiles::{Tile, TilePlan};
 use crate::view::TiledKernel;
-use qk_mps::Mps;
+use qk_mps::{Mps, ZipperWorkspace};
 use qk_svm::KernelBlock;
 use qk_tensor::backend::ExecutionBackend;
 use std::collections::VecDeque;
@@ -170,14 +172,18 @@ impl<'a, 'b> BandCache<'a, 'b> {
 
 /// Contracts one tile. `row_states` / `col_states` are the tile's bands;
 /// indices inside are local. Every contracted pair keeps global `i < j`
-/// operand order, which is what pins tiled output bitwise to the
-/// single-pass path.
+/// operand order and runs the same zipper kernel as `Mps::inner_with`,
+/// which is what pins tiled output bitwise to the single-pass path. The
+/// worker's zipper workspace is reused across the whole tile, so the
+/// kernel's environment buffers are paid for once per band, not once per
+/// pair.
 fn compute_tile(
     tile: &Tile,
     kind: JobKind,
     row_states: &[Mps],
     col_states: &[Mps],
     backend: &dyn ExecutionBackend,
+    ws: &mut ZipperWorkspace,
 ) -> Vec<f64> {
     debug_assert_eq!(row_states.len(), tile.rows);
     debug_assert_eq!(col_states.len(), tile.cols);
@@ -190,14 +196,18 @@ fn compute_tile(
                 if i == j {
                     1.0
                 } else if i < j {
-                    row_states[r].inner_with(backend, &col_states[c]).norm_sqr()
+                    row_states[r]
+                        .inner_into(ws, backend, &col_states[c])
+                        .norm_sqr()
                 } else {
                     // Mirror of the (c, r) entry computed earlier in
                     // this same payload (c < r here).
                     payload[c * tile.cols + r]
                 }
             } else {
-                row_states[r].inner_with(backend, &col_states[c]).norm_sqr()
+                row_states[r]
+                    .inner_into(ws, backend, &col_states[c])
+                    .norm_sqr()
             };
             payload[r * tile.cols + c] = v;
         }
@@ -463,6 +473,10 @@ impl GramEngine {
                 scope.spawn(move || {
                     let mut row_cache = BandCache::new(rows_src, cfg.tile);
                     let mut col_cache = BandCache::new(cols_src, cfg.tile);
+                    // One zipper workspace per worker for this job's
+                    // lifetime: tile evaluation never allocates inside
+                    // the inner-product kernel.
+                    let mut ws = ZipperWorkspace::new();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -479,11 +493,11 @@ impl GramEngine {
                         let result = (|| -> Result<(Tile, Vec<f64>), GramError> {
                             let payload = if kind == JobKind::Train && tile.bi == tile.bj {
                                 let row_band = row_cache.band(tile.bi)?;
-                                compute_tile(&tile, kind, row_band, row_band, backend)
+                                compute_tile(&tile, kind, row_band, row_band, backend, &mut ws)
                             } else {
                                 let col_band = col_cache.band(tile.bj)?;
                                 let row_band = row_cache.band(tile.bi)?;
-                                compute_tile(&tile, kind, row_band, col_band, backend)
+                                compute_tile(&tile, kind, row_band, col_band, backend, &mut ws)
                             };
                             if let Some(t) = cfg.throttle {
                                 std::thread::sleep(t);

@@ -121,8 +121,13 @@ impl JobSpec {
         buf[9..17].copy_from_slice(&(self.rows as u64).to_le_bytes());
         buf[17..25].copy_from_slice(&(self.cols as u64).to_le_bytes());
         buf[25..33].copy_from_slice(&(self.tile as u64).to_le_bytes());
-        // Format version: bump to invalidate old checkpoints wholesale.
-        buf[33..41].copy_from_slice(&1u64.to_le_bytes());
+        // Format/kernel version: bump to invalidate old checkpoints
+        // wholesale. v2 = the blocked zipper inner-product kernel, whose
+        // floating-point operation order differs from v1's contract-based
+        // path by ~1e-12 — restoring v1 tiles next to freshly computed v2
+        // tiles would silently break the engine's bitwise-identical-to-
+        // clean-run guarantee, so v1 checkpoints must recompute instead.
+        buf[33..41].copy_from_slice(&2u64.to_le_bytes());
         fnv1a64(&buf)
     }
 }

@@ -49,9 +49,11 @@ pub mod mps;
 pub mod observe;
 pub mod sample;
 pub mod sim;
+pub mod zipper;
 
 pub use mpo::{encoding_hamiltonian, hxx_mpo, hz_mpo, Mpo, Pauli, PauliString};
 pub use mps::{Mps, MpsDecodeError, TruncationConfig, TruncationStats};
 pub use observe::{pauli_x, pauli_y, pauli_z};
 pub use sample::shot_estimate_overlap;
 pub use sim::{MpsSimulator, SimRecord, TracePoint};
+pub use zipper::ZipperWorkspace;

@@ -8,12 +8,22 @@
 //! truncation makes the truncation optimal, which is what justifies the
 //! paper's eq. (8) error accounting.
 
+use crate::zipper::{self, ZipperWorkspace};
 use qk_tensor::backend::{CpuBackend, ExecutionBackend};
 use qk_tensor::complex::Complex64;
 use qk_tensor::contract::contract_with;
 use qk_tensor::qr::{lq, qr};
 use qk_tensor::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread workspace backing [`Mps::inner_with`]: every caller
+    /// that does not thread an explicit [`ZipperWorkspace`] still gets
+    /// the allocation-free kernel, with buffers reused across calls on
+    /// the same thread.
+    static INNER_WS: RefCell<ZipperWorkspace> = RefCell::new(ZipperWorkspace::new());
+}
 
 /// Truncation policy applied after every two-qubit gate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -222,8 +232,12 @@ impl Mps {
     }
 
     /// Largest virtual bond dimension (chi), 1 for product states.
+    /// Allocation-free (unlike [`Mps::bond_dims`]): the inner-product
+    /// hot path reads it per call.
     pub fn max_bond(&self) -> usize {
-        self.bond_dims().into_iter().max().unwrap_or(1)
+        // The last site's right bond is always 1, so including it does
+        // not change the maximum.
+        self.sites.iter().map(|s| s.shape()[2]).max().unwrap_or(1)
     }
 
     /// Total memory held by the site tensors, in bytes (Table I's
@@ -328,8 +342,27 @@ impl Mps {
         q: usize,
         config: &TruncationConfig,
     ) {
-        assert!(q + 1 < self.sites.len(), "gate site {q} out of range");
         assert_eq!(gate.shape(), &[4, 4], "two-qubit gate must be 4x4");
+        self.apply_gate2_reshaped(backend, &gate.clone().reshape(&[2, 2, 2, 2]), q, config);
+    }
+
+    /// [`Mps::apply_gate2`] for a gate already shaped `[2, 2, 2, 2]`
+    /// (out1, out2, in1, in2). The simulator reshapes its freshly built
+    /// owned matrix once per application and calls this directly, so no
+    /// `gate.clone()` happens on the gate-application hot path.
+    pub fn apply_gate2_reshaped(
+        &mut self,
+        backend: &dyn ExecutionBackend,
+        gate4: &Tensor,
+        q: usize,
+        config: &TruncationConfig,
+    ) {
+        assert!(q + 1 < self.sites.len(), "gate site {q} out of range");
+        assert_eq!(
+            gate4.shape(),
+            &[2, 2, 2, 2],
+            "two-qubit gate must be reshaped to [2, 2, 2, 2]"
+        );
         self.canonicalize_to(q);
 
         let left = &self.sites[q];
@@ -338,11 +371,9 @@ impl Mps {
 
         // theta[(chi_l, p1, p2, chi_r)] = sum_a left[chi_l, p1, a] right[a, p2, chi_r]
         let theta = contract_with(backend, left, &[2], right, &[0]);
-        // gate as (out1, out2, in1, in2).
-        let g4 = gate.clone().reshape(&[2, 2, 2, 2]);
         // Contract gate's input legs with theta's physical legs:
         // result[(out1, out2), (chi_l, chi_r)] -> permute to (chi_l, out1, out2, chi_r).
-        let applied = contract_with(backend, &g4, &[2, 3], &theta, &[1, 2]);
+        let applied = contract_with(backend, gate4, &[2, 3], &theta, &[1, 2]);
         let applied = applied.permute(&[2, 0, 1, 3]);
 
         // SVD across the bond: (chi_l * 2, 2 * chi_r).
@@ -366,21 +397,26 @@ impl Mps {
             1.0
         };
 
-        // New left site: U (chi_l * 2, kept) -> (chi_l, 2, kept).
+        // New left site: U (chi_l * 2, kept) -> (chi_l, 2, kept); each
+        // output row is the kept prefix of the corresponding U row.
         let mut u = vec![Complex64::ZERO; chi_l * 2 * kept];
-        for row in 0..chi_l * 2 {
-            for c in 0..kept {
-                u[row * kept + c] = f.u[row * f.k + c];
-            }
+        for (dst, src) in u.chunks_exact_mut(kept).zip(f.u.chunks_exact(f.k)) {
+            dst.copy_from_slice(&src[..kept]);
         }
         self.sites[q] = Tensor::from_data(&[chi_l, 2, kept], u);
 
-        // New right site: diag(s) * Vh (kept, 2 * chi_r) -> (kept, 2, chi_r).
+        // New right site: diag(s) * Vh (kept, 2 * chi_r) -> (kept, 2, chi_r);
+        // row r of Vh scaled by the renormalized singular value (the zip
+        // stops after the `kept` output rows).
         let mut sv = vec![Complex64::ZERO; kept * 2 * chi_r];
-        for r in 0..kept {
-            let w = f.s[r] * renorm;
-            for c in 0..2 * chi_r {
-                sv[r * 2 * chi_r + c] = f.vh[r * 2 * chi_r + c] * w;
+        for ((dst, src), &s) in sv
+            .chunks_exact_mut(2 * chi_r)
+            .zip(f.vh.chunks_exact(2 * chi_r))
+            .zip(&f.s)
+        {
+            let w = s * renorm;
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d = v * w;
             }
         }
         self.sites[q + 1] = Tensor::from_data(&[kept, 2, chi_r], sv);
@@ -395,7 +431,46 @@ impl Mps {
     }
 
     /// Inner product with GEMM dispatched through a backend.
+    ///
+    /// Runs the zero-allocation zipper kernel on a thread-local
+    /// [`ZipperWorkspace`] — bitwise identical to [`Mps::inner_into`]
+    /// with any explicitly held workspace. Every inner-product path in
+    /// the workspace (Gram assembly, tiled engine, serving, distributed
+    /// strategies) routes through this one kernel, which is what keeps
+    /// the tiled engine's bitwise-reproducibility guarantees intact.
     pub fn inner_with(&self, backend: &dyn ExecutionBackend, other: &Mps) -> Complex64 {
+        INNER_WS.with(|ws| self.inner_into(&mut ws.borrow_mut(), backend, other))
+    }
+
+    /// Inner product into a caller-held workspace: the batched hot path.
+    ///
+    /// Walks the site slices directly — no `Tensor` permute, no
+    /// conjugated copies, no per-site environment allocation; after the
+    /// workspace has warmed up to the operands' bond dimension, a call
+    /// performs zero heap allocation. Workers that evaluate many inner
+    /// products (a Gram tile row, a serving kernel row) hold one
+    /// workspace and amortize its buffers across the whole batch.
+    pub fn inner_into(
+        &self,
+        ws: &mut ZipperWorkspace,
+        backend: &dyn ExecutionBackend,
+        other: &Mps,
+    ) -> Complex64 {
+        assert_eq!(
+            self.num_qubits(),
+            other.num_qubits(),
+            "inner product requires equal qubit counts"
+        );
+        zipper::zip_inner(ws, &self.sites, &other.sites, backend)
+    }
+
+    /// Reference zipper via generic tensor contraction — the pre-PR-5
+    /// implementation, kept verbatim for equivalence tests and as the
+    /// `kernel_hotpath` baseline. Allocates a conjugated copy of every
+    /// site tensor and fresh environments per site; agrees with
+    /// [`Mps::inner_into`] to ~1e-12 (floating-point operation order in
+    /// the GEMM legitimately differs).
+    pub fn inner_via_contract(&self, backend: &dyn ExecutionBackend, other: &Mps) -> Complex64 {
         assert_eq!(
             self.num_qubits(),
             other.num_qubits(),

@@ -124,12 +124,15 @@ impl<'b> MpsSimulator<'b> {
                     // symmetric; for oriented gates permute the matrix.
                     let (lo, hi) = (*a.min(b), *a.max(b));
                     debug_assert_eq!(hi - lo, 1);
-                    if a < b {
-                        mps.apply_gate2(self.backend, &matrix, lo, &self.truncation);
+                    // Reshape the owned matrix to the [2, 2, 2, 2] view
+                    // once here (free: reshape moves, it never copies)
+                    // instead of letting apply_gate2 clone per call.
+                    let g4 = if a < b {
+                        matrix.reshape(&[2, 2, 2, 2])
                     } else {
-                        let flipped = flip_two_qubit(&matrix);
-                        mps.apply_gate2(self.backend, &flipped, lo, &self.truncation);
-                    }
+                        flip_two_qubit(&matrix).reshape(&[2, 2, 2, 2])
+                    };
+                    mps.apply_gate2_reshaped(self.backend, &g4, lo, &self.truncation);
                     record.two_qubit_gates += 1;
                 }
                 _ => unreachable!(),

@@ -35,7 +35,13 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 4,
+            // Scale with the host: each worker evaluates its batch's
+            // kernel rows serially on its own zipper workspace, so the
+            // worker count *is* the inference parallelism.
+            workers: std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(4)
+                .clamp(2, 16),
             max_batch: 8,
             max_wait: Duration::from_millis(2),
             queue_capacity: 256,

@@ -7,7 +7,7 @@
 //!                                                             │  coalesce ≤ max_batch
 //!                                                             │  (wait ≤ max_wait)
 //!                                                             ▼
-//!                        reply channel ◄── predict_from_states(unique states)
+//!                        reply channel ◄── predict_from_states_with(unique states)
 //!                                              ▲
 //!                 encoding cache (hit: skip simulation entirely)
 //! ```
@@ -36,7 +36,7 @@ use crate::registry::{DeploySummary, ModelRegistry, ModelVersion};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use qk_core::{ModelDecodeError, Prediction, QuantumKernelModel};
-use qk_mps::Mps;
+use qk_mps::{Mps, ZipperWorkspace};
 use qk_tensor::backend::CpuBackend;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -392,6 +392,10 @@ impl Drop for KernelServer {
 
 fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
     let backend = CpuBackend::new();
+    // One zipper workspace per worker for the server's lifetime: every
+    // kernel row this worker serves reuses the same buffers, so the
+    // steady-state inner-product path performs zero heap allocation.
+    let mut ws = ZipperWorkspace::new();
     loop {
         let first = match rx.recv() {
             Ok(Msg::Request(job)) => job,
@@ -427,7 +431,7 @@ fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
                 }
             }
         }
-        process_batch(core, &backend, batch);
+        process_batch(core, &backend, &mut ws, batch);
         if shutting_down {
             return;
         }
@@ -445,7 +449,12 @@ struct UniquePoint {
     simulation: Duration,
 }
 
-fn process_batch(core: &ServerCore, backend: &CpuBackend, batch: Vec<Job>) {
+fn process_batch(
+    core: &ServerCore,
+    backend: &CpuBackend,
+    ws: &mut ZipperWorkspace,
+    batch: Vec<Job>,
+) {
     core.metrics.record_batch(batch.len());
     // One model snapshot per batch: a concurrent deploy affects later
     // batches, never a partially processed one.
@@ -532,7 +541,7 @@ fn process_batch(core: &ServerCore, backend: &CpuBackend, batch: Vec<Job>) {
         .iter()
         .map(|p| p.state.as_deref().expect("simulated above"))
         .collect();
-    let predictions = model.predict_from_states(&states, backend);
+    let predictions = model.predict_from_states_with(ws, &states, backend);
 
     let batch_size = jobs.len();
     for (job, &slot) in jobs.into_iter().zip(&job_slots) {

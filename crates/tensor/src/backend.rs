@@ -38,6 +38,25 @@ pub trait ExecutionBackend: Send + Sync {
         c: &mut [Complex64],
     );
 
+    /// `c = a^H * b` with `a: k x m` stored row-major (so `a^H: m x k`),
+    /// `b: k x n`: the zipper's fused-conjugate transfer step.
+    /// Conjugation happens inside the kernel (in the packing step of the
+    /// blocked path), so callers never materialize `conj(a)`.
+    ///
+    /// The default forwards to the serial kernel; backends override to
+    /// count calls and charge their cost model.
+    fn gemm_conj_a(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[Complex64],
+        b: &[Complex64],
+        c: &mut [Complex64],
+    ) {
+        crate::matrix::gemm_conj_a(m, k, n, a, b, c);
+    }
+
     /// Thin SVD of a row-major `m x n` matrix.
     fn svd(&self, m: usize, n: usize, a: &[Complex64]) -> Svd;
 
@@ -84,6 +103,19 @@ impl ExecutionBackend for CpuBackend {
     ) {
         self.calls.fetch_add(1, Ordering::Relaxed);
         gemm_serial(m, k, n, a, b, c);
+    }
+
+    fn gemm_conj_a(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[Complex64],
+        b: &[Complex64],
+        c: &mut [Complex64],
+    ) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        crate::matrix::gemm_conj_a(m, k, n, a, b, c);
     }
 
     fn svd(&self, m: usize, n: usize, a: &[Complex64]) -> Svd {
@@ -229,6 +261,24 @@ impl ExecutionBackend for AcceleratorBackend {
         self.charge(t0.elapsed(), bytes);
     }
 
+    fn gemm_conj_a(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[Complex64],
+        b: &[Complex64],
+        c: &mut [Complex64],
+    ) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let bytes = (a.len() + b.len() + c.len()) * std::mem::size_of::<Complex64>();
+        let t0 = Instant::now();
+        // Same kernel as the CPU backend: results stay bit-identical
+        // across backends; only the virtual cost model differs.
+        crate::matrix::gemm_conj_a(m, k, n, a, b, c);
+        self.charge(t0.elapsed(), bytes);
+    }
+
     fn svd(&self, m: usize, n: usize, a: &[Complex64]) -> Svd {
         self.calls.fetch_add(1, Ordering::Relaxed);
         let bytes = std::mem::size_of_val(a);
@@ -308,6 +358,25 @@ mod tests {
         acc.gemm(m, k, n, &a, &b, &mut c2);
         for (x, y) in c1.iter().zip(&c2) {
             assert!(approx_eq(*x, *y, 1e-12));
+        }
+        assert_eq!(cpu.calls(), 1);
+        assert_eq!(acc.calls(), 1);
+    }
+
+    #[test]
+    fn backends_agree_on_conj_gemm() {
+        let cpu = CpuBackend::new();
+        let acc = AcceleratorBackend::new(DeviceModel::ideal());
+        let (m, k, n) = (6, 10, 5);
+        let a = test_matrix(k, m, 6); // stored k x m, enters as a^H
+        let b = test_matrix(k, n, 7);
+        let mut c1 = vec![Complex64::ZERO; m * n];
+        let mut c2 = vec![Complex64::ZERO; m * n];
+        cpu.gemm_conj_a(m, k, n, &a, &b, &mut c1);
+        acc.gemm_conj_a(m, k, n, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
         }
         assert_eq!(cpu.calls(), 1);
         assert_eq!(acc.calls(), 1);
