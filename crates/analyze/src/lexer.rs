@@ -1,0 +1,347 @@
+//! A minimal Rust lexer: just enough token structure for invariant
+//! linting, in the spirit of the vendored `serde_derive`'s hand-rolled
+//! parser (no proc-macro2/syn, no network deps).
+//!
+//! The lexer produces a flat token stream with line numbers plus a
+//! side-channel of comments (the unsafe-audit pass needs `// SAFETY:`
+//! text, which ordinary token streams discard). String/char/comment
+//! *contents* never become tokens, so a doc comment mentioning
+//! `HashMap` or a format string containing `unsafe` can never trip a
+//! lint.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, ...).
+    Ident(String),
+    /// Numeric literal (value never interpreted).
+    Num,
+    /// String / raw-string / byte-string literal.
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Life,
+    /// Any other single character (`.`, `{`, `<`, ...).
+    P(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == name)
+    }
+
+    /// `true` when this token is the punctuation `c`.
+    pub fn is_p(&self, c: char) -> bool {
+        self.tok == Tok::P(c)
+    }
+
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A comment (line or block) with the line it starts on. Doc comments
+/// are included; the leading slashes are preserved in `text`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// Raw comment text including the `//` / `/*` sigils.
+    pub text: String,
+}
+
+/// Lexes Rust source into tokens and comments. Unknown bytes are passed
+/// through as punctuation — the linter degrades gracefully rather than
+/// erroring on exotic syntax.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    // Advances `line` while copying the characters in `lo..hi`.
+    let count_lines = |lo: usize, hi: usize, b: &[char]| -> u32 {
+        b[lo..hi].iter().filter(|&&c| c == '\n').count() as u32
+    };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '"' => {
+                let (start, start_line) = (i, line);
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                line += count_lines(start, i.min(n), &b);
+                toks.push(Token {
+                    tok: Tok::Str,
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start = i;
+                // Skip the prefix (r, b, br, rb).
+                while i < n && (b[i] == 'r' || b[i] == 'b') {
+                    i += 1;
+                }
+                if i < n && b[i] == '\'' {
+                    // Byte char b'x'.
+                    i += 1;
+                    if i < n && b[i] == '\\' {
+                        i += 1;
+                    }
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    continue;
+                }
+                let mut hashes = 0usize;
+                while i < n && b[i] == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                // Opening quote.
+                i += 1;
+                // Scan for `"` followed by `hashes` hashes.
+                let start_line = line;
+                while i < n {
+                    if b[i] == '"'
+                        && b[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == '#')
+                            .count()
+                            == hashes
+                    {
+                        i += 1 + hashes;
+                        break;
+                    }
+                    i += 1;
+                }
+                line += count_lines(start, i.min(n), &b);
+                toks.push(Token {
+                    tok: Tok::Str,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime/label (`'a`) vs char literal (`'x'`, `'\n'`).
+                let is_life = i + 1 < n
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && !(i + 2 < n && b[i + 2] == '\'');
+                if is_life {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        tok: Tok::Life,
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    if i < n && b[i] == '\\' {
+                        i += 1;
+                        // Escapes like \u{1F600} contain braces.
+                        if i < n && b[i] == 'u' && i + 1 < n && b[i + 1] == '{' {
+                            while i < n && b[i] != '}' {
+                                i += 1;
+                            }
+                        }
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // One fractional part, only when followed by a digit
+                // (so `0..n` lexes as Num P(.) P(.) Ident).
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            other => {
+                toks.push(Token {
+                    tok: Tok::P(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// `true` when position `i` starts a raw/byte string (or byte char)
+/// rather than a plain identifier beginning with `r`/`b`.
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    while j < n && j - i < 2 && (b[j] == 'r' || b[j] == 'b') {
+        j += 1;
+    }
+    if j >= n {
+        return false;
+    }
+    let has_r = b[i..j].contains(&'r');
+    match b[j] {
+        '"' => true,
+        '#' => has_r,
+        '\'' => b[i] == 'b' && j == i + 1,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* unsafe in a block /* nested */ comment */
+            let s = "HashMap unsafe";
+            let r = r#"raw "quoted" HashMap"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_chars_and_ranges() {
+        let (toks, _) =
+            lex("fn f<'a>(x: &'a str) { let c = 'x'; for i in 0..n {} let y = 1.5e3; }");
+        assert!(toks.iter().any(|t| t.tok == Tok::Life));
+        assert!(toks.iter().any(|t| t.tok == Tok::Char));
+        // `0..n` must produce two dots, not a malformed float.
+        let dots = toks.iter().filter(|t| t.is_p('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let (toks, comments) = lex("a\nb\n// c\nd");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(comments[0].line, 3);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let (toks, _) = lex(r"let q = '\''; let after = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+    }
+}

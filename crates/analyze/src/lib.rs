@@ -1,0 +1,223 @@
+//! qk-analyze: the workspace invariant linter.
+//!
+//! Five project-specific lint passes that clippy cannot express,
+//! driven by the checked-in `analyze.toml` policy:
+//!
+//! | pass | guards |
+//! |---|---|
+//! | `determinism` | pinned kernels stay bitwise-reproducible (no FMA, no hash-order, no ambient reads) |
+//! | `no_alloc` | declared hot-path functions never allocate |
+//! | `unsafe_audit` | every `unsafe` carries `// SAFETY:`; inventory pinned to allowlisted crates |
+//! | `lock_order` | the inter-lock graph is acyclic; no blocking channel ops under a guard |
+//! | `fingerprint_coverage` | every job-config field is hashed into its fingerprint |
+//!
+//! The crate is self-contained — a hand-rolled lexer and item scanner
+//! in the style of the vendored `serde_derive`, a TOML-subset policy
+//! parser, and a deterministic JSON writer — so the linter itself obeys
+//! the no-new-deps rule it lives under, and dogfoods the determinism
+//! contract (sorted walks, `BTreeMap` everywhere, stable output).
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod passes;
+pub mod policy;
+pub mod report;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use policy::Policy;
+use report::{Finding, UnsafeEntry};
+use scan::FileModel;
+
+/// The result of analyzing a workspace.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings across the five passes, sorted.
+    pub findings: Vec<Finding>,
+    /// The full unsafe inventory (also emitted when clean).
+    pub unsafe_inventory: Vec<UnsafeEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Loads and scans every `.rs` file under the policy's scan roots,
+/// deterministically (directory entries sorted by name). Paths in the
+/// returned models are workspace-relative with `/` separators.
+pub fn load_files(root: &Path, policy: &Policy) -> io::Result<Vec<FileModel>> {
+    let mut files = Vec::new();
+    for scan_root in &policy.scan_roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, root, policy, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+fn walk(dir: &Path, root: &Path, policy: &Policy, out: &mut Vec<FileModel>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if Policy::path_under(&rel, &policy.scan_exclude) {
+            continue;
+        }
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, root, policy, out)?;
+        } else if rel.ends_with(".rs") {
+            let src = fs::read_to_string(&path)?;
+            out.push(FileModel::scan(PathBuf::from(rel), &src));
+        }
+    }
+    Ok(())
+}
+
+/// Runs all five passes over the scanned files.
+pub fn analyze(files: &[FileModel], policy: &Policy) -> Analysis {
+    let mut findings = Vec::new();
+    findings.extend(passes::determinism::run(files, policy));
+    findings.extend(passes::no_alloc::run(files, policy));
+    findings.extend(passes::lock_order::run(files, policy));
+    findings.extend(passes::fingerprint_cov::run(files, policy));
+    let (unsafe_findings, unsafe_inventory) = passes::unsafe_audit::run(files, policy);
+    findings.extend(unsafe_findings);
+    findings.sort();
+    findings.dedup();
+    Analysis {
+        findings,
+        unsafe_inventory,
+        files_scanned: files.len(),
+    }
+}
+
+/// Convenience: load the policy file, scan, and analyze.
+pub fn analyze_root(root: &Path, policy_path: &Path) -> Result<(Analysis, Policy), String> {
+    let policy_src = fs::read_to_string(policy_path)
+        .map_err(|e| format!("cannot read {}: {e}", policy_path.display()))?;
+    let policy = Policy::parse(&policy_src).map_err(|e| e.to_string())?;
+    let files = load_files(root, &policy).map_err(|e| format!("scan failed: {e}"))?;
+    Ok((analyze(&files, &policy), policy))
+}
+
+/// The `--explain` text for a lint pass, or `None` for unknown names.
+pub fn explain(pass: &str) -> Option<&'static str> {
+    match pass {
+        "determinism" => Some(
+            "determinism — pinned modules must be bitwise-reproducible.\n\
+             \n\
+             The Gram pipeline pins tile x workers x spill x resume to identical bits\n\
+             (see DESIGN.md); a checkpoint is only resumable because recomputing any\n\
+             tile yields the same bytes. Three things silently break that:\n\
+             \n\
+             1. FMA contraction. `f64::mul_add` (and `_mm256_fmadd_*`) rounds once\n\
+                where `a * b + c` rounds twice, so an FMA build and a non-FMA build\n\
+                disagree in the low bits. The project's `Complex64::mul_add` /\n\
+                `conj_mul_add` are NOT fused (they expand to separate mul and add)\n\
+                and are allowed; the lint tracks local `f64`/`f32` annotations to\n\
+                tell receivers apart.\n\
+             2. Hash-order leaks. `std` `HashMap`/`HashSet` iterate in a per-process\n\
+                random order; any such order feeding a fingerprint, checkpoint, or\n\
+                serialized tile is nondeterministic. Pinned modules must use\n\
+                `BTreeMap`/`Vec`.\n\
+             3. Ambient reads. `Instant::now`, `SystemTime`, `process::id`,\n\
+                `thread::current`, and RNG handles must not feed value-producing\n\
+                paths. Functions that only time kernels or name temp dirs are\n\
+                declared in `determinism.allow_clock_in`.\n\
+             \n\
+             Policy: `determinism.pinned` (files), `determinism.allow_clock_in`\n\
+             (functions, bare or `Type::name`).",
+        ),
+        "no_alloc" => Some(
+            "no_alloc — declared hot-path functions must not allocate.\n\
+             \n\
+             The zipper inner product and the GEMM micro-kernels are allocation-free\n\
+             by design: workspaces are grown once (amortized) and reused across the\n\
+             O(N^2) kernel evaluations of a Gram matrix. One `collect()` in the\n\
+             per-pair path turns into millions of allocations at N=64,000.\n\
+             \n\
+             Functions listed in `no_alloc.functions` may not contain `Vec::new`,\n\
+             `vec!`, `to_vec`, `collect`, `clone`, `to_owned`, `Box::new`, `String`\n\
+             construction, or `format!`. Growth-path methods (e.g.\n\
+             `ZipperWorkspace::ensure`) are deliberately not listed — amortized\n\
+             growth is the escape hatch; the per-call path is what stays clean.\n\
+             \n\
+             Policy: `no_alloc.functions` (bare or `Type::name`).",
+        ),
+        "unsafe_audit" => Some(
+            "unsafe_audit — every `unsafe` is justified, inventoried, and confined.\n\
+             \n\
+             Each `unsafe` block/fn needs a `// SAFETY:` comment on the lines just\n\
+             above the keyword (or the first line of an `unsafe fn` body) stating\n\
+             the invariant that makes it sound. The full inventory is written to\n\
+             `results/unsafe_audit.json` (sorted, stable) so the unsafe surface is\n\
+             diffable PR-over-PR. Files outside `unsafe_audit.allow_paths` may not\n\
+             contain unsafe at all — every other crate carries\n\
+             `#![forbid(unsafe_code)]`, pinning the surface to the AVX micro-kernel\n\
+             in qk-tensor.\n\
+             \n\
+             Policy: `unsafe_audit.allow_paths`, `unsafe_audit.inventory`.",
+        ),
+        "lock_order" => Some(
+            "lock_order — the inter-lock ordering graph must be acyclic.\n\
+             \n\
+             Across the lock roots (qk-serve, qk-gram, qk-mpi) the pass extracts\n\
+             every `Mutex`/`RwLock` acquisition, models guard lifetimes lexically\n\
+             (let-bound guards live to end of block or `drop(g)`; `if let`/`while\n\
+             let`/`match` scrutinee temporaries live through the body; other\n\
+             temporaries die at the statement), and adds an edge A -> B whenever B\n\
+             is taken while A is held — including through calls, via per-function\n\
+             lock summaries closed under a fixpoint. A cycle means two threads can\n\
+             take the same locks in opposite orders and deadlock.\n\
+             \n\
+             It also flags blocking `.send(..)`/`.recv(..)` while any guard is\n\
+             held (`try_send`/`try_recv` and `Condvar::wait` — which releases its\n\
+             guard — are exempt).\n\
+             \n\
+             Lock identity is `crate::field`, so same-named fields in different\n\
+             crates never alias; self-edges are dropped because name identity\n\
+             cannot distinguish two instances of one type.\n\
+             \n\
+             Policy: `lock_order.roots` (path prefixes).",
+        ),
+        "fingerprint_coverage" => Some(
+            "fingerprint_coverage — every job-config field is hashed.\n\
+             \n\
+             Checkpoint resume is sound only because the FNV-1a fingerprint binds a\n\
+             checkpoint to the exact job that produced it. A config knob that\n\
+             changes results but is not hashed lets a resumed run silently mix\n\
+             tiles computed under different configs — the worst kind of corruption\n\
+             because every individual tile checksum still passes.\n\
+             \n\
+             Each `[[fingerprint.contract]]` entry names a struct and its\n\
+             fingerprint function; every named field of the struct must appear in\n\
+             the function body. To add a knob: hash it and bump the fingerprint\n\
+             format version, or keep it off the job struct (execution-only knobs\n\
+             like worker counts belong on the engine config, which is deliberately\n\
+             NOT under contract — changing workers must not change results).\n\
+             \n\
+             Policy: `[[fingerprint.contract]]` with `struct` and `function`.",
+        ),
+        _ => None,
+    }
+}
+
+/// The five pass names, for usage text and `--explain` validation.
+pub const PASS_NAMES: [&str; 5] = [
+    "determinism",
+    "no_alloc",
+    "unsafe_audit",
+    "lock_order",
+    "fingerprint_coverage",
+];

@@ -1,0 +1,151 @@
+//! `qk-analyze` CLI: the workspace invariant gate.
+//!
+//! ```text
+//! qk-analyze [--root DIR] [--policy FILE] [--deny] [--report [FILE]] [--explain LINT]
+//! ```
+//!
+//! - default: human-readable findings + summary, exit 0
+//! - `--deny`: exit 1 when any finding exists (the CI gate)
+//! - `--report [FILE]`: findings as JSON to FILE (or stdout)
+//! - `--explain LINT`: print what a pass guards and how to fix findings
+//!
+//! Every run (except `--explain`) rewrites the unsafe inventory at the
+//! policy's `unsafe_audit.inventory` path so it stays diffable.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qk_analyze::{analyze_root, explain, report, PASS_NAMES};
+
+struct Args {
+    root: PathBuf,
+    policy: Option<PathBuf>,
+    deny: bool,
+    report: bool,
+    report_path: Option<PathBuf>,
+    explain: Option<String>,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: qk-analyze [--root DIR] [--policy FILE] [--deny] [--report [FILE]] [--explain LINT]\n\
+         lints: {}",
+        PASS_NAMES.join(", ")
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        policy: None,
+        deny: false,
+        report: false,
+        report_path: None,
+        explain: None,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--policy" => {
+                args.policy = Some(PathBuf::from(it.next().ok_or("--policy needs a file")?));
+            }
+            "--deny" => args.deny = true,
+            "--report" => {
+                args.report = true;
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") {
+                        args.report_path = Some(PathBuf::from(it.next().unwrap()));
+                    }
+                }
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a lint name")?);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(lint) = &args.explain {
+        return match explain(lint) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown lint `{lint}`; lints: {}", PASS_NAMES.join(", "));
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let policy_path = args
+        .policy
+        .clone()
+        .unwrap_or_else(|| args.root.join("analyze.toml"));
+    let (analysis, policy) = match analyze_root(&args.root, &policy_path) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("qk-analyze: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Always refresh the unsafe inventory.
+    let inventory_path = args.root.join(&policy.unsafe_inventory);
+    if let Some(parent) = inventory_path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let inventory_json = report::unsafe_inventory_json(&analysis.unsafe_inventory);
+    if let Err(e) = fs::write(&inventory_path, inventory_json) {
+        eprintln!("qk-analyze: cannot write {}: {e}", inventory_path.display());
+        return ExitCode::from(2);
+    }
+
+    if args.report {
+        let json = report::findings_json(&analysis.findings);
+        match &args.report_path {
+            Some(path) => {
+                if let Err(e) = fs::write(path, json) {
+                    eprintln!("qk-analyze: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("report written to {}", path.display());
+            }
+            None => print!("{json}"),
+        }
+    } else {
+        for f in &analysis.findings {
+            println!("{}", f.render());
+        }
+    }
+
+    eprintln!(
+        "qk-analyze: {} file(s) scanned, {} finding(s), {} unsafe site(s) inventoried -> {}",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        analysis.unsafe_inventory.len(),
+        inventory_path.display()
+    );
+
+    if args.deny && !analysis.findings.is_empty() {
+        eprintln!("qk-analyze: failing (--deny); run `qk-analyze --explain <lint>` for the contract behind each finding");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,295 @@
+//! Determinism pass: pinned modules must be bitwise-reproducible.
+//!
+//! Three rules, each guarding an invariant the Gram pipeline's
+//! tile×workers×spill×resume pins depend on:
+//!
+//! 1. **No FMA contraction.** `f64::mul_add` (and the `_mm256_fmadd_*`
+//!    intrinsic family) fuses the multiply-add with a single rounding,
+//!    so an FMA kernel and a non-FMA kernel produce different low bits.
+//!    The project's `Complex64::mul_add` / `conj_mul_add` are *not*
+//!    fused (they expand to separate mul and add ops) and are allowed —
+//!    the lint tracks local `f64`/`f32` types to tell the receivers
+//!    apart.
+//! 2. **No `HashMap`/`HashSet`.** `std`'s hash maps use per-process
+//!    `RandomState`, so any iteration order leaking into a fingerprint,
+//!    checkpoint, or serialized tile is nondeterministic across runs.
+//!    Pinned modules must use `BTreeMap`/`Vec` instead.
+//! 3. **No ambient reads.** Wall-clock (`Instant::now`,
+//!    `SystemTime`), process/thread identity (`process::id`,
+//!    `thread::current`), and randomness must not feed value-producing
+//!    paths. Functions that only use the clock for *reporting* (timing
+//!    a kernel, naming a temp dir) are declared in
+//!    `determinism.allow_clock_in`.
+
+use crate::lexer::{Tok, Token};
+use crate::passes::is_path2;
+use crate::policy::Policy;
+use crate::report::Finding;
+use crate::scan::{FileModel, FnInfo};
+
+const PASS: &str = "determinism";
+
+/// Runs the determinism pass over all pinned files.
+pub fn run(files: &[FileModel], policy: &Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file.path.to_string_lossy().replace('\\', "/");
+        if !Policy::path_under(&rel, &policy.pinned) {
+            continue;
+        }
+        check_file(file, &rel, policy, &mut findings);
+    }
+    findings
+}
+
+fn check_file(file: &FileModel, rel: &str, policy: &Policy, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let fn_name = |i: usize| {
+        file.enclosing_fn(i)
+            .map(FnInfo::qualified)
+            .unwrap_or_default()
+    };
+    for i in 0..toks.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        let line = toks[i].line;
+        // Rule 1: FMA.
+        if is_path2(toks, i, "f64", "mul_add") || is_path2(toks, i, "f32", "mul_add") {
+            findings.push(Finding::new(
+                PASS,
+                rel,
+                line,
+                fn_name(i),
+                "fully-qualified float `mul_add` fuses the rounding step; pinned kernels must \
+                 use separate mul/add (see the non-fused `Complex64::mul_add`)",
+            ));
+        }
+        if let Some(id) = toks[i].ident() {
+            if id.contains("fmadd") || id.contains("fmsub") {
+                findings.push(Finding::new(
+                    PASS,
+                    rel,
+                    line,
+                    fn_name(i),
+                    format!(
+                        "FMA intrinsic `{id}` contracts mul+add into one rounding; the GEMM \
+                         contract pins non-fused vmulpd/vaddpd sequences"
+                    ),
+                ));
+            }
+        }
+        if let Some(recv) = float_method_receiver(file, toks, i, "mul_add") {
+            findings.push(Finding::new(
+                PASS,
+                rel,
+                line,
+                fn_name(i),
+                format!(
+                    "`{recv}.mul_add(..)` on an `f64`/`f32` receiver is a fused \
+                     multiply-add; pinned kernels must keep mul and add as separate roundings"
+                ),
+            ));
+        }
+        // Rule 2: hash collections.
+        if let Some(id) = toks[i].ident() {
+            if id == "HashMap" || id == "HashSet" {
+                findings.push(Finding::new(
+                    PASS,
+                    rel,
+                    line,
+                    fn_name(i),
+                    format!(
+                        "`{id}` has randomized iteration order; pinned modules feed \
+                         fingerprints/checkpoints and must use `BTreeMap`/`Vec`"
+                    ),
+                ));
+            }
+        }
+        // Rule 3: ambient reads, unless the enclosing fn is allowlisted.
+        if let Some(what) = ambient_read(toks, i) {
+            let f = fn_name(i);
+            let allowed = policy
+                .allow_clock_in
+                .iter()
+                .any(|pat| matches_fn_pattern(&f, pat));
+            if !allowed {
+                findings.push(Finding::new(
+                    PASS,
+                    rel,
+                    line,
+                    f,
+                    format!(
+                        "{what} is an ambient nondeterministic read; value-producing paths in \
+                         pinned modules must be pure (add the fn to `allow_clock_in` only for \
+                         timing/temp-naming uses)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `f` is `Type::name` or bare `name`; `pat` likewise. Matches when the
+/// qualified forms agree, or when a bare pattern matches the bare name.
+fn matches_fn_pattern(f: &str, pat: &str) -> bool {
+    if f == pat {
+        return true;
+    }
+    if !pat.contains("::") {
+        return f.rsplit("::").next() == Some(pat);
+    }
+    false
+}
+
+/// The ambient-read description when `toks[i]` starts one.
+fn ambient_read(toks: &[Token], i: usize) -> Option<String> {
+    if is_path2(toks, i, "Instant", "now") {
+        return Some("`Instant::now()`".to_string());
+    }
+    if is_path2(toks, i, "SystemTime", "now") || toks[i].is_ident("SystemTime") {
+        return Some("`SystemTime`".to_string());
+    }
+    if is_path2(toks, i, "process", "id") {
+        return Some("`process::id()`".to_string());
+    }
+    if is_path2(toks, i, "thread", "current") {
+        return Some("`thread::current()`".to_string());
+    }
+    // Avoid double-reporting `a::b` forms at both `a` and `b` by only
+    // matching these as standalone identifiers.
+    let id = toks[i].ident()?;
+    let prev_is_path = i >= 2 && toks[i - 1].is_p(':') && toks[i - 2].is_p(':');
+    if prev_is_path {
+        return None;
+    }
+    match id {
+        "thread_rng" | "SmallRng" | "StdRng" | "OsRng" => Some(format!("`{id}`")),
+        _ => None,
+    }
+}
+
+/// When `toks[i..]` is `recv.mul_add(` with a receiver the type tracker
+/// can prove is `f64`/`f32` (a float literal, or a local/param with a
+/// float annotation), returns the receiver's rendering. `Complex64`
+/// receivers — and anything else unproven — return `None`.
+fn float_method_receiver(
+    file: &FileModel,
+    toks: &[Token],
+    i: usize,
+    method: &str,
+) -> Option<String> {
+    if !crate::passes::is_method_call(toks, i, method) {
+        return None;
+    }
+    let recv = toks.get(i.checked_sub(1)?)?;
+    match &recv.tok {
+        Tok::Num => Some("<float literal>".to_string()),
+        Tok::Ident(name) => {
+            let f = file.enclosing_fn(i)?;
+            let ty = local_float_type(file, f, name)?;
+            Some(format!("{name}: {ty}"))
+        }
+        _ => None,
+    }
+}
+
+/// Scans a function's params and body for `name: f64` / `let name: f64`
+/// style annotations (references and `mut` are skipped). Returns the
+/// float type name when found.
+fn local_float_type(file: &FileModel, f: &FnInfo, name: &str) -> Option<String> {
+    let toks = &file.tokens;
+    let (plo, phi) = f.params;
+    let (blo, bhi) = f.body.unwrap_or((0, 0));
+    let ranges = [(plo, phi), (blo, bhi)];
+    for (lo, hi) in ranges {
+        let mut i = lo;
+        while i + 1 < hi {
+            let is_binding = toks[i].is_ident(name)
+                && toks[i + 1].is_p(':')
+                && !toks.get(i + 2).is_some_and(|t| t.is_p(':'));
+            if is_binding {
+                let mut j = i + 2;
+                while j < hi
+                    && (toks[j].is_p('&')
+                        || toks[j].is_ident("mut")
+                        || matches!(toks[j].tok, Tok::Life))
+                {
+                    j += 1;
+                }
+                if let Some(ty) = toks.get(j).and_then(|t| t.ident()) {
+                    if ty == "f64" || ty == "f32" {
+                        return Some(ty.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn pinned_policy() -> Policy {
+        Policy::parse(
+            "[determinism]\npinned = [\"pinned.rs\"]\nallow_clock_in = [\"Engine::run\"]\n",
+        )
+        .unwrap()
+    }
+
+    fn check(src: &str) -> Vec<Finding> {
+        let file = FileModel::scan(PathBuf::from("pinned.rs"), src);
+        run(&[file], &pinned_policy())
+    }
+
+    #[test]
+    fn flags_f64_mul_add_but_not_complex() {
+        let f = check(
+            "fn k(acc: f64, a: Complex64, b: Complex64) -> f64 {\n\
+             let c = a.mul_add(b, Complex64::ZERO);\n\
+             acc.mul_add(2.0, 1.0)\n}",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("acc: f64"));
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn flags_intrinsics_and_qualified_form() {
+        let f = check("fn k() { let x = f64::mul_add(a, b, c); _mm256_fmadd_pd(v, w, z); }");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn flags_hash_collections_outside_tests_only() {
+        let f = check(
+            "use std::collections::HashMap;\n\
+             #[cfg(test)]\nmod tests { use std::collections::HashMap; }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn clock_allowlist_is_honored() {
+        let f = check(
+            "impl Engine { fn run(&self) { let t = Instant::now(); } }\n\
+             impl Engine { fn hash(&self) -> u64 { Instant::now().elapsed().as_nanos() as u64 } }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].function, "Engine::hash");
+    }
+
+    #[test]
+    fn unpinned_files_are_ignored() {
+        let file = FileModel::scan(
+            PathBuf::from("free.rs"),
+            "fn f() { f64::mul_add(a, b, c); }",
+        );
+        assert!(run(&[file], &pinned_policy()).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Fingerprint-coverage pass: every field of a policy-named job-config
+//! struct must be consumed by its fingerprint function.
+//!
+//! Checkpoint resume is only sound because the FNV-1a fingerprint binds
+//! a checkpoint to the exact job that produced it. Adding a config knob
+//! that changes results *without hashing it* lets a resumed run mix
+//! tiles computed under different configs — the exact bug class this
+//! pass makes a CI failure. Each `[[fingerprint.contract]]` entry names
+//! a struct and a function; the pass resolves both across the scanned
+//! workspace and requires every named field of the struct to appear as
+//! an identifier in the function's body.
+
+use crate::policy::Policy;
+use crate::report::Finding;
+use crate::scan::FileModel;
+
+const PASS: &str = "fingerprint_coverage";
+
+/// Runs the fingerprint-coverage pass over all contracts.
+pub fn run(files: &[FileModel], policy: &Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for contract in &policy.contracts {
+        // Resolve the struct.
+        let strukt = files.iter().find_map(|file| {
+            file.structs
+                .iter()
+                .find(|s| s.name == contract.strukt)
+                .map(|s| (file, s))
+        });
+        let Some((sfile, strukt)) = strukt else {
+            findings.push(Finding::new(
+                PASS,
+                "analyze.toml",
+                0,
+                "",
+                format!(
+                    "contract names struct `{}` but no such struct exists in the scanned \
+                     workspace — fix the policy or restore the struct",
+                    contract.strukt
+                ),
+            ));
+            continue;
+        };
+        // Resolve the function.
+        let func = files.iter().find_map(|file| {
+            file.fns
+                .iter()
+                .find(|f| f.matches(&contract.function) && f.body.is_some())
+                .map(|f| (file, f))
+        });
+        let Some((ffile, func)) = func else {
+            findings.push(Finding::new(
+                PASS,
+                "analyze.toml",
+                0,
+                "",
+                format!(
+                    "contract names fingerprint function `{}` but it was not found in the \
+                     scanned workspace — fix the policy or restore the function",
+                    contract.function
+                ),
+            ));
+            continue;
+        };
+        let (lo, hi) = func.body.unwrap();
+        let body = &ffile.tokens[lo..hi];
+        let srel = sfile.path.to_string_lossy().replace('\\', "/");
+        for field in &strukt.fields {
+            let consumed = body.iter().any(|t| t.is_ident(field));
+            if !consumed {
+                findings.push(Finding::new(
+                    PASS,
+                    &srel,
+                    strukt.line,
+                    func.qualified(),
+                    format!(
+                        "field `{}.{field}` is not consumed by `{}`; an unhashed config knob \
+                         lets checkpoint resume mix results from different jobs — hash the \
+                         field (bump the fingerprint version) or move it off the job struct",
+                        contract.strukt, contract.function
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(policy_src: &str, src: &str) -> Vec<Finding> {
+        let policy = Policy::parse(policy_src).unwrap();
+        let file = FileModel::scan(PathBuf::from("x.rs"), src);
+        run(&[file], &policy)
+    }
+
+    const CONTRACT: &str =
+        "[[fingerprint.contract]]\nstruct = \"JobSpec\"\nfunction = \"JobSpec::fingerprint\"\n";
+
+    #[test]
+    fn full_coverage_is_clean() {
+        let f = check(
+            CONTRACT,
+            "pub struct JobSpec { rows: usize, cols: usize }\n\
+             impl JobSpec { fn fingerprint(&self) -> u64 { h(self.rows); h(self.cols); 0 } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unhashed_field_is_flagged() {
+        let f = check(
+            CONTRACT,
+            "pub struct JobSpec { rows: usize, cols: usize, throttle: u32 }\n\
+             impl JobSpec { fn fingerprint(&self) -> u64 { h(self.rows); h(self.cols); 0 } }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("JobSpec.throttle"));
+    }
+
+    #[test]
+    fn missing_struct_or_fn_is_a_policy_error_finding() {
+        let f = check(CONTRACT, "fn unrelated() {}");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no such struct"));
+        let f = check(CONTRACT, "pub struct JobSpec { rows: usize }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn free_function_contract_resolves_by_bare_name() {
+        let f = check(
+            "[[fingerprint.contract]]\nstruct = \"AnsatzConfig\"\nfunction = \"encoding_fingerprint\"\n",
+            "pub struct AnsatzConfig { layers: usize, gamma: f64 }\n\
+             pub fn encoding_fingerprint(a: &AnsatzConfig) -> u64 { h(a.layers) ^ h(a.gamma) }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,544 @@
+//! Lock-order pass: extract `Mutex`/`RwLock` acquisitions per function
+//! across the policy's lock roots, build the inter-lock ordering graph,
+//! and fail on cycles (potential deadlock) or `send`/`recv` calls made
+//! while a guard is held.
+//!
+//! ## Model
+//!
+//! - A **lock identity** is `crate::field` — the last field segment of
+//!   the receiver chain (`self.cache.lock()` → `serve::cache`),
+//!   qualified by the owning crate so same-named fields in different
+//!   crates never alias.
+//! - **Guard lifetimes** follow Rust 2021 drop rules, lexically
+//!   approximated: a `let`-bound guard lives to the end of the
+//!   enclosing block (or an explicit `drop(g)`); an `if let`/`while
+//!   let`/`match` scrutinee temporary lives through the body; any other
+//!   temporary dies at the end of its statement.
+//! - **Interprocedural edges** come from per-function lock summaries
+//!   closed under a fixpoint: while a guard is held, calling `f(..)` or
+//!   `.f(..)` adds edges to every lock any same-named function in the
+//!   lock roots may take — excluding the current function itself, so a
+//!   method that calls a same-named method on another type does not
+//!   fabricate a self-cycle.
+//! - Self-edges (`L → L`) are dropped: field-name identity cannot
+//!   distinguish two instances of the same type, so a same-name
+//!   reacquisition is as likely two mailboxes as a real re-entrancy.
+//!
+//! The `send`/`recv`-while-locked rule is direct-call only and ignores
+//! `try_send`/`try_recv` (non-blocking) and `Condvar::wait` (which
+//! *releases* the guard it is given).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, Token};
+use crate::policy::Policy;
+use crate::report::Finding;
+use crate::scan::FileModel;
+
+const PASS: &str = "lock_order";
+
+/// One guard acquisition inside a function body.
+#[derive(Debug)]
+struct Acq {
+    /// Crate-qualified lock identity.
+    lock: String,
+    /// Token index of the `.lock(`/`.read(`/`.write(` dot.
+    tok: usize,
+    /// Source line.
+    line: u32,
+    /// Token index (exclusive) where the guard dies.
+    until: usize,
+}
+
+/// Everything the pass extracts from one function.
+#[derive(Debug, Default)]
+struct FnFacts {
+    qualified: String,
+    bare: String,
+    rel: String,
+    acqs: Vec<Acq>,
+    /// (callee bare name, token index, line).
+    calls: Vec<(String, usize, u32)>,
+    /// (`send`/`recv`, token index, line).
+    sendrecv: Vec<(String, usize, u32)>,
+}
+
+/// A lock-ordering edge with one representative location.
+#[derive(Debug, Clone)]
+struct Edge {
+    rel: String,
+    line: u32,
+    function: String,
+    /// `Some(callee)` when the edge came through a call summary.
+    via: Option<String>,
+}
+
+/// Runs the lock-order pass.
+pub fn run(files: &[FileModel], policy: &Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut facts: Vec<FnFacts> = Vec::new();
+    for file in files {
+        let rel = file.path.to_string_lossy().replace('\\', "/");
+        if !Policy::path_under(&rel, &policy.lock_roots) {
+            continue;
+        }
+        let krate = crate_of(&rel);
+        for (fi, f) in file.fns.iter().enumerate() {
+            let Some((lo, hi)) = f.body else { continue };
+            if file.in_test(lo) {
+                continue;
+            }
+            let mut ff = FnFacts {
+                qualified: f.qualified(),
+                bare: f.name.clone(),
+                rel: rel.clone(),
+                ..FnFacts::default()
+            };
+            extract(file, lo, hi, &krate, &mut ff);
+            let _ = fi;
+            facts.push(ff);
+        }
+    }
+
+    // Per-function direct lock sets, then the transitive fixpoint over
+    // bare-name calls.
+    let direct: Vec<BTreeSet<String>> = facts
+        .iter()
+        .map(|f| f.acqs.iter().map(|a| a.lock.clone()).collect())
+        .collect();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in facts.iter().enumerate() {
+        by_name.entry(&f.bare).or_default().push(i);
+    }
+    let mut summary = direct.clone();
+    loop {
+        let mut changed = false;
+        for i in 0..facts.len() {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for (callee, _, _) in &facts[i].calls {
+                for &j in by_name.get(callee.as_str()).into_iter().flatten() {
+                    if j != i {
+                        add.extend(summary[j].iter().cloned());
+                    }
+                }
+            }
+            for lock in add {
+                changed |= summary[i].insert(lock);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge construction + send/recv-while-locked.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for (i, f) in facts.iter().enumerate() {
+        for a in &f.acqs {
+            // Direct nesting.
+            for b in &f.acqs {
+                if b.tok > a.tok && b.tok < a.until && b.lock != a.lock {
+                    edges
+                        .entry((a.lock.clone(), b.lock.clone()))
+                        .or_insert(Edge {
+                            rel: f.rel.clone(),
+                            line: b.line,
+                            function: f.qualified.clone(),
+                            via: None,
+                        });
+                }
+            }
+            // Through calls.
+            for (callee, tok, line) in &f.calls {
+                if *tok <= a.tok || *tok >= a.until {
+                    continue;
+                }
+                for &j in by_name.get(callee.as_str()).into_iter().flatten() {
+                    if j == i {
+                        continue;
+                    }
+                    for lock in &summary[j] {
+                        if *lock != a.lock {
+                            edges.entry((a.lock.clone(), lock.clone())).or_insert(Edge {
+                                rel: f.rel.clone(),
+                                line: *line,
+                                function: f.qualified.clone(),
+                                via: Some(callee.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+            // Blocking channel ops under the guard.
+            for (op, tok, line) in &f.sendrecv {
+                if *tok > a.tok && *tok < a.until {
+                    findings.push(Finding::new(
+                        PASS,
+                        &f.rel,
+                        *line,
+                        f.qualified.clone(),
+                        format!(
+                            "`.{op}(..)` while holding `{}`: a blocking channel op under a \
+                             guard can deadlock against the peer needing that lock — scope \
+                             the guard to end before the channel call",
+                            a.lock
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    findings.extend(report_cycles(&edges));
+    findings.sort();
+    findings
+}
+
+/// `crates/serve/src/server.rs` → `serve`; anything else → `root`.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Extracts acquisitions, calls and send/recv sites from a body range.
+fn extract(file: &FileModel, lo: usize, hi: usize, krate: &str, out: &mut FnFacts) {
+    let toks = &file.tokens;
+    for i in lo..hi {
+        // Acquisition: `recv.lock()` / `.read()` / `.write()` with
+        // empty parens (Mutex/RwLock take no args; io traits do).
+        if let Some(m) = crate::passes::method_call_name(toks, i) {
+            let empty = toks.get(i + 3).is_some_and(|t| t.is_p(')'));
+            if matches!(m, "lock" | "read" | "write") && empty {
+                if let Some(Tok::Ident(field)) = toks.get(i.wrapping_sub(1)).map(|t| &t.tok) {
+                    out.acqs.push(Acq {
+                        lock: format!("{krate}::{field}"),
+                        tok: i,
+                        line: toks[i].line,
+                        until: guard_until(toks, lo, hi, i),
+                    });
+                    continue;
+                }
+            }
+            if matches!(m, "send" | "recv") {
+                out.sendrecv.push((m.to_string(), i, toks[i].line));
+                continue;
+            }
+            if !matches!(m, "unwrap" | "expect" | "lock" | "read" | "write") {
+                out.calls.push((m.to_string(), i, toks[i].line));
+            }
+        }
+        // Bare calls: `name(` not preceded by `.` or `fn`, not a macro.
+        if let Some(id) = toks[i].ident() {
+            let callish = toks.get(i + 1).is_some_and(|t| t.is_p('('))
+                && i > 0
+                && !toks[i - 1].is_p('.')
+                && !toks[i - 1].is_ident("fn")
+                && !toks[i - 1].is_p(':');
+            if callish && id != "drop" {
+                out.calls.push((id.to_string(), i, toks[i].line));
+            }
+        }
+    }
+}
+
+/// Computes the token index (exclusive) at which the guard acquired at
+/// `i` dies. See the module docs for the lifetime model.
+fn guard_until(toks: &[Token], lo: usize, hi: usize, i: usize) -> usize {
+    // Statement start: just past the nearest `;`/`{`/`}` before `i`.
+    let mut s = i;
+    while s > lo {
+        let t = &toks[s - 1];
+        if t.is_p(';') || t.is_p('{') || t.is_p('}') {
+            break;
+        }
+        s -= 1;
+    }
+    let starts_with = |kw: &str| toks.get(s).is_some_and(|t| t.is_ident(kw));
+    if starts_with("let") {
+        // Bound guard: end of enclosing block, or `drop(name)`.
+        let mut j = s + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let name = toks.get(j).and_then(|t| t.ident()).map(str::to_string);
+        let block_end = enclosing_block_end(toks, hi, i);
+        if let Some(name) = name {
+            let mut k = i;
+            while k + 3 < block_end {
+                if toks[k].is_ident("drop")
+                    && toks[k + 1].is_p('(')
+                    && toks[k + 2].is_ident(&name)
+                    && toks[k + 3].is_p(')')
+                {
+                    return k;
+                }
+                k += 1;
+            }
+        }
+        return block_end;
+    }
+    let scrutinee = (starts_with("if") || starts_with("while"))
+        && toks.get(s + 1).is_some_and(|t| t.is_ident("let"))
+        || starts_with("match");
+    if scrutinee {
+        // Lives through the body: find the body `{` at delimiter depth
+        // 0 after the acquisition, take its matching close.
+        let mut depth = 0i32;
+        let mut k = i;
+        while k < hi {
+            match toks[k].tok {
+                Tok::P('(') | Tok::P('[') => depth += 1,
+                Tok::P(')') | Tok::P(']') => depth -= 1,
+                Tok::P('{') if depth == 0 => {
+                    return matching_close(toks, hi, k);
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        return hi;
+    }
+    // Temporary: dies at the statement's `;` (or the end of the
+    // enclosing block for a tail expression).
+    let mut depth = 0i32;
+    let mut k = i;
+    while k < hi {
+        match toks[k].tok {
+            Tok::P('(') | Tok::P('[') | Tok::P('{') => depth += 1,
+            Tok::P(')') | Tok::P(']') => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            Tok::P('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            Tok::P(';') if depth == 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    hi
+}
+
+/// Token index of the `}` closing the innermost block containing `i`.
+fn enclosing_block_end(toks: &[Token], hi: usize, i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = i;
+    while k < hi {
+        match toks[k].tok {
+            Tok::P('{') => depth += 1,
+            Tok::P('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    hi
+}
+
+/// Matching `}` for the `{` at `open`.
+fn matching_close(toks: &[Token], hi: usize, open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(hi).skip(open) {
+        if t.is_p('{') {
+            depth += 1;
+        } else if t.is_p('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    hi
+}
+
+/// DFS cycle detection over the lock graph; one finding per distinct
+/// cycle (normalized by rotating to the smallest node).
+fn report_cycles(edges: &BTreeMap<(String, String), Edge>) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut findings = Vec::new();
+    for &start in &nodes {
+        // Iterative DFS carrying the path.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        while let Some((node, next)) = stack.last_mut() {
+            let succs = adj.get(*node).map(Vec::as_slice).unwrap_or(&[]);
+            if *next >= succs.len() {
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            let succ = succs[*next];
+            *next += 1;
+            if let Some(pos) = path.iter().position(|&n| n == succ) {
+                let cycle: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+                let mut norm = cycle.clone();
+                let min = norm
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.as_str())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                norm.rotate_left(min);
+                if seen_cycles.insert(norm) {
+                    let mut desc: Vec<String> = cycle.clone();
+                    desc.push(cycle[0].clone());
+                    let edge = edges
+                        .get(&(cycle[cycle.len() - 1].clone(), cycle[0].clone()))
+                        .or_else(|| edges.iter().next().map(|(_, e)| e))
+                        .cloned();
+                    let (rel, line, function, via) = edge
+                        .map(|e| (e.rel, e.line, e.function, e.via))
+                        .unwrap_or_default();
+                    let via = via
+                        .map(|callee| format!(" (edge via call to `{callee}`)"))
+                        .unwrap_or_default();
+                    findings.push(Finding::new(
+                        PASS,
+                        rel,
+                        line,
+                        function,
+                        format!(
+                            "lock-order cycle {}: two threads taking these locks in \
+                             different orders can deadlock; pick one global order{via}",
+                            desc.join(" -> ")
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if path.len() < 64 {
+                path.push(succ);
+                stack.push((succ, 0));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let policy = Policy::parse("[lock_order]\nroots = [\"crates/serve/src\"]\n").unwrap();
+        let file = FileModel::scan(PathBuf::from("crates/serve/src/x.rs"), src);
+        run(&[file], &policy)
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let f = check(
+            "fn a(&self) { let g = self.cache.lock().unwrap(); let h = self.stats.lock().unwrap(); }\n\
+             fn b(&self) { let g = self.cache.lock().unwrap(); let h = self.stats.lock().unwrap(); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn inverted_order_is_a_cycle() {
+        let f = check(
+            "fn a(&self) { let g = self.cache.lock().unwrap(); let h = self.stats.lock().unwrap(); }\n\
+             fn b(&self) { let h = self.stats.lock().unwrap(); let g = self.cache.lock().unwrap(); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn drop_ends_the_guard() {
+        let f = check(
+            "fn a(&self) { let g = self.cache.lock().unwrap(); drop(g); let h = self.stats.lock().unwrap(); }\n\
+             fn b(&self) { let h = self.stats.lock().unwrap(); let g = self.cache.lock().unwrap(); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn block_scoping_ends_the_guard() {
+        let f = check(
+            "fn a(&self) { { let g = self.cache.lock().unwrap(); } let h = self.stats.lock().unwrap(); }\n\
+             fn b(&self) { let h = self.stats.lock().unwrap(); let g = self.cache.lock().unwrap(); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn send_under_guard_is_flagged() {
+        let f = check("fn a(&self) { let g = self.cache.lock().unwrap(); tx.send(v).unwrap(); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("holding `serve::cache`"));
+    }
+
+    #[test]
+    fn send_after_scoped_guard_is_clean() {
+        let f = check(
+            "fn a(&self) { let v = { let g = self.cache.lock().unwrap(); g.get() }; tx.send(v).unwrap(); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn while_let_scrutinee_lives_through_body() {
+        // The queue guard from the while-let temporary is held inside
+        // the body, so the nested stats lock makes an edge; the reverse
+        // order elsewhere completes the cycle.
+        let f = check(
+            "fn a(&self) { while let Some(x) = self.queue.lock().unwrap().pop() { let s = self.stats.lock().unwrap(); } }\n\
+             fn b(&self) { let s = self.stats.lock().unwrap(); let q = self.queue.lock().unwrap(); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn interprocedural_edge_through_callee() {
+        let f = check(
+            "impl A { fn outer(&self) { let g = self.cache.lock().unwrap(); self.registry.refresh(); } }\n\
+             impl R { fn refresh(&self) { let w = self.current.write().unwrap(); } }\n\
+             impl B { fn inv(&self) { let w = self.current.write().unwrap(); let g = self.cache.lock().unwrap(); } }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("serve::cache"));
+        assert!(f[0].message.contains("serve::current"));
+    }
+
+    #[test]
+    fn same_named_method_on_other_type_is_not_a_self_cycle() {
+        // `KernelServer::deploy` calls `Registry::deploy`; matching the
+        // callee against the *current* function would fabricate a
+        // cache -> cache self-edge.
+        let f = check(
+            "impl S { fn deploy(&self) { let g = self.cache.lock().unwrap(); self.registry.deploy(); } }\n\
+             impl R { fn deploy(&self) { let w = self.current.write().unwrap(); } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn condvar_wait_is_not_send_recv() {
+        let f = check(
+            "fn take(&self) { let mut g = self.queue.lock().unwrap(); while g.is_empty() { g = self.arrived.wait(g).unwrap(); } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! The five lint passes. Each pass is a pure function from
+//! `(&[FileModel], &Policy)` to findings — no I/O, no shared state —
+//! so the test suite can drive any pass against a fixture file in
+//! isolation.
+
+pub mod determinism;
+pub mod fingerprint_cov;
+pub mod lock_order;
+pub mod no_alloc;
+pub mod unsafe_audit;
+
+use crate::lexer::Token;
+
+/// `true` when `toks[i..]` is the path call `a::b` (four tokens:
+/// ident, `:`, `:`, ident).
+pub(crate) fn is_path2(toks: &[Token], i: usize, a: &str, b: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.is_ident(a))
+        && toks.get(i + 1).is_some_and(|t| t.is_p(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_p(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(b))
+}
+
+/// `true` when `toks[i..]` is the method call `.name(` (three tokens).
+pub(crate) fn is_method_call(toks: &[Token], i: usize, name: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.is_p('.'))
+        && toks.get(i + 1).is_some_and(|t| t.is_ident(name))
+        && toks.get(i + 2).is_some_and(|t| t.is_p('('))
+}
+
+/// The method name when `toks[i..]` is `.name(`.
+pub(crate) fn method_call_name(toks: &[Token], i: usize) -> Option<&str> {
+    if toks.get(i).is_some_and(|t| t.is_p('.')) && toks.get(i + 2).is_some_and(|t| t.is_p('(')) {
+        toks.get(i + 1).and_then(|t| t.ident())
+    } else {
+        None
+    }
+}

@@ -1,0 +1,164 @@
+//! No-alloc pass: policy-declared hot-path functions must not allocate.
+//!
+//! PR 5 made the zipper inner product and the GEMM micro-kernels
+//! allocation-free (workspace buffers are grown once and reused); this
+//! pass keeps them that way. Any function listed in
+//! `no_alloc.functions` (bare name or `Type::name`) is scanned for the
+//! allocating constructs below. Workspace *growth* methods like
+//! `ZipperWorkspace::ensure` are deliberately not listed — amortized
+//! growth is the designed escape hatch, the per-call path is what must
+//! stay clean.
+
+use crate::lexer::Token;
+use crate::passes::{is_path2, method_call_name};
+use crate::policy::Policy;
+use crate::report::Finding;
+use crate::scan::{FileModel, FnInfo};
+
+const PASS: &str = "no_alloc";
+
+/// Allocating method calls (`.name(`).
+const BANNED_METHODS: &[&str] = &[
+    "to_vec",
+    "collect",
+    "clone",
+    "to_owned",
+    "to_string",
+    "into_vec",
+    "into_boxed_slice",
+];
+
+/// Allocating `Type::ctor` paths.
+const BANNED_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("HashMap", "new"),
+    ("BTreeMap", "new"),
+];
+
+/// Allocating macros (`name!`).
+const BANNED_MACROS: &[&str] = &["vec", "format"];
+
+/// Runs the no-alloc pass over all policy-declared functions.
+pub fn run(files: &[FileModel], policy: &Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file.path.to_string_lossy().replace('\\', "/");
+        for f in &file.fns {
+            if !policy.no_alloc_fns.iter().any(|pat| f.matches(pat)) {
+                continue;
+            }
+            let Some((lo, hi)) = f.body else { continue };
+            if file.in_test(lo) {
+                continue;
+            }
+            check_body(&file.tokens, lo, hi, f, &rel, &mut findings);
+        }
+    }
+    findings
+}
+
+fn check_body(
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    f: &FnInfo,
+    rel: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let qualified = f.qualified();
+    let mut report = |line: u32, what: String| {
+        findings.push(Finding::new(
+            PASS,
+            rel,
+            line,
+            qualified.clone(),
+            format!(
+                "{what} allocates; `{qualified}` is a declared no-alloc hot path — take a \
+                 caller-provided buffer or a workspace instead"
+            ),
+        ));
+    };
+    let mut i = lo;
+    while i < hi {
+        let line = toks[i].line;
+        if let Some(m) = method_call_name(toks, i) {
+            if BANNED_METHODS.contains(&m) {
+                report(line, format!("`.{m}(..)`"));
+                i += 3;
+                continue;
+            }
+        }
+        for &(ty, ctor) in BANNED_PATHS {
+            if is_path2(toks, i, ty, ctor) {
+                report(line, format!("`{ty}::{ctor}`"));
+            }
+        }
+        if let Some(id) = toks[i].ident() {
+            if BANNED_MACROS.contains(&id) && toks.get(i + 1).is_some_and(|t| t.is_p('!')) {
+                report(line, format!("`{id}!`"));
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let policy =
+            Policy::parse("[no_alloc]\nfunctions = [\"Mps::inner_into\", \"compute_tile\"]\n")
+                .unwrap();
+        let file = FileModel::scan(PathBuf::from("x.rs"), src);
+        run(&[file], &policy)
+    }
+
+    #[test]
+    fn flags_every_banned_construct() {
+        let f = check(
+            "fn compute_tile() {\n\
+             let v = Vec::new();\n\
+             let w = vec![0.0; 8];\n\
+             let s = x.to_vec();\n\
+             let c = y.clone();\n\
+             let b = Box::new(z);\n\
+             let it: Vec<_> = iter.collect();\n\
+             }",
+        );
+        assert_eq!(f.len(), 6, "{f:?}");
+    }
+
+    #[test]
+    fn clean_slice_writing_fn_passes() {
+        let f = check(
+            "impl Mps { fn inner_into(&self, other: &Mps, ws: &mut W) -> C {\n\
+             for (o, a) in out.iter_mut().zip(acc.iter()) { *o = *a + *o; }\n\
+             zipper::zip_inner(self, other, ws)\n} }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn undeclared_fns_may_allocate() {
+        let f = check("fn helper() -> Vec<f64> { vec![0.0; 8] }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn qualified_policy_name_only_hits_that_impl() {
+        let policy = Policy::parse("[no_alloc]\nfunctions = [\"Mps::inner_into\"]\n").unwrap();
+        let file = FileModel::scan(
+            PathBuf::from("x.rs"),
+            "impl Other { fn inner_into(&self) { let v = Vec::new(); } }",
+        );
+        assert!(run(&[file], &policy).is_empty());
+    }
+}

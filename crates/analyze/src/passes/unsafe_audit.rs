@@ -1,0 +1,202 @@
+//! Unsafe audit pass: every `unsafe` site needs a `// SAFETY:`
+//! justification, unsafe is only permitted under allowlisted paths,
+//! and the full inventory is emitted as `results/unsafe_audit.json`
+//! so the unsafe surface stays diffable PR-over-PR.
+//!
+//! A justification counts when a comment containing `SAFETY:` appears
+//! in the lines just above the `unsafe` keyword, or (for `unsafe fn`,
+//! whose signature may span several lines) in the first lines of the
+//! body.
+
+use crate::policy::Policy;
+use crate::report::{Finding, UnsafeEntry};
+use crate::scan::{FileModel, FnInfo, UnsafeKind};
+
+const PASS: &str = "unsafe_audit";
+
+/// Runs the audit. Returns lint findings plus the full inventory.
+pub fn run(files: &[FileModel], policy: &Policy) -> (Vec<Finding>, Vec<UnsafeEntry>) {
+    let mut findings = Vec::new();
+    let mut inventory = Vec::new();
+    for file in files {
+        let rel = file.path.to_string_lossy().replace('\\', "/");
+        for site in &file.unsafes {
+            if file.in_test(site.tok) {
+                continue;
+            }
+            let function = site_function(file, site.tok, site.kind);
+            let justification = find_safety_comment(file, site.line, site.tok, site.kind);
+            let kind = match site.kind {
+                UnsafeKind::Block => "block",
+                UnsafeKind::Fn => "fn",
+                UnsafeKind::ImplOrTrait => "impl",
+            };
+            if !Policy::path_under(&rel, &policy.unsafe_allow) {
+                findings.push(Finding::new(
+                    PASS,
+                    &rel,
+                    site.line,
+                    function.clone(),
+                    format!(
+                        "`unsafe` {kind} outside the allowlisted paths ({}); the audited \
+                         unsafe surface is pinned to those crates — prefer safe code or \
+                         extend `unsafe_audit.allow_paths` deliberately",
+                        policy.unsafe_allow.join(", ")
+                    ),
+                ));
+            }
+            match &justification {
+                Some(text) => inventory.push(UnsafeEntry {
+                    path: rel.clone(),
+                    line: site.line,
+                    kind: kind.to_string(),
+                    function: function.clone(),
+                    justification: text.clone(),
+                }),
+                None => {
+                    findings.push(Finding::new(
+                        PASS,
+                        &rel,
+                        site.line,
+                        function.clone(),
+                        format!(
+                            "`unsafe` {kind} without a `// SAFETY:` justification; state the \
+                             invariant that makes this sound on the lines above the keyword \
+                             (or the first line of an `unsafe fn` body)"
+                        ),
+                    ));
+                    inventory.push(UnsafeEntry {
+                        path: rel.clone(),
+                        line: site.line,
+                        kind: kind.to_string(),
+                        function,
+                        justification: String::new(),
+                    });
+                }
+            }
+        }
+    }
+    (findings, inventory)
+}
+
+/// The function context of an unsafe site: for `unsafe fn` the function
+/// itself; for a block, the enclosing function.
+fn site_function(file: &FileModel, tok: usize, kind: UnsafeKind) -> String {
+    if kind == UnsafeKind::Fn {
+        // The fn declared by this keyword starts within a couple of
+        // tokens (`unsafe fn`, `unsafe extern "C" fn`, ...).
+        if let Some(f) = file
+            .fns
+            .iter()
+            .find(|f| f.is_unsafe && f.line >= file.tokens[tok].line)
+        {
+            return f.qualified();
+        }
+    }
+    file.enclosing_fn(tok)
+        .map(FnInfo::qualified)
+        .unwrap_or_default()
+}
+
+/// Finds a `SAFETY:` comment justifying the site, returning its text
+/// with the comment sigils stripped.
+fn find_safety_comment(
+    file: &FileModel,
+    line: u32,
+    tok: usize,
+    kind: UnsafeKind,
+) -> Option<String> {
+    // Window: three lines above through one line below the keyword; for
+    // `unsafe fn`, extend to just inside the body's opening lines.
+    let lo = line.saturating_sub(3);
+    let mut hi = line + 1;
+    if kind == UnsafeKind::Fn {
+        if let Some(f) = file
+            .fns
+            .iter()
+            .find(|f| f.is_unsafe && f.line >= file.tokens[tok].line)
+        {
+            if let Some((blo, _)) = f.body {
+                hi = hi.max(file.tokens[blo].line + 1);
+            }
+        }
+    }
+    file.comments
+        .iter()
+        .find(|c| c.line >= lo && c.line <= hi && c.text.contains("SAFETY:"))
+        .map(|c| {
+            c.text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim()
+                .to_string()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(path: &str, src: &str) -> (Vec<Finding>, Vec<UnsafeEntry>) {
+        let policy = Policy::parse("[unsafe_audit]\nallow_paths = [\"crates/tensor/\"]\n").unwrap();
+        let file = FileModel::scan(PathBuf::from(path), src);
+        run(&[file], &policy)
+    }
+
+    #[test]
+    fn justified_block_in_allowed_path_is_clean() {
+        let (f, inv) = check(
+            "crates/tensor/src/matrix.rs",
+            "fn go() {\n// SAFETY: AVX verified at runtime.\nunsafe { kernel() }\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(inv.len(), 1);
+        assert!(inv[0].justification.contains("AVX verified"));
+        assert_eq!(inv[0].kind, "block");
+        assert_eq!(inv[0].function, "go");
+    }
+
+    #[test]
+    fn missing_justification_is_flagged_but_inventoried() {
+        let (f, inv) = check(
+            "crates/tensor/src/matrix.rs",
+            "fn go() {\nunsafe { kernel() }\n}",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("SAFETY"));
+        assert_eq!(inv.len(), 1);
+        assert!(inv[0].justification.is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_body_comment() {
+        let (f, inv) = check(
+            "crates/tensor/src/matrix.rs",
+            "unsafe fn kernel(\n  a: *const f64,\n) {\n// SAFETY: caller upholds the contract.\nwork();\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(inv[0].kind, "fn");
+        assert_eq!(inv[0].function, "kernel");
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_flagged_even_with_comment() {
+        let (f, _) = check(
+            "crates/mps/src/mps.rs",
+            "fn go() {\n// SAFETY: looks fine.\nunsafe { kernel() }\n}",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("allowlisted"));
+    }
+
+    #[test]
+    fn test_module_unsafe_is_skipped() {
+        let (f, inv) = check(
+            "crates/tensor/src/matrix.rs",
+            "#[cfg(test)]\nmod tests { fn t() { unsafe { poke() } } }",
+        );
+        assert!(f.is_empty());
+        assert!(inv.is_empty());
+    }
+}

@@ -1,0 +1,414 @@
+//! The `analyze.toml` policy: which files are pinned for determinism,
+//! which functions are no-alloc, where unsafe is permitted, and which
+//! struct/function pairs form fingerprint contracts.
+//!
+//! Parsed with a hand-rolled TOML subset (tables, arrays-of-tables,
+//! string / string-array / integer / boolean values) so the crate stays
+//! dependency-free, matching the workspace's vendored-only rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Quoted string.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Homogeneous-enough array.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_str_array(&self) -> Vec<String> {
+        match self {
+            Value::Array(items) => items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            Value::Str(s) => vec![s.clone()],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Policy parse error with a line number.
+#[derive(Debug)]
+pub struct PolicyError {
+    /// 1-based line in the policy file.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analyze.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+/// One `[[fingerprint.contract]]` entry: every named field of `strukt`
+/// must appear in the body of `function`.
+#[derive(Debug, Clone)]
+pub struct FingerprintContract {
+    /// Struct whose fields form the contract.
+    pub strukt: String,
+    /// Function (bare or `Type::name`) that must consume every field.
+    pub function: String,
+}
+
+/// The full policy driving all five passes.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Directories (workspace-relative) to walk for `.rs` files.
+    pub scan_roots: Vec<String>,
+    /// Path prefixes to skip entirely.
+    pub scan_exclude: Vec<String>,
+    /// Files (workspace-relative) pinned for bitwise determinism.
+    pub pinned: Vec<String>,
+    /// Functions allowed to read the clock / process id (timing and
+    /// temp-naming only — never value-producing).
+    pub allow_clock_in: Vec<String>,
+    /// Functions (bare or `Type::name`) that must not allocate.
+    pub no_alloc_fns: Vec<String>,
+    /// Path prefixes whose files participate in lock-order analysis.
+    pub lock_roots: Vec<String>,
+    /// Path prefixes where `unsafe` is permitted (with `// SAFETY:`).
+    pub unsafe_allow: Vec<String>,
+    /// Where to write the unsafe inventory.
+    pub unsafe_inventory: String,
+    /// Fingerprint coverage contracts.
+    pub contracts: Vec<FingerprintContract>,
+}
+
+impl Policy {
+    /// Parses a policy from TOML text.
+    pub fn parse(src: &str) -> Result<Policy, PolicyError> {
+        let raw = parse_toml(src)?;
+        let get = |table: &str, key: &str| -> Vec<String> {
+            raw.tables
+                .get(table)
+                .and_then(|t| t.get(key))
+                .map(|v| v.as_str_array())
+                .unwrap_or_default()
+        };
+        let get_str = |table: &str, key: &str, default: &str| -> String {
+            raw.tables
+                .get(table)
+                .and_then(|t| t.get(key))
+                .and_then(|v| v.as_str().map(str::to_string))
+                .unwrap_or_else(|| default.to_string())
+        };
+        let mut contracts = Vec::new();
+        for entry in raw
+            .table_arrays
+            .get("fingerprint.contract")
+            .into_iter()
+            .flatten()
+        {
+            let strukt = entry.get("struct").and_then(|v| v.as_str());
+            let function = entry.get("function").and_then(|v| v.as_str());
+            if let (Some(s), Some(f)) = (strukt, function) {
+                contracts.push(FingerprintContract {
+                    strukt: s.to_string(),
+                    function: f.to_string(),
+                });
+            }
+        }
+        // Without an explicit `[scan] roots`, fall back to the standard
+        // workspace layout rather than silently scanning nothing — an
+        // empty scan would make `--deny` pass vacuously.
+        let mut scan_roots = get("scan", "roots");
+        if scan_roots.is_empty() {
+            scan_roots = ["crates", "src", "tests", "examples"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        }
+        Ok(Policy {
+            scan_roots,
+            scan_exclude: get("scan", "exclude"),
+            pinned: get("determinism", "pinned"),
+            allow_clock_in: get("determinism", "allow_clock_in"),
+            no_alloc_fns: get("no_alloc", "functions"),
+            lock_roots: get("lock_order", "roots"),
+            unsafe_allow: get("unsafe_audit", "allow_paths"),
+            unsafe_inventory: get_str("unsafe_audit", "inventory", "results/unsafe_audit.json"),
+            contracts,
+        })
+    }
+
+    /// `true` when `path` (workspace-relative, `/`-separated) is under
+    /// any of `prefixes`.
+    pub fn path_under(path: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| path == p || path.starts_with(p))
+    }
+}
+
+/// A flat TOML document: `tables["a.b"]["key"]` and
+/// `table_arrays["a.b"]` for `[[a.b]]` entries.
+#[derive(Debug, Default)]
+struct RawToml {
+    tables: BTreeMap<String, BTreeMap<String, Value>>,
+    table_arrays: BTreeMap<String, Vec<BTreeMap<String, Value>>>,
+}
+
+fn parse_toml(src: &str) -> Result<RawToml, PolicyError> {
+    let mut doc = RawToml::default();
+    // Current insertion point: either a named table or the newest entry
+    // of an array-of-tables.
+    enum Cursor {
+        Table(String),
+        ArrayEntry(String),
+    }
+    let mut cursor = Cursor::Table(String::new());
+    let lines: Vec<&str> = src.lines().collect();
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let lineno = idx + 1;
+        let mut line = strip_comment(lines[idx]).trim().to_string();
+        idx += 1;
+        if line.is_empty() {
+            continue;
+        }
+        // Multi-line arrays: keep consuming lines until brackets
+        // balance (quotes respected via strip_comment's scanner).
+        while line.contains('=') && bracket_balance(&line) > 0 && idx < lines.len() {
+            line.push(' ');
+            line.push_str(strip_comment(lines[idx]).trim());
+            idx += 1;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let name = name.trim().to_string();
+            doc.table_arrays
+                .entry(name.clone())
+                .or_default()
+                .push(BTreeMap::new());
+            cursor = Cursor::ArrayEntry(name);
+        } else if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            doc.tables.entry(name.clone()).or_default();
+            cursor = Cursor::Table(name);
+        } else if let Some((key, rest)) = line.split_once('=') {
+            let key = key.trim().to_string();
+            let value = parse_value(rest.trim(), lineno)?;
+            match &cursor {
+                Cursor::Table(t) => {
+                    doc.tables.entry(t.clone()).or_default().insert(key, value);
+                }
+                Cursor::ArrayEntry(t) => {
+                    doc.table_arrays
+                        .get_mut(t)
+                        .and_then(|v| v.last_mut())
+                        .ok_or_else(|| PolicyError {
+                            line: lineno,
+                            msg: "array-of-tables entry vanished".to_string(),
+                        })?
+                        .insert(key, value);
+                }
+            }
+        } else {
+            return Err(PolicyError {
+                line: lineno,
+                msg: format!("unrecognized line: {line}"),
+            });
+        }
+    }
+    Ok(doc)
+}
+
+/// Net `[` minus `]` count outside quoted strings.
+fn bracket_balance(line: &str) -> i32 {
+    let mut bal = 0i32;
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for c in line.chars() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '[' if !in_str => bal += 1,
+            ']' if !in_str => bal -= 1,
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    bal
+}
+
+/// Removes a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Value, PolicyError> {
+    let err = |msg: String| PolicyError { line, msg };
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| err("unterminated array".to_string()))?;
+        let mut items = Vec::new();
+        for part in split_array(inner) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part, line)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(inner) = s.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| err("unterminated string".to_string()))?;
+        return Ok(Value::Str(unescape(inner)));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    s.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(format!("unsupported value: {s}")))
+}
+
+/// Splits an array body on commas outside quotes.
+fn split_array(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for c in s.chars() {
+        match c {
+            '"' if !prev_backslash => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_policy_shape() {
+        let src = r#"
+# workspace policy
+[scan]
+roots = ["crates", "src"]
+exclude = ["crates/analyze/tests/fixtures"] # fixture corpus
+
+[determinism]
+pinned = ["crates/tensor/src/matrix.rs"]
+allow_clock_in = ["GramEngine::run"]
+
+[no_alloc]
+functions = ["Mps::inner_into", "compute_tile"]
+
+[lock_order]
+roots = ["crates/serve/src"]
+
+[unsafe_audit]
+allow_paths = ["crates/tensor/"]
+inventory = "results/unsafe_audit.json"
+
+[[fingerprint.contract]]
+struct = "JobSpec"
+function = "JobSpec::fingerprint"
+
+[[fingerprint.contract]]
+struct = "AnsatzConfig"
+function = "encoding_fingerprint"
+"#;
+        let p = Policy::parse(src).unwrap();
+        assert_eq!(p.scan_roots, ["crates", "src"]);
+        assert_eq!(p.pinned, ["crates/tensor/src/matrix.rs"]);
+        assert_eq!(p.no_alloc_fns, ["Mps::inner_into", "compute_tile"]);
+        assert_eq!(p.contracts.len(), 2);
+        assert_eq!(p.contracts[0].strukt, "JobSpec");
+        assert_eq!(p.contracts[1].function, "encoding_fingerprint");
+        assert_eq!(p.unsafe_inventory, "results/unsafe_audit.json");
+    }
+
+    #[test]
+    fn multiline_arrays_parse() {
+        let p = Policy::parse(
+            "[determinism]\npinned = [\n  \"a.rs\", # kernel\n  \"b.rs\",\n]\n[no_alloc]\nfunctions = [\"f\"]\n",
+        )
+        .unwrap();
+        assert_eq!(p.pinned, ["a.rs", "b.rs"]);
+        assert_eq!(p.no_alloc_fns, ["f"]);
+    }
+
+    #[test]
+    fn missing_scan_roots_default_to_workspace_layout() {
+        let p = Policy::parse("[determinism]\npinned = [\"src/kernel.rs\"]\n").unwrap();
+        assert_eq!(p.scan_roots, ["crates", "src", "tests", "examples"]);
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_number() {
+        let err = Policy::parse("[scan]\nroots oops").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn path_prefix_matching() {
+        let allow = vec!["crates/tensor/".to_string()];
+        assert!(Policy::path_under("crates/tensor/src/matrix.rs", &allow));
+        assert!(!Policy::path_under("crates/mps/src/mps.rs", &allow));
+    }
+}

@@ -1,0 +1,161 @@
+//! Findings, reports, and a tiny deterministic JSON writer.
+//!
+//! JSON emission is hand-rolled (the workspace has a no-new-deps rule)
+//! and deterministic: findings are sorted by (pass, path, line) and all
+//! maps used anywhere in the analyzer are `BTreeMap`s — the linter holds
+//! itself to the determinism contract it enforces.
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Pass that produced this finding (`determinism`, `no_alloc`,
+    /// `unsafe_audit`, `lock_order`, `fingerprint_coverage`).
+    pub pass: String,
+    /// Workspace-relative file path (`/`-separated).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Function context, when known.
+    pub function: String,
+    /// What went wrong and why it matters.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding; `function` may be empty for file-level issues.
+    pub fn new(
+        pass: &str,
+        path: impl Into<String>,
+        line: u32,
+        function: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            pass: pass.to_string(),
+            path: path.into(),
+            line,
+            function: function.into(),
+            message: message.into(),
+        }
+    }
+
+    /// `path:line [pass] (fn) message` — the human-facing form.
+    pub fn render(&self) -> String {
+        let ctx = if self.function.is_empty() {
+            String::new()
+        } else {
+            format!(" in `{}`", self.function)
+        };
+        format!(
+            "{}:{} [{}]{}: {}",
+            self.path, self.line, self.pass, ctx, self.message
+        )
+    }
+}
+
+/// Escapes a string for JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders sorted findings as a deterministic JSON report.
+pub fn findings_json(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort();
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in sorted.iter().enumerate() {
+        let sep = if i + 1 == sorted.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"pass\": \"{}\", \"path\": \"{}\", \"line\": {}, \"function\": \"{}\", \"message\": \"{}\"}}{}",
+            json_escape(&f.pass),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.function),
+            json_escape(&f.message),
+            sep
+        );
+    }
+    let _ = write!(out, "  ],\n  \"total\": {}\n}}\n", sorted.len());
+    out
+}
+
+/// One entry of the unsafe inventory.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct UnsafeEntry {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// `"block"`, `"fn"`, or `"impl"`.
+    pub kind: String,
+    /// Enclosing function, when known.
+    pub function: String,
+    /// The `// SAFETY:` justification text (sigils stripped), or empty
+    /// when missing.
+    pub justification: String,
+}
+
+/// Renders the unsafe inventory (`results/unsafe_audit.json`),
+/// deterministic and diffable PR-over-PR.
+pub fn unsafe_inventory_json(entries: &[UnsafeEntry]) -> String {
+    let mut sorted: Vec<&UnsafeEntry> = entries.iter().collect();
+    sorted.sort();
+    let mut out = String::from("{\n  \"unsafe_sites\": [\n");
+    for (i, e) in sorted.iter().enumerate() {
+        let sep = if i + 1 == sorted.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"path\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"function\": \"{}\", \"justification\": \"{}\"}}{}",
+            json_escape(&e.path),
+            e.line,
+            json_escape(&e.kind),
+            json_escape(&e.function),
+            json_escape(&e.justification),
+            sep
+        );
+    }
+    let _ = write!(out, "  ],\n  \"total\": {}\n}}\n", sorted.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_json_is_sorted_and_escaped() {
+        let findings = vec![
+            Finding::new("no_alloc", "b.rs", 9, "g", "second"),
+            Finding::new("no_alloc", "a.rs", 3, "f", "uses \"vec!\""),
+        ];
+        let json = findings_json(&findings);
+        let a = json.find("a.rs").unwrap();
+        let b = json.find("b.rs").unwrap();
+        assert!(a < b, "findings must sort by path");
+        assert!(json.contains("\\\"vec!\\\""));
+        assert!(json.contains("\"total\": 2"));
+    }
+
+    #[test]
+    fn empty_reports_are_valid() {
+        assert!(findings_json(&[]).contains("\"total\": 0"));
+        assert!(unsafe_inventory_json(&[]).contains("\"total\": 0"));
+    }
+}

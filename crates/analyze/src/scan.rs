@@ -1,0 +1,555 @@
+//! Lightweight item scanner: turns a token stream into a per-file model
+//! of functions (with impl context and body spans), structs (with named
+//! fields), `unsafe` sites, and `#[cfg(test)]` regions.
+//!
+//! This is not a full parser — it is a brace-matching walk that
+//! recognizes exactly the item shapes the lint passes need. Anything it
+//! does not recognize is simply not modeled, which for a linter is the
+//! safe direction: passes only fire on constructs the scanner has
+//! positively identified.
+
+use crate::lexer::{lex, Comment, Tok, Token};
+use std::path::PathBuf;
+
+/// Whether an `unsafe` keyword introduced a block or a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { ... }`
+    Block,
+    /// `unsafe fn ...`
+    Fn,
+    /// `unsafe impl ...` / `unsafe trait ...`
+    ImplOrTrait,
+}
+
+/// One `unsafe` occurrence.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Token index of the `unsafe` keyword.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// Block, fn, or impl/trait.
+    pub kind: UnsafeKind,
+}
+
+/// One function item (free or associated).
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type name, when inside an impl block.
+    pub qual: Option<String>,
+    /// `true` for `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Token range (inclusive, exclusive) of the parameter list,
+    /// excluding the parentheses.
+    pub params: (usize, usize),
+    /// Token range of the body, excluding the braces. `None` for
+    /// trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+}
+
+impl FnInfo {
+    /// `Type::name` when associated, else the bare name.
+    pub fn qualified(&self) -> String {
+        match &self.qual {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// `true` when `pat` names this function: either the bare name or
+    /// the `Type::name` form.
+    pub fn matches(&self, pat: &str) -> bool {
+        match pat.split_once("::") {
+            Some((ty, f)) => self.qual.as_deref() == Some(ty) && self.name == f,
+            None => self.name == pat,
+        }
+    }
+}
+
+/// One struct with named fields (tuple structs are not modeled).
+#[derive(Debug, Clone)]
+pub struct StructInfo {
+    /// Struct name.
+    pub name: String,
+    /// Named field identifiers, in declaration order.
+    pub fields: Vec<String>,
+    /// Line of the `struct` keyword.
+    pub line: u32,
+}
+
+/// The scanned model of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Comments (for `// SAFETY:` detection).
+    pub comments: Vec<Comment>,
+    /// Functions, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Structs with named fields.
+    pub structs: Vec<StructInfo>,
+    /// `unsafe` sites.
+    pub unsafes: Vec<UnsafeSite>,
+    /// Token ranges belonging to `#[cfg(test)]` modules.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl FileModel {
+    /// Scans `src` into a model. `path` is kept verbatim for reporting.
+    pub fn scan(path: PathBuf, src: &str) -> Self {
+        let (tokens, comments) = lex(src);
+        let mut model = FileModel {
+            path,
+            tokens,
+            comments,
+            fns: Vec::new(),
+            structs: Vec::new(),
+            unsafes: Vec::new(),
+            test_regions: Vec::new(),
+        };
+        model.walk();
+        model
+    }
+
+    /// `true` when token index `i` lies inside a `#[cfg(test)]` module.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(lo, hi)| lo <= i && i < hi)
+    }
+
+    /// The innermost function whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(lo, hi)| lo <= i && i < hi))
+            .min_by_key(|f| {
+                let (lo, hi) = f.body.unwrap();
+                hi - lo
+            })
+    }
+
+    /// Index of the matching close delimiter for the open delimiter at
+    /// `open` (which must be `{`, `(` or `[`). Returns `tokens.len()`
+    /// when unbalanced.
+    pub fn matching(&self, open: usize) -> usize {
+        let (o, c) = match self.tokens[open].tok {
+            Tok::P('{') => ('{', '}'),
+            Tok::P('(') => ('(', ')'),
+            Tok::P('[') => ('[', ']'),
+            _ => return open,
+        };
+        let mut depth = 0usize;
+        for (j, t) in self.tokens.iter().enumerate().skip(open) {
+            if t.is_p(o) {
+                depth += 1;
+            } else if t.is_p(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        self.tokens.len()
+    }
+
+    /// Main walk: builds fns, structs, unsafe sites, impl context and
+    /// test regions in one pass over the token stream.
+    fn walk(&mut self) {
+        // Impl context as a stack of (type name, close-brace index).
+        let mut impls: Vec<(String, usize)> = Vec::new();
+        let toks = &self.tokens;
+        let n = toks.len();
+        let mut fns = Vec::new();
+        let mut structs = Vec::new();
+        let mut unsafes = Vec::new();
+        let mut tests = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            while let Some(&(_, close)) = impls.last() {
+                if i > close {
+                    impls.pop();
+                } else {
+                    break;
+                }
+            }
+            let t = &toks[i];
+            match &t.tok {
+                // `#[cfg(test)]` followed by `mod name {` — record the
+                // whole module body as a test region.
+                Tok::P('#') if self.is_cfg_test_attr(i) => {
+                    let after = self.matching(i + 1) + 1; // past `]`
+                    let mut j = after;
+                    // Skip further attributes and modifiers up to `mod`.
+                    while j < n && !toks[j].is_ident("mod") && j < after + 16 {
+                        j += 1;
+                    }
+                    if j < n && toks[j].is_ident("mod") {
+                        let mut k = j + 1;
+                        while k < n && !toks[k].is_p('{') && !toks[k].is_p(';') {
+                            k += 1;
+                        }
+                        if k < n && toks[k].is_p('{') {
+                            tests.push((k + 1, self.matching(k)));
+                            i = self.matching(k) + 1;
+                            continue;
+                        }
+                    }
+                    i = after;
+                }
+                Tok::Ident(id) if id == "unsafe" => {
+                    let kind = match toks.get(i + 1).map(|t| &t.tok) {
+                        Some(Tok::P('{')) => UnsafeKind::Block,
+                        Some(Tok::Ident(k)) if k == "fn" => UnsafeKind::Fn,
+                        Some(Tok::Ident(k)) if k == "impl" || k == "trait" => {
+                            UnsafeKind::ImplOrTrait
+                        }
+                        // `unsafe extern "C" fn`, `unsafe async fn`, ...
+                        Some(Tok::Ident(_)) => UnsafeKind::Fn,
+                        _ => UnsafeKind::Block,
+                    };
+                    unsafes.push(UnsafeSite {
+                        tok: i,
+                        line: t.line,
+                        kind,
+                    });
+                    i += 1;
+                }
+                Tok::Ident(id) if id == "impl" => {
+                    if let Some((name, open)) = self.impl_header(i) {
+                        impls.push((name, self.matching(open)));
+                        i = open + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Tok::Ident(id) if id == "fn" => {
+                    if let Some(f) = self.fn_item(i, impls.last().map(|(s, _)| s.clone())) {
+                        let next = f.body.map(|(_, hi)| hi).unwrap_or(f.params.1) + 1;
+                        // Recurse into the body for nested items by NOT
+                        // skipping it: only the signature is consumed.
+                        let resume = f.params.1 + 1;
+                        fns.push(f);
+                        i = resume.max(i + 1).min(next);
+                    } else {
+                        i += 1;
+                    }
+                }
+                Tok::Ident(id) if id == "struct" => {
+                    if let Some((s, next)) = self.struct_item(i) {
+                        structs.push(s);
+                        i = next;
+                    } else {
+                        i += 1;
+                    }
+                }
+                // `mod tests {` without the attribute on rare layouts
+                // like `#[cfg(test)]\nmod tests` is handled above; a
+                // plain `mod tests {` is treated as test code too.
+                Tok::Ident(id) if id == "mod" => {
+                    if toks.get(i + 1).and_then(|t| t.ident()) == Some("tests")
+                        && toks.get(i + 2).is_some_and(|t| t.is_p('{'))
+                    {
+                        tests.push((i + 3, self.matching(i + 2)));
+                        i = self.matching(i + 2) + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        self.fns = fns;
+        self.structs = structs;
+        self.unsafes = unsafes;
+        self.test_regions = tests;
+    }
+
+    /// `true` when token `i` is the `#` of `#[cfg(test)]` (possibly with
+    /// extra arms like `#[cfg(all(test, ...))]`).
+    fn is_cfg_test_attr(&self, i: usize) -> bool {
+        let toks = &self.tokens;
+        if !toks.get(i + 1).is_some_and(|t| t.is_p('[')) {
+            return false;
+        }
+        let close = self.matching(i + 1);
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        for t in &toks[i + 2..close.min(toks.len())] {
+            match t.ident() {
+                Some("cfg") => saw_cfg = true,
+                Some("test") => saw_test = true,
+                _ => {}
+            }
+        }
+        saw_cfg && saw_test
+    }
+
+    /// Parses an `impl` header starting at the `impl` keyword; returns
+    /// the implemented type's name and the index of the opening brace.
+    fn impl_header(&self, i: usize) -> Option<(String, usize)> {
+        let toks = &self.tokens;
+        let n = toks.len();
+        let mut j = i + 1;
+        let mut after_for: Option<String> = None;
+        let mut last_ident: Option<String> = None;
+        let mut angle = 0i32;
+        while j < n {
+            let t = &toks[j];
+            if t.is_p('{') && angle == 0 {
+                return Some((after_for.or(last_ident)?, j));
+            }
+            if t.is_p(';') {
+                return None;
+            }
+            if t.is_p('<') {
+                angle += 1;
+            } else if t.is_p('>') && !(j > 0 && toks[j - 1].is_p('-')) {
+                angle -= 1;
+            } else if angle == 0 {
+                if let Some(id) = t.ident() {
+                    match id {
+                        "for" => last_ident = None,
+                        "where" => {
+                            // Type name is settled; scan on for `{`.
+                        }
+                        _ => {
+                            if toks.get(j.wrapping_sub(0)).is_some() {
+                                last_ident = Some(id.to_string());
+                                if toks[..j]
+                                    .iter()
+                                    .rev()
+                                    .find(|p| matches!(p.tok, Tok::Ident(_)))
+                                    .is_some_and(|p| p.is_ident("for"))
+                                {
+                                    after_for = Some(id.to_string());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Parses a `fn` item starting at the `fn` keyword.
+    fn fn_item(&self, i: usize, qual: Option<String>) -> Option<FnInfo> {
+        let toks = &self.tokens;
+        let n = toks.len();
+        let name = toks.get(i + 1)?.ident()?.to_string();
+        // `unsafe` within the few modifier tokens before `fn`, stopping
+        // at item boundaries.
+        let mut is_unsafe = false;
+        for t in toks[i.saturating_sub(6)..i].iter().rev() {
+            if t.is_p(';') || t.is_p('{') || t.is_p('}') {
+                break;
+            }
+            if t.is_ident("unsafe") {
+                is_unsafe = true;
+            }
+        }
+        // Skip generics between the name and the parameter list.
+        let mut j = i + 2;
+        if toks.get(j).is_some_and(|t| t.is_p('<')) {
+            let mut angle = 1i32;
+            j += 1;
+            while j < n && angle > 0 {
+                if toks[j].is_p('<') {
+                    angle += 1;
+                } else if toks[j].is_p('>') && !toks[j - 1].is_p('-') {
+                    angle -= 1;
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.is_p('(')) {
+            return None;
+        }
+        let params_close = self.matching(j);
+        let params = (j + 1, params_close);
+        // Find the body `{` or a `;` at top nesting after the params.
+        let mut k = params_close + 1;
+        let mut depth = 0i32;
+        let body = loop {
+            if k >= n {
+                break None;
+            }
+            let t = &toks[k];
+            if depth == 0 && t.is_p('{') {
+                break Some((k + 1, self.matching(k)));
+            }
+            if depth == 0 && t.is_p(';') {
+                break None;
+            }
+            match t.tok {
+                Tok::P('(') | Tok::P('[') => depth += 1,
+                Tok::P(')') | Tok::P(']') => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        };
+        Some(FnInfo {
+            name,
+            qual,
+            is_unsafe,
+            params,
+            body,
+            line: toks[i].line,
+        })
+    }
+
+    /// Parses a `struct` item with named fields; returns the struct and
+    /// the token index to resume scanning at.
+    fn struct_item(&self, i: usize) -> Option<(StructInfo, usize)> {
+        let toks = &self.tokens;
+        let n = toks.len();
+        let name = toks.get(i + 1)?.ident()?.to_string();
+        let line = toks[i].line;
+        // Find `{` (named fields), `(` (tuple struct: skip), or `;`.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        loop {
+            if j >= n {
+                return None;
+            }
+            let t = &toks[j];
+            if t.is_p('<') {
+                angle += 1;
+            } else if t.is_p('>') && !toks[j - 1].is_p('-') {
+                angle -= 1;
+            } else if angle == 0 {
+                if t.is_p('{') {
+                    break;
+                }
+                if t.is_p('(') || t.is_p(';') {
+                    // Tuple struct or unit struct: not modeled.
+                    return None;
+                }
+            }
+            j += 1;
+        }
+        let open = j;
+        let close = self.matching(open);
+        let mut fields = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            // Skip attributes on the field.
+            while k < close && toks[k].is_p('#') {
+                k = self.matching(k + 1) + 1;
+            }
+            // Skip visibility.
+            if toks.get(k).is_some_and(|t| t.is_ident("pub")) {
+                k += 1;
+                if toks.get(k).is_some_and(|t| t.is_p('(')) {
+                    k = self.matching(k) + 1;
+                }
+            }
+            // `ident :` is a field.
+            let is_field = toks.get(k).and_then(|t| t.ident()).is_some()
+                && toks.get(k + 1).is_some_and(|t| t.is_p(':'));
+            if is_field {
+                fields.push(toks[k].ident().unwrap().to_string());
+                // Skip the type up to the next `,` at delimiter depth 0.
+                let mut d = 0i32;
+                k += 2;
+                while k < close {
+                    let t = &toks[k];
+                    match t.tok {
+                        Tok::P('(') | Tok::P('[') | Tok::P('{') => d += 1,
+                        Tok::P(')') | Tok::P(']') | Tok::P('}') => d -= 1,
+                        Tok::P('<') => d += 1,
+                        Tok::P('>') if !toks[k - 1].is_p('-') => {
+                            d -= 1;
+                        }
+                        Tok::P(',') if d == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            } else {
+                k += 1;
+            }
+        }
+        Some((StructInfo { name, fields, line }, close + 1))
+    }
+}
+
+#[cfg(test)]
+mod scan_tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::scan(PathBuf::from("test.rs"), src)
+    }
+
+    #[test]
+    fn finds_fns_with_impl_context() {
+        let m = model(
+            "impl Foo { pub fn a(&self) -> u32 { 1 } }\n\
+             impl Display for Bar { fn fmt(&self, f: &mut F) -> R { x } }\n\
+             fn free(x: usize) {}",
+        );
+        let names: Vec<String> = m.fns.iter().map(FnInfo::qualified).collect();
+        assert_eq!(names, ["Foo::a", "Bar::fmt", "free"]);
+        assert!(m.fns[0].matches("Foo::a"));
+        assert!(m.fns[0].matches("a"));
+        assert!(!m.fns[0].matches("Bar::a"));
+    }
+
+    #[test]
+    fn finds_struct_fields_with_generic_types() {
+        let m = model(
+            "pub struct S { pub a: u64, b: Option<(usize, Vec<M>)>, #[attr] c: f64 }\n\
+             struct Tuple(u8, u8);",
+        );
+        assert_eq!(m.structs.len(), 1);
+        assert_eq!(m.structs[0].fields, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn unsafe_sites_and_kinds() {
+        let m = model("unsafe fn f() { } fn g() { unsafe { h() } }");
+        assert_eq!(m.unsafes.len(), 2);
+        assert_eq!(m.unsafes[0].kind, UnsafeKind::Fn);
+        assert_eq!(m.unsafes[1].kind, UnsafeKind::Block);
+        assert!(m.fns[0].is_unsafe);
+        assert!(!m.fns[1].is_unsafe);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_excluded() {
+        let m = model("fn live() {}\n#[cfg(test)]\nmod tests { fn t() { bad() } }");
+        let bad = m.tokens.iter().position(|t| t.is_ident("bad")).unwrap();
+        assert!(m.in_test(bad));
+        let live = m.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!m.in_test(live));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let m = model("fn outer() { let x = 1; fn inner() { marker(); } }");
+        let mk = m.tokens.iter().position(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(m.enclosing_fn(mk).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn fn_with_where_clause_and_generics() {
+        let m = model(
+            "pub fn run<T, F>(n: usize, body: F) -> Vec<T> where T: Send, F: Fn(&mut P) -> T + Sync { go() }",
+        );
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "run");
+        let (lo, hi) = m.fns[0].body.unwrap();
+        assert!(m.tokens[lo..hi].iter().any(|t| t.is_ident("go")));
+    }
+}

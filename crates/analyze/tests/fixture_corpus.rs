@@ -1,0 +1,169 @@
+//! Fixture corpus: one passing and one violating case per lint pass
+//! (under `tests/fixtures/`, excluded from the workspace scan), plus
+//! the live-workspace gate: the real tree must be violation-free.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qk_analyze::passes;
+use qk_analyze::policy::Policy;
+use qk_analyze::report::Finding;
+use qk_analyze::scan::FileModel;
+
+/// Loads a fixture under a virtual workspace-relative path so the
+/// policy's path rules apply to it.
+fn fixture(name: &str, virtual_path: &str) -> FileModel {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    FileModel::scan(PathBuf::from(virtual_path), &src)
+}
+
+fn assert_all_pass(findings: &[Finding], pass: &str) {
+    for f in findings {
+        assert_eq!(f.pass, pass, "unexpected pass in finding: {f:?}");
+    }
+}
+
+#[test]
+fn determinism_fixtures() {
+    let policy = Policy::parse(
+        "[determinism]\npinned = [\"pinned.rs\"]\nallow_clock_in = [\"timed_run\"]\n",
+    )
+    .unwrap();
+    let ok = fixture("determinism_ok.rs", "pinned.rs");
+    assert!(
+        passes::determinism::run(&[ok], &policy).is_empty(),
+        "passing determinism fixture must be clean"
+    );
+    let bad = fixture("determinism_bad.rs", "pinned.rs");
+    let findings = passes::determinism::run(&[bad], &policy);
+    assert_all_pass(&findings, "determinism");
+    // One per construct: `.mul_add` on f64, `f64::mul_add`, the HashMap
+    // type (twice: use + field), and the clock read.
+    assert!(findings.len() >= 4, "got {findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("mul_add")));
+    assert!(findings.iter().any(|f| f.message.contains("HashMap")));
+    assert!(findings
+        .iter()
+        .any(|f| f.function == "Kernel::salted_digest"));
+}
+
+#[test]
+fn no_alloc_fixtures() {
+    let policy = Policy::parse("[no_alloc]\nfunctions = [\"compute_tile\"]\n").unwrap();
+    let ok = fixture("no_alloc_ok.rs", "hot.rs");
+    assert!(
+        passes::no_alloc::run(&[ok], &policy).is_empty(),
+        "passing no-alloc fixture must be clean (orchestration `run` may allocate)"
+    );
+    let bad = fixture("no_alloc_bad.rs", "hot.rs");
+    let findings = passes::no_alloc::run(&[bad], &policy);
+    assert_all_pass(&findings, "no_alloc");
+    // vec!, to_vec, clone, Box::new, collect.
+    assert_eq!(findings.len(), 5, "got {findings:?}");
+    assert!(findings.iter().all(|f| f.function == "compute_tile"));
+}
+
+#[test]
+fn unsafe_audit_fixtures() {
+    let policy = Policy::parse("[unsafe_audit]\nallow_paths = [\"crates/tensor/\"]\n").unwrap();
+    let ok = fixture("unsafe_ok.rs", "crates/tensor/src/kernel.rs");
+    let (findings, inventory) = passes::unsafe_audit::run(&[ok], &policy);
+    assert!(findings.is_empty(), "got {findings:?}");
+    assert_eq!(inventory.len(), 2);
+    assert!(inventory.iter().all(|e| !e.justification.is_empty()));
+
+    let bad = fixture("unsafe_bad.rs", "crates/tensor/src/kernel.rs");
+    let (findings, inventory) = passes::unsafe_audit::run(&[bad], &policy);
+    assert_eq!(findings.len(), 1, "got {findings:?}");
+    assert!(findings[0].message.contains("SAFETY"));
+    assert!(inventory[0].justification.is_empty());
+
+    // The same justified fixture outside the allowlist still fails.
+    let misplaced = fixture("unsafe_ok.rs", "crates/mps/src/kernel.rs");
+    let (findings, _) = passes::unsafe_audit::run(&[misplaced], &policy);
+    assert_eq!(findings.len(), 2, "both sites flagged: {findings:?}");
+    assert!(findings.iter().all(|f| f.message.contains("allowlisted")));
+}
+
+#[test]
+fn lock_order_fixtures() {
+    let policy = Policy::parse("[lock_order]\nroots = [\"crates/serve/src\"]\n").unwrap();
+    let ok = fixture("lock_order_ok.rs", "crates/serve/src/server.rs");
+    assert!(
+        passes::lock_order::run(&[ok], &policy).is_empty(),
+        "passing lock-order fixture must be clean"
+    );
+    let bad = fixture("lock_order_bad.rs", "crates/serve/src/server.rs");
+    let findings = passes::lock_order::run(&[bad], &policy);
+    assert_all_pass(&findings, "lock_order");
+    assert!(
+        findings.iter().any(|f| f.message.contains("cycle")),
+        "inverted order must report a cycle: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("send") && f.function == "Server::reply"),
+        "send-under-guard must be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn fingerprint_fixtures() {
+    let policy = Policy::parse(
+        "[[fingerprint.contract]]\nstruct = \"JobSpec\"\nfunction = \"JobSpec::fingerprint\"\n",
+    )
+    .unwrap();
+    let ok = fixture("fingerprint_ok.rs", "crates/gram/src/fingerprint.rs");
+    assert!(
+        passes::fingerprint_cov::run(&[ok], &policy).is_empty(),
+        "fully-hashed fixture must be clean"
+    );
+    let bad = fixture("fingerprint_bad.rs", "crates/gram/src/fingerprint.rs");
+    let findings = passes::fingerprint_cov::run(&[bad], &policy);
+    assert_eq!(findings.len(), 1, "got {findings:?}");
+    assert!(findings[0].message.contains("JobSpec.seed"));
+}
+
+/// The gate behind `--deny` in CI: the live workspace, under the
+/// checked-in `analyze.toml`, has zero findings — and the unsafe
+/// surface is pinned to exactly the two qk-tensor AVX sites.
+#[test]
+fn live_workspace_is_violation_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let (analysis, policy) =
+        qk_analyze::analyze_root(&root, &root.join("analyze.toml")).expect("analyze workspace");
+    assert!(
+        analysis.findings.is_empty(),
+        "live workspace must be violation-free:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        analysis.files_scanned > 100,
+        "scan should cover the whole workspace, saw {}",
+        analysis.files_scanned
+    );
+    assert_eq!(
+        analysis.unsafe_inventory.len(),
+        2,
+        "unsafe surface is pinned to the AVX micro-kernel: {:?}",
+        analysis.unsafe_inventory
+    );
+    assert!(analysis
+        .unsafe_inventory
+        .iter()
+        .all(|e| e.path.starts_with("crates/tensor/") && !e.justification.is_empty()));
+    assert_eq!(policy.contracts.len(), 3, "three fingerprint contracts");
+}

@@ -1,0 +1,37 @@
+//! Violating fixture for the determinism pass: one of each forbidden
+//! construct inside a pinned module.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Kernel {
+    weights: HashMap<u64, f64>,
+}
+
+impl Kernel {
+    /// FMA on an `f64` receiver: single rounding, bitwise-divergent
+    /// from the non-fused reference.
+    pub fn accumulate(&self, acc: f64, a: f64, x: f64) -> f64 {
+        acc.mul_add(a, x)
+    }
+
+    /// Fully-qualified form of the same bug.
+    pub fn accumulate_qualified(a: f64, b: f64, c: f64) -> f64 {
+        f64::mul_add(a, b, c)
+    }
+
+    /// Hash-order leak into a digest: per-process random iteration.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for (k, v) in &self.weights {
+            h = (h ^ k).wrapping_mul(0x100000001b3);
+            h = (h ^ v.to_bits()).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Wall-clock read in a value-producing path, not allowlisted.
+    pub fn salted_digest(&self) -> u64 {
+        self.digest() ^ Instant::now().elapsed().as_nanos() as u64
+    }
+}

@@ -1,0 +1,43 @@
+//! Passing fixture for the determinism pass: a pinned kernel that keeps
+//! every rounding separate, uses ordered containers, and only touches
+//! the clock from an allowlisted reporting function.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub struct Kernel {
+    weights: BTreeMap<u64, f64>,
+}
+
+impl Kernel {
+    /// Non-fused complex multiply-accumulate: the `mul_add` receiver is
+    /// a project `Complex64`, not an `f64`, so it expands to separate
+    /// mul and add roundings and is allowed.
+    pub fn accumulate(&self, acc: Complex64, a: Complex64, b: Complex64) -> Complex64 {
+        let fused_free = acc.mul_add(a, b);
+        fused_free.conj_mul_add(a, b)
+    }
+
+    /// Plain separate mul/add on floats is always fine.
+    pub fn axpy(&self, y: f64, a: f64, x: f64) -> f64 {
+        y + a * x
+    }
+
+    /// Ordered iteration feeding a digest: deterministic.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for (k, v) in &self.weights {
+            h = (h ^ k).wrapping_mul(0x100000001b3);
+            h = (h ^ v.to_bits()).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+/// Allowlisted in the fixture policy: the clock feeds a report field,
+/// never a computed value.
+pub fn timed_run(kernel: &Kernel) -> (u64, f64) {
+    let start = Instant::now();
+    let digest = kernel.digest();
+    (digest, start.elapsed().as_secs_f64())
+}

@@ -1,0 +1,26 @@
+//! Violating fixture for the fingerprint-coverage pass: a new `seed`
+//! knob was added to the job struct but never hashed — a resumed run
+//! would silently mix tiles computed under different seeds.
+
+pub struct JobSpec {
+    pub encoding: u64,
+    pub rows: usize,
+    pub cols: usize,
+    pub tile: usize,
+    pub seed: u64,
+}
+
+impl JobSpec {
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for v in [
+            self.encoding,
+            self.rows as u64,
+            self.cols as u64,
+            self.tile as u64,
+        ] {
+            h = (h ^ v).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}

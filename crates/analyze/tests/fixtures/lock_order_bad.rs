@@ -1,0 +1,23 @@
+//! Violating fixture for the lock-order pass: `hit` takes `cache` then
+//! `stats`, `inverted` takes `stats` then `cache` (a deadlockable
+//! cycle), and `reply` blocks on a channel send while still holding the
+//! cache guard.
+
+impl Server {
+    pub fn hit(&self) {
+        let cache = self.cache.lock().unwrap();
+        let mut stats = self.stats.lock().unwrap();
+        stats.record(cache.len());
+    }
+
+    pub fn inverted(&self) {
+        let mut stats = self.stats.lock().unwrap();
+        let cache = self.cache.lock().unwrap();
+        stats.record(cache.len());
+    }
+
+    pub fn reply(&self, job: &Job) {
+        let cache = self.cache.lock().unwrap();
+        job.reply.send(cache.get(&job.key)).ok();
+    }
+}

@@ -1,0 +1,41 @@
+//! Passing fixture for the lock-order pass: two call paths that take
+//! `cache` then `stats` in the same global order, a guard scoped to end
+//! before a channel send, and a condvar wait (which releases its guard
+//! and is exempt).
+
+impl Server {
+    pub fn hit(&self) {
+        let cache = self.cache.lock().unwrap();
+        let mut stats = self.stats.lock().unwrap();
+        stats.record(cache.len());
+    }
+
+    pub fn warm(&self) {
+        let cache = self.cache.lock().unwrap();
+        {
+            let mut stats = self.stats.lock().unwrap();
+            stats.note_warm();
+        }
+        cache.prefetch();
+    }
+
+    pub fn reply(&self, job: &Job) {
+        let value = {
+            let cache = self.cache.lock().unwrap();
+            cache.get(&job.key)
+        };
+        job.reply.send(value).ok();
+    }
+}
+
+impl Mailbox {
+    pub fn take(&self) -> Envelope {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if let Some(env) = queue.pop() {
+                return env;
+            }
+            queue = self.arrived.wait(queue).unwrap();
+        }
+    }
+}

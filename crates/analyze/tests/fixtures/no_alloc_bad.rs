@@ -1,0 +1,17 @@
+//! Violating fixture for the no-alloc pass: the declared hot path
+//! allocates in five different ways.
+
+/// Declared in the fixture policy as no-alloc.
+pub fn compute_tile(rows: usize, cols: usize, states: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0f64; rows * cols];
+    let scratch: Vec<f64> = states.to_vec();
+    let copy = scratch.clone();
+    let boxed = Box::new(copy);
+    let doubled: Vec<f64> = boxed.iter().map(|x| x * 2.0).collect();
+    for r in 0..rows {
+        for c in 0..cols {
+            out[r * cols + c] = doubled[r] * doubled[c];
+        }
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! Passing fixture for the no-alloc pass: a declared hot-path function
+//! that writes through caller-provided buffers only.
+
+/// Declared in the fixture policy as no-alloc.
+pub fn compute_tile(rows: usize, cols: usize, states: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(out.len(), rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            out[r * cols + c] = states[r] * states[c];
+        }
+    }
+}
+
+/// Not declared no-alloc: orchestration may allocate freely.
+pub fn run(rows: usize, cols: usize, states: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0f64; rows * cols];
+    compute_tile(rows, cols, states, &mut out);
+    out
+}

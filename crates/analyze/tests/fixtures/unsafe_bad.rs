@@ -1,0 +1,7 @@
+//! Violating fixture for the unsafe-audit pass: an unjustified unsafe
+//! block (no `// SAFETY:` anywhere near it).
+
+pub fn dispatch(x: &[f64]) -> f64 {
+    // This comment is not a safety justification.
+    unsafe { *x.as_ptr() }
+}

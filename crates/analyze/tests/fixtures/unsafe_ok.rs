@@ -1,0 +1,24 @@
+//! Passing fixture for the unsafe-audit pass: justified sites inside an
+//! allowlisted path (the fixture policy allowlists this file's virtual
+//! path under `crates/tensor/`).
+
+pub fn dispatch(x: &[f64]) -> f64 {
+    if cfg!(target_arch = "x86_64") {
+        // SAFETY: feature support was verified by the dispatcher above.
+        unsafe { kernel(x.as_ptr(), x.len()) }
+    } else {
+        x.iter().sum()
+    }
+}
+
+/// # Safety
+/// `ptr` must point to `len` readable `f64`s.
+pub unsafe fn kernel(ptr: *const f64, len: usize) -> f64 {
+    // SAFETY: the caller guarantees `ptr..ptr+len` is readable; the
+    // loop never exceeds `len`.
+    let mut acc = 0.0;
+    for i in 0..len {
+        acc += *ptr.add(i);
+    }
+    acc
+}

@@ -6,7 +6,7 @@
 //! scale uses the manuscript's exact parameters (slow without cluster
 //! hardware); "default" reproduces each figure's *shape* at laptop scale;
 //! "ci" is a smoke test.
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::Serialize;

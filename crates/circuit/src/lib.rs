@@ -26,7 +26,7 @@
 //! // Routing adds the 2(k-1) SWAPs per long-range RXX the paper counts.
 //! assert!(routed.ops().len() >= circuit.ops().len());
 //! ```
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[cfg(test)]

@@ -25,7 +25,7 @@
 //! let result = run_quantum_experiment(&data, &config, &backend);
 //! assert!(result.best_test_auc() <= 1.0);
 //! ```
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod distributed;

@@ -23,7 +23,7 @@
 //! assert_eq!(split.test.features.len(), 8);
 //! assert!(split.train.features.iter().flatten().all(|&x| (0.0..=2.0).contains(&x)));
 //! ```
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csv;

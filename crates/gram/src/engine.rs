@@ -176,7 +176,10 @@ impl<'a, 'b> BandCache<'a, 'b> {
 /// which is what pins tiled output bitwise to the single-pass path. The
 /// worker's zipper workspace is reused across the whole tile, so the
 /// kernel's environment buffers are paid for once per band, not once per
-/// pair.
+/// pair. The caller owns the payload buffer (`rows * cols`, row-major):
+/// the per-tile allocation lives at the orchestration layer, keeping
+/// this function on the analyzer's no-alloc list alongside the zipper
+/// kernel it drives.
 fn compute_tile(
     tile: &Tile,
     kind: JobKind,
@@ -184,10 +187,11 @@ fn compute_tile(
     col_states: &[Mps],
     backend: &dyn ExecutionBackend,
     ws: &mut ZipperWorkspace,
-) -> Vec<f64> {
+    payload: &mut [f64],
+) {
     debug_assert_eq!(row_states.len(), tile.rows);
     debug_assert_eq!(col_states.len(), tile.cols);
-    let mut payload = vec![0.0f64; tile.rows * tile.cols];
+    debug_assert_eq!(payload.len(), tile.rows * tile.cols);
     let diagonal = kind == JobKind::Train && tile.bi == tile.bj;
     for r in 0..tile.rows {
         for c in 0..tile.cols {
@@ -212,7 +216,6 @@ fn compute_tile(
             payload[r * tile.cols + c] = v;
         }
     }
-    payload
 }
 
 /// Writes a completed tile payload into the dense row-major output,
@@ -491,14 +494,34 @@ impl GramEngine {
                             break;
                         }
                         let result = (|| -> Result<(Tile, Vec<f64>), GramError> {
-                            let payload = if kind == JobKind::Train && tile.bi == tile.bj {
+                            // The tile payload is allocated here, at the
+                            // orchestration layer, and handed down: the
+                            // compute path itself is allocation-free.
+                            let mut payload = vec![0.0f64; tile.rows * tile.cols];
+                            if kind == JobKind::Train && tile.bi == tile.bj {
                                 let row_band = row_cache.band(tile.bi)?;
-                                compute_tile(&tile, kind, row_band, row_band, backend, &mut ws)
+                                compute_tile(
+                                    &tile,
+                                    kind,
+                                    row_band,
+                                    row_band,
+                                    backend,
+                                    &mut ws,
+                                    &mut payload,
+                                );
                             } else {
                                 let col_band = col_cache.band(tile.bj)?;
                                 let row_band = row_cache.band(tile.bi)?;
-                                compute_tile(&tile, kind, row_band, col_band, backend, &mut ws)
-                            };
+                                compute_tile(
+                                    &tile,
+                                    kind,
+                                    row_band,
+                                    col_band,
+                                    backend,
+                                    &mut ws,
+                                    &mut payload,
+                                );
+                            }
                             if let Some(t) = cfg.throttle {
                                 std::thread::sleep(t);
                             }

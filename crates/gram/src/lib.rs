@@ -42,7 +42,7 @@
 //! assert_eq!(out.kernel.len(), 6);
 //! assert_eq!(out.report.inner_products, 15);
 //! ```
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;

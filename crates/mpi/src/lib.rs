@@ -21,7 +21,7 @@
 //! Sends are *buffered* (they never block), so the ring and tree
 //! communication patterns used by the kernel-distribution strategies are
 //! deadlock-free by construction.
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collectives;

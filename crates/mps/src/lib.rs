@@ -40,7 +40,7 @@
 //! let kernel_entry = a.overlap_sqr(&b); // |<psi(x)|psi(x')>|^2
 //! assert!((0.0..=1.0).contains(&kernel_entry));
 //! ```
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compress;

@@ -36,7 +36,7 @@
 //! println!("label {} (cache hit: {})", served.prediction.label, served.cache_hit);
 //! println!("{}", server.shutdown());
 //! ```
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -9,7 +9,7 @@
 //! Convention: qubit 0 is the *most significant* bit of the basis index,
 //! i.e. `|q0 q1 ... q_{m-1}>` maps to index `q0 * 2^{m-1} + ... + q_{m-1}`.
 //! This matches the left-to-right site order of the MPS.
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use qk_circuit::Circuit;

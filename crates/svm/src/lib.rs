@@ -26,7 +26,7 @@
 //! assert_eq!(model.predict(k.row(0)), 1.0);
 //! assert_eq!(model.predict(k.row(3)), -1.0);
 //! ```
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cv;

@@ -396,6 +396,13 @@ unsafe fn micro_tile_avx(
     acc_re: &mut [[f64; NR]; MR],
     acc_im: &mut [[f64; NR]; MR],
 ) {
+    // SAFETY: the caller verified AVX support at runtime (the only call
+    // site is behind `is_x86_feature_detected!("avx")`), so the
+    // `target_feature(enable = "avx")` intrinsics below are available.
+    // All pointer arithmetic stays in bounds: `p < kc`, `r < MR`, and
+    // the debug asserts pin `a_*`/`b_*` to exactly `kc * MR` / `kc * NR`
+    // elements, while loads/stores of `acc_*` rows read `NR == 4` lanes
+    // from `[f64; NR]` arrays.
     use std::arch::x86_64::*;
     const { assert!(NR == 4, "AVX tile assumes 4 f64 lanes") };
     let kc = a_re.len() / MR;

@@ -19,6 +19,7 @@
 //! 8. [`bench`] — figure/table reproduction harness;
 //! 9. [`tensor`] — the shared dense linear-algebra substrate;
 //! 10. [`mpi`] — the in-process MPI-shaped messaging shim.
+#![forbid(unsafe_code)]
 
 pub use qk_bench as bench;
 pub use qk_circuit as circuit;
