@@ -52,6 +52,55 @@ fn determinism_fixtures() {
 }
 
 #[test]
+fn obs_clock_fixtures() {
+    // Mirrors the live analyze.toml shape: the whole obs crate pinned by
+    // directory prefix, with only the audited entry points allowed to
+    // touch the clock.
+    let policy = Policy::parse(
+        "[determinism]\npinned = [\"crates/obs/src/\", \"crates/gram/src/engine.rs\"]\n\
+         allow_clock_in = [\"SpanGuard::enter\", \"Journal::open_bounded\"]\n",
+    )
+    .unwrap();
+
+    // The qk-obs idiom passes: ambient reads only in allowlisted
+    // functions, everything downstream works from stored instants.
+    let ok = fixture("obs_clock_ok.rs", "crates/obs/src/span.rs");
+    assert!(
+        passes::determinism::run(&[ok], &policy).is_empty(),
+        "allowlisted obs clock sites must be clean"
+    );
+
+    // The same allowlist does NOT grant instrumented kernel files the
+    // right to read clocks directly: a timing hack in the engine and a
+    // process-id salt in a helper are both still flagged.
+    let bad = fixture("obs_clock_bad.rs", "crates/gram/src/engine.rs");
+    let findings = passes::determinism::run(&[bad], &policy);
+    assert_all_pass(&findings, "determinism");
+    assert_eq!(findings.len(), 2, "got {findings:?}");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.function == "Tile::compute" && f.message.contains("Instant::now")),
+        "ambient clock read in a kernel fn must be flagged: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.function == "scratch_name" && f.message.contains("process::id")),
+        "process-id read outside the allowlist must be flagged: {findings:?}"
+    );
+
+    // Directory pinning means the same violations inside the obs crate
+    // itself are flagged too — the allowlist names functions, not files.
+    let bad_in_obs = fixture("obs_clock_bad.rs", "crates/obs/src/journal.rs");
+    assert_eq!(
+        passes::determinism::run(&[bad_in_obs], &policy).len(),
+        2,
+        "un-allowlisted clock reads inside crates/obs/ are not exempt"
+    );
+}
+
+#[test]
 fn no_alloc_fixtures() {
     let policy = Policy::parse("[no_alloc]\nfunctions = [\"compute_tile\"]\n").unwrap();
     let ok = fixture("no_alloc_ok.rs", "hot.rs");

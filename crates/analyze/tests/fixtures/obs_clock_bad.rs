@@ -1,0 +1,31 @@
+//! Violating fixture for the qk-obs clock policy: instrumentation that
+//! reads the clock directly inside pinned compute code instead of going
+//! through the allowlisted qk-obs entry points.
+
+use std::time::Instant;
+
+pub struct Tile {
+    values: Vec<f64>,
+}
+
+impl Tile {
+    /// A "quick timing hack" in the tile kernel: the ambient clock read
+    /// lives in an un-allowlisted function, so the determinism pass must
+    /// flag it even though the value only feeds a log line.
+    pub fn compute(&mut self, inputs: &[f64]) -> f64 {
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for (slot, v) in self.values.iter_mut().zip(inputs) {
+            *slot += v;
+            acc += *slot;
+        }
+        eprintln!("tile took {:?}", start.elapsed());
+        acc
+    }
+}
+
+/// Process-id salt in a helper: also an ambient read, also flagged when
+/// the function is not on the allowlist.
+pub fn scratch_name(seq: u64) -> String {
+    format!(".tmp.{}.{seq}", std::process::id())
+}

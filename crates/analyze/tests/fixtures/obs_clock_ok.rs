@@ -1,0 +1,49 @@
+//! Passing fixture for the qk-obs clock policy: clock and process-id
+//! reads confined to the allowlisted observability entry points, with
+//! every downstream consumer taking the captured value as an argument.
+
+use std::time::Instant;
+
+pub struct SpanGuard {
+    start: Instant,
+    path: String,
+}
+
+impl SpanGuard {
+    /// Allowlisted in the fixture policy: the span's start instant only
+    /// ever feeds a duration report, never a computed kernel value.
+    pub fn enter(path: &str) -> SpanGuard {
+        SpanGuard {
+            start: Instant::now(),
+            path: path.to_string(),
+        }
+    }
+
+    /// `.elapsed()` on a stored instant is reporting, not an ambient
+    /// read — fine anywhere.
+    pub fn close(self) -> (String, f64) {
+        (self.path, self.start.elapsed().as_secs_f64())
+    }
+}
+
+pub struct Journal {
+    epoch: Instant,
+    lines: Vec<String>,
+}
+
+impl Journal {
+    /// Allowlisted: the journal epoch stamps `t_us` fields that the
+    /// determinism comparator strips before diffing.
+    pub fn open_bounded(max_events: usize) -> Journal {
+        Journal {
+            epoch: Instant::now(),
+            lines: Vec::with_capacity(max_events),
+        }
+    }
+
+    /// Stamping against the stored epoch reads no ambient state.
+    pub fn event(&mut self, name: &str) {
+        let t_us = self.epoch.elapsed().as_micros() as u64;
+        self.lines.push(format!("{{\"t_us\":{t_us},\"event\":\"{name}\"}}"));
+    }
+}

@@ -17,7 +17,11 @@
 //!     [--scale ci|default|paper] [--n N] [--features M] \
 //!     [--tiles 8,16,32] [--workers 1,2,4] \
 //!     [--smoke] [--resume] [--checkpoint-dir DIR] [--out FILE] \
-//!     [--throttle-ms T] [--budget-kb B]
+//!     [--throttle-ms T] [--budget-kb B] [--obs-dir DIR]
+//!
+//! `--obs-dir DIR` (smoke mode) exports observability artifacts there:
+//! the engine's lifecycle journal (`gram_journal.jsonl`) and the
+//! unified `obs_gram.json` report with span rollups.
 
 use qk_bench::{sample_rows, write_results, Args, Scale};
 use qk_circuit::AnsatzConfig;
@@ -49,6 +53,9 @@ struct SmokeRecord {
     tiles_total: usize,
     tiles_computed: usize,
     tiles_restored: usize,
+    tiles_stolen: u64,
+    bands_spilled: u64,
+    bands_reloaded: u64,
     inner_products: usize,
     wall: Duration,
     spilled: bool,
@@ -108,6 +115,7 @@ fn smoke(args: &Args) {
         0 => None,
         kb => Some(kb * 1024),
     };
+    cfg.obs_dir = args.get("obs-dir").map(PathBuf::from);
     let engine = GramEngine::new(cfg);
     let out = match engine.compute_gram_owned(states, &be) {
         Ok(out) => out,
@@ -146,6 +154,9 @@ fn smoke(args: &Args) {
             tiles_total: r.tiles_total,
             tiles_computed: r.tiles_computed,
             tiles_restored: r.tiles_restored,
+            tiles_stolen: r.tiles_stolen,
+            bands_spilled: r.bands_spilled,
+            bands_reloaded: r.bands_reloaded,
             inner_products: r.inner_products,
             wall: r.wall_time,
             spilled: r.spilled,

@@ -11,7 +11,11 @@
 //! Usage:
 //!   cargo run --release -p qk-bench --bin serve_throughput -- \
 //!     [--scale ci|default|paper] [--smoke] [--requests N] \
-//!     [--features M] [--train N] [--pool P]
+//!     [--features M] [--train N] [--pool P] [--obs-dir DIR]
+//!
+//! `--obs-dir DIR` exports observability artifacts there: each cell's
+//! server appends lifecycle events to `serve_journal.jsonl` and the
+//! final shutdown leaves `obs_serve.json` with span rollups.
 
 use qk_bench::{sample_rows, write_results, Args, Scale};
 use qk_circuit::AnsatzConfig;
@@ -22,6 +26,7 @@ use qk_serve::{KernelServer, ServeConfig};
 use qk_svm::SmoParams;
 use qk_tensor::backend::CpuBackend;
 use serde::Serialize;
+use std::path::PathBuf;
 use std::time::Duration;
 
 #[derive(Serialize)]
@@ -61,6 +66,7 @@ fn main() {
     let train = args.get_or("train", train);
     let requests = args.get_or("requests", requests);
     let pool = args.get_or("pool", pool);
+    let obs_dir = args.get("obs-dir").map(PathBuf::from);
 
     // One trained model artifact, redeployed fresh per cell.
     let data = generate(&SyntheticConfig {
@@ -106,6 +112,7 @@ fn main() {
                     max_batch,
                     max_wait: Duration::from_millis(1),
                     queue_capacity: 4 * workers * max_batch.max(8),
+                    obs_dir: obs_dir.clone(),
                     ..ServeConfig::default()
                 },
             );

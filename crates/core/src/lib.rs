@@ -48,8 +48,8 @@ pub use extrapolate::{
     PrimitiveCosts, TrainingForecast,
 };
 pub use gram::{
-    flat_from_pair, gram_matrix, kernel_block, pair_from_flat, TimedBlock, TimedKernel,
-    TILED_THRESHOLD,
+    flat_from_pair, gram_matrix, gram_matrix_observed, kernel_block, kernel_block_observed,
+    pair_from_flat, TimedBlock, TimedKernel, TILED_THRESHOLD,
 };
 pub use inference::{InferenceTiming, ModelDecodeError, Prediction, QuantumKernelModel};
 pub use pipeline::{

@@ -130,6 +130,18 @@ impl Manifest {
     }
 }
 
+/// Outcome of a classified tile load ([`CheckpointStore::load_classified`]).
+#[derive(Debug)]
+pub enum TileLoad {
+    /// No tile file exists — the tile was never checkpointed.
+    Missing,
+    /// A tile file existed but failed validation (torn, corrupted or
+    /// from another job); it has been deleted and must be recomputed.
+    Corrupt,
+    /// The tile validated; its row-major payload.
+    Loaded(Vec<f64>),
+}
+
 /// A checkpoint directory opened for one job.
 #[derive(Debug)]
 pub struct CheckpointStore {
@@ -258,22 +270,33 @@ impl CheckpointStore {
     /// file is *also* `Ok(None)` after the stale file is deleted — the
     /// engine then recomputes the tile instead of loading it.
     pub fn load(&self, tile: &Tile) -> Result<Option<Vec<f64>>, CheckpointError> {
+        match self.load_classified(tile)? {
+            TileLoad::Loaded(values) => Ok(Some(values)),
+            TileLoad::Missing | TileLoad::Corrupt => Ok(None),
+        }
+    }
+
+    /// Like [`CheckpointStore::load`], but distinguishes a tile that was
+    /// never written from one that existed and failed validation (and
+    /// was quarantined-by-deletion) — the engine's event journal records
+    /// the two outcomes differently.
+    pub fn load_classified(&self, tile: &Tile) -> Result<TileLoad, CheckpointError> {
         let path = self.tile_path(tile.bi, tile.bj);
         let mut bytes = Vec::new();
         match fs::File::open(&path) {
             Ok(mut f) => {
                 f.read_to_end(&mut bytes)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(TileLoad::Missing),
             Err(e) => return Err(e.into()),
         }
         match Self::decode_tile(&bytes, self.fingerprint, tile) {
-            Some(values) => Ok(Some(values)),
+            Some(values) => Ok(TileLoad::Loaded(values)),
             None => {
                 // Quarantine-by-deletion: the engine recomputes and
                 // rewrites a valid replacement.
                 let _ = fs::remove_file(&path);
-                Ok(None)
+                Ok(TileLoad::Corrupt)
             }
         }
     }

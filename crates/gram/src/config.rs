@@ -1,6 +1,7 @@
 //! Engine configuration: tile geometry, worker count, checkpointing,
 //! memory budget and test/drill hooks.
 
+use qk_obs::Obs;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -33,6 +34,17 @@ pub struct GramConfig {
     /// kill-and-resume drills (CI SIGKILLs a throttled run mid-flight);
     /// `None` in production.
     pub throttle: Option<Duration>,
+    /// Observability context the engine registers its `gram.*` counters
+    /// and spans into. `None` gives the engine a private context (its
+    /// report still works, it just is not shared with other
+    /// components). Instrumentation never participates in the bitwise
+    /// determinism contract.
+    pub obs: Option<Obs>,
+    /// Observability export directory: when set, the engine appends
+    /// lifecycle events to `gram_journal.jsonl` and writes the unified
+    /// `obs_gram.json` report there when a job finishes (including
+    /// interrupted runs). `None` = no export.
+    pub obs_dir: Option<PathBuf>,
 }
 
 impl Default for GramConfig {
@@ -45,6 +57,8 @@ impl Default for GramConfig {
             memory_budget: None,
             max_tiles: None,
             throttle: None,
+            obs: None,
+            obs_dir: None,
         }
     }
 }

@@ -19,7 +19,7 @@
 //! the same job are bitwise identical, and also bitwise identical to
 //! `core::gram`'s single-pass loop.
 
-use crate::checkpoint::{CheckpointError, CheckpointStore};
+use crate::checkpoint::{CheckpointError, CheckpointStore, TileLoad};
 use crate::config::GramConfig;
 use crate::fingerprint::{JobKind, JobSpec};
 use crate::metrics::GramMetrics;
@@ -27,6 +27,7 @@ use crate::spill::{SpillError, SpillStore};
 use crate::tiles::{Tile, TilePlan};
 use crate::view::TiledKernel;
 use qk_mps::{Mps, ZipperWorkspace};
+use qk_obs::{Counter, Journal, Obs};
 use qk_svm::KernelBlock;
 use qk_tensor::backend::ExecutionBackend;
 use std::collections::VecDeque;
@@ -100,6 +101,12 @@ pub struct GramReport {
     pub wall_time: Duration,
     /// Whether states were spilled to disk for this run.
     pub spilled: bool,
+    /// Tiles a worker claimed from another worker's queue.
+    pub tiles_stolen: u64,
+    /// Row bands serialized to the spill store this run.
+    pub bands_spilled: u64,
+    /// Band loads workers paid against the spill store.
+    pub bands_reloaded: u64,
 }
 
 /// A completed symmetric train job.
@@ -142,14 +149,16 @@ struct BandCache<'a, 'b> {
     src: &'b StateSet<'a>,
     tile: usize,
     loaded: Option<(usize, Vec<Mps>)>,
+    reloads: Counter,
 }
 
 impl<'a, 'b> BandCache<'a, 'b> {
-    fn new(src: &'b StateSet<'a>, tile: usize) -> Self {
+    fn new(src: &'b StateSet<'a>, tile: usize, reloads: Counter) -> Self {
         BandCache {
             src,
             tile,
             loaded: None,
+            reloads,
         }
     }
 
@@ -163,6 +172,7 @@ impl<'a, 'b> BandCache<'a, 'b> {
             StateSet::Spilled(store) => {
                 if self.loaded.as_ref().map(|(idx, _)| *idx) != Some(b) {
                     self.loaded = Some((b, store.load_band(b)?));
+                    self.reloads.inc();
                 }
                 Ok(&self.loaded.as_ref().unwrap().1)
             }
@@ -237,6 +247,7 @@ fn write_tile(data: &mut [f64], total_cols: usize, kind: JobKind, tile: &Tile, p
 /// The tiled Gram computation engine.
 pub struct GramEngine {
     cfg: GramConfig,
+    obs: Obs,
     metrics: Arc<GramMetrics>,
     spill_seq: AtomicUsize,
 }
@@ -245,9 +256,12 @@ impl GramEngine {
     /// Builds an engine from a configuration.
     pub fn new(cfg: GramConfig) -> Self {
         assert!(cfg.tile >= 1, "tile edge must be at least 1");
+        let obs = cfg.obs.clone().unwrap_or_default();
+        let metrics = Arc::new(GramMetrics::with_obs(&obs));
         GramEngine {
             cfg,
-            metrics: Arc::new(GramMetrics::new()),
+            obs,
+            metrics,
             spill_seq: AtomicUsize::new(0),
         }
     }
@@ -256,6 +270,13 @@ impl GramEngine {
     /// job runs.
     pub fn metrics(&self) -> Arc<GramMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The observability context the engine's `gram.*` counters and
+    /// spans are registered in (the one from [`GramConfig::obs`], or the
+    /// engine's private context).
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
     }
 
     /// The engine's configuration.
@@ -351,6 +372,20 @@ impl GramEngine {
         }
     }
 
+    /// Opens the lifecycle journal under `obs_dir`. Export is
+    /// best-effort: an unwritable directory degrades to an un-journaled
+    /// run instead of failing the computation.
+    fn open_journal(&self) -> Option<Journal> {
+        let dir = self.cfg.obs_dir.as_ref()?;
+        match Journal::open(&dir.join("gram_journal.jsonl")) {
+            Ok(journal) => Some(journal),
+            Err(e) => {
+                eprintln!("qk-gram: journal disabled ({}): {e}", dir.display());
+                None
+            }
+        }
+    }
+
     fn run(
         &self,
         kind: JobKind,
@@ -360,6 +395,62 @@ impl GramEngine {
         spilled: bool,
     ) -> Result<(Vec<f64>, GramReport), GramError> {
         let start = Instant::now();
+        let journal = self.open_journal();
+        let result = self.run_inner(
+            kind,
+            rows_src,
+            cols_src,
+            backend,
+            spilled,
+            start,
+            journal.as_ref(),
+        );
+        let status = match &result {
+            Ok(_) => "complete",
+            Err(GramError::Interrupted { .. }) => "interrupted",
+            Err(_) => "failed",
+        };
+        if let Some(journal) = &journal {
+            let snap = self.metrics.snapshot();
+            journal
+                .event("job_end")
+                .field_str("status", status)
+                .field_u64("computed", snap.tiles_computed)
+                .field_u64("restored", snap.tiles_restored)
+                .log();
+            if let Err(e) = journal.flush() {
+                eprintln!("qk-gram: journal flush failed: {e}");
+            }
+        }
+        // Export the unified report for finished *and* interrupted runs:
+        // a preempted job's partial profile is exactly what a resume
+        // investigation wants to see.
+        if let Some(dir) = &self.cfg.obs_dir {
+            if matches!(&result, Ok(_) | Err(GramError::Interrupted { .. })) {
+                let path = dir.join("obs_gram.json");
+                if let Err(e) = self.obs.report("gram").write_json(&path) {
+                    eprintln!(
+                        "qk-gram: obs report export failed ({}): {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner(
+        &self,
+        kind: JobKind,
+        rows_src: &StateSet<'_>,
+        cols_src: &StateSet<'_>,
+        backend: &dyn ExecutionBackend,
+        spilled: bool,
+        start: Instant,
+        journal: Option<&Journal>,
+    ) -> Result<(Vec<f64>, GramReport), GramError> {
+        let _job_span = self.obs.span("gram_job");
         let (rows, cols) = (rows_src.len(), cols_src.len());
         let plan = match kind {
             JobKind::Train => TilePlan::symmetric(rows, self.cfg.tile),
@@ -367,6 +458,19 @@ impl GramEngine {
         };
         let inner_products = plan.inner_products();
         self.metrics.start_job(plan.tiles.len(), inner_products);
+        if spilled {
+            self.metrics.record_spilled(rows.div_ceil(self.cfg.tile));
+        }
+        if let Some(journal) = journal {
+            journal
+                .event("job_start")
+                .field_str("kind", kind.name())
+                .field_u64("rows", rows as u64)
+                .field_u64("cols", cols as u64)
+                .field_u64("tile", self.cfg.tile as u64)
+                .field_bool("spilled", spilled)
+                .log();
+        }
         let mut data = vec![0.0f64; rows * cols];
 
         // Open (or resume) the checkpoint and restore valid tiles.
@@ -385,16 +489,46 @@ impl GramEngine {
         };
         let mut pending: Vec<Tile> = Vec::with_capacity(plan.tiles.len());
         let mut restored = 0usize;
-        for tile in &plan.tiles {
-            if let Some(store) = &store {
-                if let Some(payload) = store.load(tile)? {
-                    write_tile(&mut data, cols, kind, tile, &payload);
-                    self.metrics.record_restored(tile.inner_products(kind));
-                    restored += 1;
-                    continue;
+        {
+            let _scan_span = self.obs.span("restore_scan");
+            for tile in &plan.tiles {
+                if let Some(store) = &store {
+                    match store.load_classified(tile)? {
+                        TileLoad::Loaded(payload) => {
+                            write_tile(&mut data, cols, kind, tile, &payload);
+                            self.metrics.record_restored(tile.inner_products(kind));
+                            restored += 1;
+                            if let Some(journal) = journal {
+                                journal
+                                    .event("tile_restored")
+                                    .field_u64("bi", tile.bi as u64)
+                                    .field_u64("bj", tile.bj as u64)
+                                    .log();
+                            }
+                            continue;
+                        }
+                        TileLoad::Corrupt => {
+                            if let Some(journal) = journal {
+                                journal
+                                    .event("tile_corrupt_recomputed")
+                                    .field_u64("bi", tile.bi as u64)
+                                    .field_u64("bj", tile.bj as u64)
+                                    .log();
+                            }
+                        }
+                        TileLoad::Missing => {}
+                    }
                 }
+                pending.push(*tile);
             }
-            pending.push(*tile);
+        }
+        if restored > 0 {
+            if let Some(journal) = journal {
+                journal
+                    .event("job_resume")
+                    .field_u64("restored", restored as u64)
+                    .log();
+            }
         }
 
         let to_compute = pending.len();
@@ -407,6 +541,7 @@ impl GramEngine {
                 store.as_ref(),
                 pending,
                 &mut data,
+                journal,
             )?
         } else {
             0
@@ -418,6 +553,7 @@ impl GramEngine {
                 total: plan.tiles.len(),
             });
         }
+        let snap = self.metrics.snapshot();
         Ok((
             data,
             GramReport {
@@ -427,6 +563,9 @@ impl GramEngine {
                 inner_products,
                 wall_time: start.elapsed(),
                 spilled,
+                tiles_stolen: snap.tiles_stolen,
+                bands_spilled: snap.bands_spilled,
+                bands_reloaded: snap.bands_reloaded,
             },
         ))
     }
@@ -444,6 +583,7 @@ impl GramEngine {
         store: Option<&CheckpointStore>,
         pending: Vec<Tile>,
         data: &mut [f64],
+        journal: Option<&Journal>,
     ) -> Result<usize, GramError> {
         let total_cols = cols_src.len();
         let workers = self.cfg.effective_workers().min(pending.len()).max(1);
@@ -473,9 +613,13 @@ impl GramEngine {
                 let stop = &stop;
                 let metrics = &self.metrics;
                 let cfg = &self.cfg;
+                let obs = &self.obs;
                 scope.spawn(move || {
-                    let mut row_cache = BandCache::new(rows_src, cfg.tile);
-                    let mut col_cache = BandCache::new(cols_src, cfg.tile);
+                    let _worker_span = obs.span("gram_worker");
+                    let mut row_cache =
+                        BandCache::new(rows_src, cfg.tile, metrics.bands_reloaded_handle());
+                    let mut col_cache =
+                        BandCache::new(cols_src, cfg.tile, metrics.bands_reloaded_handle());
                     // One zipper workspace per worker for this job's
                     // lifetime: tile evaluation never allocates inside
                     // the inner-product kernel.
@@ -484,7 +628,7 @@ impl GramEngine {
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
-                        let tile = match claim(queues, wid) {
+                        let (tile, stolen) = match claim(queues, wid) {
                             Some(t) => t,
                             None => break,
                         };
@@ -493,13 +637,28 @@ impl GramEngine {
                             // (the checkpoint already holds what finished).
                             break;
                         }
+                        if stolen {
+                            metrics.record_stolen();
+                            if let Some(journal) = journal {
+                                journal
+                                    .event("worker_steal")
+                                    .field_u64("worker", wid as u64)
+                                    .field_u64("bi", tile.bi as u64)
+                                    .field_u64("bj", tile.bj as u64)
+                                    .log();
+                            }
+                        }
                         let result = (|| -> Result<(Tile, Vec<f64>), GramError> {
                             // The tile payload is allocated here, at the
                             // orchestration layer, and handed down: the
                             // compute path itself is allocation-free.
                             let mut payload = vec![0.0f64; tile.rows * tile.cols];
                             if kind == JobKind::Train && tile.bi == tile.bj {
-                                let row_band = row_cache.band(tile.bi)?;
+                                let row_band = {
+                                    let _band_span = obs.span("band_load");
+                                    row_cache.band(tile.bi)?
+                                };
+                                let _tile_span = obs.span("tile_compute");
                                 compute_tile(
                                     &tile,
                                     kind,
@@ -510,8 +669,11 @@ impl GramEngine {
                                     &mut payload,
                                 );
                             } else {
-                                let col_band = col_cache.band(tile.bj)?;
-                                let row_band = row_cache.band(tile.bi)?;
+                                let (col_band, row_band) = {
+                                    let _band_span = obs.span("band_load");
+                                    (col_cache.band(tile.bj)?, row_cache.band(tile.bi)?)
+                                };
+                                let _tile_span = obs.span("tile_compute");
                                 compute_tile(
                                     &tile,
                                     kind,
@@ -526,9 +688,25 @@ impl GramEngine {
                                 std::thread::sleep(t);
                             }
                             if let Some(store) = store {
+                                let _ckpt_span = obs.span("checkpoint_write");
                                 store.store(&tile, &payload)?;
+                                if let Some(journal) = journal {
+                                    journal
+                                        .event("checkpoint_write")
+                                        .field_u64("bi", tile.bi as u64)
+                                        .field_u64("bj", tile.bj as u64)
+                                        .log();
+                                }
                             }
                             metrics.record_computed(tile.inner_products(kind));
+                            if let Some(journal) = journal {
+                                journal
+                                    .event("tile_computed")
+                                    .field_u64("bi", tile.bi as u64)
+                                    .field_u64("bj", tile.bj as u64)
+                                    .field_u64("products", tile.inner_products(kind) as u64)
+                                    .log();
+                            }
                             Ok((tile, payload))
                         })();
                         let failed = result.is_err();
@@ -542,6 +720,7 @@ impl GramEngine {
             }
             drop(tx);
             // Assembler: stream completed tiles into the dense output.
+            let _assemble_span = self.obs.span("assemble");
             for msg in rx {
                 match msg {
                     Ok((tile, payload)) => {
@@ -566,11 +745,12 @@ impl GramEngine {
 }
 
 /// Claims the next tile for worker `wid`: front of its own deque, else a
-/// steal from the back of the most loaded victim. Returns `None` only
-/// after a full scan finds every queue empty.
-fn claim(queues: &[Mutex<VecDeque<Tile>>], wid: usize) -> Option<Tile> {
+/// steal from the back of the most loaded victim (the returned flag is
+/// `true` for a steal). Returns `None` only after a full scan finds
+/// every queue empty.
+fn claim(queues: &[Mutex<VecDeque<Tile>>], wid: usize) -> Option<(Tile, bool)> {
     if let Some(t) = queues[wid].lock().expect("queue poisoned").pop_front() {
-        return Some(t);
+        return Some((t, false));
     }
     loop {
         // Pick the non-empty victim with the most remaining work.
@@ -586,7 +766,7 @@ fn claim(queues: &[Mutex<VecDeque<Tile>>], wid: usize) -> Option<Tile> {
         }
         let (_, idx) = best?;
         if let Some(t) = queues[idx].lock().expect("queue poisoned").pop_back() {
-            return Some(t);
+            return Some((t, true));
         }
         // Lost the race for the victim's last tile; rescan.
     }

@@ -95,6 +95,14 @@ impl JobKind {
             JobKind::Block => 1,
         }
     }
+
+    /// Stable lowercase name used in journal events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Train => "train",
+            JobKind::Block => "block",
+        }
+    }
 }
 
 /// The identity of one Gram job, hashed into the checkpoint fingerprint.

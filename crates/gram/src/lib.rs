@@ -54,7 +54,7 @@ pub mod spill;
 pub mod tiles;
 pub mod view;
 
-pub use checkpoint::{CheckpointError, CheckpointStore, Manifest};
+pub use checkpoint::{CheckpointError, CheckpointStore, Manifest, TileLoad};
 pub use config::GramConfig;
 pub use engine::{BlockOutcome, GramEngine, GramError, GramOutcome, GramReport};
 pub use fingerprint::{encoding_fingerprint, fnv1a64, JobKind, JobSpec};

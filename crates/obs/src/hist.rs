@@ -1,0 +1,208 @@
+//! Log-bucket histogram shared by every crate's latency/size telemetry.
+//!
+//! This generalizes the power-of-two bucketing that `qk-serve` grew for
+//! request latency into a value-agnostic `u64` histogram: bucket `i`
+//! covers `[2^i, 2^(i+1))` with the final bucket absorbing everything
+//! larger. Quantiles are conservative (the *upper* edge of the target
+//! bucket, clamped to the observed maximum), so a reported p99 is never
+//! smaller than the true p99.
+
+use serde::Serialize;
+
+/// Number of power-of-two buckets. Bucket `i` covers `[2^i, 2^(i+1))`
+/// in the recorded unit (e.g. microseconds); 40 buckets span sub-unit
+/// to ~12.7 days of microseconds, which covers every telemetry surface
+/// in the workspace.
+pub const BUCKETS: usize = 40;
+
+/// Fixed-size logarithmic histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: floor(log2(v)) clamped to the table.
+    /// Zero records into bucket 0 (values are floored at 1 for the
+    /// logarithm only; `sum`/`max` keep the raw value).
+    fn bucket(value: u64) -> usize {
+        ((63 - value.max(1).leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Conservative quantile: the upper edge of the bucket holding the
+    /// `q`-th observation, clamped to the observed maximum. Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let edge = 1u64 << ((i as u32 + 1).min(63));
+                return edge.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Immutable point-in-time copy with the full bucket array, so
+    /// downstream tooling can recompute any quantile offline.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count,
+            sum: u64::try_from(self.sum).unwrap_or(u64::MAX),
+            max: self.max,
+            mean: self.mean(),
+            buckets: self.counts.to_vec(),
+        }
+    }
+}
+
+/// Serializable snapshot of a [`LogHistogram`].
+#[derive(Debug, Clone, Serialize)]
+pub struct HistSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values (saturating at `u64::MAX`).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Mean of recorded values.
+    pub mean: f64,
+    /// Per-bucket observation counts; bucket `i` covers `[2^i, 2^(i+1))`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Recompute a conservative quantile from the serialized buckets —
+    /// identical math to [`LogHistogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let edge = 1u64 << ((i as u32 + 1).min(63));
+                return edge.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.snapshot().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LogHistogram::new();
+        for v in [100, 200, 400, 800, 1600, 3200, 70_000] {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max());
+        assert_eq!(h.max(), 70_000);
+    }
+
+    #[test]
+    fn single_observation_hits_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(333);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 333);
+        }
+        assert_eq!(h.mean(), 333.0);
+    }
+
+    #[test]
+    fn extreme_values_clamp_to_edge_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[BUCKETS - 1], 1);
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_quantile_matches_live_quantile() {
+        let mut h = LogHistogram::new();
+        for v in 1..2000u64 {
+            h.record(v * 7 % 5000);
+        }
+        let snap = h.snapshot();
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(snap.quantile(q), h.quantile(q));
+        }
+        assert_eq!(snap.buckets.len(), BUCKETS);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+}

@@ -1,0 +1,247 @@
+//! Central metrics registry: named counters, gauges, and log-bucket
+//! histograms that every crate registers into.
+//!
+//! Handles are cheap `Arc` clones; the hot path touches a single atomic
+//! (counters/gauges) or a short mutex (histograms). Registration is
+//! get-or-create by name, so independent components that agree on a
+//! name share one instrument. Snapshots use `BTreeMap`, keeping every
+//! exported report deterministically ordered.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+use crate::hist::{HistSnapshot, LogHistogram};
+
+/// Monotonically increasing `u64` metric handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise the stored value to `n` if `n` is larger (high-water mark).
+    pub fn record_max(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the stored value (job-start resets).
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed instantaneous-level metric handle (queue depths, balances).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrite the stored value.
+    pub fn set(&self, n: i64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared log-bucket histogram handle; see [`crate::hist::LogHistogram`].
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<Mutex<LogHistogram>>);
+
+impl Histogram {
+    /// Record one observation (brief internal lock).
+    pub fn record(&self, value: u64) {
+        self.0
+            .lock()
+            .expect("histogram lock poisoned")
+            .record(value);
+    }
+
+    /// Point-in-time copy with the full bucket array.
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.0.lock().expect("histogram lock poisoned").snapshot()
+    }
+
+    /// Conservative quantile of the live histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.0.lock().expect("histogram lock poisoned").quantile(q)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Instruments {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Name → instrument table. The registry lock covers registration and
+/// snapshotting only; recording goes through the returned handles and
+/// never touches it.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Instruments>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Deterministically ordered snapshot of every registered instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().expect("registry lock poisoned");
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time values of every instrument in a [`MetricsRegistry`],
+/// sorted by name.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_one_instrument() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.hits");
+        let b = reg.counter("x.hits");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("x.hits").get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_level() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("q.depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.add(-5);
+        assert_eq!(g.get(), -4);
+    }
+
+    #[test]
+    fn counter_record_max_is_high_water() {
+        let c = Counter::default();
+        c.record_max(7);
+        c.record_max(3);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").inc();
+        reg.counter("a.first").add(2);
+        reg.gauge("g.depth").set(3);
+        reg.histogram("h.lat").record(100);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.keys().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["a.first", "b.second"]);
+        assert_eq!(snap.counters["a.first"], 2);
+        assert_eq!(snap.gauges["g.depth"], 3);
+        assert_eq!(snap.histograms["h.lat"].count, 1);
+    }
+
+    #[test]
+    fn handles_work_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("t.total");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

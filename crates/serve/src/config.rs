@@ -1,5 +1,6 @@
 //! Serving configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Tuning knobs for a [`crate::KernelServer`].
@@ -9,7 +10,7 @@ use std::time::Duration;
 /// worker busy while duplicates coalesce, and the cache is large enough
 /// to hold tens of thousands of d = 1 states (the paper stores 64,000
 /// training states in under 1 GiB; query states are the same size).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads sharing the submission queue (min 1).
     pub workers: usize,
@@ -30,6 +31,11 @@ pub struct ServeConfig {
     /// coordinate share one cached encoding. Larger = stricter matching
     /// (fewer false shares), smaller = more aggressive deduplication.
     pub quantization_scale: f64,
+    /// Observability export directory: when set, the server appends
+    /// lifecycle events to `serve_journal.jsonl` and writes the unified
+    /// `obs_serve.json` report there on shutdown. `None` = no export
+    /// (in-memory metrics still work).
+    pub obs_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +54,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_max_bytes: None,
             quantization_scale: 1e6,
+            obs_dir: None,
         }
     }
 }
@@ -73,7 +80,7 @@ impl ServeConfig {
             } else {
                 1e6
             },
-            ..*self
+            ..self.clone()
         }
     }
 }

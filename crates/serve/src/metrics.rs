@@ -1,79 +1,24 @@
 //! Serving telemetry: counters, a latency histogram, and snapshots.
 //!
-//! Latencies land in logarithmic (power-of-two microsecond) buckets, so
-//! recording is lock-brief and constant-size while still resolving the
-//! tail percentiles the serving story cares about; quantiles report a
-//! bucket's upper edge (clamped to the true maximum), i.e. p99 is never
-//! under-reported. Follows the `core::timing` convention of measuring
-//! durations with monotonic instants and reporting `Duration`s.
+//! Instruments live in the server's shared [`qk_obs`] registry (names
+//! under `serve.*`), so the same counters that feed
+//! [`MetricsSnapshot`] also appear in the unified `ObsReport` written
+//! at shutdown. Latencies land in `qk-obs`'s logarithmic
+//! (power-of-two microsecond) buckets: recording is lock-brief and
+//! constant-size while still resolving the tail percentiles the
+//! serving story cares about; quantiles report a bucket's upper edge
+//! (clamped to the true maximum), i.e. p99 is never under-reported.
+//! Follows the `core::timing` convention of measuring durations with
+//! monotonic instants and reporting `Duration`s.
 
 use crate::cache::CacheStats;
-use parking_lot::Mutex;
+use qk_obs::{Counter, Gauge, Histogram, Obs};
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-const BUCKETS: usize = 40;
-
-/// Fixed-size logarithmic latency histogram.
-#[derive(Debug, Clone)]
-pub(crate) struct LatencyHistogram {
-    counts: [u64; BUCKETS],
-    count: u64,
-    sum: Duration,
-    max: Duration,
-}
-
-impl LatencyHistogram {
-    pub(crate) fn new() -> Self {
-        LatencyHistogram {
-            counts: [0; BUCKETS],
-            count: 0,
-            sum: Duration::ZERO,
-            max: Duration::ZERO,
-        }
-    }
-
-    fn bucket(latency: Duration) -> usize {
-        let us = latency.as_micros().max(1) as u64;
-        ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
-    }
-
-    pub(crate) fn record(&mut self, latency: Duration) {
-        self.counts[Self::bucket(latency)] += 1;
-        self.count += 1;
-        self.sum += latency;
-        self.max = self.max.max(latency);
-    }
-
-    /// Upper edge of the bucket holding the q-quantile observation,
-    /// clamped to the observed maximum. Zero when empty.
-    pub(crate) fn quantile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut acc = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            acc += c;
-            if acc >= target {
-                return Duration::from_micros(1u64 << (i + 1).min(63)).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            self.sum / self.count as u32
-        }
-    }
-}
-
-/// Latency percentiles for one snapshot.
-#[derive(Debug, Clone, Copy, Serialize)]
+/// Latency percentiles for one snapshot, plus the full bucket array so
+/// downstream tooling can recompute any quantile offline.
+#[derive(Debug, Clone, Serialize)]
 pub struct LatencySnapshot {
     /// Median request latency (enqueue to reply).
     pub p50: Duration,
@@ -85,6 +30,11 @@ pub struct LatencySnapshot {
     pub max: Duration,
     /// Mean latency.
     pub mean: Duration,
+    /// Number of recorded request latencies.
+    pub count: u64,
+    /// Power-of-two microsecond buckets: `buckets[i]` counts latencies
+    /// in `[2^i, 2^(i+1))` µs ([`qk_obs::BUCKETS`] entries).
+    pub buckets: Vec<u64>,
 }
 
 /// Point-in-time view of the server's health and throughput.
@@ -167,41 +117,46 @@ impl std::fmt::Display for MetricsSnapshot {
     }
 }
 
-/// Shared mutable telemetry, updated by submitters and workers.
+/// Shared mutable telemetry, updated by submitters and workers. All
+/// instruments are registered in the server's [`Obs`] under `serve.*`.
 pub(crate) struct Metrics {
     started: Instant,
-    pub(crate) submitted: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batched_jobs: AtomicU64,
-    pub(crate) max_batch_size: AtomicU64,
-    pub(crate) simulations: AtomicU64,
-    pub(crate) queue_depth: AtomicUsize,
-    pub(crate) latency: Mutex<LatencyHistogram>,
+    pub(crate) submitted: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) completed: Counter,
+    pub(crate) batches: Counter,
+    pub(crate) batched_jobs: Counter,
+    pub(crate) max_batch_size: Counter,
+    pub(crate) simulations: Counter,
+    pub(crate) queue_depth: Gauge,
+    latency: Histogram,
 }
 
 impl Metrics {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(obs: &Obs) -> Self {
         Metrics {
             started: Instant::now(),
-            submitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_jobs: AtomicU64::new(0),
-            max_batch_size: AtomicU64::new(0),
-            simulations: AtomicU64::new(0),
-            queue_depth: AtomicUsize::new(0),
-            latency: Mutex::new(LatencyHistogram::new()),
+            submitted: obs.counter("serve.submitted"),
+            rejected: obs.counter("serve.rejected"),
+            completed: obs.counter("serve.completed"),
+            batches: obs.counter("serve.batches"),
+            batched_jobs: obs.counter("serve.batched_jobs"),
+            max_batch_size: obs.counter("serve.max_batch_size"),
+            simulations: obs.counter("serve.simulations"),
+            queue_depth: obs.gauge("serve.queue_depth"),
+            latency: obs.histogram("serve.latency_us"),
         }
     }
 
     pub(crate) fn record_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_jobs.fetch_add(size as u64, Ordering::Relaxed);
-        self.max_batch_size
-            .fetch_max(size as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_jobs.add(size as u64);
+        self.max_batch_size.record_max(size as u64);
+    }
+
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        self.latency
+            .record(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
     }
 
     pub(crate) fn snapshot(
@@ -211,33 +166,35 @@ impl Metrics {
         encoding_epoch: u64,
     ) -> MetricsSnapshot {
         let uptime = self.started.elapsed();
-        let completed = self.completed.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched_jobs = self.batched_jobs.load(Ordering::Relaxed);
-        let latency = self.latency.lock();
+        let completed = self.completed.get();
+        let batches = self.batches.get();
+        let batched_jobs = self.batched_jobs.get();
+        let hist = self.latency.snapshot();
         MetricsSnapshot {
             uptime,
-            submitted: self.submitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            rejected: self.rejected.get(),
             completed,
             throughput_rps: completed as f64 / uptime.as_secs_f64().max(1e-9),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth: usize::try_from(self.queue_depth.get().max(0)).unwrap_or(0),
             batches,
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
                 batched_jobs as f64 / batches as f64
             },
-            max_batch_size: self.max_batch_size.load(Ordering::Relaxed),
-            simulations: self.simulations.load(Ordering::Relaxed),
+            max_batch_size: self.max_batch_size.get(),
+            simulations: self.simulations.get(),
             cache,
             cache_hit_rate: cache.hit_rate(),
             latency: LatencySnapshot {
-                p50: latency.quantile(0.50),
-                p95: latency.quantile(0.95),
-                p99: latency.quantile(0.99),
-                max: latency.max,
-                mean: latency.mean(),
+                p50: Duration::from_micros(hist.quantile(0.50)),
+                p95: Duration::from_micros(hist.quantile(0.95)),
+                p99: Duration::from_micros(hist.quantile(0.99)),
+                max: Duration::from_micros(hist.max),
+                mean: Duration::from_secs_f64(hist.mean / 1e6),
+                count: hist.count,
+                buckets: hist.buckets,
             },
             model_version,
             encoding_epoch,
@@ -249,53 +206,80 @@ impl Metrics {
 mod tests {
     use super::*;
 
+    fn metrics() -> Metrics {
+        Metrics::new(&Obs::new())
+    }
+
     #[test]
     fn quantiles_are_ordered_and_bounded() {
-        let mut h = LatencyHistogram::new();
+        let m = metrics();
         for us in [50u64, 80, 120, 400, 900, 1500, 3000, 9000, 20_000, 70_000] {
-            h.record(Duration::from_micros(us));
+            m.record_latency(Duration::from_micros(us));
         }
-        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
-        assert!(p50 > Duration::ZERO);
-        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
-        assert!(p99 <= h.max);
-        assert_eq!(h.max, Duration::from_micros(70_000));
-        assert!(h.mean() > Duration::ZERO);
+        let s = m.snapshot(CacheStats::default(), 1, 0).latency;
+        assert!(s.p50 > Duration::ZERO);
+        assert!(
+            s.p50 <= s.p95 && s.p95 <= s.p99,
+            "{:?} {:?} {:?}",
+            s.p50,
+            s.p95,
+            s.p99
+        );
+        assert!(s.p99 <= s.max);
+        assert_eq!(s.max, Duration::from_micros(70_000));
+        assert!(s.mean > Duration::ZERO);
     }
 
     #[test]
     fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
-        assert_eq!(h.mean(), Duration::ZERO);
+        let s = metrics().snapshot(CacheStats::default(), 1, 0).latency;
+        assert_eq!(s.p99, Duration::ZERO);
+        assert_eq!(s.mean, Duration::ZERO);
+        assert_eq!(s.count, 0);
     }
 
     #[test]
     fn single_observation_hits_every_quantile() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_micros(333));
-        for q in [0.01, 0.5, 0.99] {
-            assert_eq!(h.quantile(q), Duration::from_micros(333));
+        let m = metrics();
+        m.record_latency(Duration::from_micros(333));
+        let s = m.snapshot(CacheStats::default(), 1, 0).latency;
+        for q in [s.p50, s.p95, s.p99] {
+            assert_eq!(q, Duration::from_micros(333));
         }
     }
 
     #[test]
     fn extreme_latencies_clamp_to_edge_buckets() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_secs(100_000));
-        assert_eq!(h.count, 2);
-        assert_eq!(h.quantile(1.0), h.max);
+        let m = metrics();
+        m.record_latency(Duration::ZERO);
+        m.record_latency(Duration::from_secs(100_000));
+        let s = m.snapshot(CacheStats::default(), 1, 0).latency;
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets.first().copied(), Some(1));
+        assert_eq!(s.p99, s.max);
+    }
+
+    #[test]
+    fn snapshot_exposes_full_bucket_array() {
+        let m = metrics();
+        m.record_latency(Duration::from_micros(3)); // bucket 1: [2, 4)
+        m.record_latency(Duration::from_micros(3));
+        m.record_latency(Duration::from_micros(100)); // bucket 6: [64, 128)
+        let s = m.snapshot(CacheStats::default(), 1, 0).latency;
+        assert_eq!(s.buckets.len(), qk_obs::BUCKETS);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[6], 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
     }
 
     #[test]
     fn snapshot_math() {
-        let m = Metrics::new();
-        m.submitted.store(10, Ordering::Relaxed);
-        m.completed.store(8, Ordering::Relaxed);
+        let m = metrics();
+        m.submitted.add(10);
+        m.completed.add(8);
         m.record_batch(3);
         m.record_batch(5);
-        m.latency.lock().record(Duration::from_millis(2));
+        m.record_latency(Duration::from_millis(2));
         let s = m.snapshot(CacheStats::default(), 2, 1);
         assert_eq!(s.submitted, 10);
         assert_eq!(s.completed, 8);

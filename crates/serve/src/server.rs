@@ -37,6 +37,7 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use qk_core::{ModelDecodeError, Prediction, QuantumKernelModel};
 use qk_mps::{Mps, ZipperWorkspace};
+use qk_obs::{Journal, Obs};
 use qk_tensor::backend::CpuBackend;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -135,6 +136,8 @@ struct ServerCore {
     cache: Mutex<EncodingCache>,
     quantizer: Quantizer,
     metrics: Metrics,
+    obs: Obs,
+    journal: Option<Journal>,
     stop: AtomicBool,
     submitting: AtomicUsize,
     config: ServeConfig,
@@ -172,7 +175,7 @@ impl ServeHandle {
     fn make_job(&self, features: Vec<f64>) -> Result<(Msg, PendingPrediction), ServeError> {
         let expected = self.core.registry.current().model.num_features();
         if features.len() != expected {
-            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            self.core.metrics.rejected.inc();
             return Err(ServeError::FeatureCount {
                 expected,
                 got: features.len(),
@@ -185,7 +188,7 @@ impl ServeHandle {
             .iter()
             .position(|x| !x.is_finite() || (x * scale).abs() >= 9.0e18)
         {
-            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            self.core.metrics.rejected.inc();
             return Err(ServeError::InvalidFeature { index });
         }
         let (reply, rx) = channel::bounded(1);
@@ -213,20 +216,20 @@ impl ServeHandle {
         let guard = self.accepted();
         if self.core.stop.load(Ordering::SeqCst) {
             drop(guard);
-            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            self.core.metrics.rejected.inc();
             return Err(ServeError::Closed);
         }
-        self.core.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+        self.core.metrics.queue_depth.inc();
         let sent = self.tx.send(msg);
         drop(guard);
         match sent {
             Ok(()) => {
-                self.core.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                self.core.metrics.submitted.inc();
                 Ok(pending)
             }
             Err(_) => {
-                self.core.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                self.core.metrics.queue_depth.dec();
+                self.core.metrics.rejected.inc();
                 Err(ServeError::Closed)
             }
         }
@@ -239,20 +242,20 @@ impl ServeHandle {
         let guard = self.accepted();
         if self.core.stop.load(Ordering::SeqCst) {
             drop(guard);
-            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            self.core.metrics.rejected.inc();
             return Err(ServeError::Closed);
         }
-        self.core.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+        self.core.metrics.queue_depth.inc();
         let sent = self.tx.try_send(msg);
         drop(guard);
         match sent {
             Ok(()) => {
-                self.core.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                self.core.metrics.submitted.inc();
                 Ok(pending)
             }
             Err(e) => {
-                self.core.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                self.core.metrics.queue_depth.dec();
+                self.core.metrics.rejected.inc();
                 Err(match e {
                     TrySendError::Full(_) => ServeError::QueueFull,
                     TrySendError::Disconnected(_) => ServeError::Closed,
@@ -286,9 +289,37 @@ pub struct KernelServer {
 }
 
 impl KernelServer {
-    /// Starts the worker pool serving `model` as version 1.
+    /// Starts the worker pool serving `model` as version 1, with its
+    /// own fresh observability context.
     pub fn start(model: QuantumKernelModel, config: &ServeConfig) -> Self {
+        Self::start_with_obs(model, config, Obs::new())
+    }
+
+    /// Starts the worker pool, registering all `serve.*` instruments
+    /// and spans into a caller-provided [`Obs`] (so a pipeline can
+    /// combine gram, SVM and serving telemetry in one report).
+    pub fn start_with_obs(model: QuantumKernelModel, config: &ServeConfig, obs: Obs) -> Self {
         let config = config.normalized();
+        let worker_count = config.workers;
+        // Journal export is best-effort: an unwritable obs dir must not
+        // take the server down.
+        let journal = config.obs_dir.as_ref().and_then(|dir| {
+            match Journal::open(&dir.join("serve_journal.jsonl")) {
+                Ok(j) => Some(j),
+                Err(e) => {
+                    eprintln!("qk-serve: cannot open event journal: {e}");
+                    None
+                }
+            }
+        });
+        if let Some(j) = &journal {
+            j.event("server_start")
+                .field_u64("workers", worker_count as u64)
+                .field_u64("max_batch", config.max_batch as u64)
+                .field_u64("queue_capacity", config.queue_capacity as u64)
+                .field_u64("cache_capacity", config.cache_capacity as u64)
+                .log();
+        }
         let (tx, rx) = channel::bounded::<Msg>(config.queue_capacity);
         let core = Arc::new(ServerCore {
             registry: ModelRegistry::new(model),
@@ -297,12 +328,14 @@ impl KernelServer {
                 config.cache_max_bytes,
             )),
             quantizer: Quantizer::new(config.quantization_scale),
-            metrics: Metrics::new(),
+            metrics: Metrics::new(&obs),
+            obs,
+            journal,
             stop: AtomicBool::new(false),
             submitting: AtomicUsize::new(0),
             config,
         });
-        let workers = (0..config.workers)
+        let workers = (0..worker_count)
             .map(|w| {
                 let core = Arc::clone(&core);
                 let rx = rx.clone();
@@ -336,10 +369,26 @@ impl KernelServer {
         // released), and stragglers on the old version are rejected by
         // the retired-epoch floor. Workers never hold the cache lock
         // while taking a registry lock, so the ordering cannot deadlock.
-        let mut cache = self.core.cache.lock();
-        let summary = self.core.registry.deploy(model);
-        if summary.encoding_changed {
-            cache.retire_epochs_below(summary.encoding_epoch);
+        // Journal events are logged after the cache lock is released —
+        // the journal's own locks never nest under it.
+        let summary = {
+            let mut cache = self.core.cache.lock();
+            let summary = self.core.registry.deploy(model);
+            if summary.encoding_changed {
+                cache.retire_epochs_below(summary.encoding_epoch);
+            }
+            summary
+        };
+        if let Some(j) = &self.core.journal {
+            j.event("deploy")
+                .field_u64("version", summary.version)
+                .field_bool("encoding_changed", summary.encoding_changed)
+                .log();
+            if summary.encoding_changed {
+                j.event("epoch_flush")
+                    .field_u64("epoch", summary.encoding_epoch)
+                    .log();
+            }
         }
         summary
     }
@@ -353,6 +402,12 @@ impl KernelServer {
     /// Current metrics.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.core.snapshot()
+    }
+
+    /// The server's observability context: every `serve.*` instrument
+    /// and worker span reports into it.
+    pub fn obs(&self) -> Obs {
+        self.core.obs.clone()
     }
 
     /// Graceful shutdown: every request accepted before (or racing with)
@@ -381,6 +436,19 @@ impl KernelServer {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        if let Some(j) = &self.core.journal {
+            j.event("server_shutdown")
+                .field_u64("completed", self.core.metrics.completed.get())
+                .field_u64("rejected", self.core.metrics.rejected.get())
+                .log();
+            let _ = j.flush();
+        }
+        if let Some(dir) = &self.core.config.obs_dir {
+            let report = self.core.obs.report("qk-serve");
+            if let Err(e) = report.write_json(&dir.join("obs_serve.json")) {
+                eprintln!("qk-serve: cannot write obs report: {e}");
+            }
+        }
     }
 }
 
@@ -396,6 +464,7 @@ fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
     // kernel row this worker serves reuses the same buffers, so the
     // steady-state inner-product path performs zero heap allocation.
     let mut ws = ZipperWorkspace::new();
+    let _worker_span = core.obs.span("serve_worker");
     loop {
         let first = match rx.recv() {
             Ok(Msg::Request(job)) => job,
@@ -403,7 +472,7 @@ fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
             // module docs guarantees no accepted request remains.
             Ok(Msg::Shutdown) | Err(_) => return,
         };
-        core.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        core.metrics.queue_depth.dec();
         let mut batch = vec![first];
         let deadline = Instant::now() + core.config.max_wait;
         let mut shutting_down = false;
@@ -422,7 +491,7 @@ fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
             };
             match next {
                 Msg::Request(job) => {
-                    core.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    core.metrics.queue_depth.dec();
                     batch.push(job);
                 }
                 Msg::Shutdown => {
@@ -455,6 +524,7 @@ fn process_batch(
     ws: &mut ZipperWorkspace,
     batch: Vec<Job>,
 ) {
+    let _batch_span = core.obs.span("batch");
     core.metrics.record_batch(batch.len());
     // One model snapshot per batch: a concurrent deploy affects later
     // batches, never a partially processed one.
@@ -471,7 +541,7 @@ fn process_batch(
                 expected,
                 got: job.features.len(),
             }));
-            core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            core.metrics.rejected.inc();
         } else {
             jobs.push(job);
         }
@@ -513,20 +583,34 @@ fn process_batch(
 
     // Simulate the misses (the expensive phase) without holding any
     // lock, then publish them.
-    for point in unique.iter_mut().filter(|p| p.state.is_none()) {
-        let t0 = Instant::now();
-        let state = Arc::new(model.encode(&jobs[point.exemplar].features, backend));
-        point.simulation = t0.elapsed();
-        core.metrics.simulations.fetch_add(1, Ordering::Relaxed);
-        point.state = Some(state);
+    {
+        let _simulate_span = core.obs.span("simulate");
+        for point in unique.iter_mut().filter(|p| p.state.is_none()) {
+            let t0 = Instant::now();
+            let state = Arc::new(model.encode(&jobs[point.exemplar].features, backend));
+            point.simulation = t0.elapsed();
+            core.metrics.simulations.inc();
+            point.state = Some(state);
+        }
     }
     if cache_enabled {
-        let mut cache = core.cache.lock();
-        for point in unique.iter().filter(|p| !p.cache_hit) {
-            cache.insert(
-                point.key.clone(),
-                Arc::clone(point.state.as_ref().expect("simulated above")),
-            );
+        let evicted = {
+            let mut cache = core.cache.lock();
+            let evictions_before = cache.stats().evictions;
+            for point in unique.iter().filter(|p| !p.cache_hit) {
+                cache.insert(
+                    point.key.clone(),
+                    Arc::clone(point.state.as_ref().expect("simulated above")),
+                );
+            }
+            cache.stats().evictions - evictions_before
+        };
+        // Logged outside the cache lock: journal locks never nest
+        // under it.
+        if evicted > 0 {
+            if let Some(j) = &core.journal {
+                j.event("cache_evict").field_u64("evicted", evicted).log();
+            }
         }
     } else {
         // Keep miss accounting meaningful with the cache disabled.
@@ -541,16 +625,20 @@ fn process_batch(
         .iter()
         .map(|p| p.state.as_deref().expect("simulated above"))
         .collect();
-    let predictions = model.predict_from_states_with(ws, &states, backend);
+    let predictions = {
+        let _kernel_span = core.obs.span("kernel_block");
+        model.predict_from_states_with(ws, &states, backend)
+    };
 
+    let _reply_span = core.obs.span("reply");
     let batch_size = jobs.len();
     for (job, &slot) in jobs.into_iter().zip(&job_slots) {
         let point = &unique[slot];
         let mut prediction = predictions[slot];
         prediction.timing.simulation = point.simulation;
         let latency = job.enqueued.elapsed();
-        core.metrics.latency.lock().record(latency);
-        core.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        core.metrics.record_latency(latency);
+        core.metrics.completed.inc();
         // A client that dropped its ticket is not an error.
         let _ = job.reply.send(Ok(ServedPrediction {
             prediction,

@@ -13,6 +13,7 @@
 //! and an error cache keeps each update O(n).
 
 use crate::kernel::KernelSource;
+use qk_obs::{Journal, Obs};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -130,6 +131,29 @@ pub fn train_svc<K: KernelSource + ?Sized>(
     labels: &[f64],
     params: &SmoParams,
 ) -> TrainedSvm {
+    train_impl(kernel, labels, params, None)
+}
+
+/// [`train_svc`] with observability: SMO registers `svm.*` counters and
+/// spans in `obs`, and (when a journal is given) records start / pass /
+/// done milestones. Instrumentation only observes the solver — the
+/// trained model is bit-identical to an unobserved [`train_svc`] run.
+pub fn train_svc_observed<K: KernelSource + ?Sized>(
+    kernel: &K,
+    labels: &[f64],
+    params: &SmoParams,
+    obs: &Obs,
+    journal: Option<&Journal>,
+) -> TrainedSvm {
+    train_impl(kernel, labels, params, Some((obs, journal)))
+}
+
+fn train_impl<K: KernelSource + ?Sized>(
+    kernel: &K,
+    labels: &[f64],
+    params: &SmoParams,
+    hooks: Option<(&Obs, Option<&Journal>)>,
+) -> TrainedSvm {
     let n = kernel.order();
     assert_eq!(labels.len(), n, "label count must match kernel order");
     assert!(n >= 2, "need at least two training points");
@@ -143,6 +167,21 @@ pub fn train_svc<K: KernelSource + ?Sized>(
     );
     assert!(params.c > 0.0, "C must be positive");
 
+    let _train_span = hooks.map(|(obs, _)| obs.span("smo_train"));
+    let counters = hooks.map(|(obs, _)| {
+        (
+            obs.counter("svm.smo_passes"),
+            obs.counter("svm.smo_updates"),
+        )
+    });
+    if let Some((_, Some(journal))) = hooks {
+        journal
+            .event("smo_start")
+            .field_u64("n", n as u64)
+            .field_u64("seed", params.seed)
+            .log();
+    }
+
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
     let mut alphas = vec![0.0f64; n];
     let mut bias = 0.0f64;
@@ -155,6 +194,7 @@ pub fn train_svc<K: KernelSource + ?Sized>(
     let mut total_passes = 0usize;
 
     while passes_without_progress < params.max_passes && total_passes < params.max_total_passes {
+        let _pass_span = hooks.map(|(obs, _)| obs.span("pass"));
         let mut changed = 0usize;
         for i in 0..n {
             let ei = errors[i];
@@ -173,6 +213,17 @@ pub fn train_svc<K: KernelSource + ?Sized>(
             }
         }
         total_passes += 1;
+        if let Some((passes, updates)) = &counters {
+            passes.inc();
+            updates.add(changed as u64);
+        }
+        if let Some((_, Some(journal))) = hooks {
+            journal
+                .event("smo_pass")
+                .field_u64("pass", total_passes as u64)
+                .field_u64("changed", changed as u64)
+                .log();
+        }
         if changed == 0 {
             passes_without_progress += 1;
         } else {
@@ -180,12 +231,23 @@ pub fn train_svc<K: KernelSource + ?Sized>(
         }
     }
 
-    TrainedSvm {
+    let model = TrainedSvm {
         alphas,
         bias,
         labels: labels.to_vec(),
         passes: total_passes,
+    };
+    if let Some((_, Some(journal))) = hooks {
+        journal
+            .event("smo_done")
+            .field_u64("passes", model.passes as u64)
+            .field_u64("support_vectors", model.support_indices().len() as u64)
+            .log();
+        if let Err(e) = journal.flush() {
+            eprintln!("qk-svm: journal flush failed: {e}");
+        }
     }
+    model
 }
 
 /// Chooses the second working-set index.
@@ -502,5 +564,29 @@ mod tests {
     fn bad_labels_panic() {
         let k = KernelMatrix::from_fn(2, |i, j| if i == j { 1.0 } else { 0.0 });
         train_svc(&k, &[1.0, 0.0], &SmoParams::default());
+    }
+
+    /// Instrumentation must observe the solver, never steer it: the
+    /// observed path trains a bit-identical model, and the milestone
+    /// counters land in the shared registry.
+    #[test]
+    fn observed_training_is_bitwise_identical() {
+        let pts: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i as f64) - 5.5, ((i * 3) % 7) as f64 / 2.0])
+            .collect();
+        let y: Vec<f64> = (0..12)
+            .map(|i| if (i * 5) % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let k = linear_kernel(&pts);
+        let params = SmoParams::with_c(1.5);
+        let plain = train_svc(&k, &y, &params);
+        let obs = Obs::new();
+        let observed = train_svc_observed(&k, &y, &params, &obs, None);
+        assert_eq!(plain.alphas, observed.alphas);
+        assert_eq!(plain.bias.to_bits(), observed.bias.to_bits());
+        assert_eq!(plain.passes, observed.passes);
+        let snap = obs.registry_snapshot();
+        assert_eq!(snap.counters["svm.smo_passes"], plain.passes as u64);
+        assert!(snap.counters.contains_key("svm.smo_updates"));
     }
 }

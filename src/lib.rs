@@ -18,7 +18,9 @@
 //!    encoding cache and hot-swappable model versions;
 //! 8. [`bench`] — figure/table reproduction harness;
 //! 9. [`tensor`] — the shared dense linear-algebra substrate;
-//! 10. [`mpi`] — the in-process MPI-shaped messaging shim.
+//! 10. [`mpi`] — the in-process MPI-shaped messaging shim;
+//! 11. [`obs`] — unified tracing spans, metrics registry, and the
+//!     durable lifecycle event journal.
 #![forbid(unsafe_code)]
 
 pub use qk_bench as bench;
@@ -28,6 +30,7 @@ pub use qk_data as data;
 pub use qk_gram as gram;
 pub use qk_mpi as mpi;
 pub use qk_mps as mps;
+pub use qk_obs as obs;
 pub use qk_serve as serve;
 pub use qk_statevector as statevector;
 pub use qk_svm as svm;

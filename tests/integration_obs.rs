@@ -1,0 +1,238 @@
+//! Observability determinism acceptance: instrumented gram runs leave
+//! journals that are byte-identical modulo timestamps, a killed-and-
+//! resumed job's two-life trail is just as reproducible, and the
+//! exported `obs_gram.json` passes the schema gate with a real span
+//! rollup.
+//!
+//! Journal comparisons pin `workers = 1`: event *content* is
+//! deterministic for any worker count, but interleaving (and stealing)
+//! makes multi-worker event *order* history-dependent by design.
+
+use qk::circuit::AnsatzConfig;
+use qk::core::simulate_states;
+use qk::gram::{encoding_fingerprint, GramConfig, GramEngine, GramError, GramOutcome};
+use qk::mps::{Mps, TruncationConfig};
+use qk::obs::{json, stripped_lines, validate_report_json, Json};
+use qk::tensor::backend::CpuBackend;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "qk-obs-integration-{}-{tag}-{id}",
+        std::process::id()
+    ))
+}
+
+fn pipeline_states(n: usize, features: usize) -> (Vec<Mps>, u64) {
+    let ansatz = AnsatzConfig::qml_default();
+    let trunc = TruncationConfig::default();
+    let be = CpuBackend::new();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..features)
+                .map(|j| ((i * features + j) % 13) as f64 * 0.21)
+                .collect()
+        })
+        .collect();
+    let states = simulate_states(&rows, &ansatz, &be, &trunc).states;
+    (states, encoding_fingerprint(&ansatz, &trunc))
+}
+
+/// One single-worker checkpointed run exporting into `obs_dir`.
+fn observed_run(
+    states: &[Mps],
+    encoding: u64,
+    ckpt: &Path,
+    obs_dir: &Path,
+    max_tiles: Option<usize>,
+    throttle: Option<Duration>,
+) -> Result<GramOutcome, GramError> {
+    let mut cfg = GramConfig::checkpointed(ckpt, 4, encoding);
+    cfg.workers = 1;
+    cfg.max_tiles = max_tiles;
+    cfg.throttle = throttle;
+    cfg.obs_dir = Some(obs_dir.to_path_buf());
+    GramEngine::new(cfg).compute_gram(states, &CpuBackend::new())
+}
+
+fn journal(obs_dir: &Path) -> PathBuf {
+    obs_dir.join("gram_journal.jsonl")
+}
+
+/// Distinct span paths recorded in an exported `obs_gram.json`.
+fn span_paths(obs_dir: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(obs_dir.join("obs_gram.json")).expect("report exported");
+    validate_report_json(&text).expect("exported report passes the schema gate");
+    let root = json::parse(&text).expect("exported report parses");
+    root.get("spans")
+        .and_then(Json::as_array)
+        .expect("spans array")
+        .iter()
+        .map(|s| {
+            s.get("path")
+                .and_then(Json::as_str)
+                .expect("span path")
+                .to_string()
+        })
+        .collect()
+}
+
+/// The satellite's core claim: two identical throttled runs produce
+/// identical journals once `t_us` stamps are stripped — wall-clock
+/// jitter (here injected via per-tile throttling) never reaches the
+/// event stream.
+#[test]
+fn identical_throttled_runs_leave_identical_journals() {
+    let (states, encoding) = pipeline_states(12, 4);
+    let throttle = Some(Duration::from_millis(2));
+
+    let mut trails = Vec::new();
+    for round in 0..2 {
+        let ckpt = scratch(&format!("twin-ckpt-{round}"));
+        let obs = scratch(&format!("twin-obs-{round}"));
+        observed_run(&states, encoding, &ckpt, &obs, None, throttle).expect("clean run");
+        let trail = stripped_lines(&journal(&obs)).expect("journal readable");
+        assert!(!trail.is_empty(), "journal must record lifecycle events");
+        assert!(
+            trail.iter().all(|l| l.contains("\"t_us\":0")),
+            "comparator strips stamps"
+        );
+        trails.push(trail);
+        let _ = std::fs::remove_dir_all(&ckpt);
+        let _ = std::fs::remove_dir_all(&obs);
+    }
+    assert_eq!(
+        trails[0], trails[1],
+        "stripped journals must be byte-identical"
+    );
+
+    let starts = trails[0]
+        .iter()
+        .filter(|l| l.contains("\"event\":\"job_start\""))
+        .count();
+    let ends = trails[0]
+        .iter()
+        .filter(|l| l.contains("\"event\":\"job_end\""))
+        .count();
+    assert_eq!((starts, ends), (1, 1), "one life, one start/end pair");
+    assert!(trails[0]
+        .iter()
+        .any(|l| l.contains("\"event\":\"tile_computed\"")));
+}
+
+/// Kill-and-resume auditability: a job interrupted mid-run and resumed
+/// by a fresh engine appends to the same journal, and the whole
+/// two-life trail is reproducible event-for-event.
+#[test]
+fn killed_and_resumed_runs_leave_identical_two_life_journals() {
+    let (states, encoding) = pipeline_states(12, 4);
+
+    let mut trails = Vec::new();
+    for round in 0..2 {
+        let ckpt = scratch(&format!("resume-ckpt-{round}"));
+        let obs = scratch(&format!("resume-obs-{round}"));
+        // Life 1: deterministic preemption after 4 fresh tiles.
+        match observed_run(&states, encoding, &ckpt, &obs, Some(4), None) {
+            Err(GramError::Interrupted { done, total }) => {
+                assert_eq!(done, 4);
+                assert_eq!(total, 6);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        // Life 2: a fresh engine resumes from the checkpoint.
+        let out = observed_run(&states, encoding, &ckpt, &obs, None, None).expect("resume");
+        assert_eq!(out.report.tiles_restored, 4);
+        assert_eq!(out.report.tiles_computed, 2);
+
+        let trail = stripped_lines(&journal(&obs)).expect("journal readable");
+        trails.push(trail);
+        let _ = std::fs::remove_dir_all(&ckpt);
+        let _ = std::fs::remove_dir_all(&obs);
+    }
+    assert_eq!(
+        trails[0], trails[1],
+        "two-life trails must match modulo timestamps"
+    );
+
+    // The trail tells the whole story: interrupted end, resume marker
+    // with the restored count, then a complete end.
+    let trail = &trails[0];
+    let interrupted = trail
+        .iter()
+        .position(|l| {
+            l.contains("\"event\":\"job_end\"") && l.contains("\"status\":\"interrupted\"")
+        })
+        .expect("life 1 records an interrupted end");
+    let resume = trail
+        .iter()
+        .position(|l| l.contains("\"event\":\"job_resume\"") && l.contains("\"restored\":4"))
+        .expect("life 2 records the resume with its restored count");
+    let complete = trail
+        .iter()
+        .position(|l| l.contains("\"event\":\"job_end\"") && l.contains("\"status\":\"complete\""))
+        .expect("life 2 records a complete end");
+    assert!(
+        interrupted < resume && resume < complete,
+        "lifecycle order preserved"
+    );
+    assert_eq!(
+        trail
+            .iter()
+            .filter(|l| l.contains("\"event\":\"tile_restored\""))
+            .count(),
+        4,
+        "each restored tile is journaled"
+    );
+}
+
+/// The exported report is schema-valid and carries a real flamegraph:
+/// at least five distinct span paths from one instrumented gram run.
+#[test]
+fn exported_gram_report_has_a_deep_span_rollup() {
+    let (states, encoding) = pipeline_states(12, 4);
+    let ckpt = scratch("rollup-ckpt");
+    let obs = scratch("rollup-obs");
+    observed_run(&states, encoding, &ckpt, &obs, None, None).expect("clean run");
+
+    let paths = span_paths(&obs);
+    assert!(
+        paths.len() >= 5,
+        "expected >= 5 distinct span paths, got {paths:?}"
+    );
+    for expected in [
+        "gram_job",
+        "gram_job/restore_scan",
+        "gram_job/assemble",
+        "gram_worker/tile_compute",
+        "gram_worker/checkpoint_write",
+    ] {
+        assert!(
+            paths.iter().any(|p| p == expected),
+            "missing span {expected}: {paths:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let _ = std::fs::remove_dir_all(&obs);
+}
+
+/// Instrumented and bare runs of the same job agree bitwise — the
+/// observability layer is outside the determinism contract.
+#[test]
+fn instrumentation_does_not_perturb_the_kernel() {
+    let (states, encoding) = pipeline_states(12, 4);
+    let ckpt = scratch("bitwise-ckpt");
+    let obs = scratch("bitwise-obs");
+
+    let bare = GramEngine::new(GramConfig::in_memory(4))
+        .compute_gram(&states, &CpuBackend::new())
+        .expect("bare run");
+    let observed =
+        observed_run(&states, encoding, &ckpt, &obs, None, None).expect("instrumented run");
+    assert_eq!(observed.kernel.data(), bare.kernel.data());
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let _ = std::fs::remove_dir_all(&obs);
+}
