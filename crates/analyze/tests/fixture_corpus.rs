@@ -101,6 +101,57 @@ fn obs_clock_fixtures() {
 }
 
 #[test]
+fn chaos_clock_fixtures() {
+    // Mirrors the live analyze.toml shape: the whole chaos crate pinned
+    // by directory prefix, with only the audited backoff loop allowed
+    // to read the clock — and the same allowlist granting nothing to
+    // kernel files.
+    let policy = Policy::parse(
+        "[determinism]\npinned = [\"crates/chaos/src/\", \"crates/gram/src/engine.rs\"]\n\
+         allow_clock_in = [\"RetryPolicy::run\"]\n",
+    )
+    .unwrap();
+
+    // The qk-chaos idiom passes: the elapsed cap inside the allowlisted
+    // retry loop is fine, fault decisions stay pure.
+    let ok = fixture("chaos_clock_ok.rs", "crates/chaos/src/retry.rs");
+    assert!(
+        passes::determinism::run(&[ok], &policy).is_empty(),
+        "allowlisted chaos backoff clock site must be clean"
+    );
+
+    // Clock-seeded fault decisions and jitter salts are flagged inside
+    // the chaos crate itself...
+    let bad = fixture("chaos_clock_bad.rs", "crates/chaos/src/plan.rs");
+    let findings = passes::determinism::run(&[bad], &policy);
+    assert_all_pass(&findings, "determinism");
+    assert_eq!(findings.len(), 2, "got {findings:?}");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.function == "FaultSite::fire_now" && f.message.contains("Instant::now")),
+        "clock-seeded fault decision must be flagged: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.function == "jitter_salt" && f.message.contains("process::id")),
+        "process-id jitter outside the allowlist must be flagged: {findings:?}"
+    );
+
+    // ...and the RetryPolicy::run allowlist entry does not leak into
+    // pinned kernel files: the same clock-reading retry loop pasted
+    // into the engine is still clean ONLY because the allowlist names
+    // functions; the surrounding violations prove the file is checked.
+    let bad_in_engine = fixture("chaos_clock_bad.rs", "crates/gram/src/engine.rs");
+    assert_eq!(
+        passes::determinism::run(&[bad_in_engine], &policy).len(),
+        2,
+        "un-allowlisted clock reads in a kernel file are not exempt"
+    );
+}
+
+#[test]
 fn no_alloc_fixtures() {
     let policy = Policy::parse("[no_alloc]\nfunctions = [\"compute_tile\"]\n").unwrap();
     let ok = fixture("no_alloc_ok.rs", "hot.rs");

@@ -1,0 +1,26 @@
+//! Violating fixture for the qk-chaos clock policy: a fault decision
+//! seeded from the wall clock (irreproducible schedules) and a jitter
+//! helper reading time outside the allowlisted backoff loop.
+
+use std::time::Instant;
+
+pub struct FaultSite {
+    pub name: String,
+    pub occurrence: u64,
+}
+
+impl FaultSite {
+    /// VIOLATION: deciding a fault from an ambient clock read makes the
+    /// injection schedule unreplayable — the whole point of the seeded
+    /// plan is that this is impossible.
+    pub fn fire_now(&mut self) -> bool {
+        self.occurrence += 1;
+        Instant::now().elapsed().subsec_nanos() & 1 == 0
+    }
+}
+
+/// VIOLATION: jitter derived from the process id, outside any
+/// allowlisted function.
+pub fn jitter_salt() -> u64 {
+    u64::from(std::process::id())
+}

@@ -1,0 +1,48 @@
+//! Passing fixture for the qk-chaos clock policy: the only clock read
+//! lives in the allowlisted backoff loop (`RetryPolicy::run`), while
+//! fault *decisions* are a pure function of (seed, site, occurrence) —
+//! no ambient state anywhere near them.
+
+use std::time::{Duration, Instant};
+
+pub struct RetryPolicy {
+    pub max_attempts: u32,
+    pub base_delay: Duration,
+    pub max_elapsed: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// Allowlisted in the fixture policy: the elapsed-time cap bounds
+    /// wall-clock spent retrying; it never influences what a fault
+    /// decision or a retried operation *computes*.
+    pub fn run<T, E>(&self, mut op: impl FnMut() -> Result<T, E>) -> Result<T, E> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    let over_budget = self
+                        .max_elapsed
+                        .is_some_and(|cap| started.elapsed() >= cap);
+                    if attempt >= self.max_attempts || over_budget {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.base_delay);
+                }
+            }
+        }
+    }
+}
+
+/// The replay contract: a fault decision hashes the (seed, site,
+/// occurrence) triple and nothing else, so the schedule is bitwise
+/// reproducible from the plan alone.
+pub fn decide(seed: u64, site: &str, occurrence: u64) -> bool {
+    let mut h = seed ^ occurrence.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in site.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h & 1 == 0
+}

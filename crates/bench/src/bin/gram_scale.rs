@@ -17,16 +17,29 @@
 //!     [--scale ci|default|paper] [--n N] [--features M] \
 //!     [--tiles 8,16,32] [--workers 1,2,4] \
 //!     [--smoke] [--resume] [--checkpoint-dir DIR] [--out FILE] \
-//!     [--throttle-ms T] [--budget-kb B] [--obs-dir DIR]
+//!     [--throttle-ms T] [--budget-kb B] [--obs-dir DIR] \
+//!     [--chaos SPEC] [--chaos-seed S] [--ranks K] [--hb-timeout-ms T]
 //!
 //! `--obs-dir DIR` (smoke mode) exports observability artifacts there:
 //! the engine's lifecycle journal (`gram_journal.jsonl`) and the
 //! unified `obs_gram.json` report with span rollups.
+//!
+//! `--chaos SPEC` (smoke mode) arms a seeded fault plan in
+//! `qk_chaos::FaultPlan::parse` grammar, e.g.
+//! `gram.ckpt.store=io@first:2,gram.worker.tile=panic@at:3` or
+//! `rank-death:1@1`; `--chaos-seed S` keys the schedule (same
+//! seed + spec replays bitwise). `--ranks K` with K > 1 runs the
+//! rank-distributed death drill instead of the engine, with per-rank
+//! checkpoint dirs under `--checkpoint-dir` and heartbeat timeout
+//! `--hb-timeout-ms` — the CI chaos drill drives both paths.
 
 use qk_bench::{sample_rows, write_results, Args, Scale};
+use qk_chaos::{Chaos, FaultPlan};
 use qk_circuit::AnsatzConfig;
 use qk_core::simulate_states;
-use qk_gram::{encoding_fingerprint, GramConfig, GramEngine, GramError};
+use qk_gram::{
+    encoding_fingerprint, rank_distributed_gram, GramConfig, GramEngine, GramError, RankConfig,
+};
 use qk_mps::TruncationConfig;
 use qk_tensor::backend::CpuBackend;
 use serde::Serialize;
@@ -43,6 +56,17 @@ struct Cell {
     throughput_ips: f64,
     tiles_total: usize,
     bitwise_ok: bool,
+}
+
+#[derive(Serialize)]
+struct RankRecord {
+    n: usize,
+    tile: usize,
+    ranks: usize,
+    dead_ranks: Vec<usize>,
+    tiles_adopted: u64,
+    tiles_recomputed: u64,
+    faults_injected: u64,
 }
 
 #[derive(Serialize)]
@@ -99,14 +123,31 @@ fn smoke(args: &Args) {
         std::fs::remove_dir_all(&dir).expect("wiping stale checkpoint dir");
     }
 
+    let chaos = match args.get("chaos") {
+        None => Chaos::disarmed(),
+        Some(spec) => {
+            let seed = args.get_or("chaos-seed", 0u64);
+            FaultPlan::parse(seed, spec)
+                .unwrap_or_else(|e| panic!("bad --chaos: {e}"))
+                .arm()
+        }
+    };
+
     let ansatz = AnsatzConfig::qml_default();
     let trunc = TruncationConfig::default();
     let be = CpuBackend::new();
     let rows = sample_rows(n, features, 11);
     let states = simulate_states(&rows, &ansatz, &be, &trunc).states;
+    let encoding = encoding_fingerprint(&ansatz, &trunc);
 
-    let mut cfg = GramConfig::checkpointed(&dir, tile, encoding_fingerprint(&ansatz, &trunc));
+    if args.get_or("ranks", 1usize) > 1 {
+        rank_drill(args, dir, chaos, encoding, &states, &be);
+        return;
+    }
+
+    let mut cfg = GramConfig::checkpointed(&dir, tile, encoding);
     cfg.workers = workers;
+    cfg.chaos = chaos;
     cfg.throttle = match args.get_or("throttle-ms", 0u64) {
         0 => None,
         ms => Some(Duration::from_millis(ms)),
@@ -160,6 +201,68 @@ fn smoke(args: &Args) {
             inner_products: r.inner_products,
             wall: r.wall_time,
             spilled: r.spilled,
+        },
+    );
+}
+
+/// Rank-death drill: run the simulated-MPI rank driver instead of the
+/// engine, optionally killing ranks via the armed plan, and dump the
+/// same `--out` byte format so CI can `cmp` against a clean run.
+fn rank_drill(
+    args: &Args,
+    dir: PathBuf,
+    chaos: Chaos,
+    encoding: u64,
+    states: &[qk_mps::Mps],
+    be: &CpuBackend,
+) {
+    let n = states.len();
+    let tile = args.get_or("tile", 8usize);
+    let ranks = args.get_or("ranks", 1usize);
+    let mut cfg = RankConfig::new(ranks, tile, &dir);
+    cfg.encoding = encoding;
+    cfg.chaos = chaos;
+    cfg.hb_timeout = Duration::from_millis(args.get_or("hb-timeout-ms", 300u64));
+    cfg.obs_dir = args.get("obs-dir").map(PathBuf::from);
+    let out = rank_distributed_gram(states, be, &cfg);
+    let rep = &out.report;
+    println!(
+        "gram_scale rank drill: n={n} tile={tile} ranks={ranks}\n\
+         dead ranks {:?}; {} tiles adopted from checkpoints, {} recomputed; \
+         {} faults injected",
+        rep.dead_ranks,
+        rep.tiles_adopted,
+        rep.tiles_recomputed,
+        cfg.chaos.injected(),
+    );
+    for (r, s) in rep.per_rank.iter().enumerate() {
+        println!(
+            "  rank {r}: {} tiles completed, {} adopted, {} recomputed{}",
+            s.tiles_completed,
+            s.tiles_adopted,
+            s.tiles_recomputed,
+            if s.died { " [died]" } else { "" }
+        );
+    }
+    if let Some(path) = args.get("out") {
+        let mut bytes = Vec::with_capacity(out.kernel.data().len() * 8);
+        for v in out.kernel.data() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let mut f = std::fs::File::create(path).expect("creating --out file");
+        f.write_all(&bytes).expect("writing --out file");
+        eprintln!("[matrix bytes written to {path}]");
+    }
+    write_results(
+        "gram_rank_drill",
+        &RankRecord {
+            n,
+            tile,
+            ranks,
+            dead_ranks: rep.dead_ranks.clone(),
+            tiles_adopted: rep.tiles_adopted,
+            tiles_recomputed: rep.tiles_recomputed,
+            faults_injected: cfg.chaos.injected(),
         },
     );
 }

@@ -1,0 +1,191 @@
+//! Bounded exponential-backoff retry — the recovery half of the crate.
+
+use std::time::{Duration, Instant};
+
+/// Bounded exponential backoff: attempt `max_attempts` times, sleeping
+/// `min(base_delay << retry, max_delay)` between attempts, and give up
+/// early once `max_elapsed` wall-clock (if set) has been spent.
+///
+/// The policy bounds *recovery effort*, not the fault schedule: retries
+/// re-run the guarded operation, so under an armed fault plan each
+/// attempt counts as a fresh occurrence at the fault site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (0 is clamped to 1).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each retry after.
+    pub base_delay: Duration,
+    /// Ceiling on any single sleep.
+    pub max_delay: Duration,
+    /// Optional wall-clock budget across all attempts; once spent, no
+    /// further retries are made even if attempts remain.
+    pub max_elapsed: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+            max_elapsed: None,
+        }
+    }
+}
+
+/// The outcome of [`RetryPolicy::run`]: the final result plus how many
+/// retries (attempts beyond the first) it took to get there.
+#[derive(Debug)]
+pub struct Retried<T, E> {
+    /// The last attempt's result — `Ok` from the first success, or the
+    /// final `Err` once the policy gave up.
+    pub result: Result<T, E>,
+    /// Attempts beyond the first, whether or not the last succeeded.
+    pub retries: u32,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt, no sleeping.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before retry number `retry` (0-based).
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let shift = retry.min(20); // 2^20 * base is already > max_delay
+        self.base_delay
+            .saturating_mul(1u32 << shift)
+            .min(self.max_delay)
+    }
+
+    /// Runs `op` until it succeeds or the policy is exhausted.
+    pub fn run<T, E>(&self, mut op: impl FnMut() -> Result<T, E>) -> Retried<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let started = Instant::now();
+        let mut retries = 0;
+        loop {
+            match op() {
+                Ok(value) => {
+                    return Retried {
+                        result: Ok(value),
+                        retries,
+                    }
+                }
+                Err(err) => {
+                    let budget_spent = self.max_elapsed.is_some_and(|cap| started.elapsed() >= cap);
+                    if retries + 1 >= attempts || budget_spent {
+                        return Retried {
+                            result: Err(err),
+                            retries,
+                        };
+                    }
+                    std::thread::sleep(self.delay_for(retries));
+                    retries += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_and_cap() {
+        let p = RetryPolicy {
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(35),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.delay_for(0), Duration::from_millis(5));
+        assert_eq!(p.delay_for(1), Duration::from_millis(10));
+        assert_eq!(p.delay_for(2), Duration::from_millis(20));
+        assert_eq!(p.delay_for(3), Duration::from_millis(35));
+        assert_eq!(p.delay_for(31), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let p = RetryPolicy {
+            base_delay: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let r = p.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err("transient")
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r.result, Ok(3));
+        assert_eq!(r.retries, 2);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let r: Retried<(), &str> = p.run(|| {
+            calls += 1;
+            Err("persistent")
+        });
+        assert_eq!(r.result, Err("persistent"));
+        assert_eq!(r.retries, 2);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn zero_attempts_still_runs_once() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let r: Retried<(), ()> = p.run(|| {
+            calls += 1;
+            Err(())
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(r.retries, 0);
+        assert!(r.result.is_err());
+    }
+
+    #[test]
+    fn elapsed_budget_stops_retrying() {
+        let p = RetryPolicy {
+            max_attempts: 1000,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(2),
+            max_elapsed: Some(Duration::from_millis(20)),
+        };
+        let mut calls = 0u32;
+        let r: Retried<(), ()> = p.run(|| {
+            calls += 1;
+            Err(())
+        });
+        assert!(r.result.is_err());
+        assert!(calls < 1000, "budget must cut the attempt loop short");
+    }
+
+    #[test]
+    fn none_policy_is_single_shot() {
+        let mut calls = 0;
+        let r: Retried<(), ()> = RetryPolicy::none().run(|| {
+            calls += 1;
+            Err(())
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(r.retries, 0);
+        assert!(r.result.is_err());
+    }
+}

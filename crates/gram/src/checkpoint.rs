@@ -72,6 +72,42 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+/// A bounds-checked little-endian reader over a raw checkpoint buffer.
+///
+/// Every read returns `None` once the buffer runs short, so the decoders
+/// built on it reject truncated or mangled files by construction instead
+/// of panicking in a slice conversion.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("take(8) is 8 bytes")))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+}
+
 /// The manifest record for one checkpoint directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Manifest {
@@ -103,29 +139,52 @@ impl Manifest {
 
     fn decode(bytes: &[u8]) -> Result<Manifest, CheckpointError> {
         let corrupt = |reason| CheckpointError::CorruptManifest { reason };
+        Self::decode_checked(bytes).ok_or(()).map_err(|()| {
+            // Re-walk just far enough to name the failure; the checked
+            // decoder itself only says yes or no.
+            if bytes.len() != 49 {
+                corrupt("wrong length")
+            } else if &bytes[..8] != MANIFEST_MAGIC {
+                corrupt("bad magic")
+            } else if crate::fingerprint::fnv1a64(&bytes[..41])
+                != u64::from_le_bytes(bytes[41..49].try_into().expect("len checked"))
+            {
+                corrupt("checksum mismatch")
+            } else {
+                corrupt("unknown job kind")
+            }
+        })
+    }
+
+    /// The happy-path decoder: every read is bounds-checked through
+    /// [`Cursor`], so any short or mangled buffer falls out as `None`.
+    fn decode_checked(bytes: &[u8]) -> Option<Manifest> {
         if bytes.len() != 49 {
-            return Err(corrupt("wrong length"));
+            return None;
         }
-        if &bytes[..8] != MANIFEST_MAGIC {
-            return Err(corrupt("bad magic"));
+        let mut c = Cursor::new(bytes);
+        if c.take(8)? != MANIFEST_MAGIC {
+            return None;
         }
-        let sum = u64::from_le_bytes(bytes[41..49].try_into().unwrap());
-        if crate::fingerprint::fnv1a64(&bytes[..41]) != sum {
-            return Err(corrupt("checksum mismatch"));
-        }
-        let u64_at =
-            |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
-        let kind = match bytes[16] {
+        let fingerprint = c.u64()?;
+        let kind = match c.u8()? {
             0 => JobKind::Train,
             1 => JobKind::Block,
-            _ => return Err(corrupt("unknown job kind")),
+            _ => return None,
         };
-        Ok(Manifest {
-            fingerprint: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+        let rows = c.u64()? as usize;
+        let cols = c.u64()? as usize;
+        let tile = c.u64()? as usize;
+        let sum = c.u64()?;
+        if crate::fingerprint::fnv1a64(&bytes[..41]) != sum {
+            return None;
+        }
+        Some(Manifest {
+            fingerprint,
             kind,
-            rows: u64_at(17),
-            cols: u64_at(25),
-            tile: u64_at(33),
+            rows,
+            cols,
+            tile,
         })
     }
 }
@@ -302,37 +361,44 @@ impl CheckpointStore {
     }
 
     fn decode_tile(bytes: &[u8], fingerprint: u64, tile: &Tile) -> Option<Vec<f64>> {
-        let header = 48usize;
-        let expected_len = header + tile.len() * 8 + 8;
-        if bytes.len() != expected_len || &bytes[..8] != TILE_MAGIC {
+        let expected_len = 48usize
+            .checked_add(tile.len().checked_mul(8)?)?
+            .checked_add(8)?;
+        if bytes.len() != expected_len {
             return None;
         }
-        let sum = u64::from_le_bytes(bytes[expected_len - 8..].try_into().unwrap());
+        let mut c = Cursor::new(bytes);
+        if c.take(8)? != TILE_MAGIC {
+            return None;
+        }
+        if c.u64()? != fingerprint {
+            return None;
+        }
+        for want in [tile.bi, tile.bj, tile.rows, tile.cols] {
+            if c.u64()? != want as u64 {
+                return None;
+            }
+        }
+        let mut values = Vec::with_capacity(tile.len());
+        for _ in 0..tile.len() {
+            values.push(c.f64()?);
+        }
+        let sum = c.u64()?;
         if crate::fingerprint::fnv1a64(&bytes[..expected_len - 8]) != sum {
             return None;
         }
-        if u64::from_le_bytes(bytes[8..16].try_into().unwrap()) != fingerprint {
-            return None;
-        }
-        let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
-        if [u64_at(16), u64_at(24), u64_at(32), u64_at(40)]
-            != [
-                tile.bi as u64,
-                tile.bj as u64,
-                tile.rows as u64,
-                tile.cols as u64,
-            ]
-        {
-            return None;
-        }
-        let mut values = Vec::with_capacity(tile.len());
-        for k in 0..tile.len() {
-            let off = header + k * 8;
-            values.push(f64::from_bits(u64::from_le_bytes(
-                bytes[off..off + 8].try_into().unwrap(),
-            )));
-        }
         Some(values)
+    }
+
+    /// Quarantines a tile file that keeps failing to load: deletes it so
+    /// the engine recomputes and rewrites a valid replacement. Missing
+    /// files are fine — quarantine is idempotent.
+    pub fn quarantine(&self, tile: &Tile) -> Result<(), CheckpointError> {
+        match fs::remove_file(self.tile_path(tile.bi, tile.bj)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 

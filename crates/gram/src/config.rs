@@ -1,6 +1,7 @@
 //! Engine configuration: tile geometry, worker count, checkpointing,
 //! memory budget and test/drill hooks.
 
+use qk_chaos::{Chaos, RetryPolicy};
 use qk_obs::Obs;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -45,6 +46,16 @@ pub struct GramConfig {
     /// `obs_gram.json` report there when a job finishes (including
     /// interrupted runs). `None` = no export.
     pub obs_dir: Option<PathBuf>,
+    /// Armed fault plan the engine's guarded operations consult
+    /// (checkpoint store/load, tile compute). The default disarmed
+    /// handle injects nothing; fault schedules replay bitwise per
+    /// `(seed, site, occurrence)`. See `qk_chaos`.
+    pub chaos: Chaos,
+    /// Backoff policy for checkpoint store/load operations. Transient
+    /// I/O failures are retried this many times before the engine falls
+    /// back to quarantine-and-recompute (loads) or degraded in-memory
+    /// assembly (stores).
+    pub retry: RetryPolicy,
 }
 
 impl Default for GramConfig {
@@ -59,6 +70,8 @@ impl Default for GramConfig {
             throttle: None,
             obs: None,
             obs_dir: None,
+            chaos: Chaos::disarmed(),
+            retry: RetryPolicy::default(),
         }
     }
 }

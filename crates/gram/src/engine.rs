@@ -26,15 +26,22 @@ use crate::metrics::GramMetrics;
 use crate::spill::{SpillError, SpillStore};
 use crate::tiles::{Tile, TilePlan};
 use crate::view::TiledKernel;
+use qk_chaos::{sites, Chaos, Fault};
 use qk_mps::{Mps, ZipperWorkspace};
 use qk_obs::{Counter, Journal, Obs};
 use qk_svm::KernelBlock;
 use qk_tensor::backend::ExecutionBackend;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How many times one tile may panic a worker before the job gives up
+/// on it ([`GramError::WorkerPanic`]). Tiles are deterministic, so a
+/// genuine kernel bug panics every retry; the budget exists to absorb
+/// injected or environmental panics without looping forever.
+const TILE_PANIC_BUDGET: u32 = 3;
 
 /// Why a Gram job did not produce a complete matrix.
 #[derive(Debug)]
@@ -53,6 +60,16 @@ pub enum GramError {
         /// Tiles in the whole job.
         total: usize,
     },
+    /// One tile panicked its worker more than [`TILE_PANIC_BUDGET`]
+    /// times. Workers are supervised — a caught panic requeues the tile
+    /// and restarts the worker's state — so this surfaces only a
+    /// persistently reproducing panic.
+    WorkerPanic {
+        /// Row-block index of the poisoned tile.
+        bi: usize,
+        /// Column-block index of the poisoned tile.
+        bj: usize,
+    },
 }
 
 impl std::fmt::Display for GramError {
@@ -64,6 +81,13 @@ impl std::fmt::Display for GramError {
                 write!(
                     f,
                     "interrupted at tile budget: {done}/{total} tiles complete"
+                )
+            }
+            GramError::WorkerPanic { bi, bj } => {
+                write!(
+                    f,
+                    "tile ({bi}, {bj}) panicked its worker more than \
+                     {TILE_PANIC_BUDGET} times"
                 )
             }
         }
@@ -107,6 +131,15 @@ pub struct GramReport {
     pub bands_spilled: u64,
     /// Band loads workers paid against the spill store.
     pub bands_reloaded: u64,
+    /// Checkpoint store/load attempts retried under the backoff policy.
+    pub retries: u64,
+    /// Tiles quarantined (persisted file deleted after persistent load
+    /// failure) and recomputed this run.
+    pub tiles_quarantined: u64,
+    /// Worker restarts after caught mid-tile panics this run.
+    pub workers_restarted: u64,
+    /// Faults the armed chaos plan injected into this run.
+    pub faults_injected: u64,
 }
 
 /// A completed symmetric train job.
@@ -180,6 +213,30 @@ impl<'a, 'b> BandCache<'a, 'b> {
     }
 }
 
+/// Evaluates the engine's chaos gate at `site`: counts the injection in
+/// the metrics, then acts the fault out — a stall sleeps in place, a
+/// panic unwinds (workers catch it in their supervision loop), and an
+/// I/O fault surfaces as a [`CheckpointError::Io`] for the retry policy
+/// to chew on. Disarmed plans make this a single branch.
+fn chaos_gate(chaos: &Chaos, metrics: &GramMetrics, site: &str) -> Result<(), CheckpointError> {
+    match chaos.check(site) {
+        None => Ok(()),
+        Some(Fault::Stall(d)) => {
+            metrics.record_fault_injected();
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(Fault::Panic) => {
+            metrics.record_fault_injected();
+            panic!("chaos: injected panic at {site}");
+        }
+        Some(Fault::Io) => {
+            metrics.record_fault_injected();
+            Err(CheckpointError::Io(Fault::io_error(site)))
+        }
+    }
+}
+
 /// Contracts one tile. `row_states` / `col_states` are the tile's bands;
 /// indices inside are local. Every contracted pair keeps global `i < j`
 /// operand order and runs the same zipper kernel as `Mps::inner_with`,
@@ -190,7 +247,7 @@ impl<'a, 'b> BandCache<'a, 'b> {
 /// the per-tile allocation lives at the orchestration layer, keeping
 /// this function on the analyzer's no-alloc list alongside the zipper
 /// kernel it drives.
-fn compute_tile(
+pub(crate) fn compute_tile(
     tile: &Tile,
     kind: JobKind,
     row_states: &[Mps],
@@ -230,7 +287,13 @@ fn compute_tile(
 
 /// Writes a completed tile payload into the dense row-major output,
 /// mirroring off-diagonal train tiles across the main diagonal.
-fn write_tile(data: &mut [f64], total_cols: usize, kind: JobKind, tile: &Tile, payload: &[f64]) {
+pub(crate) fn write_tile(
+    data: &mut [f64],
+    total_cols: usize,
+    kind: JobKind,
+    tile: &Tile,
+    payload: &[f64],
+) {
     for r in 0..tile.rows {
         let row = (tile.row0 + r) * total_cols + tile.col0;
         data[row..row + tile.cols].copy_from_slice(&payload[r * tile.cols..(r + 1) * tile.cols]);
@@ -473,18 +536,41 @@ impl GramEngine {
         }
         let mut data = vec![0.0f64; rows * cols];
 
-        // Open (or resume) the checkpoint and restore valid tiles.
+        // Open (or resume) the checkpoint and restore valid tiles. An
+        // I/O failure opening the store (unwritable or uncreatable
+        // directory) degrades the run to in-memory assembly — the job
+        // still completes, it just loses persistence. A mismatched or
+        // corrupt manifest stays a hard error: that directory belongs
+        // to some other computation and silently ignoring it would be
+        // worse than failing.
         let store = match &self.cfg.checkpoint {
-            Some(dir) => Some(CheckpointStore::open(
-                dir,
-                &JobSpec {
+            Some(dir) => {
+                let spec = JobSpec {
                     encoding: self.cfg.encoding,
                     kind,
                     rows,
                     cols,
                     tile: self.cfg.tile,
-                },
-            )?),
+                };
+                match CheckpointStore::open(dir, &spec) {
+                    Ok(store) => Some(store),
+                    Err(CheckpointError::Io(e)) => {
+                        eprintln!(
+                            "qk-gram: checkpoint disabled, assembling in memory \
+                             ({}): {e}",
+                            dir.display()
+                        );
+                        if let Some(journal) = journal {
+                            journal
+                                .event("checkpoint_degraded")
+                                .field_str("stage", "open")
+                                .log();
+                        }
+                        None
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
             None => None,
         };
         let mut pending: Vec<Tile> = Vec::with_capacity(plan.tiles.len());
@@ -493,8 +579,13 @@ impl GramEngine {
             let _scan_span = self.obs.span("restore_scan");
             for tile in &plan.tiles {
                 if let Some(store) = &store {
-                    match store.load_classified(tile)? {
-                        TileLoad::Loaded(payload) => {
+                    let retried = self.cfg.retry.run(|| {
+                        chaos_gate(&self.cfg.chaos, &self.metrics, sites::GRAM_CKPT_LOAD)?;
+                        store.load_classified(tile)
+                    });
+                    self.metrics.record_retries(retried.retries);
+                    match retried.result {
+                        Ok(TileLoad::Loaded(payload)) => {
                             write_tile(&mut data, cols, kind, tile, &payload);
                             self.metrics.record_restored(tile.inner_products(kind));
                             restored += 1;
@@ -507,7 +598,7 @@ impl GramEngine {
                             }
                             continue;
                         }
-                        TileLoad::Corrupt => {
+                        Ok(TileLoad::Corrupt) => {
                             if let Some(journal) = journal {
                                 journal
                                     .event("tile_corrupt_recomputed")
@@ -516,7 +607,22 @@ impl GramEngine {
                                     .log();
                             }
                         }
-                        TileLoad::Missing => {}
+                        Ok(TileLoad::Missing) => {}
+                        Err(_persistent) => {
+                            // The file keeps erroring even after backoff:
+                            // quarantine it and recompute the tile. Tiles
+                            // are deterministic, so the replacement is
+                            // bitwise identical to what the file held.
+                            let _ = store.quarantine(tile);
+                            self.metrics.record_quarantined();
+                            if let Some(journal) = journal {
+                                journal
+                                    .event("tile_quarantined")
+                                    .field_u64("bi", tile.bi as u64)
+                                    .field_u64("bj", tile.bj as u64)
+                                    .log();
+                            }
+                        }
                     }
                 }
                 pending.push(*tile);
@@ -566,6 +672,10 @@ impl GramEngine {
                 tiles_stolen: snap.tiles_stolen,
                 bands_spilled: snap.bands_spilled,
                 bands_reloaded: snap.bands_reloaded,
+                retries: snap.retries,
+                tiles_quarantined: snap.tiles_quarantined,
+                workers_restarted: snap.workers_restarted,
+                faults_injected: snap.faults_injected,
             },
         ))
     }
@@ -601,6 +711,9 @@ impl GramEngine {
                 .unwrap_or(isize::MAX),
         );
         let stop = AtomicBool::new(false);
+        // Flips once the store persistently fails a write: remaining
+        // tiles skip persistence and the run finishes in memory.
+        let degraded = AtomicBool::new(false);
         let (tx, rx) = mpsc::channel::<Result<(Tile, Vec<f64>), GramError>>();
         let mut first_error: Option<GramError> = None;
         let mut computed = 0usize;
@@ -611,6 +724,7 @@ impl GramEngine {
                 let queues = &queues;
                 let budget = &budget;
                 let stop = &stop;
+                let degraded = &degraded;
                 let metrics = &self.metrics;
                 let cfg = &self.cfg;
                 let obs = &self.obs;
@@ -624,6 +738,10 @@ impl GramEngine {
                     // lifetime: tile evaluation never allocates inside
                     // the inner-product kernel.
                     let mut ws = ZipperWorkspace::new();
+                    // Per-tile panic tally for the supervision loop.
+                    // (BTreeMap: deterministic iteration, and this file
+                    // is on the analyzer's determinism-pinned list.)
+                    let mut panics: BTreeMap<(usize, usize), u32> = BTreeMap::new();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -648,72 +766,159 @@ impl GramEngine {
                                     .log();
                             }
                         }
-                        let result = (|| -> Result<(Tile, Vec<f64>), GramError> {
-                            // The tile payload is allocated here, at the
-                            // orchestration layer, and handed down: the
-                            // compute path itself is allocation-free.
-                            let mut payload = vec![0.0f64; tile.rows * tile.cols];
-                            if kind == JobKind::Train && tile.bi == tile.bj {
-                                let row_band = {
-                                    let _band_span = obs.span("band_load");
-                                    row_cache.band(tile.bi)?
-                                };
-                                let _tile_span = obs.span("tile_compute");
-                                compute_tile(
-                                    &tile,
-                                    kind,
-                                    row_band,
-                                    row_band,
-                                    backend,
-                                    &mut ws,
-                                    &mut payload,
-                                );
-                            } else {
-                                let (col_band, row_band) = {
-                                    let _band_span = obs.span("band_load");
-                                    (col_cache.band(tile.bj)?, row_cache.band(tile.bi)?)
-                                };
-                                let _tile_span = obs.span("tile_compute");
-                                compute_tile(
-                                    &tile,
-                                    kind,
-                                    row_band,
-                                    col_band,
-                                    backend,
-                                    &mut ws,
-                                    &mut payload,
-                                );
-                            }
-                            if let Some(t) = cfg.throttle {
-                                std::thread::sleep(t);
-                            }
-                            if let Some(store) = store {
-                                let _ckpt_span = obs.span("checkpoint_write");
-                                store.store(&tile, &payload)?;
+                        // The tile body runs under catch_unwind: a panic
+                        // (injected or genuine) is caught below, the tile
+                        // requeued, and the worker's state rebuilt — so
+                        // one crash costs one tile recompute, not the job.
+                        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || -> Result<(Tile, Vec<f64>), GramError> {
+                                chaos_gate(&cfg.chaos, metrics, sites::GRAM_TILE)?;
+                                // The tile payload is allocated here, at the
+                                // orchestration layer, and handed down: the
+                                // compute path itself is allocation-free.
+                                let mut payload = vec![0.0f64; tile.rows * tile.cols];
+                                if kind == JobKind::Train && tile.bi == tile.bj {
+                                    let row_band = {
+                                        let _band_span = obs.span("band_load");
+                                        row_cache.band(tile.bi)?
+                                    };
+                                    let _tile_span = obs.span("tile_compute");
+                                    compute_tile(
+                                        &tile,
+                                        kind,
+                                        row_band,
+                                        row_band,
+                                        backend,
+                                        &mut ws,
+                                        &mut payload,
+                                    );
+                                } else {
+                                    let (col_band, row_band) = {
+                                        let _band_span = obs.span("band_load");
+                                        (col_cache.band(tile.bj)?, row_cache.band(tile.bi)?)
+                                    };
+                                    let _tile_span = obs.span("tile_compute");
+                                    compute_tile(
+                                        &tile,
+                                        kind,
+                                        row_band,
+                                        col_band,
+                                        backend,
+                                        &mut ws,
+                                        &mut payload,
+                                    );
+                                }
+                                if let Some(t) = cfg.throttle {
+                                    std::thread::sleep(t);
+                                }
+                                if let Some(store) = store {
+                                    if !degraded.load(Ordering::Relaxed) {
+                                        let _ckpt_span = obs.span("checkpoint_write");
+                                        let retried = cfg.retry.run(|| {
+                                            chaos_gate(
+                                                &cfg.chaos,
+                                                metrics,
+                                                sites::GRAM_CKPT_STORE,
+                                            )?;
+                                            store.store(&tile, &payload)
+                                        });
+                                        metrics.record_retries(retried.retries);
+                                        match retried.result {
+                                            Ok(()) => {
+                                                if let Some(journal) = journal {
+                                                    journal
+                                                        .event("checkpoint_write")
+                                                        .field_u64("bi", tile.bi as u64)
+                                                        .field_u64("bj", tile.bj as u64)
+                                                        .log();
+                                                }
+                                            }
+                                            Err(e) => {
+                                                // Persistent write failure:
+                                                // give up on the store (once)
+                                                // and finish in memory rather
+                                                // than failing the job.
+                                                if !degraded.swap(true, Ordering::Relaxed) {
+                                                    eprintln!(
+                                                        "qk-gram: checkpoint store \
+                                                         failed, degrading to \
+                                                         in-memory assembly: {e}"
+                                                    );
+                                                    if let Some(journal) = journal {
+                                                        journal
+                                                            .event("checkpoint_degraded")
+                                                            .field_str("stage", "store")
+                                                            .field_u64("bi", tile.bi as u64)
+                                                            .field_u64("bj", tile.bj as u64)
+                                                            .log();
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                                metrics.record_computed(tile.inner_products(kind));
                                 if let Some(journal) = journal {
                                     journal
-                                        .event("checkpoint_write")
+                                        .event("tile_computed")
+                                        .field_u64("bi", tile.bi as u64)
+                                        .field_u64("bj", tile.bj as u64)
+                                        .field_u64("products", tile.inner_products(kind) as u64)
+                                        .log();
+                                }
+                                Ok((tile, payload))
+                            },
+                        ));
+                        match attempt {
+                            Ok(result) => {
+                                let failed = result.is_err();
+                                let _ = tx.send(result);
+                                if failed {
+                                    stop.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                            Err(_panic) => {
+                                // Supervision: rebuild the worker's state
+                                // (caches and workspace may be mid-update)
+                                // and requeue the in-flight tile at the
+                                // front of our own deque. Recomputing it
+                                // is bitwise identical — tiles are pure.
+                                row_cache = BandCache::new(
+                                    rows_src,
+                                    cfg.tile,
+                                    metrics.bands_reloaded_handle(),
+                                );
+                                col_cache = BandCache::new(
+                                    cols_src,
+                                    cfg.tile,
+                                    metrics.bands_reloaded_handle(),
+                                );
+                                ws = ZipperWorkspace::new();
+                                metrics.record_worker_restarted();
+                                if let Some(journal) = journal {
+                                    journal
+                                        .event("worker_restarted")
+                                        .field_u64("worker", wid as u64)
                                         .field_u64("bi", tile.bi as u64)
                                         .field_u64("bj", tile.bj as u64)
                                         .log();
                                 }
+                                let count = panics.entry((tile.bi, tile.bj)).or_insert(0);
+                                *count += 1;
+                                if *count >= TILE_PANIC_BUDGET {
+                                    let _ = tx.send(Err(GramError::WorkerPanic {
+                                        bi: tile.bi,
+                                        bj: tile.bj,
+                                    }));
+                                    stop.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                // The budget charge for the crashed attempt
+                                // is refunded; the requeued tile pays again.
+                                budget.fetch_add(1, Ordering::Relaxed);
+                                queues[wid].lock().expect("queue poisoned").push_front(tile);
                             }
-                            metrics.record_computed(tile.inner_products(kind));
-                            if let Some(journal) = journal {
-                                journal
-                                    .event("tile_computed")
-                                    .field_u64("bi", tile.bi as u64)
-                                    .field_u64("bj", tile.bj as u64)
-                                    .field_u64("products", tile.inner_products(kind) as u64)
-                                    .log();
-                            }
-                            Ok((tile, payload))
-                        })();
-                        let failed = result.is_err();
-                        let _ = tx.send(result);
-                        if failed {
-                            stop.store(true, Ordering::Relaxed);
-                            break;
                         }
                     }
                 });

@@ -27,6 +27,10 @@
 //!   dense copy.
 //! * [`metrics`] — progress, throughput and ETA counters in the same
 //!   style as `qk-serve`'s metrics surface.
+//! * [`rank`] — a rank-distributed drill over `qk-mpi` that survives
+//!   worker-rank death: heartbeat detection at the coordinator, orphaned
+//!   tiles adopted by survivors through the dead rank's checkpoint
+//!   directory.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@ pub mod config;
 pub mod engine;
 pub mod fingerprint;
 pub mod metrics;
+pub mod rank;
 pub mod spill;
 pub mod tiles;
 pub mod view;
@@ -59,6 +64,7 @@ pub use config::GramConfig;
 pub use engine::{BlockOutcome, GramEngine, GramError, GramOutcome, GramReport};
 pub use fingerprint::{encoding_fingerprint, fnv1a64, JobKind, JobSpec};
 pub use metrics::{GramMetrics, GramProgress};
+pub use rank::{rank_distributed_gram, RankConfig, RankOutcome, RankReport, RankSummary};
 pub use spill::{SpillError, SpillStore};
 pub use tiles::{band_count, Tile, TilePlan};
 pub use view::TiledKernel;

@@ -26,6 +26,10 @@ pub struct GramMetrics {
     bands_reloaded: Counter,
     products_done: Counter,
     products_total: Counter,
+    retries: Counter,
+    tiles_quarantined: Counter,
+    workers_restarted: Counter,
+    faults_injected: Counter,
 }
 
 impl GramMetrics {
@@ -40,6 +44,10 @@ impl GramMetrics {
             bands_reloaded: obs.counter("gram.bands_reloaded"),
             products_done: obs.counter("gram.inner_products_done"),
             products_total: obs.counter("gram.inner_products_total"),
+            retries: obs.counter("gram.retries"),
+            tiles_quarantined: obs.counter("gram.tiles_quarantined"),
+            workers_restarted: obs.counter("gram.workers_restarted"),
+            faults_injected: obs.counter("gram.faults_injected"),
         }
     }
 
@@ -52,6 +60,10 @@ impl GramMetrics {
         self.bands_spilled.set(0);
         self.bands_reloaded.set(0);
         self.products_done.set(0);
+        self.retries.set(0);
+        self.tiles_quarantined.set(0);
+        self.workers_restarted.set(0);
+        self.faults_injected.set(0);
     }
 
     pub(crate) fn record_computed(&self, products: usize) {
@@ -75,6 +87,22 @@ impl GramMetrics {
     /// Handle workers use to count band reloads from the spill store.
     pub(crate) fn bands_reloaded_handle(&self) -> Counter {
         self.bands_reloaded.clone()
+    }
+
+    pub(crate) fn record_retries(&self, retries: u32) {
+        self.retries.add(u64::from(retries));
+    }
+
+    pub(crate) fn record_quarantined(&self) {
+        self.tiles_quarantined.inc();
+    }
+
+    pub(crate) fn record_worker_restarted(&self) {
+        self.workers_restarted.inc();
+    }
+
+    pub(crate) fn record_fault_injected(&self) {
+        self.faults_injected.inc();
     }
 
     /// Point-in-time progress view.
@@ -109,6 +137,10 @@ impl GramMetrics {
             bands_reloaded: self.bands_reloaded.get(),
             inner_products_done: products_done,
             inner_products_total: products_total,
+            retries: self.retries.get(),
+            tiles_quarantined: self.tiles_quarantined.get(),
+            workers_restarted: self.workers_restarted.get(),
+            faults_injected: self.faults_injected.get(),
             throughput_ips: throughput,
             eta,
         }
@@ -136,6 +168,15 @@ pub struct GramProgress {
     pub inner_products_done: u64,
     /// Inner products in the whole job.
     pub inner_products_total: u64,
+    /// Checkpoint store/load attempts retried under the backoff policy.
+    pub retries: u64,
+    /// Tiles whose persisted file was quarantined (deleted) after
+    /// persistently failing to load; each was recomputed.
+    pub tiles_quarantined: u64,
+    /// Worker restarts after a caught mid-tile panic.
+    pub workers_restarted: u64,
+    /// Faults the armed chaos plan injected into this engine.
+    pub faults_injected: u64,
     /// Inner products per second since the engine started.
     pub throughput_ips: f64,
     /// Estimated time to completion at the current throughput.
@@ -166,7 +207,17 @@ impl std::fmt::Display for GramProgress {
             self.throughput_ips,
             self.elapsed,
             self.eta,
-        )
+        )?;
+        let recovered =
+            self.faults_injected + self.retries + self.tiles_quarantined + self.workers_restarted;
+        if recovered > 0 {
+            write!(
+                f,
+                "\nrobustness: {} faults injected, {} retries, {} tiles quarantined, {} workers restarted",
+                self.faults_injected, self.retries, self.tiles_quarantined, self.workers_restarted,
+            )?;
+        }
+        Ok(())
     }
 }
 

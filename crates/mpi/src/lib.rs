@@ -17,6 +17,8 @@
 //! * [`collectives`] — barrier (dissemination), broadcast (binomial
 //!   tree), gather/scatter (linear), allgather (ring), reduce/allreduce.
 //! * [`stats`] — per-rank traffic and blocked-time accounting.
+//! * [`heartbeat`] — coordinator-side liveness tracking for rank-death
+//!   detection (MPI itself has no failure detector).
 //!
 //! Sends are *buffered* (they never block), so the ring and tree
 //! communication patterns used by the kernel-distribution strategies are
@@ -25,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod collectives;
+pub mod heartbeat;
 pub mod p2p;
 pub mod stats;
 pub mod world;
 
 pub use collectives::ReduceOp;
+pub use heartbeat::HeartbeatMonitor;
 pub use p2p::{Message, Source, ANY_TAG};
 pub use stats::CommStats;
 pub use world::{run_world, Process};

@@ -1,5 +1,6 @@
 //! Serving configuration.
 
+use qk_chaos::Chaos;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -36,6 +37,23 @@ pub struct ServeConfig {
     /// `obs_serve.json` report there on shutdown. `None` = no export
     /// (in-memory metrics still work).
     pub obs_dir: Option<PathBuf>,
+    /// Per-request deadline: a request still unprocessed this long after
+    /// it was enqueued is shed with
+    /// [`crate::ServeError::DeadlineExceeded`] instead of riding its
+    /// batch — bounded staleness beats a late answer. `None` = no
+    /// deadline.
+    pub deadline: Option<Duration>,
+    /// Admission control: submissions are shed with
+    /// [`crate::ServeError::Shed`] while the queue already holds this
+    /// many requests. Unlike `queue_capacity` (which blocks `submit`
+    /// and fails `try_submit` with `QueueFull` at the channel bound),
+    /// this sheds *explicitly and early* on both paths, so an overload
+    /// never turns into unbounded latency. `None` = no shedding.
+    pub shed_queue_depth: Option<usize>,
+    /// Armed fault plan the worker loop consults (batch panics, queue
+    /// stalls). The default disarmed handle injects nothing. See
+    /// `qk_chaos`.
+    pub chaos: Chaos,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +73,9 @@ impl Default for ServeConfig {
             cache_max_bytes: None,
             quantization_scale: 1e6,
             obs_dir: None,
+            deadline: None,
+            shed_queue_depth: None,
+            chaos: Chaos::disarmed(),
         }
     }
 }

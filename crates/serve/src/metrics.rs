@@ -65,6 +65,14 @@ pub struct MetricsSnapshot {
     /// Circuit simulations performed (= encoding-cache misses that were
     /// actually simulated).
     pub simulations: u64,
+    /// Requests shed by admission control or a missed deadline (each
+    /// received an explicit `Shed` / `DeadlineExceeded` error reply).
+    pub requests_shed: u64,
+    /// Worker restarts after a caught batch panic (the in-flight batch
+    /// was error-replied, never dropped).
+    pub workers_restarted: u64,
+    /// Faults the armed chaos plan injected into this server.
+    pub faults_injected: u64,
     /// Encoding-cache counters.
     pub cache: CacheStats,
     /// Fraction of lookups served from the encoding cache.
@@ -93,6 +101,11 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "batching: {} batches, mean size {:.2}, max size {}",
             self.batches, self.mean_batch_size, self.max_batch_size
+        )?;
+        writeln!(
+            f,
+            "robustness: {} shed, {} worker restarts, {} injected faults",
+            self.requests_shed, self.workers_restarted, self.faults_injected
         )?;
         writeln!(
             f,
@@ -128,6 +141,9 @@ pub(crate) struct Metrics {
     pub(crate) batched_jobs: Counter,
     pub(crate) max_batch_size: Counter,
     pub(crate) simulations: Counter,
+    pub(crate) requests_shed: Counter,
+    pub(crate) workers_restarted: Counter,
+    pub(crate) faults_injected: Counter,
     pub(crate) queue_depth: Gauge,
     latency: Histogram,
 }
@@ -143,6 +159,9 @@ impl Metrics {
             batched_jobs: obs.counter("serve.batched_jobs"),
             max_batch_size: obs.counter("serve.max_batch_size"),
             simulations: obs.counter("serve.simulations"),
+            requests_shed: obs.counter("serve.requests_shed"),
+            workers_restarted: obs.counter("serve.workers_restarted"),
+            faults_injected: obs.counter("serve.faults_injected"),
             queue_depth: obs.gauge("serve.queue_depth"),
             latency: obs.histogram("serve.latency_us"),
         }
@@ -185,6 +204,9 @@ impl Metrics {
             },
             max_batch_size: self.max_batch_size.get(),
             simulations: self.simulations.get(),
+            requests_shed: self.requests_shed.get(),
+            workers_restarted: self.workers_restarted.get(),
+            faults_injected: self.faults_injected.get(),
             cache,
             cache_hit_rate: cache.hit_rate(),
             latency: LatencySnapshot {

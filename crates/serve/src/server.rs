@@ -35,6 +35,7 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::registry::{DeploySummary, ModelRegistry, ModelVersion};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use qk_chaos::{sites, Fault};
 use qk_core::{ModelDecodeError, Prediction, QuantumKernelModel};
 use qk_mps::{Mps, ZipperWorkspace};
 use qk_obs::{Journal, Obs};
@@ -67,6 +68,16 @@ pub enum ServeError {
         /// Index of the offending coordinate.
         index: usize,
     },
+    /// The request sat in the queue past the configured
+    /// [`crate::ServeConfig::deadline`] and was shed unprocessed.
+    DeadlineExceeded,
+    /// Admission control refused the request: the queue already held
+    /// [`crate::ServeConfig::shed_queue_depth`] requests.
+    Shed,
+    /// The worker processing this request's batch panicked; the batch
+    /// was error-replied and the worker restarted. Retrying is safe —
+    /// the request was never partially served.
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for ServeError {
@@ -82,6 +93,11 @@ impl std::fmt::Display for ServeError {
                     f,
                     "feature {index} is not representable (NaN, infinite, or huge)"
                 )
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::Shed => write!(f, "request shed by admission control"),
+            ServeError::WorkerPanicked => {
+                write!(f, "worker panicked while processing this request's batch")
             }
         }
     }
@@ -209,6 +225,16 @@ impl ServeHandle {
         PendingAccounting { core: &self.core }
     }
 
+    /// Admission control: `true` when the queue is already at the
+    /// configured shed depth and this submission must be refused with an
+    /// explicit [`ServeError::Shed`] rather than queued (or blocked on).
+    fn shed_now(&self) -> bool {
+        self.core
+            .config
+            .shed_queue_depth
+            .is_some_and(|limit| self.core.metrics.queue_depth.get() >= limit as i64)
+    }
+
     /// Submits a request, blocking while the queue is full
     /// (backpressure).
     pub fn submit(&self, features: Vec<f64>) -> Result<PendingPrediction, ServeError> {
@@ -218,6 +244,12 @@ impl ServeHandle {
             drop(guard);
             self.core.metrics.rejected.inc();
             return Err(ServeError::Closed);
+        }
+        if self.shed_now() {
+            drop(guard);
+            self.core.metrics.rejected.inc();
+            self.core.metrics.requests_shed.inc();
+            return Err(ServeError::Shed);
         }
         self.core.metrics.queue_depth.inc();
         let sent = self.tx.send(msg);
@@ -244,6 +276,12 @@ impl ServeHandle {
             drop(guard);
             self.core.metrics.rejected.inc();
             return Err(ServeError::Closed);
+        }
+        if self.shed_now() {
+            drop(guard);
+            self.core.metrics.rejected.inc();
+            self.core.metrics.requests_shed.inc();
+            return Err(ServeError::Shed);
         }
         self.core.metrics.queue_depth.inc();
         let sent = self.tx.try_send(msg);
@@ -291,14 +329,39 @@ pub struct KernelServer {
 impl KernelServer {
     /// Starts the worker pool serving `model` as version 1, with its
     /// own fresh observability context.
+    ///
+    /// Panics if a worker thread cannot be spawned; use
+    /// [`KernelServer::try_start`] to handle that without leaking
+    /// threads.
     pub fn start(model: QuantumKernelModel, config: &ServeConfig) -> Self {
-        Self::start_with_obs(model, config, Obs::new())
+        Self::try_start(model, config).expect("spawn worker")
     }
 
     /// Starts the worker pool, registering all `serve.*` instruments
     /// and spans into a caller-provided [`Obs`] (so a pipeline can
     /// combine gram, SVM and serving telemetry in one report).
+    ///
+    /// Panics if a worker thread cannot be spawned; use
+    /// [`KernelServer::try_start_with_obs`] to handle that without
+    /// leaking threads.
     pub fn start_with_obs(model: QuantumKernelModel, config: &ServeConfig, obs: Obs) -> Self {
+        Self::try_start_with_obs(model, config, obs).expect("spawn worker")
+    }
+
+    /// Fallible [`KernelServer::start`]: a worker-spawn failure tears
+    /// down any already-started workers and returns the OS error
+    /// instead of panicking with threads leaked.
+    pub fn try_start(model: QuantumKernelModel, config: &ServeConfig) -> std::io::Result<Self> {
+        Self::try_start_with_obs(model, config, Obs::new())
+    }
+
+    /// Fallible [`KernelServer::start_with_obs`]: see
+    /// [`KernelServer::try_start`].
+    pub fn try_start_with_obs(
+        model: QuantumKernelModel,
+        config: &ServeConfig,
+        obs: Obs,
+    ) -> std::io::Result<Self> {
         let config = config.normalized();
         let worker_count = config.workers;
         // Journal export is best-effort: an unwritable obs dir must not
@@ -335,17 +398,25 @@ impl KernelServer {
             submitting: AtomicUsize::new(0),
             config,
         });
-        let workers = (0..worker_count)
-            .map(|w| {
-                let core = Arc::clone(&core);
-                let rx = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("qk-serve-{w}"))
-                    .spawn(move || worker_loop(&core, &rx))
-                    .expect("spawn worker")
-            })
-            .collect();
-        KernelServer { core, tx, workers }
+        let mut workers = Vec::with_capacity(worker_count);
+        for w in 0..worker_count {
+            let worker_core = Arc::clone(&core);
+            let worker_rx = rx.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("qk-serve-{w}"))
+                .spawn(move || worker_loop(&worker_core, &worker_rx));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Tear down the workers that did start so a partial
+                    // pool never outlives the constructor.
+                    let mut partial = KernelServer { core, tx, workers };
+                    partial.shutdown_inner();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(KernelServer { core, tx, workers })
     }
 
     /// A new client endpoint.
@@ -459,10 +530,12 @@ impl Drop for KernelServer {
 }
 
 fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
-    let backend = CpuBackend::new();
+    let mut backend = CpuBackend::new();
     // One zipper workspace per worker for the server's lifetime: every
     // kernel row this worker serves reuses the same buffers, so the
     // steady-state inner-product path performs zero heap allocation.
+    // (Both are rebuilt after a supervised batch panic — their internal
+    // state is unreliable once an unwind tore through them.)
     let mut ws = ZipperWorkspace::new();
     let _worker_span = core.obs.span("serve_worker");
     loop {
@@ -473,6 +546,14 @@ fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
             Ok(Msg::Shutdown) | Err(_) => return,
         };
         core.metrics.queue_depth.dec();
+        // The queue-stall site models a slow consumer; it only honors
+        // delays. A panic here would escape supervision and an I/O
+        // error has no meaning between queue and batch, so both are
+        // ignored rather than letting a plan typo kill the worker.
+        if let Some(Fault::Stall(delay)) = core.config.chaos.check(sites::SERVE_QUEUE) {
+            core.metrics.faults_injected.inc();
+            std::thread::sleep(delay);
+        }
         let mut batch = vec![first];
         let deadline = Instant::now() + core.config.max_wait;
         let mut shutting_down = false;
@@ -500,7 +581,26 @@ fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
                 }
             }
         }
-        process_batch(core, &backend, &mut ws, batch);
+        // Supervised batch execution: a panic anywhere in the batch
+        // (model bug, poisoned state, injected fault) error-replies
+        // every request still awaiting an answer — never hangs a
+        // client — and restarts this worker in place with fresh
+        // backend/workspace state.
+        let supervised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_batch(core, &backend, &mut ws, &mut batch);
+        }));
+        if supervised.is_err() {
+            for job in batch.drain(..) {
+                core.metrics.rejected.inc();
+                let _ = job.reply.send(Err(ServeError::WorkerPanicked));
+            }
+            backend = CpuBackend::new();
+            ws = ZipperWorkspace::new();
+            core.metrics.workers_restarted.inc();
+            if let Some(j) = &core.journal {
+                j.event("worker_restarted").log();
+            }
+        }
         if shutting_down {
             return;
         }
@@ -522,10 +622,24 @@ fn process_batch(
     core: &ServerCore,
     backend: &CpuBackend,
     ws: &mut ZipperWorkspace,
-    batch: Vec<Job>,
+    batch: &mut Vec<Job>,
 ) {
     let _batch_span = core.obs.span("batch");
     core.metrics.record_batch(batch.len());
+    // Chaos: a batch-site panic unwinds into the worker supervisor
+    // (every job left in `batch` gets an explicit error reply); a stall
+    // models a slow simulation. I/O faults have no meaning here.
+    match core.config.chaos.check(sites::SERVE_BATCH) {
+        Some(Fault::Panic) => {
+            core.metrics.faults_injected.inc();
+            panic!("chaos: injected batch panic at {}", sites::SERVE_BATCH);
+        }
+        Some(Fault::Stall(delay)) => {
+            core.metrics.faults_injected.inc();
+            std::thread::sleep(delay);
+        }
+        Some(Fault::Io) | None => {}
+    }
     // One model snapshot per batch: a concurrent deploy affects later
     // batches, never a partially processed one.
     let current: Arc<ModelVersion> = core.registry.current();
@@ -533,19 +647,31 @@ fn process_batch(
     let expected = model.num_features();
 
     // Answer (rare) stale-shape jobs that validated against a different
-    // version than the one now serving.
-    let mut jobs = Vec::with_capacity(batch.len());
-    for job in batch {
+    // version than the one now serving, and shed jobs that already sat
+    // in the queue past their deadline — a late answer is worth less
+    // than an explicit, immediate error.
+    batch.retain(|job| {
         if job.features.len() != expected {
+            core.metrics.rejected.inc();
             let _ = job.reply.send(Err(ServeError::FeatureCount {
                 expected,
                 got: job.features.len(),
             }));
-            core.metrics.rejected.inc();
-        } else {
-            jobs.push(job);
+            return false;
         }
-    }
+        if core
+            .config
+            .deadline
+            .is_some_and(|limit| job.enqueued.elapsed() > limit)
+        {
+            core.metrics.rejected.inc();
+            core.metrics.requests_shed.inc();
+            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+            return false;
+        }
+        true
+    });
+    let jobs: &[Job] = batch;
     if jobs.is_empty() {
         return;
     }
@@ -631,8 +757,13 @@ fn process_batch(
     };
 
     let _reply_span = core.obs.span("reply");
-    let batch_size = jobs.len();
-    for (job, &slot) in jobs.into_iter().zip(&job_slots) {
+    let batch_size = batch.len();
+    // Reply by popping from the back: a job leaves `batch` in the same
+    // step it is answered, so if anything panics mid-loop the worker
+    // supervisor error-replies exactly the still-unanswered jobs —
+    // never a double reply into a ticket's one-slot channel.
+    while let Some(job) = batch.pop() {
+        let slot = job_slots[batch.len()];
         let point = &unique[slot];
         let mut prediction = predictions[slot];
         prediction.timing.simulation = point.simulation;

@@ -20,10 +20,14 @@
 //! 9. [`tensor`] — the shared dense linear-algebra substrate;
 //! 10. [`mpi`] — the in-process MPI-shaped messaging shim;
 //! 11. [`obs`] — unified tracing spans, metrics registry, and the
-//!     durable lifecycle event journal.
+//!     durable lifecycle event journal;
+//! 12. [`chaos`] — deterministic fault injection (seeded fault plans
+//!     over named sites) and the bounded-backoff retry policy the
+//!     hardened crates recover with.
 #![forbid(unsafe_code)]
 
 pub use qk_bench as bench;
+pub use qk_chaos as chaos;
 pub use qk_circuit as circuit;
 pub use qk_core as core;
 pub use qk_data as data;
