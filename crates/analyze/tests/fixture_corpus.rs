@@ -101,6 +101,58 @@ fn obs_clock_fixtures() {
 }
 
 #[test]
+fn trace_clock_fixtures() {
+    // Mirrors the live analyze.toml shape for the trace module: the obs
+    // crate pinned by directory prefix alongside the instrumented gram
+    // engine, with only the tracer's audited entry points allowed to
+    // touch the clock.
+    let policy = Policy::parse(
+        "[determinism]\npinned = [\"crates/obs/src/\", \"crates/gram/src/engine.rs\"]\n\
+         allow_clock_in = [\"Tracer::new\", \"Tracer::now_us\", \"Tracer::write_shards\"]\n",
+    )
+    .unwrap();
+
+    // The tracer idiom passes: the epoch read, the stamp read, and the
+    // pid-tagged temp name are all in allowlisted functions; recording
+    // takes stamps as arguments.
+    let ok = fixture("trace_clock_ok.rs", "crates/obs/src/trace.rs");
+    assert!(
+        passes::determinism::run(&[ok], &policy).is_empty(),
+        "allowlisted tracer clock sites must be clean"
+    );
+
+    // The allowlist grants nothing to kernel files that self-instrument:
+    // an inline trace stamp in the tile loop and a pid-salted shard name
+    // are both flagged.
+    let bad = fixture("trace_clock_bad.rs", "crates/gram/src/engine.rs");
+    let findings = passes::determinism::run(&[bad], &policy);
+    assert_all_pass(&findings, "determinism");
+    assert_eq!(findings.len(), 2, "got {findings:?}");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.function == "TileTimeline::stamp_tile" && f.message.contains("Instant::now")),
+        "inline trace stamp in a kernel fn must be flagged: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.function == "shard_name" && f.message.contains("process::id")),
+        "pid-salted shard name outside the allowlist must be flagged: {findings:?}"
+    );
+
+    // Directory pinning applies inside the obs crate too: the same
+    // violations in a different obs file are still flagged — the
+    // allowlist names functions, not files.
+    let bad_in_obs = fixture("trace_clock_bad.rs", "crates/obs/src/trace.rs");
+    assert_eq!(
+        passes::determinism::run(&[bad_in_obs], &policy).len(),
+        2,
+        "un-allowlisted clock reads inside crates/obs/ are not exempt"
+    );
+}
+
+#[test]
 fn chaos_clock_fixtures() {
     // Mirrors the live analyze.toml shape: the whole chaos crate pinned
     // by directory prefix, with only the audited backoff loop allowed

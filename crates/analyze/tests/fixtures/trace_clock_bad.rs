@@ -1,0 +1,36 @@
+//! Violating fixture for the qk-obs trace clock policy: tile-level
+//! instrumentation that stamps events by reading the clock directly
+//! inside pinned compute code instead of asking the tracer for
+//! `now_us`. The allowlist names `Tracer::*` entry points — it grants
+//! nothing to kernel files that try to self-instrument.
+
+use std::time::Instant;
+
+pub struct TileTimeline {
+    spans: Vec<(u64, u64)>,
+}
+
+impl TileTimeline {
+    /// An inlined "trace stamp" in the tile loop: the ambient clock
+    /// read lives in an un-allowlisted kernel function, so the
+    /// determinism pass must flag it even though the value only feeds
+    /// the timeline.
+    pub fn stamp_tile(&mut self, values: &mut [f64], inputs: &[f64]) -> f64 {
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for (slot, v) in values.iter_mut().zip(inputs) {
+            *slot += v;
+            acc += *slot;
+        }
+        let dur_us = start.elapsed().as_micros() as u64;
+        self.spans.push((self.spans.len() as u64, dur_us));
+        acc
+    }
+}
+
+/// Shard naming via a process-id salt in the kernel crate: also an
+/// ambient read, also flagged when the function is not on the
+/// allowlist.
+pub fn shard_name(rank: u32) -> String {
+    format!("trace_rank_{rank}.{}.jsonl", std::process::id())
+}

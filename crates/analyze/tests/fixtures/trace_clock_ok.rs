@@ -1,0 +1,48 @@
+//! Passing fixture for the qk-obs trace clock policy: the tracer's
+//! ambient reads live only in the three allowlisted entry points
+//! (`Tracer::new`, `Tracer::now_us`, `Tracer::write_shards`); every
+//! recording call takes its stamps as arguments.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+pub struct Tracer {
+    epoch: Instant,
+    events: Vec<(u64, u64)>,
+}
+
+impl Tracer {
+    /// Allowlisted: the epoch instant anchors every `t_us` stamp and
+    /// never feeds a computed kernel value.
+    pub fn new() -> Tracer {
+        Tracer {
+            epoch: Instant::now(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Allowlisted: the single clock read on the recording path.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Stamps arrive as arguments — no ambient state read here.
+    pub fn record_since(&mut self, start_us: u64, end_us: u64) {
+        self.events.push((start_us, end_us.saturating_sub(start_us)));
+    }
+
+    /// Allowlisted ambient read: the process id only tags the
+    /// temp-file name used for the durable shard rename.
+    pub fn write_shards(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let body: String = self
+            .events
+            .iter()
+            .map(|(t, d)| format!("{{\"t_us\":{t},\"dur_us\":{d}}}\n"))
+            .collect();
+        let path = dir.join("trace_rank_0.jsonl");
+        let tmp = dir.join(format!(".trace_rank_0.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}

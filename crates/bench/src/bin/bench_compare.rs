@@ -1,0 +1,62 @@
+//! Perf-regression gate: diff a fresh `BENCH_*.json` against a
+//! committed baseline.
+//!
+//! The baseline's per-metric `tol_rel` and `direction` annotations are
+//! the contract (see [`qk_bench::schema`]); the fresh run's annotations
+//! are ignored, so a regressed run cannot weaken its own gate. Exit
+//! status: 0 when every gated metric passes, 1 on any regression
+//! (including a gated metric missing from the fresh run), 2 on
+//! unreadable or schema-invalid input.
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin bench_compare -- \
+//!     --baseline results/BENCH_kernel.json \
+//!     --fresh /tmp/bench/BENCH_kernel.json \
+//!     [--inject-regression FACTOR]
+//!
+//! `--inject-regression FACTOR` degrades every gated fresh metric by
+//! FACTOR (< 1) before comparing — CI's self-test that the gate
+//! actually trips (the step asserts a nonzero exit).
+
+use qk_bench::schema::{compare, inject_regression, BenchResult};
+use qk_bench::Args;
+use std::path::{Path, PathBuf};
+
+fn load(path: &Path) -> BenchResult {
+    BenchResult::read(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = Args::from_env();
+    let baseline_path = PathBuf::from(
+        args.get("baseline")
+            .expect("--baseline FILE (committed result) required"),
+    );
+    let fresh_path = PathBuf::from(args.get("fresh").expect("--fresh FILE (new run) required"));
+    let baseline = load(&baseline_path);
+    let mut fresh = load(&fresh_path);
+    if baseline.meta.bench != fresh.meta.bench {
+        eprintln!(
+            "bench_compare: baseline is '{}' but fresh is '{}'",
+            baseline.meta.bench, fresh.meta.bench
+        );
+        std::process::exit(2);
+    }
+    if let Some(raw) = args.get("inject-regression") {
+        let factor: f64 = raw.parse().expect("bad --inject-regression");
+        inject_regression(&mut fresh, factor);
+        eprintln!("[self-test: degraded every gated fresh metric by {factor}]");
+    }
+    println!(
+        "bench_compare: {} (baseline rev {} vs fresh rev {})",
+        baseline.meta.bench, baseline.meta.git_rev, fresh.meta.git_rev
+    );
+    let report = compare(&baseline, &fresh);
+    println!("{report}");
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

@@ -18,11 +18,21 @@
 //!     [--tiles 8,16,32] [--workers 1,2,4] \
 //!     [--smoke] [--resume] [--checkpoint-dir DIR] [--out FILE] \
 //!     [--throttle-ms T] [--budget-kb B] [--obs-dir DIR] \
+//!     [--trace-dir DIR] \
 //!     [--chaos SPEC] [--chaos-seed S] [--ranks K] [--hb-timeout-ms T]
 //!
 //! `--obs-dir DIR` (smoke mode) exports observability artifacts there:
 //! the engine's lifecycle journal (`gram_journal.jsonl`) and the
 //! unified `obs_gram.json` report with span rollups.
+//!
+//! `--trace-dir DIR` (smoke and rank modes) records tile-granular
+//! timeline events (queue-wait, steal, band-load, compute,
+//! checkpoint-write, rebalance, assemble), writes one
+//! `trace_rank_<r>.jsonl` shard per rank plus the merged Chrome
+//! trace-event file `trace_gram.json` (loadable in `chrome://tracing`
+//! or Perfetto) and the `trace_report.json` utilization/critical-path
+//! summary. Tracing never participates in the bitwise determinism
+//! contract: `--out` bytes are identical with and without it.
 //!
 //! `--chaos SPEC` (smoke mode) arms a seeded fault plan in
 //! `qk_chaos::FaultPlan::parse` grammar, e.g.
@@ -33,7 +43,8 @@
 //! checkpoint dirs under `--checkpoint-dir` and heartbeat timeout
 //! `--hb-timeout-ms` — the CI chaos drill drives both paths.
 
-use qk_bench::{sample_rows, write_results, Args, Scale};
+use qk_bench::schema::{BenchMeta, BenchResult, Direction};
+use qk_bench::{export_trace, sample_rows, Args, Scale};
 use qk_chaos::{Chaos, FaultPlan};
 use qk_circuit::AnsatzConfig;
 use qk_core::simulate_states;
@@ -41,48 +52,29 @@ use qk_gram::{
     encoding_fingerprint, rank_distributed_gram, GramConfig, GramEngine, GramError, RankConfig,
 };
 use qk_mps::TruncationConfig;
+use qk_obs::Tracer;
 use qk_tensor::backend::CpuBackend;
-use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Duration;
 
-#[derive(Serialize)]
-struct Cell {
-    tile: usize,
-    workers: usize,
-    n: usize,
-    wall: Duration,
-    throughput_ips: f64,
-    tiles_total: usize,
-    bitwise_ok: bool,
-}
-
-#[derive(Serialize)]
-struct RankRecord {
-    n: usize,
-    tile: usize,
-    ranks: usize,
-    dead_ranks: Vec<usize>,
-    tiles_adopted: u64,
-    tiles_recomputed: u64,
-    faults_injected: u64,
-}
-
-#[derive(Serialize)]
-struct SmokeRecord {
-    n: usize,
-    tile: usize,
-    workers: usize,
-    tiles_total: usize,
-    tiles_computed: usize,
-    tiles_restored: usize,
-    tiles_stolen: u64,
-    bands_spilled: u64,
-    bands_reloaded: u64,
-    inner_products: usize,
-    wall: Duration,
-    spilled: bool,
+/// Writes the shards of an armed tracer and exports the merged Chrome
+/// trace and analyzer summary, printing the summary to stdout.
+fn finish_trace(tracer: Option<&Tracer>, dir: Option<&PathBuf>) {
+    let (Some(tracer), Some(dir)) = (tracer, dir) else {
+        return;
+    };
+    if let Err(e) = tracer.write_shards(dir) {
+        eprintln!("gram_scale: cannot write trace shards: {e}");
+        return;
+    }
+    match export_trace(dir, "trace_gram.json", "trace_report.json") {
+        Ok(analysis) => {
+            println!("{analysis}");
+            eprintln!("[trace written to {}]", dir.display());
+        }
+        Err(e) => eprintln!("gram_scale: cannot export trace: {e}"),
+    }
 }
 
 fn parse_list(args: &Args, key: &str, default: &[usize]) -> Vec<usize> {
@@ -140,14 +132,21 @@ fn smoke(args: &Args) {
     let states = simulate_states(&rows, &ansatz, &be, &trunc).states;
     let encoding = encoding_fingerprint(&ansatz, &trunc);
 
+    let trace_dir = args.get("trace-dir").map(PathBuf::from);
+    if let Some(d) = &trace_dir {
+        std::fs::create_dir_all(d).expect("creating --trace-dir");
+    }
+    let tracer = trace_dir.as_ref().map(|_| Tracer::new());
+
     if args.get_or("ranks", 1usize) > 1 {
-        rank_drill(args, dir, chaos, encoding, &states, &be);
+        rank_drill(args, dir, chaos, encoding, &states, &be, tracer, trace_dir);
         return;
     }
 
     let mut cfg = GramConfig::checkpointed(&dir, tile, encoding);
     cfg.workers = workers;
     cfg.chaos = chaos;
+    cfg.trace = tracer.clone();
     cfg.throttle = match args.get_or("throttle-ms", 0u64) {
         0 => None,
         ms => Some(Duration::from_millis(ms)),
@@ -176,6 +175,7 @@ fn smoke(args: &Args) {
         r.tiles_computed, r.tiles_total, r.tiles_restored, r.inner_products, r.wall_time, r.spilled
     );
     println!("{}", engine.metrics().snapshot());
+    finish_trace(tracer.as_ref(), trace_dir.as_ref());
 
     if let Some(path) = args.get("out") {
         let mut bytes = Vec::with_capacity(out.kernel.data().len() * 8);
@@ -186,28 +186,36 @@ fn smoke(args: &Args) {
         f.write_all(&bytes).expect("writing --out file");
         eprintln!("[matrix bytes written to {path}]");
     }
-    write_results(
-        "gram_scale_smoke",
-        &SmokeRecord {
-            n,
-            tile,
-            workers,
-            tiles_total: r.tiles_total,
-            tiles_computed: r.tiles_computed,
-            tiles_restored: r.tiles_restored,
-            tiles_stolen: r.tiles_stolen,
-            bands_spilled: r.bands_spilled,
-            bands_reloaded: r.bands_reloaded,
-            inner_products: r.inner_products,
-            wall: r.wall_time,
-            spilled: r.spilled,
-        },
+    let mut meta = BenchMeta::new("gram_scale_smoke", "smoke");
+    meta.n = n;
+    meta.tile = tile;
+    meta.workers = workers;
+    let mut result = BenchResult::new(meta);
+    // Structural counts are covered by the determinism contract: a
+    // clean smoke at fixed (n, tile) must reproduce them bit-for-bit.
+    result.metric("tiles_total", r.tiles_total as f64, 0.0, Direction::Exact);
+    result.metric(
+        "inner_products",
+        r.inner_products as f64,
+        0.0,
+        Direction::Exact,
     );
+    // Resume- and scheduling-dependent counts, plus absolute wall time,
+    // are informational only.
+    result.info("tiles_computed", r.tiles_computed as f64);
+    result.info("tiles_restored", r.tiles_restored as f64);
+    result.info("tiles_stolen", r.tiles_stolen as f64);
+    result.info("bands_spilled", r.bands_spilled as f64);
+    result.info("bands_reloaded", r.bands_reloaded as f64);
+    result.info("wall_us", r.wall_time.as_micros() as f64);
+    result.info("spilled", u64::from(r.spilled) as f64);
+    result.write();
 }
 
 /// Rank-death drill: run the simulated-MPI rank driver instead of the
 /// engine, optionally killing ranks via the armed plan, and dump the
 /// same `--out` byte format so CI can `cmp` against a clean run.
+#[allow(clippy::too_many_arguments)]
 fn rank_drill(
     args: &Args,
     dir: PathBuf,
@@ -215,6 +223,8 @@ fn rank_drill(
     encoding: u64,
     states: &[qk_mps::Mps],
     be: &CpuBackend,
+    tracer: Option<Tracer>,
+    trace_dir: Option<PathBuf>,
 ) {
     let n = states.len();
     let tile = args.get_or("tile", 8usize);
@@ -224,7 +234,9 @@ fn rank_drill(
     cfg.chaos = chaos;
     cfg.hb_timeout = Duration::from_millis(args.get_or("hb-timeout-ms", 300u64));
     cfg.obs_dir = args.get("obs-dir").map(PathBuf::from);
+    cfg.trace = tracer.clone();
     let out = rank_distributed_gram(states, be, &cfg);
+    finish_trace(tracer.as_ref(), trace_dir.as_ref());
     let rep = &out.report;
     println!(
         "gram_scale rank drill: n={n} tile={tile} ranks={ranks}\n\
@@ -253,18 +265,18 @@ fn rank_drill(
         f.write_all(&bytes).expect("writing --out file");
         eprintln!("[matrix bytes written to {path}]");
     }
-    write_results(
-        "gram_rank_drill",
-        &RankRecord {
-            n,
-            tile,
-            ranks,
-            dead_ranks: rep.dead_ranks.clone(),
-            tiles_adopted: rep.tiles_adopted,
-            tiles_recomputed: rep.tiles_recomputed,
-            faults_injected: cfg.chaos.injected(),
-        },
-    );
+    let mut meta = BenchMeta::new("gram_rank_drill", "smoke");
+    meta.n = n;
+    meta.tile = tile;
+    meta.ranks = ranks;
+    let mut result = BenchResult::new(meta);
+    // Every drill metric is chaos-plan dependent (CI runs this bin with
+    // several different plans), so the record is informational.
+    result.info("dead_ranks", rep.dead_ranks.len() as f64);
+    result.info("tiles_adopted", rep.tiles_adopted as f64);
+    result.info("tiles_recomputed", rep.tiles_recomputed as f64);
+    result.info("faults_injected", cfg.chaos.injected() as f64);
+    result.write();
 }
 
 /// Tile x workers sweep over the in-memory engine.
@@ -302,7 +314,18 @@ fn sweep(args: &Args) {
         "{:>6} {:>8} {:>12} {:>14} {:>8}",
         "tile", "workers", "wall", "ip/s", "bitwise"
     );
-    let mut cells = Vec::new();
+    let mut meta = BenchMeta::new(
+        "gram_scale",
+        match scale {
+            Scale::Ci => "ci",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        },
+    );
+    meta.n = n;
+    meta.workers = workers.iter().copied().max().unwrap_or(0);
+    let mut result = BenchResult::new(meta);
+    let mut all_bitwise = true;
     for &tile in &tiles {
         for &w in &workers {
             let mut cfg = GramConfig::in_memory(tile);
@@ -314,24 +337,30 @@ fn sweep(args: &Args) {
             let r = &out.report;
             let ips = r.inner_products as f64 / r.wall_time.as_secs_f64().max(1e-9);
             let ok = out.kernel.data() == reference.as_slice();
+            all_bitwise &= ok;
             println!(
                 "{:>6} {:>8} {:>12.3?} {:>14.0} {:>8}",
                 tile, w, r.wall_time, ips, ok
             );
-            cells.push(Cell {
-                tile,
-                workers: w,
-                n,
-                wall: r.wall_time,
-                throughput_ips: ips,
-                tiles_total: r.tiles_total,
-                bitwise_ok: ok,
-            });
+            result.info(
+                &format!("wall_us_t{tile}_w{w}"),
+                r.wall_time.as_micros() as f64,
+            );
+            result.info(&format!("ips_t{tile}_w{w}"), ips);
+            result.metric(
+                &format!("tiles_total_t{tile}"),
+                r.tiles_total as f64,
+                0.0,
+                Direction::Exact,
+            );
         }
     }
     assert!(
-        cells.iter().all(|c| c.bitwise_ok),
+        all_bitwise,
         "a sweep cell diverged from the single-pass reference"
     );
-    write_results("gram_scale", &cells);
+    // Every cell matched the single-pass reference bitwise; the gate
+    // pins that at 1.
+    result.metric("bitwise_ok", 1.0, 0.0, Direction::Exact);
+    result.write();
 }

@@ -11,36 +11,41 @@
 //! Usage:
 //!   cargo run --release -p qk-bench --bin serve_throughput -- \
 //!     [--scale ci|default|paper] [--smoke] [--requests N] \
-//!     [--features M] [--train N] [--pool P] [--obs-dir DIR]
+//!     [--features M] [--train N] [--pool P] [--obs-dir DIR] \
+//!     [--trace-dir DIR]
 //!
 //! `--obs-dir DIR` exports observability artifacts there: each cell's
 //! server appends lifecycle events to `serve_journal.jsonl` and the
 //! final shutdown leaves `obs_serve.json` with span rollups.
+//!
+//! `--trace-dir DIR` records batch-granular timeline events (queue,
+//! coalesce, encode, kernel, reply; lane = worker index) across every
+//! cell, then writes the shard plus the merged Chrome trace-event file
+//! `trace_serve.json` and the `trace_serve_report.json` summary.
 
-use qk_bench::{sample_rows, write_results, Args, Scale};
+use qk_bench::schema::{BenchMeta, BenchResult, Direction};
+use qk_bench::{export_trace, sample_rows, Args, Scale};
 use qk_circuit::AnsatzConfig;
 use qk_core::QuantumKernelModel;
 use qk_data::{generate, prepare_experiment, SyntheticConfig};
 use qk_mps::TruncationConfig;
+use qk_obs::Tracer;
 use qk_serve::{KernelServer, ServeConfig};
 use qk_svm::SmoParams;
 use qk_tensor::backend::CpuBackend;
-use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Duration;
 
-#[derive(Serialize)]
 struct Cell {
     workers: usize,
     max_batch: usize,
-    requests: usize,
-    wall: Duration,
     throughput_rps: f64,
     p50: Duration,
     p99: Duration,
     mean_batch_size: f64,
     cache_hit_rate: f64,
     simulations: u64,
+    completed: u64,
 }
 
 fn main() {
@@ -67,6 +72,11 @@ fn main() {
     let requests = args.get_or("requests", requests);
     let pool = args.get_or("pool", pool);
     let obs_dir = args.get("obs-dir").map(PathBuf::from);
+    let trace_dir = args.get("trace-dir").map(PathBuf::from);
+    if let Some(d) = &trace_dir {
+        std::fs::create_dir_all(d).expect("creating --trace-dir");
+    }
+    let tracer = trace_dir.as_ref().map(|_| Tracer::new());
 
     // One trained model artifact, redeployed fresh per cell.
     let data = generate(&SyntheticConfig {
@@ -113,6 +123,7 @@ fn main() {
                     max_wait: Duration::from_millis(1),
                     queue_capacity: 4 * workers * max_batch.max(8),
                     obs_dir: obs_dir.clone(),
+                    trace: tracer.clone(),
                     ..ServeConfig::default()
                 },
             );
@@ -135,14 +146,13 @@ fn main() {
             let cell = Cell {
                 workers,
                 max_batch,
-                requests,
-                wall,
                 throughput_rps: requests as f64 / wall.as_secs_f64().max(1e-9),
                 p50: snap.latency.p50,
                 p99: snap.latency.p99,
                 mean_batch_size: snap.mean_batch_size,
                 cache_hit_rate: snap.cache_hit_rate,
                 simulations: snap.simulations,
+                completed: snap.completed,
             };
             println!(
                 "{:>7} {:>9} | {:>12.1} {:>10.2?} {:>10.2?} {:>10.2} {:>8.1}% {:>6}",
@@ -169,5 +179,50 @@ fn main() {
             last.max_batch
         );
     }
-    write_results("serve_throughput", &cells);
+
+    if let (Some(tracer), Some(dir)) = (&tracer, &trace_dir) {
+        if let Err(e) = tracer.write_shards(dir) {
+            eprintln!("serve_throughput: cannot write trace shards: {e}");
+        } else {
+            match export_trace(dir, "trace_serve.json", "trace_serve_report.json") {
+                Ok(analysis) => {
+                    println!("{analysis}");
+                    eprintln!("[trace written to {}]", dir.display());
+                }
+                Err(e) => eprintln!("serve_throughput: cannot export trace: {e}"),
+            }
+        }
+    }
+
+    let mut meta = BenchMeta::new(
+        "serve_throughput",
+        match scale {
+            Scale::Ci => "ci",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        },
+    );
+    meta.n = requests;
+    meta.workers = worker_grid.iter().copied().max().unwrap_or(0);
+    let mut result = BenchResult::new(meta);
+    // Every cell must answer its whole request stream — a deterministic
+    // count the gate pins exactly. Throughput, latency and cache shape
+    // depend on host load, so they stay informational.
+    let completed_total: u64 = cells.iter().map(|c| c.completed).sum();
+    result.metric(
+        "completed_total",
+        completed_total as f64,
+        0.0,
+        Direction::Exact,
+    );
+    for c in &cells {
+        let tag = format!("w{}_b{}", c.workers, c.max_batch);
+        result.info(&format!("rps_{tag}"), c.throughput_rps);
+        result.info(&format!("p50_us_{tag}"), c.p50.as_micros() as f64);
+        result.info(&format!("p99_us_{tag}"), c.p99.as_micros() as f64);
+        result.info(&format!("mean_batch_{tag}"), c.mean_batch_size);
+        result.info(&format!("hit_rate_{tag}"), c.cache_hit_rate);
+        result.info(&format!("sims_{tag}"), c.simulations as f64);
+    }
+    result.write();
 }

@@ -1,0 +1,47 @@
+//! Offline trace analyzer: merge per-rank trace shards into a Chrome
+//! trace and a utilization/critical-path summary.
+//!
+//! Reads every `trace_rank_<r>.jsonl` shard in `--trace-dir` (written
+//! by `qk_obs::Tracer::write_shards` — the `gram_scale` and
+//! `serve_throughput` harnesses produce them under `--trace-dir`),
+//! merges them in the canonical `(rank, lane, seq)` order, and writes:
+//!
+//! * `trace_gram.json` — Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or Perfetto (`--chrome NAME` overrides);
+//! * `trace_report.json` — per-rank/per-lane utilization, stall and
+//!   steal time, per-phase totals, the critical path through the tile
+//!   timeline, and scaling efficiency vs. rank count (`--report NAME`
+//!   overrides).
+//!
+//! The merge and the analysis are deterministic functions of the shard
+//! contents: re-running over the same shards — in any discovery order —
+//! reproduces both outputs byte for byte.
+//!
+//! Usage:
+//!   cargo run --release -p qk-bench --bin trace_report -- \
+//!     --trace-dir DIR [--chrome trace_gram.json] \
+//!     [--report trace_report.json]
+
+use qk_bench::{export_trace, Args};
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::from_env();
+    let dir = PathBuf::from(args.get("trace-dir").expect("--trace-dir DIR required"));
+    let chrome = args.get("chrome").unwrap_or("trace_gram.json");
+    let report = args.get("report").unwrap_or("trace_report.json");
+    match export_trace(&dir, chrome, report) {
+        Ok(analysis) => {
+            println!("{analysis}");
+            eprintln!(
+                "[chrome trace: {}; summary: {}]",
+                dir.join(chrome).display(),
+                dir.join(report).display()
+            );
+        }
+        Err(e) => {
+            eprintln!("trace_report: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -13,6 +13,8 @@ use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Duration;
 
+pub mod schema;
+
 /// Harness scale presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -98,10 +100,16 @@ impl Args {
     }
 }
 
-/// Writes a serializable record to `results/<name>.json` (best effort; the
-/// harness still succeeds if the directory is unwritable).
+/// Writes a serializable record to `<dir>/<name>.json`, where `<dir>`
+/// is `$QK_RESULTS_DIR` if set, else `results/` under the current
+/// directory (best effort; the harness still succeeds if the directory
+/// is unwritable). CI points `QK_RESULTS_DIR` at a scratch directory so
+/// fresh runs never clobber the committed baselines they are compared
+/// against.
 pub fn write_results<T: Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from("results");
+    let dir = std::env::var_os("QK_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
@@ -114,6 +122,24 @@ pub fn write_results<T: Serialize>(name: &str, value: &T) {
         }
         Err(e) => eprintln!("[failed to serialize results: {e}]"),
     }
+}
+
+/// Merges the per-rank trace shards in `dir` (written by
+/// [`qk_obs::Tracer::write_shards`]), exports the Chrome trace-event
+/// file as `dir/<chrome>` and the analyzer summary as `dir/<report>`,
+/// and returns the analysis. The merge is canonical `(rank, lane, seq)`
+/// order, so the result is identical however the shards were produced
+/// or listed.
+pub fn export_trace(
+    dir: &std::path::Path,
+    chrome: &str,
+    report: &str,
+) -> std::io::Result<qk_obs::TraceAnalysis> {
+    let events = qk_obs::trace::read_shards(dir)?;
+    qk_obs::trace::write_chrome_trace(&dir.join(chrome), &events)?;
+    let analysis = qk_obs::trace::analyze(&events);
+    analysis.write_json(&dir.join(report))?;
+    Ok(analysis)
 }
 
 /// Deterministic sample rows drawn from the synthetic elliptic-like

@@ -1,0 +1,517 @@
+//! Versioned benchmark-result schema and regression comparison.
+//!
+//! Every harness binary emits a `BENCH_<name>.json` envelope:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "meta": { "bench": "...", "git_rev": "...", "scale": "...",
+//!             "n": 0, "chi": 0, "tile": 0, "workers": 0, "ranks": 0 },
+//!   "metrics": { "<name>": { "value": 0.0, "tol_rel": 0.0,
+//!                            "direction": "higher" } }
+//! }
+//! ```
+//!
+//! The **committed baseline carries the contract**: its `tol_rel` and
+//! `direction` decide what a regression is, so tightening or widening a
+//! gate is a reviewed change to the baseline file, never a CI-side
+//! knob. [`compare`] checks a fresh result against a baseline:
+//!
+//! * `higher` — fresh ≥ baseline × (1 − tol): throughput-like ratios
+//!   where only a drop is a regression (improvements always pass);
+//! * `lower`  — fresh ≤ baseline × (1 + tol): latency-like values;
+//! * `exact`  — fresh == baseline bit-for-bit: structural counts
+//!   (tiles, inner products) covered by the determinism contract;
+//! * `info`   — recorded for humans and plots, never gated (absolute
+//!   wall times mean nothing across heterogeneous CI hosts).
+//!
+//! A gated baseline metric missing from the fresh run fails the
+//! comparison — silently dropping a metric must not pass the gate.
+
+use qk_obs::json::{self, Json};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Version of the `BENCH_*.json` envelope this crate reads and writes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Regression polarity of one metric. Stored on the wire as a
+/// lowercase string (`higher` / `lower` / `exact` / `info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better; only a drop beyond tolerance is a regression.
+    Higher,
+    /// Smaller is better; only a rise beyond tolerance is a regression.
+    Lower,
+    /// Must match the baseline bit-for-bit (deterministic counts).
+    Exact,
+    /// Recorded but never gated.
+    Info,
+}
+
+impl Direction {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+            Direction::Exact => "exact",
+            Direction::Info => "info",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Direction> {
+        match s {
+            "higher" => Some(Direction::Higher),
+            "lower" => Some(Direction::Lower),
+            "exact" => Some(Direction::Exact),
+            "info" => Some(Direction::Info),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Direction {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+/// Provenance of one benchmark run. Zero means "not applicable" for
+/// the dimension fields.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchMeta {
+    /// Benchmark name (matches the `BENCH_<name>.json` file stem).
+    pub bench: String,
+    /// `git rev-parse --short HEAD` at run time (`unknown` outside a
+    /// work tree).
+    pub git_rev: String,
+    /// Harness scale preset the run used.
+    pub scale: String,
+    /// Problem size (points / requests).
+    pub n: usize,
+    /// Bond dimension, when the bench sweeps one.
+    pub chi: usize,
+    /// Tile edge, for tiled-engine benches.
+    pub tile: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Simulated MPI ranks.
+    pub ranks: usize,
+}
+
+impl BenchMeta {
+    /// Meta for `bench` at `scale` with every dimension zeroed; set the
+    /// ones that apply.
+    pub fn new(bench: &str, scale: &str) -> BenchMeta {
+        BenchMeta {
+            bench: bench.to_string(),
+            git_rev: git_rev(),
+            scale: scale.to_string(),
+            n: 0,
+            chi: 0,
+            tile: 0,
+            workers: 0,
+            ranks: 0,
+        }
+    }
+}
+
+/// One measured value plus its regression contract.
+#[derive(Debug, Clone, Serialize)]
+pub struct Metric {
+    /// The measurement.
+    pub value: f64,
+    /// Relative tolerance for `higher`/`lower` gating (ignored for
+    /// `exact` and `info`).
+    pub tol_rel: f64,
+    /// Gating polarity.
+    pub direction: Direction,
+}
+
+/// A complete versioned benchmark result.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchResult {
+    /// Envelope version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Run provenance.
+    pub meta: BenchMeta,
+    /// Named metrics, sorted (BTreeMap) so the file is diffable.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl BenchResult {
+    /// An empty result envelope for `meta`.
+    pub fn new(meta: BenchMeta) -> BenchResult {
+        BenchResult {
+            schema_version: BENCH_SCHEMA_VERSION,
+            meta,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a metric.
+    pub fn metric(&mut self, name: &str, value: f64, tol_rel: f64, direction: Direction) {
+        self.metrics.insert(
+            name.to_string(),
+            Metric {
+                value,
+                tol_rel,
+                direction,
+            },
+        );
+    }
+
+    /// Convenience: an ungated, tolerance-free informational metric.
+    pub fn info(&mut self, name: &str, value: f64) {
+        self.metric(name, value, 0.0, Direction::Info);
+    }
+
+    /// Writes `BENCH_<bench>.json` via [`crate::write_results`]
+    /// (honoring `QK_RESULTS_DIR`).
+    pub fn write(&self) {
+        crate::write_results(&format!("BENCH_{}", self.meta.bench), self);
+    }
+
+    /// Parses an envelope previously written by [`BenchResult::write`].
+    pub fn from_json_str(src: &str) -> Result<BenchResult, String> {
+        let root = json::parse(src).map_err(|e| format!("invalid JSON: {e}"))?;
+        let version = root
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} (this tool reads {BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let meta = root.get("meta").ok_or("missing meta")?;
+        let str_field = |key: &str| -> Result<String, String> {
+            meta.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("meta.{key} missing or not a string"))
+        };
+        let dim_field = |key: &str| -> Result<usize, String> {
+            meta.get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("meta.{key} missing or not an integer"))
+        };
+        let meta = BenchMeta {
+            bench: str_field("bench")?,
+            git_rev: str_field("git_rev")?,
+            scale: str_field("scale")?,
+            n: dim_field("n")?,
+            chi: dim_field("chi")?,
+            tile: dim_field("tile")?,
+            workers: dim_field("workers")?,
+            ranks: dim_field("ranks")?,
+        };
+        let mut metrics = BTreeMap::new();
+        let raw = root
+            .get("metrics")
+            .and_then(Json::as_object)
+            .ok_or("missing metrics object")?;
+        for (name, m) in raw {
+            let value = m
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metric {name}: value missing or not a number"))?;
+            let tol_rel = m
+                .get("tol_rel")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metric {name}: tol_rel missing or not a number"))?;
+            let direction = m
+                .get("direction")
+                .and_then(Json::as_str)
+                .and_then(Direction::parse)
+                .ok_or_else(|| format!("metric {name}: unknown direction"))?;
+            metrics.insert(
+                name.clone(),
+                Metric {
+                    value,
+                    tol_rel,
+                    direction,
+                },
+            );
+        }
+        Ok(BenchResult {
+            schema_version: version,
+            meta,
+            metrics,
+        })
+    }
+
+    /// Reads and parses an envelope file.
+    pub fn read(path: &Path) -> Result<BenchResult, String> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json_str(&src).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Verdict for one gated metric.
+#[derive(Debug, Clone)]
+pub struct MetricCheck {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value (the contract side).
+    pub baseline: f64,
+    /// Fresh value, `None` when the fresh run lacks the metric.
+    pub fresh: Option<f64>,
+    /// Contract polarity (from the baseline).
+    pub direction: Direction,
+    /// Contract tolerance (from the baseline).
+    pub tol_rel: f64,
+    /// `true` when this metric passes its contract.
+    pub ok: bool,
+}
+
+/// Outcome of comparing a fresh result against a committed baseline.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Every gated (non-`info`) baseline metric, in name order.
+    pub checks: Vec<MetricCheck>,
+}
+
+impl CompareReport {
+    /// `true` when every gated metric passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// The failing checks.
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricCheck> {
+        self.checks.iter().filter(|c| !c.ok)
+    }
+}
+
+impl fmt::Display for CompareReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.checks {
+            let verdict = if c.ok { "ok  " } else { "FAIL" };
+            match c.fresh {
+                Some(fresh) => writeln!(
+                    f,
+                    "{verdict} {:<40} {:>14.6} -> {:>14.6}  ({}, tol {:.0}%)",
+                    c.name,
+                    c.baseline,
+                    fresh,
+                    c.direction.as_str(),
+                    100.0 * c.tol_rel
+                )?,
+                None => writeln!(
+                    f,
+                    "{verdict} {:<40} {:>14.6} -> <missing>      ({})",
+                    c.name,
+                    c.baseline,
+                    c.direction.as_str()
+                )?,
+            }
+        }
+        write!(
+            f,
+            "{} gated metrics, {} regression(s)",
+            self.checks.len(),
+            self.regressions().count()
+        )
+    }
+}
+
+/// Compares `fresh` against `baseline`. The baseline's `tol_rel` and
+/// `direction` are the contract; the fresh run's annotations are
+/// ignored. `info` metrics are skipped; a gated baseline metric the
+/// fresh run lacks fails.
+pub fn compare(baseline: &BenchResult, fresh: &BenchResult) -> CompareReport {
+    let mut checks = Vec::new();
+    for (name, b) in &baseline.metrics {
+        if b.direction == Direction::Info {
+            continue;
+        }
+        let fresh_value = fresh.metrics.get(name).map(|m| m.value);
+        let ok = match fresh_value {
+            None => false,
+            Some(v) => match b.direction {
+                Direction::Higher => v >= b.value * (1.0 - b.tol_rel),
+                Direction::Lower => v <= b.value * (1.0 + b.tol_rel),
+                Direction::Exact => v == b.value,
+                Direction::Info => unreachable!("info metrics are skipped"),
+            },
+        };
+        checks.push(MetricCheck {
+            name: name.clone(),
+            baseline: b.value,
+            fresh: fresh_value,
+            direction: b.direction,
+            tol_rel: b.tol_rel,
+            ok,
+        });
+    }
+    CompareReport { checks }
+}
+
+/// Degrades every gated metric of `result` by `factor` (< 1), in the
+/// direction that makes it worse: `higher` metrics shrink, `lower`
+/// metrics grow, `exact` metrics shift by one. The `bench_compare`
+/// `--inject-regression` self-test uses this to prove the gate trips.
+pub fn inject_regression(result: &mut BenchResult, factor: f64) {
+    for m in result.metrics.values_mut() {
+        match m.direction {
+            Direction::Higher => m.value *= factor,
+            Direction::Lower => m.value /= factor.max(1e-12),
+            Direction::Exact => m.value += 1.0,
+            Direction::Info => {}
+        }
+    }
+}
+
+/// Short git revision of the working tree, or `unknown`.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchResult {
+        let mut r = BenchResult::new(BenchMeta::new("unit", "ci"));
+        r.metric("speedup", 3.3, 0.45, Direction::Higher);
+        r.metric("p99_us", 900.0, 0.5, Direction::Lower);
+        r.metric("tiles_total", 21.0, 0.0, Direction::Exact);
+        r.info("wall_us", 123456.0);
+        r
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let r = sample();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back = BenchResult::from_json_str(&json).unwrap();
+        assert_eq!(back.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(back.meta.bench, "unit");
+        assert_eq!(back.metrics.len(), 4);
+        assert_eq!(back.metrics["speedup"].value, 3.3);
+        assert_eq!(back.metrics["speedup"].direction, Direction::Higher);
+        assert_eq!(back.metrics["wall_us"].direction, Direction::Info);
+    }
+
+    #[test]
+    fn identical_results_pass() {
+        let r = sample();
+        let report = compare(&r, &r);
+        assert!(report.passed(), "{report}");
+        // info metrics are not gated.
+        assert_eq!(report.checks.len(), 3);
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let base = sample();
+        let mut fresh = sample();
+        fresh.metrics.get_mut("speedup").unwrap().value = 5.0;
+        fresh.metrics.get_mut("p99_us").unwrap().value = 400.0;
+        assert!(compare(&base, &fresh).passed());
+    }
+
+    #[test]
+    fn within_tolerance_passes_beyond_fails() {
+        let base = sample();
+        let mut fresh = sample();
+        // 3.3 * (1 - 0.45) = 1.815 is the floor.
+        fresh.metrics.get_mut("speedup").unwrap().value = 1.9;
+        assert!(compare(&base, &fresh).passed());
+        fresh.metrics.get_mut("speedup").unwrap().value = 1.7;
+        let report = compare(&base, &fresh);
+        assert!(!report.passed());
+        assert_eq!(report.regressions().count(), 1);
+        assert!(format!("{report}").contains("FAIL"));
+    }
+
+    #[test]
+    fn exact_metrics_reject_any_drift() {
+        let base = sample();
+        let mut fresh = sample();
+        fresh.metrics.get_mut("tiles_total").unwrap().value = 22.0;
+        assert!(!compare(&base, &fresh).passed());
+    }
+
+    #[test]
+    fn missing_gated_metric_fails_missing_info_does_not() {
+        let base = sample();
+        let mut fresh = sample();
+        fresh.metrics.remove("wall_us");
+        assert!(compare(&base, &fresh).passed());
+        fresh.metrics.remove("p99_us");
+        let report = compare(&base, &fresh);
+        assert!(!report.passed());
+        let miss = report.regressions().next().unwrap();
+        assert_eq!(miss.name, "p99_us");
+        assert!(miss.fresh.is_none());
+    }
+
+    #[test]
+    fn fresh_annotations_do_not_weaken_the_contract() {
+        let base = sample();
+        let mut fresh = sample();
+        // A fresh run claiming a huge tolerance must not bypass the
+        // baseline's contract.
+        {
+            let m = fresh.metrics.get_mut("speedup").unwrap();
+            m.value = 0.5;
+            m.tol_rel = 100.0;
+            m.direction = Direction::Info;
+        }
+        assert!(!compare(&base, &fresh).passed());
+    }
+
+    #[test]
+    fn injected_regression_trips_every_gate_class() {
+        let base = sample();
+        let mut fresh = sample();
+        inject_regression(&mut fresh, 0.25);
+        let report = compare(&base, &fresh);
+        assert_eq!(report.regressions().count(), 3);
+        // info metrics are untouched.
+        assert_eq!(fresh.metrics["wall_us"].value, 123456.0);
+    }
+
+    #[test]
+    fn version_and_shape_errors_are_reported() {
+        assert!(BenchResult::from_json_str("not json").is_err());
+        assert!(BenchResult::from_json_str("{\"schema_version\": 99}")
+            .unwrap_err()
+            .contains("schema_version 99"));
+        let r = sample();
+        let mut json = serde_json::to_string(&r).unwrap();
+        json = json.replace("\"higher\"", "\"sideways\"");
+        assert!(BenchResult::from_json_str(&json)
+            .unwrap_err()
+            .contains("unknown direction"));
+    }
+
+    #[test]
+    fn direction_wire_names_roundtrip() {
+        for d in [
+            Direction::Higher,
+            Direction::Lower,
+            Direction::Exact,
+            Direction::Info,
+        ] {
+            assert_eq!(Direction::parse(d.as_str()), Some(d));
+        }
+        assert_eq!(Direction::parse("bogus"), None);
+    }
+}

@@ -2,7 +2,7 @@
 //! memory budget and test/drill hooks.
 
 use qk_chaos::{Chaos, RetryPolicy};
-use qk_obs::Obs;
+use qk_obs::{Obs, Tracer};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -56,6 +56,15 @@ pub struct GramConfig {
     /// back to quarantine-and-recompute (loads) or degraded in-memory
     /// assembly (stores).
     pub retry: RetryPolicy,
+    /// Trace collector for tile-granular timeline events (queue-wait,
+    /// steal, band-load, compute, checkpoint-write). Workers record
+    /// onto lanes `(trace_rank, worker_id)`. `None` = no tracing; like
+    /// the rest of the instrumentation, tracing never participates in
+    /// the bitwise determinism contract.
+    pub trace: Option<Tracer>,
+    /// Rank id the engine's trace lanes are tagged with (the rank
+    /// driver sets this; single-process runs keep 0).
+    pub trace_rank: u32,
 }
 
 impl Default for GramConfig {
@@ -72,6 +81,8 @@ impl Default for GramConfig {
             obs_dir: None,
             chaos: Chaos::disarmed(),
             retry: RetryPolicy::default(),
+            trace: None,
+            trace_rank: 0,
         }
     }
 }

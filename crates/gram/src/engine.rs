@@ -28,7 +28,7 @@ use crate::tiles::{Tile, TilePlan};
 use crate::view::TiledKernel;
 use qk_chaos::{sites, Chaos, Fault};
 use qk_mps::{Mps, ZipperWorkspace};
-use qk_obs::{Counter, Journal, Obs};
+use qk_obs::{Counter, Journal, Obs, TracePhase};
 use qk_svm::KernelBlock;
 use qk_tensor::backend::ExecutionBackend;
 use std::collections::{BTreeMap, VecDeque};
@@ -730,6 +730,13 @@ impl GramEngine {
                 let obs = &self.obs;
                 scope.spawn(move || {
                     let _worker_span = obs.span("gram_worker");
+                    // Tile-granular timeline lane for this worker; the
+                    // rank driver tags lanes with its rank id so shards
+                    // from different ranks merge into one timeline.
+                    let lane = cfg
+                        .trace
+                        .as_ref()
+                        .map(|t| t.lane(cfg.trace_rank, wid as u32));
                     let mut row_cache =
                         BandCache::new(rows_src, cfg.tile, metrics.bands_reloaded_handle());
                     let mut col_cache =
@@ -746,6 +753,7 @@ impl GramEngine {
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
+                        let claim_start = lane.as_ref().map(|l| l.stamp());
                         let (tile, stolen) = match claim(queues, wid) {
                             Some(t) => t,
                             None => break,
@@ -754,6 +762,16 @@ impl GramEngine {
                             // Budget exhausted: leave the rest uncomputed
                             // (the checkpoint already holds what finished).
                             break;
+                        }
+                        // Queue-wait vs. steal is only known after the
+                        // claim resolves, hence the split-phase record.
+                        if let (Some(l), Some(t0)) = (&lane, claim_start) {
+                            let phase = if stolen {
+                                TracePhase::Steal
+                            } else {
+                                TracePhase::QueueWait
+                            };
+                            l.record_since(t0, phase, tile.bi as i64, tile.bj as i64);
                         }
                         if stolen {
                             metrics.record_stolen();
@@ -780,9 +798,23 @@ impl GramEngine {
                                 if kind == JobKind::Train && tile.bi == tile.bj {
                                     let row_band = {
                                         let _band_span = obs.span("band_load");
+                                        let _bt = lane.as_ref().map(|l| {
+                                            l.span_args(
+                                                TracePhase::BandLoad,
+                                                tile.bi as i64,
+                                                tile.bj as i64,
+                                            )
+                                        });
                                         row_cache.band(tile.bi)?
                                     };
                                     let _tile_span = obs.span("tile_compute");
+                                    let _ct = lane.as_ref().map(|l| {
+                                        l.span_args(
+                                            TracePhase::Compute,
+                                            tile.bi as i64,
+                                            tile.bj as i64,
+                                        )
+                                    });
                                     compute_tile(
                                         &tile,
                                         kind,
@@ -795,9 +827,23 @@ impl GramEngine {
                                 } else {
                                     let (col_band, row_band) = {
                                         let _band_span = obs.span("band_load");
+                                        let _bt = lane.as_ref().map(|l| {
+                                            l.span_args(
+                                                TracePhase::BandLoad,
+                                                tile.bi as i64,
+                                                tile.bj as i64,
+                                            )
+                                        });
                                         (col_cache.band(tile.bj)?, row_cache.band(tile.bi)?)
                                     };
                                     let _tile_span = obs.span("tile_compute");
+                                    let _ct = lane.as_ref().map(|l| {
+                                        l.span_args(
+                                            TracePhase::Compute,
+                                            tile.bi as i64,
+                                            tile.bj as i64,
+                                        )
+                                    });
                                     compute_tile(
                                         &tile,
                                         kind,
@@ -814,6 +860,13 @@ impl GramEngine {
                                 if let Some(store) = store {
                                     if !degraded.load(Ordering::Relaxed) {
                                         let _ckpt_span = obs.span("checkpoint_write");
+                                        let _ckpt_trace = lane.as_ref().map(|l| {
+                                            l.span_args(
+                                                TracePhase::CheckpointWrite,
+                                                tile.bi as i64,
+                                                tile.bj as i64,
+                                            )
+                                        });
                                         let retried = cfg.retry.run(|| {
                                             chaos_gate(
                                                 &cfg.chaos,

@@ -43,7 +43,7 @@ use crate::view::TiledKernel;
 use qk_chaos::{Chaos, RetryPolicy};
 use qk_mpi::{run_world, HeartbeatMonitor, Process, Source, ANY_TAG};
 use qk_mps::{Mps, ZipperWorkspace};
-use qk_obs::Journal;
+use qk_obs::{Journal, TraceLane, TracePhase, Tracer};
 use qk_tensor::backend::ExecutionBackend;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -77,6 +77,13 @@ pub struct RankConfig {
     /// When set, rank 0 appends `rank_dead` / `rank_job_done` events to
     /// `rank_journal.jsonl` in this directory.
     pub obs_dir: Option<PathBuf>,
+    /// Shared trace collector: each rank records onto lane `(rank, 0)`
+    /// (compute, checkpoint-write, rebalance/adoption, the
+    /// coordinator's liveness wait and assembly). Ranks are threads
+    /// here, so one tracer epoch yields comparable cross-rank stamps;
+    /// the driver writes one shard per rank at job end. `None` = no
+    /// tracing.
+    pub trace: Option<Tracer>,
 }
 
 impl RankConfig {
@@ -91,6 +98,7 @@ impl RankConfig {
             retry: RetryPolicy::default(),
             hb_timeout: Duration::from_millis(500),
             obs_dir: None,
+            trace: None,
         }
     }
 }
@@ -236,14 +244,20 @@ fn materialize(
     backend: &dyn ExecutionBackend,
     ws: &mut ZipperWorkspace,
     retry: &RetryPolicy,
+    lane: Option<&TraceLane>,
 ) -> Vec<f64> {
     if let Some(store) = store {
         if let Ok(Some(payload)) = store.load(tile) {
             return payload;
         }
     }
-    let payload = compute_payload(states, tile, backend, ws);
+    let payload = {
+        let _t = lane.map(|l| l.span_args(TracePhase::Compute, tile.bi as i64, tile.bj as i64));
+        compute_payload(states, tile, backend, ws)
+    };
     if let Some(store) = store {
+        let _t =
+            lane.map(|l| l.span_args(TracePhase::CheckpointWrite, tile.bi as i64, tile.bj as i64));
         let _ = retry.run(|| store.store(tile, &payload)).result;
     }
     payload
@@ -287,8 +301,10 @@ fn adopt(
     states: &[Mps],
     backend: &dyn ExecutionBackend,
     ws: &mut ZipperWorkspace,
+    lane: Option<&TraceLane>,
 ) -> bool {
     let tile = &plan.tiles[idx as usize];
+    let _t = lane.map(|l| l.span_args(TracePhase::Rebalance, tile.bi as i64, tile.bj as i64));
     let dead_rank = owner(idx as usize, cfg.ranks);
     let dead_dir = rank_dir(&cfg.checkpoint_root, dead_rank);
     if load_from_dir(&dead_dir, spec, tile).is_some() {
@@ -314,6 +330,7 @@ fn worker(
     spec: &JobSpec,
 ) -> RankRun {
     let rank = p.rank();
+    let lane = cfg.trace.as_ref().map(|t| t.lane(rank as u32, 0));
     let store = CheckpointStore::open(&rank_dir(&cfg.checkpoint_root, rank), spec).ok();
     let mut ws = ZipperWorkspace::new();
     let death_at = cfg.chaos.rank_death(rank);
@@ -333,6 +350,7 @@ fn worker(
             backend,
             &mut ws,
             &cfg.retry,
+            lane.as_ref(),
         );
         completed += 1;
         p.send(0, TAG_HB, &completed.to_le_bytes());
@@ -342,7 +360,13 @@ fn worker(
     }
     p.send(0, TAG_DONE, &[]);
 
+    // Waiting for the coordinator's (re)assignment is this rank's
+    // queue-wait: it ends the moment orphan rebalancing is decided.
+    let wait_start = lane.as_ref().map(|l| l.stamp());
     let assigned = decode_indices(&p.recv(Source::Rank(0), TAG_ASSIGN).payload);
+    if let (Some(l), Some(t0)) = (&lane, wait_start) {
+        l.record_since(t0, TracePhase::QueueWait, assigned.len() as i64, -1);
+    }
     let mut adopted = 0u64;
     let mut recomputed = 0u64;
     for idx in assigned {
@@ -355,6 +379,7 @@ fn worker(
             states,
             backend,
             &mut ws,
+            lane.as_ref(),
         ) {
             adopted += 1;
         } else {
@@ -406,6 +431,7 @@ fn coordinator(
         std::fs::create_dir_all(dir).ok()?;
         Journal::open(&dir.join("rank_journal.jsonl")).ok()
     });
+    let lane = cfg.trace.as_ref().map(|t| t.lane(0, 0));
     let store = CheckpointStore::open(&rank_dir(&cfg.checkpoint_root, 0), spec).ok();
     let mut ws = ZipperWorkspace::new();
     let mut completed = 0u64;
@@ -418,6 +444,7 @@ fn coordinator(
                 backend,
                 &mut ws,
                 &cfg.retry,
+                lane.as_ref(),
             );
             completed += 1;
         }
@@ -426,6 +453,9 @@ fn coordinator(
     // Liveness poll: beats and completions arrive while we sweep for
     // overdue ranks. Only HB/DONE can be in flight toward rank 0 here —
     // nobody sends ADONE or FINACK before receiving ASSIGN / FIN.
+    // The whole poll is the coordinator's queue-wait: it ends when
+    // every rank has settled (done or declared dead).
+    let poll_start = lane.as_ref().map(|l| l.stamp());
     let mut monitor = HeartbeatMonitor::new(cfg.ranks, cfg.hb_timeout);
     monitor.mark_done(0);
     while !monitor.all_settled() {
@@ -446,6 +476,9 @@ fn coordinator(
     }
     let dead = monitor.dead();
     let live = monitor.live();
+    if let (Some(l), Some(t0)) = (&lane, poll_start) {
+        l.record_since(t0, TracePhase::QueueWait, dead.len() as i64, -1);
+    }
 
     // Re-plan: orphaned tiles round-robin over the survivors (rank 0
     // included). Every non-zero rank gets an ASSIGN — believed-dead
@@ -475,6 +508,7 @@ fn coordinator(
             states,
             backend,
             &mut ws,
+            lane.as_ref(),
         ) {
             adopted += 1;
         } else {
@@ -505,6 +539,9 @@ fn coordinator(
         .map(|r| CheckpointStore::open(&rank_dir(&cfg.checkpoint_root, r), spec).ok())
         .collect();
     for (idx, tile) in plan.tiles.iter().enumerate() {
+        let _t = lane
+            .as_ref()
+            .map(|l| l.span_args(TracePhase::Assemble, tile.bi as i64, tile.bj as i64));
         let first = owner(idx, cfg.ranks);
         let payload = (0..cfg.ranks)
             .map(|k| (first + k) % cfg.ranks)
@@ -526,9 +563,16 @@ fn coordinator(
         }
     }
     if let Some(j) = &journal {
+        // The coordinator's comm profile (bytes moved, time blocked in
+        // recv) rides along so a trace investigation can tell a
+        // communication-bound run from a compute-bound one.
+        let comm = p.stats();
         j.event("rank_job_done")
             .field_u64("dead_ranks", dead.len() as u64)
             .field_u64("tiles_orphaned", orphans.len() as u64)
+            .field_u64("comm_bytes", comm.bytes_total() as u64)
+            .field_u64("comm_messages", comm.messages_total() as u64)
+            .field_u64("comm_blocked_us", comm.blocked_us())
             .log();
         let _ = j.flush();
     }

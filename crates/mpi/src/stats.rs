@@ -36,6 +36,17 @@ impl CommStats {
     pub fn bytes_total(&self) -> usize {
         self.bytes_sent + self.bytes_received
     }
+
+    /// Total messages moved through this rank in either direction.
+    pub fn messages_total(&self) -> usize {
+        self.messages_sent + self.messages_received
+    }
+
+    /// Blocked wall time in whole microseconds — the unit the trace
+    /// timeline and journal events carry.
+    pub fn blocked_us(&self) -> u64 {
+        u64::try_from(self.blocked.as_micros()).unwrap_or(u64::MAX)
+    }
 }
 
 #[cfg(test)]
@@ -65,5 +76,7 @@ mod tests {
         assert_eq!(a.messages_received, 8);
         assert_eq!(a.blocked, Duration::from_millis(12));
         assert_eq!(a.bytes_total(), 37);
+        assert_eq!(a.messages_total(), 14);
+        assert_eq!(a.blocked_us(), 12_000);
     }
 }

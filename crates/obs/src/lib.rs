@@ -17,16 +17,21 @@
 //!   Rust JSON-schema gate used by CI.
 //! * [`json`] — a minimal JSON parser (the vendored serde shim only
 //!   serializes), used by the schema gate and journal tests.
+//! * [`trace`] — globally-mergeable trace timelines: per-lane logical
+//!   sequence numbers, per-rank shards, Chrome trace-event export, and
+//!   a deterministic utilization / critical-path analyzer.
 //!
 //! ## Determinism boundary
 //!
 //! Instrumentation lives *outside* the bitwise determinism contract:
 //! all clock reads in the workspace's observability path live in this
-//! crate, in four allowlisted functions (`SpanGuard::enter`,
-//! `Journal::open`, `Journal::flush`, `ObsReport::write_json`) audited
-//! to never feed a computed kernel value. The `obs-off` feature
-//! compiles spans and the journal down to no-ops; counters, gauges and
-//! histograms stay live because engine reports are built from them.
+//! crate, in a short list of allowlisted functions
+//! (`SpanGuard::enter`, `Journal::open`, `Journal::flush`,
+//! `ObsReport::write_json`, `Tracer::new`, `Tracer::now_us`,
+//! `Tracer::write_shards`) audited to never feed a computed kernel
+//! value. The `obs-off` feature compiles spans, the journal and trace
+//! recording down to no-ops; counters, gauges and histograms stay
+//! live because engine reports are built from them.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +56,7 @@ pub mod json;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 use std::sync::Arc;
 
@@ -60,6 +66,7 @@ pub use json::Json;
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot};
 pub use report::{validate_report_json, ObsReport};
 pub use span::{SpanEntry, SpanGuard, SpanRecorder};
+pub use trace::{TraceAnalysis, TraceEvent, TraceLane, TracePhase, TraceSpan, Tracer};
 
 #[derive(Debug, Default)]
 struct ObsInner {
@@ -112,15 +119,19 @@ impl Obs {
         self.inner.registry.snapshot()
     }
 
-    /// Build the unified report under a component name.
+    /// Build the unified report under a component name. Chaos/recovery
+    /// counters are mirrored into the report's `robustness` section so
+    /// one artifact covers perf and fault-tolerance together.
     pub fn report(&self, name: &str) -> ObsReport {
         let snap = self.registry_snapshot();
+        let robustness = report::extract_robustness(&snap.counters);
         ObsReport {
             name: name.to_string(),
             counters: snap.counters,
             gauges: snap.gauges,
             histograms: snap.histograms,
             spans: self.span_rollup(),
+            robustness,
         }
     }
 }

@@ -15,6 +15,31 @@ use crate::hist::{HistSnapshot, BUCKETS};
 use crate::json::{self, Json};
 use crate::span::SpanEntry;
 
+/// Counter-name suffixes that count injected faults and the recovery
+/// work they triggered. Counters carrying one of these suffixes are
+/// mirrored into [`ObsReport::robustness`].
+pub const ROBUSTNESS_SUFFIXES: [&str; 5] = [
+    "faults_injected",
+    "retries",
+    "tiles_quarantined",
+    "workers_restarted",
+    "requests_shed",
+];
+
+/// Mirror of every chaos/recovery counter in `counters`, keyed by the
+/// full counter name. See [`ROBUSTNESS_SUFFIXES`].
+pub fn extract_robustness(counters: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    counters
+        .iter()
+        .filter(|(name, _)| {
+            ROBUSTNESS_SUFFIXES
+                .iter()
+                .any(|suffix| name.ends_with(suffix))
+        })
+        .map(|(name, v)| (name.clone(), *v))
+        .collect()
+}
+
 /// Unified observability report: every registered instrument plus the
 /// deterministic span rollup, under a component name.
 #[derive(Debug, Clone, Serialize)]
@@ -29,6 +54,10 @@ pub struct ObsReport {
     pub histograms: BTreeMap<String, HistSnapshot>,
     /// Flamegraph-style span rollup, sorted by path.
     pub spans: Vec<SpanEntry>,
+    /// Chaos/recovery counters (faults injected, retries, quarantines,
+    /// worker restarts, load shedding), mirrored from `counters` so one
+    /// report covers perf and robustness.
+    pub robustness: BTreeMap<String, u64>,
 }
 
 impl ObsReport {
@@ -96,6 +125,12 @@ impl fmt::Display for ObsReport {
                 )?;
             }
         }
+        if !self.robustness.is_empty() {
+            writeln!(f, "  robustness:")?;
+            for (name, v) in &self.robustness {
+                writeln!(f, "    {name:<32} {v}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -106,7 +141,14 @@ impl fmt::Display for ObsReport {
 pub fn validate_report_json(src: &str) -> Result<(), String> {
     let root = json::parse(src).map_err(|e| e.to_string())?;
     let obj = root.as_object().ok_or("report root must be an object")?;
-    for key in ["name", "counters", "gauges", "histograms", "spans"] {
+    for key in [
+        "name",
+        "counters",
+        "gauges",
+        "histograms",
+        "spans",
+        "robustness",
+    ] {
         if !obj.iter().any(|(k, _)| k == key) {
             return Err(format!("missing required field `{key}`"));
         }
@@ -202,6 +244,34 @@ pub fn validate_report_json(src: &str) -> Result<(), String> {
             ));
         }
     }
+    let counters = root.get("counters").expect("checked above");
+    for (k, v) in root
+        .get("robustness")
+        .and_then(Json::as_object)
+        .ok_or("`robustness` must be an object")?
+    {
+        if !ROBUSTNESS_SUFFIXES.iter().any(|suffix| k.ends_with(suffix)) {
+            return Err(format!(
+                "robustness entry `{k}` does not carry a known robustness suffix"
+            ));
+        }
+        let val = v
+            .as_u64()
+            .ok_or(format!("robustness `{k}` must be a non-negative integer"))?;
+        match counters.get(k).and_then(Json::as_u64) {
+            Some(mirror) if mirror == val => {}
+            Some(mirror) => {
+                return Err(format!(
+                    "robustness `{k}` = {val} disagrees with counter value {mirror}"
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "robustness `{k}` has no matching counter of the same name"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -273,7 +343,39 @@ mod tests {
         assert!(validate_report_json("{\"name\": \"x\"}").is_err());
         // self_us > total_us.
         let spans_bad = "{\"name\":\"x\",\"counters\":{},\"gauges\":{},\"histograms\":{},\
-             \"spans\":[{\"path\":\"a\",\"count\":1,\"total_us\":5,\"self_us\":9}]}";
+             \"spans\":[{\"path\":\"a\",\"count\":1,\"total_us\":5,\"self_us\":9}],\
+             \"robustness\":{}}";
         assert!(validate_report_json(spans_bad).is_err());
+    }
+
+    #[test]
+    fn robustness_section_mirrors_chaos_counters() {
+        let obs = Obs::new();
+        obs.counter("gram.tiles_total").add(21);
+        obs.counter("gram.faults_injected").add(3);
+        obs.counter("gram.retries").add(2);
+        obs.counter("serve.requests_shed").inc();
+        let report = obs.report("robust");
+        assert_eq!(report.robustness.len(), 3);
+        assert_eq!(report.robustness["gram.faults_injected"], 3);
+        assert_eq!(report.robustness["gram.retries"], 2);
+        assert_eq!(report.robustness["serve.requests_shed"], 1);
+        assert!(!report.robustness.contains_key("gram.tiles_total"));
+        validate_report_json(&report.to_json()).unwrap();
+        assert!(report.to_string().contains("robustness:"));
+    }
+
+    #[test]
+    fn schema_rejects_robustness_counter_disagreement() {
+        let base = "{\"name\":\"x\",\"counters\":{\"gram.retries\":2},\"gauges\":{},\
+             \"histograms\":{},\"spans\":[],\"robustness\":";
+        // Mirror disagrees with the counter.
+        assert!(validate_report_json(&format!("{base}{{\"gram.retries\":9}}}}")).is_err());
+        // Mirror without a matching counter.
+        assert!(validate_report_json(&format!("{base}{{\"serve.requests_shed\":1}}}}")).is_err());
+        // Non-robustness key in the section.
+        assert!(validate_report_json(&format!("{base}{{\"gram.tiles_total\":2}}}}")).is_err());
+        // Consistent mirror passes.
+        validate_report_json(&format!("{base}{{\"gram.retries\":2}}}}")).unwrap();
     }
 }

@@ -1,0 +1,128 @@
+//! Property-based checks of the trace-shard merge: the canonical
+//! `(rank, lane, seq)` order makes merging insensitive to arrival
+//! order, shard grouping, and discovery order — and everything derived
+//! from the merged timeline (Chrome export, analysis) deterministic.
+
+use proptest::prelude::*;
+use qk_obs::trace::{analyze, chrome_trace_json, merge_events, read_shards, validate_chrome_trace};
+use qk_obs::{TraceEvent, TracePhase};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Builds a plausible timeline from raw tuples: seq numbers are
+/// assigned densely per `(rank, lane)` in tuple order, exactly as a
+/// live `Tracer` would.
+fn timeline(raw: &[(u32, u32, usize, u64, u64, i64)]) -> Vec<TraceEvent> {
+    let mut seqs: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    raw.iter()
+        .map(|&(rank, lane, phase, t_us, dur_us, arg0)| {
+            let seq = seqs.entry((rank, lane)).or_insert(0);
+            let ev = TraceEvent {
+                rank,
+                lane,
+                seq: *seq,
+                phase: TracePhase::ALL[phase % TracePhase::ALL.len()],
+                t_us,
+                dur_us,
+                arg0,
+                arg1: -1,
+            };
+            *seq += 1;
+            ev
+        })
+        .collect()
+}
+
+/// Deterministic Fisher-Yates driven by a test-supplied seed (no
+/// ambient randomness in the test body either).
+fn shuffle(events: &mut [TraceEvent], mut seed: u64) {
+    for i in (1..events.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        events.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+}
+
+/// A unique scratch directory per proptest case.
+fn scratch_dir() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("qk_trace_merge_{}_{id}", std::process::id()))
+}
+
+fn raw_events() -> impl Strategy<Value = Vec<(u32, u32, usize, u64, u64, i64)>> {
+    prop::collection::vec(
+        (
+            0u32..4,
+            0u32..3,
+            0usize..TracePhase::ALL.len(),
+            0u64..100_000,
+            0u64..10_000,
+            -1i64..64,
+        ),
+        0..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging any permutation of the same events yields the same
+    /// canonical order.
+    #[test]
+    fn merge_is_permutation_invariant(raw in raw_events(), seed in any::<u64>()) {
+        let mut canonical = timeline(&raw);
+        merge_events(&mut canonical);
+        let mut permuted = timeline(&raw);
+        shuffle(&mut permuted, seed);
+        merge_events(&mut permuted);
+        prop_assert_eq!(&permuted, &canonical);
+    }
+
+    /// Round-tripping through on-disk shards — with events scattered
+    /// into per-rank files in permuted order — reproduces the same
+    /// merged timeline, and the same Chrome export and analysis bytes.
+    #[test]
+    fn shard_roundtrip_is_order_insensitive(raw in raw_events(), seed in any::<u64>()) {
+        let mut canonical = timeline(&raw);
+        merge_events(&mut canonical);
+
+        let mut permuted = timeline(&raw);
+        shuffle(&mut permuted, seed);
+        let dir = scratch_dir();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let mut by_rank: BTreeMap<u32, String> = BTreeMap::new();
+        for ev in &permuted {
+            let shard = by_rank.entry(ev.rank).or_default();
+            shard.push_str(&ev.to_jsonl());
+            shard.push('\n');
+        }
+        for (rank, body) in &by_rank {
+            std::fs::write(dir.join(format!("trace_rank_{rank}.jsonl")), body)
+                .expect("shard write");
+        }
+        let merged = read_shards(&dir).expect("shards readable");
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(&merged, &canonical);
+
+        // Everything derived from the merge is equally deterministic.
+        prop_assert_eq!(
+            chrome_trace_json(&merged),
+            chrome_trace_json(&canonical)
+        );
+        prop_assert_eq!(
+            analyze(&merged).to_json(),
+            analyze(&canonical).to_json()
+        );
+    }
+
+    /// The Chrome export of any merged timeline passes the schema gate.
+    #[test]
+    fn chrome_export_is_always_schema_valid(raw in raw_events()) {
+        let mut events = timeline(&raw);
+        merge_events(&mut events);
+        let json = chrome_trace_json(&events);
+        prop_assert!(validate_chrome_trace(&json).is_ok(), "{:?}", validate_chrome_trace(&json));
+    }
+}

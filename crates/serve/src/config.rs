@@ -1,6 +1,7 @@
 //! Serving configuration.
 
 use qk_chaos::Chaos;
+use qk_obs::Tracer;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -54,6 +55,12 @@ pub struct ServeConfig {
     /// stalls). The default disarmed handle injects nothing. See
     /// `qk_chaos`.
     pub chaos: Chaos,
+    /// Trace collector for batch-granular timeline events (queue,
+    /// coalesce, encode, kernel, reply). Worker `w` records onto lane
+    /// `(0, w)`; the driver that owns the tracer writes the shards
+    /// after shutdown. `None` = no tracing. Per-request stage latency
+    /// histograms (`serve.stage.*`) are recorded regardless.
+    pub trace: Option<Tracer>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +83,7 @@ impl Default for ServeConfig {
             deadline: None,
             shed_queue_depth: None,
             chaos: Chaos::disarmed(),
+            trace: None,
         }
     }
 }

@@ -37,6 +37,23 @@ pub struct LatencySnapshot {
     pub buckets: Vec<u64>,
 }
 
+/// Latency summary for one pipeline stage (`serve.stage.*` histogram).
+#[derive(Debug, Clone, Serialize)]
+pub struct StageLatency {
+    /// Stage name: `queue`, `coalesce`, `encode`, `kernel` or `reply`.
+    pub stage: String,
+    /// Median stage latency.
+    pub p50: Duration,
+    /// 99th percentile stage latency.
+    pub p99: Duration,
+    /// Worst observed stage latency.
+    pub max: Duration,
+    /// Mean stage latency.
+    pub mean: Duration,
+    /// Number of recorded observations.
+    pub count: u64,
+}
+
 /// Point-in-time view of the server's health and throughput.
 #[derive(Debug, Clone, Serialize)]
 pub struct MetricsSnapshot {
@@ -79,6 +96,12 @@ pub struct MetricsSnapshot {
     pub cache_hit_rate: f64,
     /// Request latency percentiles.
     pub latency: LatencySnapshot,
+    /// Per-stage latency breakdown, in pipeline order: `queue` (first
+    /// request of a batch, enqueue to batch start), `coalesce` (batch
+    /// top-up wait), `encode` (cache-miss simulations per batch),
+    /// `kernel` (one kernel block per batch), `reply` (answer fan-out
+    /// per batch).
+    pub stages: Vec<StageLatency>,
     /// Model version serving new batches.
     pub model_version: u64,
     /// Encoding epoch (bumps when a deploy changes ansatz/truncation).
@@ -118,7 +141,7 @@ impl std::fmt::Display for MetricsSnapshot {
             self.cache.evictions,
             self.simulations
         )?;
-        write!(
+        writeln!(
             f,
             "latency: p50 {:.2?}, p95 {:.2?}, p99 {:.2?}, max {:.2?}, mean {:.2?}",
             self.latency.p50,
@@ -126,8 +149,29 @@ impl std::fmt::Display for MetricsSnapshot {
             self.latency.p99,
             self.latency.max,
             self.latency.mean
-        )
+        )?;
+        write!(f, "stages (p50/p99):")?;
+        for s in &self.stages {
+            write!(f, " {} {:.2?}/{:.2?}", s.stage, s.p50, s.p99)?;
+        }
+        Ok(())
     }
+}
+
+/// Pipeline stages with a dedicated latency histogram; the discriminant
+/// indexes `Metrics::stages`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Stage {
+    /// First request of a batch: enqueue to batch start.
+    Queue = 0,
+    /// Batch top-up wait in the worker loop.
+    Coalesce = 1,
+    /// Cache-miss simulations for one batch.
+    Encode = 2,
+    /// The batch's single kernel block.
+    Kernel = 3,
+    /// Answer fan-out for one batch.
+    Reply = 4,
 }
 
 /// Shared mutable telemetry, updated by submitters and workers. All
@@ -146,6 +190,10 @@ pub(crate) struct Metrics {
     pub(crate) faults_injected: Counter,
     pub(crate) queue_depth: Gauge,
     latency: Histogram,
+    /// Pipeline-stage histograms, in pipeline order with their wire
+    /// names — the request-granularity breakdown behind the serving
+    /// latency story.
+    stages: [(&'static str, Histogram); 5],
 }
 
 impl Metrics {
@@ -164,7 +212,21 @@ impl Metrics {
             faults_injected: obs.counter("serve.faults_injected"),
             queue_depth: obs.gauge("serve.queue_depth"),
             latency: obs.histogram("serve.latency_us"),
+            stages: [
+                ("queue", obs.histogram("serve.stage.queue_us")),
+                ("coalesce", obs.histogram("serve.stage.coalesce_us")),
+                ("encode", obs.histogram("serve.stage.encode_us")),
+                ("kernel", obs.histogram("serve.stage.kernel_us")),
+                ("reply", obs.histogram("serve.stage.reply_us")),
+            ],
         }
+    }
+
+    /// Records one observation into a pipeline-stage histogram.
+    pub(crate) fn record_stage(&self, stage: Stage, took: Duration) {
+        self.stages[stage as usize]
+            .1
+            .record(u64::try_from(took.as_micros()).unwrap_or(u64::MAX));
     }
 
     pub(crate) fn record_batch(&self, size: usize) {
@@ -218,6 +280,21 @@ impl Metrics {
                 count: hist.count,
                 buckets: hist.buckets,
             },
+            stages: self
+                .stages
+                .iter()
+                .map(|(name, h)| {
+                    let s = h.snapshot();
+                    StageLatency {
+                        stage: (*name).to_string(),
+                        p50: Duration::from_micros(s.quantile(0.50)),
+                        p99: Duration::from_micros(s.quantile(0.99)),
+                        max: Duration::from_micros(s.max),
+                        mean: Duration::from_secs_f64(s.mean / 1e6),
+                        count: s.count,
+                    }
+                })
+                .collect(),
             model_version,
             encoding_epoch,
         }
@@ -292,6 +369,23 @@ mod tests {
         assert_eq!(s.buckets[1], 2);
         assert_eq!(s.buckets[6], 1);
         assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn stage_histograms_resolve_in_pipeline_order() {
+        let m = metrics();
+        m.record_stage(Stage::Queue, Duration::from_micros(10));
+        m.record_stage(Stage::Kernel, Duration::from_micros(700));
+        m.record_stage(Stage::Kernel, Duration::from_micros(900));
+        let s = m.snapshot(CacheStats::default(), 1, 0);
+        let names: Vec<&str> = s.stages.iter().map(|x| x.stage.as_str()).collect();
+        assert_eq!(names, ["queue", "coalesce", "encode", "kernel", "reply"]);
+        assert_eq!(s.stages[0].count, 1);
+        assert_eq!(s.stages[1].count, 0);
+        assert_eq!(s.stages[3].count, 2);
+        assert_eq!(s.stages[3].max, Duration::from_micros(900));
+        assert!(s.stages[3].p50 <= s.stages[3].p99);
+        assert!(format!("{s}").contains("stages (p50/p99)"));
     }
 
     #[test]

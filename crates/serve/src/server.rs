@@ -31,14 +31,14 @@
 
 use crate::cache::{CacheKey, EncodingCache, Quantizer};
 use crate::config::ServeConfig;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, Stage};
 use crate::registry::{DeploySummary, ModelRegistry, ModelVersion};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use qk_chaos::{sites, Fault};
 use qk_core::{ModelDecodeError, Prediction, QuantumKernelModel};
 use qk_mps::{Mps, ZipperWorkspace};
-use qk_obs::{Journal, Obs};
+use qk_obs::{Journal, Obs, TraceLane, TracePhase};
 use qk_tensor::backend::CpuBackend;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -404,7 +404,7 @@ impl KernelServer {
             let worker_rx = rx.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("qk-serve-{w}"))
-                .spawn(move || worker_loop(&worker_core, &worker_rx));
+                .spawn(move || worker_loop(&worker_core, &worker_rx, w as u32));
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
@@ -529,8 +529,11 @@ impl Drop for KernelServer {
     }
 }
 
-fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
+fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>, wid: u32) {
     let mut backend = CpuBackend::new();
+    // Serving traces always use rank 0: the server is one process, and
+    // the lane id is the worker index.
+    let lane = core.config.trace.as_ref().map(|t| t.lane(0, wid));
     // One zipper workspace per worker for the server's lifetime: every
     // kernel row this worker serves reuses the same buffers, so the
     // steady-state inner-product path performs zero heap allocation.
@@ -554,6 +557,19 @@ fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
             core.metrics.faults_injected.inc();
             std::thread::sleep(delay);
         }
+        // Queue stage: how long the request that woke this worker sat
+        // in the submission queue. (The trace event is back-dated by
+        // the same measured wait so the timeline shows the queueing,
+        // not the instant of the wake.)
+        let queue_wait = first.enqueued.elapsed();
+        core.metrics.record_stage(Stage::Queue, queue_wait);
+        if let Some(l) = &lane {
+            let now = l.stamp();
+            let wait_us = u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX);
+            l.record_since(now.saturating_sub(wait_us), TracePhase::Queue, 1, 0);
+        }
+        let coalesce_t0 = lane.as_ref().map(|l| l.stamp());
+        let coalesce_start = Instant::now();
         let mut batch = vec![first];
         let deadline = Instant::now() + core.config.max_wait;
         let mut shutting_down = false;
@@ -581,13 +597,18 @@ fn worker_loop(core: &ServerCore, rx: &Receiver<Msg>) {
                 }
             }
         }
+        core.metrics
+            .record_stage(Stage::Coalesce, coalesce_start.elapsed());
+        if let (Some(l), Some(t0)) = (&lane, coalesce_t0) {
+            l.record_since(t0, TracePhase::Coalesce, batch.len() as i64, 0);
+        }
         // Supervised batch execution: a panic anywhere in the batch
         // (model bug, poisoned state, injected fault) error-replies
         // every request still awaiting an answer — never hangs a
         // client — and restarts this worker in place with fresh
         // backend/workspace state.
         let supervised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process_batch(core, &backend, &mut ws, &mut batch);
+            process_batch(core, &backend, &mut ws, &mut batch, lane.as_ref());
         }));
         if supervised.is_err() {
             for job in batch.drain(..) {
@@ -623,6 +644,7 @@ fn process_batch(
     backend: &CpuBackend,
     ws: &mut ZipperWorkspace,
     batch: &mut Vec<Job>,
+    lane: Option<&TraceLane>,
 ) {
     let _batch_span = core.obs.span("batch");
     core.metrics.record_batch(batch.len());
@@ -711,6 +733,10 @@ fn process_batch(
     // lock, then publish them.
     {
         let _simulate_span = core.obs.span("simulate");
+        let misses = unique.iter().filter(|p| p.state.is_none()).count();
+        let _encode_trace =
+            lane.map(|l| l.span_args(TracePhase::Encode, misses as i64, unique.len() as i64));
+        let encode_start = Instant::now();
         for point in unique.iter_mut().filter(|p| p.state.is_none()) {
             let t0 = Instant::now();
             let state = Arc::new(model.encode(&jobs[point.exemplar].features, backend));
@@ -718,6 +744,8 @@ fn process_batch(
             core.metrics.simulations.inc();
             point.state = Some(state);
         }
+        core.metrics
+            .record_stage(Stage::Encode, encode_start.elapsed());
     }
     if cache_enabled {
         let evicted = {
@@ -753,10 +781,18 @@ fn process_batch(
         .collect();
     let predictions = {
         let _kernel_span = core.obs.span("kernel_block");
-        model.predict_from_states_with(ws, &states, backend)
+        let _kernel_trace =
+            lane.map(|l| l.span_args(TracePhase::Kernel, states.len() as i64, batch.len() as i64));
+        let kernel_start = Instant::now();
+        let predictions = model.predict_from_states_with(ws, &states, backend);
+        core.metrics
+            .record_stage(Stage::Kernel, kernel_start.elapsed());
+        predictions
     };
 
     let _reply_span = core.obs.span("reply");
+    let _reply_trace = lane.map(|l| l.span_args(TracePhase::Reply, batch.len() as i64, 0));
+    let reply_start = Instant::now();
     let batch_size = batch.len();
     // Reply by popping from the back: a job leaves `batch` in the same
     // step it is answered, so if anything panics mid-loop the worker
@@ -779,4 +815,6 @@ fn process_batch(
             latency,
         }));
     }
+    core.metrics
+        .record_stage(Stage::Reply, reply_start.elapsed());
 }

@@ -90,3 +90,44 @@ fn pipeline_reports_carry_real_span_rollups() {
         );
     }
 }
+
+/// Chaos/recovery counters surface in every pipeline snapshot: each
+/// report carries a `robustness` block with the fault-injection and
+/// recovery totals for its subsystem, even on a clean (all-zero) run.
+#[test]
+fn pipeline_reports_surface_robustness_counters() {
+    for (file, keys) in [
+        (
+            "obs_gram.json",
+            &[
+                "gram.faults_injected",
+                "gram.retries",
+                "gram.tiles_quarantined",
+                "gram.workers_restarted",
+            ][..],
+        ),
+        (
+            "obs_serve.json",
+            &[
+                "serve.faults_injected",
+                "serve.requests_shed",
+                "serve.workers_restarted",
+            ][..],
+        ),
+    ] {
+        let path = obs_dir().join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+        let robustness = json::parse(&text)
+            .expect("report parses")
+            .get("robustness")
+            .cloned()
+            .unwrap_or_else(|| panic!("{file}: missing robustness block"));
+        for key in keys {
+            assert!(
+                robustness.get(key).and_then(Json::as_u64).is_some(),
+                "{file}: robustness block missing counter {key}"
+            );
+        }
+    }
+}

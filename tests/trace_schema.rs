@@ -1,0 +1,81 @@
+//! Schema gate for exported trace artifacts: `trace_gram.json` must be
+//! a valid Chrome trace-event file per [`qk::obs::trace::validate_chrome_trace`],
+//! and the companion `trace_report.json` analysis must carry the
+//! utilization / critical-path rollups the analyzer promises.
+//!
+//! CI points `QK_TRACE_DIR` at the directory its 3-rank smoke just
+//! exported; without the override the gate checks the committed
+//! reference artifacts under `results/`.
+
+use qk::obs::trace::validate_chrome_trace;
+use qk::obs::{json, Json};
+use std::path::PathBuf;
+
+fn trace_dir() -> PathBuf {
+    match std::env::var("QK_TRACE_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results"),
+    }
+}
+
+fn read(name: &str) -> String {
+    let path = trace_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{} missing: {e} — run `gram_scale --smoke --ranks 3 --trace-dir <dir>` first",
+            path.display()
+        )
+    })
+}
+
+/// The exported Chrome trace passes the structural schema check:
+/// complete events only, rank/lane process metadata, and strictly
+/// increasing logical sequence numbers per `(pid, tid)`.
+#[test]
+fn chrome_trace_is_schema_valid() {
+    let text = read("trace_gram.json");
+    validate_chrome_trace(&text)
+        .unwrap_or_else(|e| panic!("trace_gram.json fails the schema gate: {e}"));
+}
+
+/// The analyzer report is not a stub: it parses, covers a multi-rank
+/// timeline with real events, and carries the utilization,
+/// scaling-efficiency, phase-breakdown, and critical-path fields
+/// downstream tooling reads.
+#[test]
+fn trace_report_carries_analysis_rollups() {
+    let report = json::parse(&read("trace_report.json")).expect("trace_report.json parses");
+    let u64_field = |key: &str| {
+        report
+            .get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("trace_report.json missing numeric field {key}"))
+    };
+    assert!(u64_field("events") > 0, "report analyzed zero events");
+    assert!(u64_field("ranks") >= 2, "expected a multi-rank timeline");
+    assert!(u64_field("wall_us") > 0, "report spans zero wall time");
+    for key in ["utilization", "scaling_efficiency"] {
+        let v = report
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("trace_report.json missing {key}"));
+        assert!((0.0..=1.0).contains(&v), "{key} = {v} outside [0, 1]");
+    }
+    let phases = report
+        .get("per_phase")
+        .and_then(Json::as_array)
+        .expect("per_phase array");
+    let phase_names: Vec<&str> = phases
+        .iter()
+        .filter_map(|p| p.get("phase").and_then(Json::as_str))
+        .collect();
+    assert!(
+        phase_names.contains(&"compute"),
+        "gram trace report lacks a compute phase: {phase_names:?}"
+    );
+    let cp = report.get("critical_path").expect("critical_path present");
+    assert!(
+        cp.get("length_us").and_then(Json::as_u64).is_some(),
+        "critical_path missing length_us"
+    );
+}
