@@ -204,6 +204,57 @@ fn chaos_clock_fixtures() {
 }
 
 #[test]
+fn trainer_clock_fixtures() {
+    // Mirrors the live analyze.toml shape: the crash-safe trainer pinned
+    // as a single file, with only the atomic-rename temp naming in
+    // `TrainerCkpt::store` allowed to read ambient process state.
+    let policy = Policy::parse(
+        "[determinism]\npinned = [\"crates/svm/src/trainer.rs\"]\n\
+         allow_clock_in = [\"TrainerCkpt::store\"]\n",
+    )
+    .unwrap();
+
+    // The trainer idiom passes: pid-tagged temp naming inside the
+    // allowlisted store, pure fingerprint-equality resume decisions.
+    let ok = fixture("trainer_clock_ok.rs", "crates/svm/src/trainer.rs");
+    assert!(
+        passes::determinism::run(&[ok], &policy).is_empty(),
+        "allowlisted trainer temp-naming pid read must be clean"
+    );
+
+    // Clock-stamped snapshot bytes, clock-decided resume and a
+    // hash-ordered error cache are all flagged.
+    let bad = fixture("trainer_clock_bad.rs", "crates/svm/src/trainer.rs");
+    let findings = passes::determinism::run(&[bad], &policy);
+    assert_all_pass(&findings, "determinism");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.function == "Snapshot::stamp" && f.message.contains("SystemTime")),
+        "clock-stamped snapshot contents must be flagged: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.function == "should_adopt" && f.message.contains("Instant")),
+        "clock-decided resume must be flagged: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("HashMap")),
+        "hash-ordered error cache must be flagged: {findings:?}"
+    );
+
+    // The allowlist names functions, not files: the same violations in
+    // an unpinned file produce no findings, and the pinned-path check
+    // is what put them in scope at all.
+    let bad_unpinned = fixture("trainer_clock_bad.rs", "crates/svm/src/smo_helpers.rs");
+    assert!(
+        passes::determinism::run(&[bad_unpinned], &policy).is_empty(),
+        "unpinned files are out of determinism scope"
+    );
+}
+
+#[test]
 fn no_alloc_fixtures() {
     let policy = Policy::parse("[no_alloc]\nfunctions = [\"compute_tile\"]\n").unwrap();
     let ok = fixture("no_alloc_ok.rs", "hot.rs");

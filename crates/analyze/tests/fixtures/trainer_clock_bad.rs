@@ -1,0 +1,38 @@
+//! Violating fixture for the trainer clock policy: snapshot contents
+//! stamped from the wall clock (two resumed runs can never be bitwise
+//! identical), a staleness heuristic deciding resume from elapsed time,
+//! and a hash-ordered error cache.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+pub struct Snapshot {
+    pub alphas: Vec<f64>,
+    pub stamp_us: u64,
+}
+
+impl Snapshot {
+    /// VIOLATION: embedding a wall-clock stamp in the snapshot makes
+    /// its bytes — and the checksum over them — irreproducible.
+    pub fn stamp(&mut self) {
+        self.stamp_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_micros() as u64);
+    }
+}
+
+/// VIOLATION: resume decided by a clock-derived staleness window — the
+/// same checkpoint is adopted or discarded depending on when the
+/// process happens to restart.
+pub fn should_adopt(written_at: Instant) -> bool {
+    Instant::now().duration_since(written_at).as_secs() < 60
+}
+
+/// VIOLATION: a hash-ordered error cache makes the pass's update order
+/// (and therefore the converged alphas) run-dependent.
+pub fn worst_violator(errors: &HashMap<usize, f64>) -> Option<usize> {
+    errors
+        .iter()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        .map(|(i, _)| *i)
+}

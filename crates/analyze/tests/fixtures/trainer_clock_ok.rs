@@ -1,0 +1,45 @@
+//! Passing fixture for the trainer clock policy: the only ambient read
+//! is the process id inside the allowlisted atomic-rename temp naming
+//! (`TrainerCkpt::store`); snapshot contents and resume decisions are a
+//! pure function of the job fingerprint and SMO state.
+
+use std::path::{Path, PathBuf};
+
+pub struct TrainerCkpt {
+    pub dir: PathBuf,
+    pub fingerprint: u64,
+}
+
+impl TrainerCkpt {
+    /// Allowlisted in the fixture policy: the pid only names the
+    /// scratch file so concurrent writers cannot collide; it never
+    /// reaches the snapshot bytes.
+    pub fn store(&self, bytes: &[u8]) -> std::io::Result<()> {
+        let tmp = self
+            .dir
+            .join(format!(".trainer.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, self.dir.join("trainer.qks"))
+    }
+}
+
+/// The resume contract: a snapshot is adopted iff its embedded
+/// fingerprint matches the job's — a pure comparison, no clock, no
+/// mtime heuristics.
+pub fn should_adopt(snapshot_fingerprint: u64, job_fingerprint: u64) -> bool {
+    snapshot_fingerprint == job_fingerprint
+}
+
+/// Checksums are position-dependent folds over the snapshot bytes.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Paths derive from the checkpoint directory alone.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("trainer.qks")
+}

@@ -40,4 +40,10 @@ pub mod sites {
     pub const SERVE_BATCH: &str = "serve.worker.batch";
     /// The serve queue between dequeue and batching (fires as a stall).
     pub const SERVE_QUEUE: &str = "serve.queue.stall";
+    /// The SVM trainer persisting a solver-state snapshot.
+    pub const SVM_CKPT_STORE: &str = "svm.ckpt.store";
+    /// The SVM trainer reading a solver-state snapshot on warm start.
+    pub const SVM_CKPT_LOAD: &str = "svm.ckpt.load";
+    /// A kernel-row load into the trainer's row cache.
+    pub const SVM_ROW_LOAD: &str = "svm.row.load";
 }

@@ -55,6 +55,7 @@ pub mod engine;
 pub mod fingerprint;
 pub mod metrics;
 pub mod rank;
+pub mod recompute;
 pub mod spill;
 pub mod tiles;
 pub mod view;
@@ -65,6 +66,7 @@ pub use engine::{BlockOutcome, GramEngine, GramError, GramOutcome, GramReport};
 pub use fingerprint::{encoding_fingerprint, fnv1a64, JobKind, JobSpec};
 pub use metrics::{GramMetrics, GramProgress};
 pub use rank::{rank_distributed_gram, RankConfig, RankOutcome, RankReport, RankSummary};
+pub use recompute::RecomputingRows;
 pub use spill::{SpillError, SpillStore};
 pub use tiles::{band_count, Tile, TilePlan};
 pub use view::TiledKernel;

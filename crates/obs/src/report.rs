@@ -18,12 +18,14 @@ use crate::span::SpanEntry;
 /// Counter-name suffixes that count injected faults and the recovery
 /// work they triggered. Counters carrying one of these suffixes are
 /// mirrored into [`ObsReport::robustness`].
-pub const ROBUSTNESS_SUFFIXES: [&str; 5] = [
+pub const ROBUSTNESS_SUFFIXES: [&str; 7] = [
     "faults_injected",
     "retries",
     "tiles_quarantined",
     "workers_restarted",
     "requests_shed",
+    "rows_recomputed",
+    "resumes",
 ];
 
 /// Mirror of every chaos/recovery counter in `counters`, keyed by the
@@ -55,8 +57,9 @@ pub struct ObsReport {
     /// Flamegraph-style span rollup, sorted by path.
     pub spans: Vec<SpanEntry>,
     /// Chaos/recovery counters (faults injected, retries, quarantines,
-    /// worker restarts, load shedding), mirrored from `counters` so one
-    /// report covers perf and robustness.
+    /// worker restarts, load shedding, row recomputes, warm resumes),
+    /// mirrored from `counters` so one report covers perf and
+    /// robustness.
     pub robustness: BTreeMap<String, u64>,
 }
 
@@ -355,11 +358,15 @@ mod tests {
         obs.counter("gram.faults_injected").add(3);
         obs.counter("gram.retries").add(2);
         obs.counter("serve.requests_shed").inc();
+        obs.counter("svm.rows_recomputed").add(4);
+        obs.counter("svm.resumes").inc();
         let report = obs.report("robust");
-        assert_eq!(report.robustness.len(), 3);
+        assert_eq!(report.robustness.len(), 5);
         assert_eq!(report.robustness["gram.faults_injected"], 3);
         assert_eq!(report.robustness["gram.retries"], 2);
         assert_eq!(report.robustness["serve.requests_shed"], 1);
+        assert_eq!(report.robustness["svm.rows_recomputed"], 4);
+        assert_eq!(report.robustness["svm.resumes"], 1);
         assert!(!report.robustness.contains_key("gram.tiles_total"));
         validate_report_json(&report.to_json()).unwrap();
         assert!(report.to_string().contains("robustness:"));

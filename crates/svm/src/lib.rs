@@ -11,6 +11,8 @@
 //! * [`model_select`] — the `C in [0.01, 4]` regularization sweep.
 //! * [`cv`] — stratified k-fold cross-validation on precomputed kernels.
 //! * [`platt`] — probability calibration of SVM decision values.
+//! * [`trainer`] — crash-safe SMO training: checkpointed warm-start, a
+//!   budgeted kernel-row cache, and chaos-drilled recovery paths.
 //! * [`diagnostics`] — spectral concentration diagnostics (effective
 //!   dimension, kernel–target alignment, geometric difference).
 //!
@@ -37,6 +39,7 @@ pub mod metrics;
 pub mod model_select;
 pub mod platt;
 pub mod smo;
+pub mod trainer;
 
 pub use cv::{cross_validate, select_c_by_cv, stratified_folds, CvResult, Fold};
 pub use diagnostics::{
@@ -52,3 +55,7 @@ pub use metrics::{
 pub use model_select::{default_c_grid, sweep_c, SweepPoint, SweepResult};
 pub use platt::{fit_platt, PlattCalibration};
 pub use smo::{train_svc, train_svc_observed, SmoParams, TrainedSvm};
+pub use trainer::{
+    checkpoint_path, job_fingerprint, RowSource, TrainError, TrainOutcome, Trainer, TrainerConfig,
+    TrainerStats,
+};

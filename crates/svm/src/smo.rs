@@ -124,8 +124,9 @@ impl TrainedSvm {
 /// identically — no dense copy is made of non-`KernelMatrix` sources.
 ///
 /// # Panics
-/// Panics if labels are not `+1`/`-1`, sizes mismatch, or both classes are
-/// not present.
+/// Panics if labels are not `+1`/`-1`, sizes mismatch, both classes are
+/// not present, or the hyperparameters are degenerate (`c` not positive
+/// and finite, `tol` not finite).
 pub fn train_svc<K: KernelSource + ?Sized>(
     kernel: &K,
     labels: &[f64],
@@ -148,13 +149,14 @@ pub fn train_svc_observed<K: KernelSource + ?Sized>(
     train_impl(kernel, labels, params, Some((obs, journal)))
 }
 
-fn train_impl<K: KernelSource + ?Sized>(
-    kernel: &K,
-    labels: &[f64],
-    params: &SmoParams,
-    hooks: Option<(&Obs, Option<&Journal>)>,
-) -> TrainedSvm {
-    let n = kernel.order();
+/// Validates the training problem up front with clear panic messages.
+///
+/// Shared by [`train_svc`] and the crash-safe `trainer` module so both
+/// entry points reject the same degenerate inputs. Non-finite
+/// hyperparameters are rejected explicitly: a NaN `tol` makes every KKT
+/// comparison false, so the solver would silently spin to
+/// `max_total_passes` doing nothing.
+pub(crate) fn validate_inputs(n: usize, labels: &[f64], params: &SmoParams) {
     assert_eq!(labels.len(), n, "label count must match kernel order");
     assert!(n >= 2, "need at least two training points");
     assert!(
@@ -165,7 +167,144 @@ fn train_impl<K: KernelSource + ?Sized>(
         labels.iter().any(|y| *y > 0.0) && labels.iter().any(|y| *y < 0.0),
         "both classes must be present"
     );
-    assert!(params.c > 0.0, "C must be positive");
+    assert!(
+        params.c > 0.0 && params.c.is_finite(),
+        "C must be positive and finite, got {}",
+        params.c
+    );
+    assert!(
+        params.tol.is_finite(),
+        "tol must be finite, got {} (a NaN tol makes the KKT check vacuously pass)",
+        params.tol
+    );
+}
+
+/// Resumable SMO solver state: everything the pass loop mutates.
+///
+/// [`train_svc`] drives one of these from `fresh` to convergence in a
+/// single call; the crash-safe `trainer` module persists and restores it
+/// across process deaths. Bitwise reproducibility hinges on this being
+/// the *complete* loop state — alphas, bias, the error cache, both pass
+/// counters, and the second-choice rng.
+#[derive(Debug, Clone)]
+pub(crate) struct SmoState {
+    pub alphas: Vec<f64>,
+    pub bias: f64,
+    /// Error cache: `E_i = f(x_i) - y_i`.
+    pub errors: Vec<f64>,
+    pub passes_without_progress: usize,
+    pub total_passes: usize,
+    pub rng: ChaCha8Rng,
+}
+
+impl SmoState {
+    /// Cold-start state: all alphas zero, so `f = 0` and `E_i = -y_i`.
+    pub(crate) fn fresh(labels: &[f64], seed: u64) -> SmoState {
+        SmoState {
+            alphas: vec![0.0f64; labels.len()],
+            bias: 0.0,
+            errors: labels.iter().map(|y| -y).collect(),
+            passes_without_progress: 0,
+            total_passes: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether another pass should run under the configured caps.
+    pub(crate) fn should_continue(&self, params: &SmoParams) -> bool {
+        self.passes_without_progress < params.max_passes
+            && self.total_passes < params.max_total_passes
+    }
+
+    /// Advances the pass counters after a completed pass.
+    pub(crate) fn record_pass(&mut self, changed: usize) {
+        self.total_passes += 1;
+        if changed == 0 {
+            self.passes_without_progress += 1;
+        } else {
+            self.passes_without_progress = 0;
+        }
+    }
+
+    /// Finishes training, consuming the state into a model.
+    pub(crate) fn into_model(self, labels: &[f64]) -> TrainedSvm {
+        TrainedSvm {
+            alphas: self.alphas,
+            bias: self.bias,
+            labels: labels.to_vec(),
+            passes: self.total_passes,
+        }
+    }
+}
+
+/// Runs one full SMO pass over the data, fetching kernel rows through
+/// `rows(i, j)`.
+///
+/// This is *the* pass loop — [`train_svc`] closes over direct
+/// [`KernelSource::row`] reads (infallible), while the crash-safe
+/// trainer closes over its budgeted row cache (fallible loads, chaos
+/// gates). Both paths execute identical float operations and identical
+/// rng draws, which is what makes a resumed training run bitwise equal
+/// to an uninterrupted one.
+///
+/// Returns the number of successful alpha updates, or the first row
+/// fetch error. Note `rows` is only consulted after the KKT check and
+/// pair selection, so the rng stream never depends on the fetch path.
+pub(crate) fn pass_over<R, E>(
+    labels: &[f64],
+    c: f64,
+    tol: f64,
+    st: &mut SmoState,
+    mut rows: impl FnMut(usize, usize) -> Result<(R, R), E>,
+) -> Result<usize, E>
+where
+    R: std::ops::Deref<Target = [f64]>,
+{
+    let n = labels.len();
+    let mut changed = 0usize;
+    for i in 0..n {
+        let ei = st.errors[i];
+        let yi = labels[i];
+        let r = ei * yi;
+        // KKT check: violated if (r < -tol and alpha < C) or
+        // (r > tol and alpha > 0).
+        if !((r < -tol && st.alphas[i] < c) || (r > tol && st.alphas[i] > 0.0)) {
+            continue;
+        }
+        // Second-choice heuristic: maximize |E_i - E_j| over non-bound
+        // points; fall back to a random other index.
+        let j = select_second(i, &st.errors, &st.alphas, c, &mut st.rng);
+        if i == j {
+            // Degenerate fallback (n < 2 never reaches here in
+            // practice); take_step would reject the pair anyway.
+            continue;
+        }
+        let (ki, kj) = rows(i, j)?;
+        if take_step_rows(
+            labels,
+            &mut st.alphas,
+            &mut st.bias,
+            &mut st.errors,
+            i,
+            j,
+            c,
+            &ki,
+            &kj,
+        ) {
+            changed += 1;
+        }
+    }
+    Ok(changed)
+}
+
+fn train_impl<K: KernelSource + ?Sized>(
+    kernel: &K,
+    labels: &[f64],
+    params: &SmoParams,
+    hooks: Option<(&Obs, Option<&Journal>)>,
+) -> TrainedSvm {
+    let n = kernel.order();
+    validate_inputs(n, labels, params);
 
     let _train_span = hooks.map(|(obs, _)| obs.span("smo_train"));
     let counters = hooks.map(|(obs, _)| {
@@ -182,37 +321,17 @@ fn train_impl<K: KernelSource + ?Sized>(
             .log();
     }
 
-    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
-    let mut alphas = vec![0.0f64; n];
-    let mut bias = 0.0f64;
-    // Error cache: E_i = f(x_i) - y_i. With all alphas zero, f = 0.
-    let mut errors: Vec<f64> = labels.iter().map(|y| -y).collect();
+    let mut st = SmoState::fresh(labels, params.seed);
 
-    let c = params.c;
-    let tol = params.tol;
-    let mut passes_without_progress = 0usize;
-    let mut total_passes = 0usize;
-
-    while passes_without_progress < params.max_passes && total_passes < params.max_total_passes {
+    while st.should_continue(params) {
         let _pass_span = hooks.map(|(obs, _)| obs.span("pass"));
-        let mut changed = 0usize;
-        for i in 0..n {
-            let ei = errors[i];
-            let yi = labels[i];
-            let r = ei * yi;
-            // KKT check: violated if (r < -tol and alpha < C) or
-            // (r > tol and alpha > 0).
-            if !((r < -tol && alphas[i] < c) || (r > tol && alphas[i] > 0.0)) {
-                continue;
-            }
-            // Second-choice heuristic: maximize |E_i - E_j| over non-bound
-            // points; fall back to a random other index.
-            let j = select_second(i, &errors, &alphas, c, &mut rng);
-            if take_step(kernel, labels, &mut alphas, &mut bias, &mut errors, i, j, c) {
-                changed += 1;
-            }
-        }
-        total_passes += 1;
+        let changed = match pass_over(labels, params.c, params.tol, &mut st, |i, j| {
+            Ok::<_, std::convert::Infallible>((kernel.row(i), kernel.row(j)))
+        }) {
+            Ok(changed) => changed,
+            Err(never) => match never {},
+        };
+        st.record_pass(changed);
         if let Some((passes, updates)) = &counters {
             passes.inc();
             updates.add(changed as u64);
@@ -220,23 +339,13 @@ fn train_impl<K: KernelSource + ?Sized>(
         if let Some((_, Some(journal))) = hooks {
             journal
                 .event("smo_pass")
-                .field_u64("pass", total_passes as u64)
+                .field_u64("pass", st.total_passes as u64)
                 .field_u64("changed", changed as u64)
                 .log();
         }
-        if changed == 0 {
-            passes_without_progress += 1;
-        } else {
-            passes_without_progress = 0;
-        }
     }
 
-    let model = TrainedSvm {
-        alphas,
-        bias,
-        labels: labels.to_vec(),
-        passes: total_passes,
-    };
+    let model = st.into_model(labels);
     if let Some((_, Some(journal))) = hooks {
         journal
             .event("smo_done")
@@ -295,9 +404,14 @@ fn random_other_index(i: usize, n: usize, rng: &mut ChaCha8Rng) -> usize {
 }
 
 /// Attempts the analytic two-variable update; returns `true` on progress.
+///
+/// Works on prefetched kernel rows: `ki[k] = K[i][k]`, `kj[k] = K[j][k]`.
+/// Since a row slice and an `entry` call read the same backing values,
+/// this is bit-for-bit the classic entrywise formulation — but it lets
+/// the crash-safe trainer serve both the 2x2 subproblem and the O(n)
+/// error-cache refresh from a single pair of cached rows.
 #[allow(clippy::too_many_arguments)]
-fn take_step<K: KernelSource + ?Sized>(
-    kernel: &K,
+pub(crate) fn take_step_rows(
     labels: &[f64],
     alphas: &mut [f64],
     bias: &mut f64,
@@ -305,6 +419,8 @@ fn take_step<K: KernelSource + ?Sized>(
     i: usize,
     j: usize,
     c: f64,
+    ki: &[f64],
+    kj: &[f64],
 ) -> bool {
     if i == j {
         return false;
@@ -323,9 +439,9 @@ fn take_step<K: KernelSource + ?Sized>(
         return false;
     }
 
-    let kii = kernel.entry(i, i);
-    let kjj = kernel.entry(j, j);
-    let kij = kernel.entry(i, j);
+    let kii = ki[i];
+    let kjj = kj[j];
+    let kij = ki[j];
     let eta = kii + kjj - 2.0 * kij;
     if eta <= 1e-12 {
         // Non-positive curvature (can happen with degenerate kernels):
@@ -356,8 +472,6 @@ fn take_step<K: KernelSource + ?Sized>(
     let di = yi * (ai_new - ai_old);
     let dj = yj * (aj_new - aj_old);
     let db = new_bias - *bias;
-    let ki = kernel.row(i);
-    let kj = kernel.row(j);
     for ((e, kik), kjk) in errors.iter_mut().zip(ki).zip(kj) {
         *e += di * kik + dj * kjk + db;
     }
@@ -564,6 +678,52 @@ mod tests {
     fn bad_labels_panic() {
         let k = KernelMatrix::from_fn(2, |i, j| if i == j { 1.0 } else { 0.0 });
         train_svc(&k, &[1.0, 0.0], &SmoParams::default());
+    }
+
+    /// A NaN `tol` makes every KKT comparison false, so without the
+    /// up-front validation the solver silently spins to
+    /// `max_total_passes` while updating nothing. It must panic instead.
+    #[test]
+    #[should_panic(expected = "tol must be finite")]
+    fn nan_tol_panics() {
+        let k = linear_kernel(&[vec![-1.0], vec![1.0]]);
+        let params = SmoParams {
+            tol: f64::NAN,
+            ..SmoParams::default()
+        };
+        train_svc(&k, &[-1.0, 1.0], &params);
+    }
+
+    #[test]
+    #[should_panic(expected = "tol must be finite")]
+    fn infinite_tol_panics() {
+        let k = linear_kernel(&[vec![-1.0], vec![1.0]]);
+        let params = SmoParams {
+            tol: f64::INFINITY,
+            ..SmoParams::default()
+        };
+        train_svc(&k, &[-1.0, 1.0], &params);
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be positive and finite")]
+    fn nan_c_panics() {
+        let k = linear_kernel(&[vec![-1.0], vec![1.0]]);
+        train_svc(&k, &[-1.0, 1.0], &SmoParams::with_c(f64::NAN));
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be positive and finite")]
+    fn infinite_c_panics() {
+        let k = linear_kernel(&[vec![-1.0], vec![1.0]]);
+        train_svc(&k, &[-1.0, 1.0], &SmoParams::with_c(f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be positive and finite")]
+    fn nonpositive_c_panics() {
+        let k = linear_kernel(&[vec![-1.0], vec![1.0]]);
+        train_svc(&k, &[-1.0, 1.0], &SmoParams::with_c(0.0));
     }
 
     /// Instrumentation must observe the solver, never steer it: the

@@ -114,6 +114,15 @@ fn pipeline_reports_surface_robustness_counters() {
                 "serve.workers_restarted",
             ][..],
         ),
+        (
+            "obs_svm.json",
+            &[
+                "svm.faults_injected",
+                "svm.ckpt.retries",
+                "svm.rows_recomputed",
+                "svm.resumes",
+            ][..],
+        ),
     ] {
         let path = obs_dir().join(file);
         let text = std::fs::read_to_string(&path)
